@@ -1,0 +1,55 @@
+"""E5 supplement -- a true universal quantifier at miniature scale.
+
+Theorem 3.1 says *every* o(log n)-round algorithm errs with constant
+probability. The other engines measure given algorithms; this benchmark
+enumerates the entire ID-oblivious 1-round class (|alphabet|^n
+algorithms, each granted the best possible output rule) and reports the
+minimum forced error over the class -- a statement with the theorem's
+quantifier structure, decided exhaustively.
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.lowerbounds import universal_bound_id_oblivious
+
+
+@pytest.mark.parametrize("n", [6, 7])
+def test_universal_bound(benchmark, n):
+    report = benchmark(universal_bound_id_oblivious, n)
+    print_table(
+        "E5+: min forced error over ALL ID-oblivious 1-round algorithms",
+        ["n", "class size", "min forced error", "worst assignment", "positive"],
+        [
+            [
+                report.n,
+                report.class_size,
+                report.minimum_forced_error,
+                "".join(c if c else "_" for c in report.worst_assignment),
+                report.minimum_forced_error > 0,
+            ]
+        ],
+    )
+    assert report.minimum_forced_error > 0
+
+
+def test_alphabet_comparison(benchmark):
+    def kernel():
+        return (
+            universal_bound_id_oblivious(6),
+            universal_bound_id_oblivious(6, alphabet=("0", "1")),
+            universal_bound_id_oblivious(6, alphabet=("1",)),
+        )
+
+    full, binary, constant = benchmark(kernel)
+    print_table(
+        "E5+: universal bound by broadcast alphabet (n = 6)",
+        ["alphabet", "class size", "min forced error"],
+        [
+            ["{0, 1, silence}", full.class_size, full.minimum_forced_error],
+            ["{0, 1}", binary.class_size, binary.minimum_forced_error],
+            ["{constant}", constant.class_size, constant.minimum_forced_error],
+        ],
+    )
+    assert constant.minimum_forced_error == pytest.approx(0.5)
+    assert full.minimum_forced_error <= binary.minimum_forced_error <= 0.5

@@ -1,0 +1,74 @@
+"""E3 -- Lemma 3.7: degree profiles in the indistinguishability graph G^0.
+
+For one-cycle instances: the per-split neighbor counts (n per split
+i < n/2, n/2 at i = n/2) and the exact total degree n(n-5)/2. For
+two-cycle instances with split i: measured degree 2 i (n - i) (the paper's
+orientation-fixed count i (n - i), times the two orientation variants).
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.indist import (
+    measured_one_cycle_degree,
+    measured_two_cycle_degree,
+    one_cycle_degree,
+    one_cycle_neighbor_split_counts,
+    predicted_split_counts,
+    two_cycle_degree,
+)
+from repro.instances import enumerate_one_cycle_covers, enumerate_two_cycle_covers
+
+
+@pytest.mark.parametrize("n", [9, 11])
+def test_one_cycle_degree_profile(benchmark, n):
+    cover = next(enumerate_one_cycle_covers(n))
+
+    def kernel():
+        return (
+            measured_one_cycle_degree(cover),
+            one_cycle_neighbor_split_counts(cover),
+        )
+
+    degree, splits = benchmark(kernel)
+    predicted = predicted_split_counts(n)
+    rows = [
+        [n, i, splits.get(i, 0), predicted.get(i, 0)]
+        for i in sorted(set(splits) | set(predicted))
+    ]
+    print_table(
+        "E3: Lemma 3.7 split profile of a one-cycle instance (t = 0, d = n)",
+        ["n", "split i", "measured #neighbors", "predicted"],
+        rows,
+    )
+    print_table(
+        "E3: total one-cycle degree",
+        ["n", "measured", "exact n(n-5)/2", "paper's n(n-3)/2"],
+        [[n, degree, one_cycle_degree(n), n * (n - 3) // 2]],
+    )
+    assert degree == one_cycle_degree(n)
+    for i, count in splits.items():
+        assert count == predicted[i]
+
+
+@pytest.mark.parametrize("n", [9, 10])
+def test_two_cycle_degrees(benchmark, n):
+    covers = {}
+    for cover in enumerate_two_cycle_covers(n):
+        covers.setdefault(cover.cycle_lengths()[0], cover)
+
+    def kernel():
+        return {i: measured_two_cycle_degree(c) for i, c in covers.items()}
+
+    measured = benchmark(kernel)
+    rows = [
+        [n, i, measured[i], two_cycle_degree(n, i), i * (n - i)]
+        for i in sorted(measured)
+    ]
+    print_table(
+        "E3: two-cycle instance degrees by split (Lemma 3.7 / 3.9)",
+        ["n", "split i", "measured", "2 i (n-i)", "paper's i (n-i)"],
+        rows,
+    )
+    for i in measured:
+        assert measured[i] == two_cycle_degree(n, i)

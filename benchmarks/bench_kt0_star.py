@@ -1,0 +1,95 @@
+"""E2 -- Theorem 3.5: the warm-up pigeonhole lower bound.
+
+Prints the closed-form forced-error table (error >= Omega(3^{-4t})) and the
+implied minimum-rounds curve (Omega(c log n)), then times the operational
+adversary actually fooling a concrete algorithm on the star distribution.
+"""
+
+import pytest
+
+from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
+from repro.analysis import fit_logarithmic, print_table
+from repro.lowerbounds import (
+    fool_algorithm,
+    guaranteed_class_size,
+    minimum_rounds_for_error,
+    theorem_3_5_error_bound,
+)
+
+SIM = Simulator(BCC1_KT0)
+
+
+def test_closed_form_error_table(benchmark):
+    """The error floor of any t-round deterministic algorithm."""
+
+    def build():
+        rows = []
+        for n in (3**6, 3**8, 3**10):
+            for t in (0, 1, 2, 3):
+                rows.append(
+                    [
+                        n,
+                        t,
+                        guaranteed_class_size(n, t),
+                        theorem_3_5_error_bound(n, t),
+                        3.0 ** (-4 * t) / 8,  # the Omega(3^{-4t}) shape
+                    ]
+                )
+        return rows
+
+    rows = benchmark(build)
+    print_table(
+        "E2: Theorem 3.5 forced error (any deterministic t-round algorithm)",
+        ["n", "t", "|S'| guaranteed", "error floor", "~3^-4t / 8"],
+        rows,
+    )
+    # the floor dominates the predicted shape at t >= 1
+    for n_, t_, _s, err, shape in rows:
+        if t_ >= 1 and err > 0:
+            assert err >= shape / 10
+
+
+def test_minimum_rounds_curve(benchmark):
+    """t_min(n) for eps = 1/n grows like log n."""
+
+    def build():
+        return [(3**k, minimum_rounds_for_error(3**k, 3.0**-k)) for k in range(4, 16)]
+
+    series = benchmark(build)
+    ns = [n for n, _ in series]
+    ts = [t for _, t in series]
+    fit = fit_logarithmic(ns, ts)
+    print_table(
+        "E2: minimum rounds before error < 1/n (Omega(log n))",
+        ["n", "t_min", "fit t ~ a ln n + b"],
+        [[n, t, f"a={fit.slope:.3f}, r2={fit.r_squared:.3f}"] for n, t in series],
+    )
+    assert fit.slope > 0
+
+
+@pytest.mark.parametrize("rounds", [1, 3])
+def test_operational_adversary(benchmark, rounds):
+    """Fool a concrete (symmetric) algorithm and verify every pair."""
+    n = 30
+
+    def kernel():
+        return fool_algorithm(SIM, SilentAlgorithm, n, rounds)
+
+    report = benchmark(kernel)
+    print_table(
+        "E2: operational star adversary vs the silent algorithm",
+        ["n", "t", "|S|", "|S'|", "fooled pairs", "verified", "achieved error"],
+        [
+            [
+                report.n,
+                report.rounds,
+                report.independent_set_size,
+                report.largest_class_size,
+                report.fooled_pairs,
+                report.indistinguishable_pairs,
+                report.achieved_error,
+            ]
+        ],
+    )
+    assert report.all_pairs_indistinguishable
+    assert report.achieved_error >= theorem_3_5_error_bound(n, rounds)

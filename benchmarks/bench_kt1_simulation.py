@@ -1,0 +1,80 @@
+"""E8 -- Section 4.3 / Theorem 4.4: the 2-party simulation and round bound.
+
+Times the Alice/Bob simulation of a real KT-1 BCC(1) algorithm on
+G(P_A, P_B), confirms its exact Theta(n) bits/simulated-round cost, and
+prints the Theorem 4.4 round-bound table (rank bound / simulation cost)
+next to the measured rounds of the matching upper-bound algorithm.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+from repro.analysis import fit_logarithmic, print_table
+from repro.lowerbounds import multicycle_round_bound, round_bound_table
+from repro.partitions import random_perfect_matching
+from repro.twoparty import BCCSimulationProtocol, simulation_bits_per_round
+
+
+def test_simulation_cost(benchmark):
+    """Measured protocol bits = rounds * 2N exactly."""
+    n = 8
+    rng = random.Random(5)
+    pa, pb = random_perfect_matching(n, rng), random_perfect_matching(n, rng)
+    rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+    proto = BCCSimulationProtocol(
+        "two_partition", components_factory(2), rounds, mode="components"
+    )
+
+    result = benchmark(proto.run, pa, pb)
+    predicted = rounds * simulation_bits_per_round("two_partition", n)
+    print_table(
+        "E8: Section 4.3 simulation accounting",
+        ["ground set n", "BCC rounds r", "measured bits", "predicted r * 4n", "join correct"],
+        [
+            [
+                n,
+                rounds,
+                result.total_bits,
+                predicted,
+                result.alice_output == pa.join(pb),
+            ]
+        ],
+    )
+    assert result.total_bits == predicted
+    assert result.bob_output == pa.join(pb)
+
+
+def test_theorem_4_4_round_bound_table(benchmark):
+    """log2 rank(E_n) / (4n) vs the measured upper bound: the sandwich."""
+
+    ns = [8, 16, 32, 64, 128, 256]
+
+    def kernel():
+        rows = []
+        for n in ns:
+            row = multicycle_round_bound(n)
+            upper = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+            rows.append(
+                [
+                    2 * n,  # N = instance vertices
+                    row.cc_bits,
+                    row.round_lower_bound,
+                    upper,
+                    row.normalized,
+                ]
+            )
+        return rows
+
+    rows = benchmark(kernel)
+    print_table(
+        "E8: Theorem 4.4 lower bound vs NeighborExchange upper bound (MultiCycle, KT-1)",
+        ["N vertices", "CC bits (log2 rank)", "rounds lower bound", "upper bound rounds", "LB / log2 N"],
+        rows,
+    )
+    # sandwich: lower <= upper at every N; both Theta(log N)
+    for _N, _cc, lower, upper, _norm in rows:
+        assert lower <= upper
+    fit = fit_logarithmic([r[0] for r in rows], [r[2] for r in rows])
+    assert fit.slope > 0 and fit.r_squared > 0.95

@@ -1,0 +1,47 @@
+"""E10 supplement -- MST in the broadcast clique (the paper's companion
+problem: O(1) in CC(log n) by [JN18]; here the broadcast Boruvka analogue
+in O(log n) one-proposal-per-vertex rounds, verified against Kruskal)."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance, BCCModel, Simulator
+from repro.analysis import print_table
+from repro.algorithms import boruvka_mst_factory, mst_bandwidth, mst_max_rounds
+from repro.graphs import forest_weight, gnp_random_graph, kruskal, random_weights
+
+
+@pytest.mark.parametrize("n", [10, 16])
+def test_broadcast_mst(benchmark, n):
+    rng = random.Random(n)
+    g = gnp_random_graph(n, 0.4, rng)
+    weights = {e: int(w) for e, w in random_weights(g, rng).items()}
+    inst = BCCInstance.kt1_from_graph(g)
+    sim = Simulator(BCCModel(bandwidth=mst_bandwidth(n), kt=1))
+
+    def kernel():
+        return sim.run_until_done(
+            inst, boruvka_mst_factory(weights), mst_max_rounds(n) + 2
+        )
+
+    res = benchmark(kernel)
+    float_weights = {e: float(w) for e, w in weights.items()}
+    truth = kruskal(g, float_weights)
+    distributed = set(res.outputs[0])
+    print_table(
+        "E10+: broadcast Boruvka MST vs Kruskal",
+        ["n", "edges", "rounds", "budget", "weight (distributed)", "weight (Kruskal)", "identical"],
+        [
+            [
+                n,
+                g.edge_count,
+                res.rounds_executed,
+                mst_max_rounds(n) + 2,
+                forest_weight(distributed, float_weights),
+                forest_weight(truth, float_weights),
+                distributed == truth,
+            ]
+        ],
+    )
+    assert distributed == truth

@@ -1,0 +1,119 @@
+"""E9 -- Theorem 4.5: mutual information of PartitionComp protocols.
+
+Evaluates the exact I(P_A; Pi) of error-free and lossy protocols over the
+full hard distribution, checks the (1 - eps) H(P_A) bound, and measures
+the information carried by a *real* KT-1 BCC(1) ConnectedComponents
+algorithm run through the Section 4.3 simulation.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+from repro.analysis import fit_logarithmic, print_table
+from repro.information import evaluate_protocol, information_lower_bound
+from repro.lowerbounds import information_bound_table, measure_bcc_algorithm_information
+from repro.partitions import log2_bell
+from repro.twoparty import LossyPartitionCompProtocol, TrivialPartitionCompProtocol
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_error_free_information(benchmark, n):
+    """I(P_A; Pi) = H(P_A) = log2 B_n for a correct protocol."""
+
+    def kernel():
+        return evaluate_protocol(TrivialPartitionCompProtocol(n), n)
+
+    report = benchmark(kernel)
+    print_table(
+        "E9: exact Theorem 4.5 chain, error-free protocol",
+        ["n", "H(P_A)=log2 B_n", "H(Pi)", "I(P_A;Pi)", "|Pi| bits", "chain holds"],
+        [
+            [
+                n,
+                report.input_entropy,
+                report.transcript_entropy,
+                report.information,
+                report.max_transcript_bits,
+                report.chain_holds(),
+            ]
+        ],
+    )
+    assert report.information == pytest.approx(log2_bell(n), abs=1e-9)
+    assert report.chain_holds()
+
+
+def test_lossy_information_floor(benchmark):
+    """I >= (1 - eps) H(P_A) even for erring protocols."""
+    n = 5
+
+    def kernel():
+        rows = []
+        for eps in (0.0, 0.2, 0.5):
+            report = evaluate_protocol(LossyPartitionCompProtocol(n, eps), n)
+            rows.append(
+                [
+                    eps,
+                    report.error_rate,
+                    report.information,
+                    information_lower_bound(n, report.error_rate),
+                ]
+            )
+        return rows
+
+    rows = benchmark(kernel)
+    print_table(
+        "E9: lossy protocols vs the (1 - eps) H(P_A) floor",
+        ["requested eps", "measured eps", "I(P_A;Pi)", "(1-eps) log2 B_n"],
+        rows,
+    )
+    for _eps, _m, info, floor in rows:
+        assert info >= floor - 1e-9
+
+
+def test_real_algorithm_information(benchmark):
+    """A real BCC algorithm through the simulation carries full information."""
+    n = 4
+    w = id_bit_width(4 * n)
+    rounds = neighbor_exchange_rounds(1, n + 1, w)
+
+    def kernel():
+        return measure_bcc_algorithm_information(
+            components_factory(n + 1, id_bits=w), n, rounds
+        )
+
+    report = benchmark(kernel)
+    print_table(
+        "E9: real KT-1 BCC(1) ConnectedComponents algorithm, measured",
+        ["n", "BCC rounds", "I(P_A;Pi)", "H(P_A)", "error"],
+        [[n, rounds, report.information, report.input_entropy, report.error_rate]],
+    )
+    assert report.information == pytest.approx(report.input_entropy, abs=1e-9)
+
+
+def test_implied_round_bound_shape(benchmark):
+    """The Theorem 4.5 round bound grows like log n."""
+
+    ns = [8, 16, 32, 64, 128, 256]
+
+    def kernel():
+        return information_bound_table(ns, error_rate=1 / 3)
+
+    rows = benchmark(kernel)
+    print_table(
+        "E9: Theorem 4.5 round lower bound (eps = 1/3)",
+        ["n", "(1-eps) log2 B_n", "bits/round (8n)", "rounds >=", "LB / log2(4n)"],
+        [
+            [
+                r.ground_set,
+                r.information_bound_bits,
+                r.bits_per_round,
+                r.round_lower_bound,
+                r.normalized,
+            ]
+            for r in rows
+        ],
+    )
+    fit = fit_logarithmic([4 * r.ground_set for r in rows], [r.round_lower_bound for r in rows])
+    assert fit.slope > 0 and fit.r_squared > 0.97

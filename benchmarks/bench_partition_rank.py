@@ -1,0 +1,83 @@
+"""E6 -- Theorem 2.3 / Lemma 4.1 / Corollaries 2.4, 4.2: the rank results.
+
+Exactly computes rank(M_n) = B_n and rank(E_n) = n!/(2^{n/2}(n/2)!), prints
+the implied deterministic communication lower bounds next to the trivial
+O(n log n) upper-bound protocol's measured cost.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import print_table
+from repro.partitions import (
+    SetPartition,
+    bell_number,
+    build_e_matrix,
+    build_m_matrix,
+    perfect_matching_count,
+    rank_exact,
+)
+from repro.twoparty import TrivialPartitionProtocol, rgs_bit_width
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_m_matrix_rank(benchmark, n):
+    """rank(M_n) = B_n (Theorem 2.3), computed exactly."""
+
+    def kernel():
+        _parts, matrix = build_m_matrix(n)
+        return rank_exact(matrix)
+
+    rank = benchmark(kernel)
+    print_table(
+        "E6: rank(M_n) vs B_n (Theorem 2.3)",
+        ["n", "matrix dim", "rank", "B_n", "full rank"],
+        [[n, bell_number(n), rank, bell_number(n), rank == bell_number(n)]],
+    )
+    assert rank == bell_number(n)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_e_matrix_rank(benchmark, n):
+    """rank(E_n) = n!/(2^{n/2}(n/2)!) (Lemma 4.1), computed exactly."""
+
+    def kernel():
+        _matchings, matrix = build_e_matrix(n)
+        return rank_exact(matrix)
+
+    rank = benchmark(kernel)
+    r = perfect_matching_count(n)
+    print_table(
+        "E6: rank(E_n) vs n!/(2^{n/2}(n/2)!) (Lemma 4.1)",
+        ["n", "matrix dim", "rank", "predicted r", "full rank"],
+        [[n, r, rank, r, rank == r]],
+    )
+    assert rank == r
+
+
+def test_cc_bounds_vs_trivial_protocol(benchmark):
+    """Corollary 2.4 sandwich: log2 B_n <= D(Partition) <= n ceil(log n) + 1."""
+
+    def kernel():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            lower = math.log2(bell_number(n))
+            upper = n * rgs_bit_width(n) + 1
+            rows.append([n, lower, upper, upper / lower])
+        return rows
+
+    rows = benchmark(kernel)
+    print_table(
+        "E6: Partition communication, lower (rank) vs upper (trivial protocol)",
+        ["n", "log2 B_n (lower)", "n log n + 1 (upper)", "gap factor"],
+        rows,
+    )
+    for _n, lower, upper, _gap in rows:
+        assert lower <= upper
+
+    # the trivial protocol's *measured* cost matches the closed form
+    n = 8
+    proto = TrivialPartitionProtocol(n)
+    res = proto.run(SetPartition.finest(n), SetPartition.coarsest(n))
+    assert res.total_bits == n * rgs_bit_width(n) + 1

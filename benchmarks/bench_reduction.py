@@ -1,0 +1,132 @@
+"""E7 -- Figure 2 / Section 4.2 / Theorem 4.3: the reduction graphs.
+
+Rebuilds both Figure 2 constructions, verifies components <-> join over
+random and exhaustive input families, and confirms the TwoPartition
+variant's 2-regularity and cycle lengths >= 4 (the MultiCycle promise).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import print_table
+from repro.partitions import (
+    SetPartition,
+    enumerate_perfect_matchings,
+    random_partition,
+    random_perfect_matching,
+)
+from repro.twoparty import (
+    build_partition_reduction,
+    build_two_partition_reduction,
+    to_kt1_instance,
+)
+
+
+def test_figure_2_constructions(benchmark):
+    """The exact Figure 2 inputs."""
+    pa = SetPartition.from_string(8, "(1,2,3)(4,5,6)(7,8)")
+    pb = SetPartition.from_string(8, "(1,2,6)(3,4,7)(5,8)")
+    pa2 = SetPartition.from_string(8, "(1,2)(3,4)(5,6)(7,8)")
+    pb2 = SetPartition.from_string(8, "(1,3)(2,4)(5,7)(6,8)")
+
+    def kernel():
+        return build_partition_reduction(pa, pb), build_two_partition_reduction(pa2, pb2)
+
+    left, right = benchmark(kernel)
+    print_table(
+        "E7: Figure 2 regenerated",
+        ["variant", "vertices", "edges", "induced join", "true join", "connected"],
+        [
+            [
+                "Partition (left)",
+                left.graph.vertex_count,
+                left.graph.edge_count,
+                str(left.induced_partition_on_l()),
+                str(pa.join(pb)),
+                left.is_connected(),
+            ],
+            [
+                "TwoPartition (right)",
+                right.graph.vertex_count,
+                right.graph.edge_count,
+                str(right.induced_partition_on_l()),
+                str(pa2.join(pb2)),
+                right.is_connected(),
+            ],
+        ],
+    )
+    assert left.induced_partition_on_l() == pa.join(pb)
+    assert right.induced_partition_on_l() == pa2.join(pb2)
+    assert right.graph.is_regular(2)
+
+
+def test_theorem_4_3_random_sweep(benchmark):
+    """Components <-> join over a randomized sweep of both variants."""
+    rng = random.Random(17)
+
+    def kernel():
+        checked = 0
+        for _ in range(30):
+            n = rng.choice([4, 6, 8, 10])
+            pa, pb = random_partition(n, rng), random_partition(n, rng)
+            red = build_partition_reduction(pa, pb)
+            assert red.induced_partition_on_l() == pa.join(pb)
+            assert red.induced_partition_on_r() == pa.join(pb)
+            checked += 1
+            ma, mb = random_perfect_matching(n, rng), random_perfect_matching(n, rng)
+            red2 = build_two_partition_reduction(ma, mb)
+            assert red2.induced_partition_on_l() == ma.join(mb)
+            lengths = [len(c) for c in red2.graph.cycle_decomposition()]
+            assert all(l >= 4 for l in lengths)
+            checked += 1
+        return checked
+
+    checked = benchmark(kernel)
+    print_table(
+        "E7: Theorem 4.3 random verification",
+        ["instances checked", "all passed"],
+        [[checked, True]],
+    )
+
+
+def test_exhaustive_n6_matchings(benchmark):
+    """All 15 x 15 perfect-matching pairs at n = 6: connectivity of the
+    reduction graph iff the join is trivial."""
+
+    def kernel():
+        matchings = list(enumerate_perfect_matchings(6))
+        agreements = 0
+        for pa in matchings:
+            for pb in matchings:
+                red = build_two_partition_reduction(pa, pb)
+                assert red.is_connected() == pa.join(pb).is_coarsest()
+                agreements += 1
+        return agreements
+
+    total = benchmark(kernel)
+    print_table("E7: exhaustive n = 6 TwoPartition check", ["pairs", "ok"], [[total, True]])
+    assert total == 225
+
+
+def test_kt1_instance_construction(benchmark):
+    """Wiring a reduction graph into a full KT-1 BCC instance."""
+    rng = random.Random(3)
+    pa = random_perfect_matching(10, rng)
+    pb = random_perfect_matching(10, rng)
+    red = build_two_partition_reduction(pa, pb)
+
+    hosted = benchmark(to_kt1_instance, red)
+    print_table(
+        "E7: KT-1 instance from the reduction",
+        ["vertices", "alice-hosted", "bob-hosted", "input edges"],
+        [
+            [
+                hosted.instance.n,
+                len(hosted.alice_indices),
+                len(hosted.bob_indices),
+                len(hosted.instance.input_edges),
+            ]
+        ],
+    )
+    assert hosted.instance.n == 20

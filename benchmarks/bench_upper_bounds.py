@@ -1,0 +1,184 @@
+"""E10 -- tightness: measured upper bounds against the Omega(log n) bounds.
+
+Four comparators on the paper's 2-regular instance family (and random
+graphs for the general-graph algorithms):
+
+* NeighborExchange, KT-0 and KT-1, BCC(1): Theta(log n) rounds -- the
+  algorithm that makes the paper's lower bounds tight for uniformly
+  sparse inputs;
+* Boruvka, KT-1, BCC(log n): Theta(log n) rounds;
+* FullAdjacency, KT-1, BCC(1): Theta(n) rounds (the general baseline);
+* AGM sketching, KT-1, BCC(32): Theta(log^2 n)-ish rounds on any graph.
+
+"Who wins": on cycles, NeighborExchange beats FullAdjacency for every
+n >= 16, and the lower-bound curve sits below the upper bounds everywhere.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BCC1_KT0, BCC1_KT1, BCCInstance, BCCModel, PublicCoin, Simulator
+from repro.algorithms import (
+    agm_components_factory,
+    agm_total_rounds,
+    boruvka_factory,
+    boruvka_max_rounds,
+    components_factory,
+    connectivity_factory,
+    full_adjacency_components_factory,
+    id_bit_width,
+    neighbor_exchange_rounds,
+)
+from repro.analysis import fit_logarithmic, print_table
+from repro.instances import one_cycle_instance
+from repro.lowerbounds import multicycle_round_bound
+
+
+def test_neighbor_exchange_scaling(benchmark):
+    """Measured NeighborExchange rounds vs n in both knowledge models."""
+    ns = [8, 16, 32, 64]
+
+    def kernel():
+        rows = []
+        for n in ns:
+            r0 = Simulator(BCC1_KT0).run_until_done(
+                one_cycle_instance(n, kt=0), connectivity_factory(2), 10_000
+            )
+            r1 = Simulator(BCC1_KT1).run_until_done(
+                one_cycle_instance(n, kt=1), connectivity_factory(2), 10_000
+            )
+            rows.append([n, r0.rounds_executed, r1.rounds_executed])
+        return rows
+
+    rows = benchmark(kernel)
+    lb = [multicycle_round_bound(max(4, n // 2)).round_lower_bound for n in ns]
+    print_table(
+        "E10: NeighborExchange rounds on cycles (BCC(1))",
+        ["n", "KT-0 rounds", "KT-1 rounds", "T4.4 lower bound (same N)"],
+        [[r[0], r[1], r[2], f"{b:.3f}"] for r, b in zip(rows, lb)],
+    )
+    fit = fit_logarithmic(ns, [r[2] for r in rows])
+    assert fit.slope > 0 and fit.r_squared > 0.9
+    for r, b in zip(rows, lb):
+        assert b <= r[2]  # lower bound below measured upper bound
+
+
+def test_boruvka_scaling(benchmark):
+    ns = [8, 32, 128]
+
+    def kernel():
+        rows = []
+        for n in ns:
+            sim = Simulator(BCCModel(bandwidth=max(1, math.ceil(math.log2(n))), kt=1))
+            res = sim.run_until_done(
+                one_cycle_instance(n, kt=1), boruvka_factory(), boruvka_max_rounds(n)
+            )
+            rows.append([n, res.rounds_executed, boruvka_max_rounds(n)])
+        return rows
+
+    rows = benchmark(kernel)
+    print_table(
+        "E10: Boruvka rounds in BCC(log n), KT-1",
+        ["n", "measured rounds", "budget 2(log n + 2)"],
+        rows,
+    )
+    for n, measured, budget in rows:
+        assert measured <= budget
+
+
+def test_full_adjacency_is_linear(benchmark):
+    ns = [8, 16, 32]
+
+    def kernel():
+        rows = []
+        for n in ns:
+            res = Simulator(BCC1_KT1).run_until_done(
+                one_cycle_instance(n, kt=1), full_adjacency_components_factory(), n + 1
+            )
+            rows.append([n, res.rounds_executed])
+        return rows
+
+    rows = benchmark(kernel)
+    print_table(
+        "E10: FullAdjacency baseline (BCC(1), KT-1) -- Theta(n)",
+        ["n", "rounds"],
+        rows,
+    )
+    for n, measured in rows:
+        assert measured == n
+
+
+def test_who_wins_crossover(benchmark):
+    """The headline comparison: NeighborExchange (Theta(log n)) vs
+    FullAdjacency (Theta(n)) on cycles -- log wins from small n on."""
+    ns = [8, 16, 32, 64, 128]
+
+    def kernel():
+        rows = []
+        for n in ns:
+            ne = neighbor_exchange_rounds(1, 2, id_bit_width(n - 1))
+            fa = n
+            rows.append([n, ne, fa, "NeighborExchange" if ne < fa else "FullAdjacency"])
+        return rows
+
+    rows = benchmark(kernel)
+    print_table(
+        "E10: who wins on 2-regular inputs (BCC(1), KT-1)",
+        ["n", "NeighborExchange rounds", "FullAdjacency rounds", "winner"],
+        rows,
+    )
+    assert all(r[3] == "NeighborExchange" for r in rows if r[0] >= 16)
+
+
+def test_mt16_deterministic_sketch(benchmark):
+    """The [MT16] tightness witness: deterministic, one fixed-size burst,
+    O(a log n) rounds of BCC(1) for arboricity a -- the upper bound the
+    paper says makes its Omega(log n) lower bounds tight."""
+    from repro.algorithms import mt16_connectivity_factory, mt16_rounds
+    from repro.core import NO, YES, decision_of_run
+
+    n, a = 16, 2
+    inst_yes = BCCInstance.kt1_from_graph(
+        __import__("repro.graphs", fromlist=["one_cycle"]).one_cycle(n)
+    )
+    sim = Simulator(BCC1_KT1)
+
+    def kernel():
+        return sim.run_until_done(
+            inst_yes, mt16_connectivity_factory(a), mt16_rounds(a) + 1
+        )
+
+    res = benchmark(kernel)
+    lb = multicycle_round_bound(n).round_lower_bound
+    print_table(
+        "E10: MT16-style deterministic sketch (BCC(1), KT-1, arboricity <= 2)",
+        ["n", "decision", "rounds (fixed burst)", "T4.4 lower bound", "LB <= UB"],
+        [[n, decision_of_run(res), res.rounds_executed, f"{lb:.3f}", lb <= res.rounds_executed]],
+    )
+    assert decision_of_run(res) == YES
+    assert lb <= res.rounds_executed
+
+
+def test_agm_sketch_rounds(benchmark):
+    """AGM sketching: polylog rounds on a random (non-sparse) graph."""
+    from repro.graphs import gnp_random_graph
+
+    n = 12
+    g = gnp_random_graph(n, 0.3, random.Random(4))
+    inst = BCCInstance.kt1_from_graph(g)
+    sim = Simulator(BCCModel(bandwidth=32, kt=1))
+
+    def kernel():
+        return sim.run_until_done(
+            inst, agm_components_factory(), 2000, coin=PublicCoin("bench-agm")
+        )
+
+    res = benchmark(kernel)
+    print_table(
+        "E10: AGM sketch connectivity (BCC(32), KT-1, random G(12, 0.3))",
+        ["n", "rounds", "closed form", "vs FullAdjacency-in-BCC(32) ~ n^2/(32)"],
+        [[n, res.rounds_executed, agm_total_rounds(n, 32), n * n // 32]],
+    )
+    assert res.rounds_executed == agm_total_rounds(n, 32)

@@ -1,0 +1,66 @@
+"""E4 -- Lemma 3.9: |V2| = |V1| * Theta(log n).
+
+Exact enumeration at small n cross-checked against closed forms, then the
+closed-form ratio extended to n = 10^6, fitted against (1/2) ln n.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_logarithmic, print_table, ratio_stability
+from repro.indist import predicted_v2_v1_ratio
+from repro.instances import (
+    count_one_cycle_covers,
+    count_two_cycle_covers,
+    enumerate_one_cycle_covers,
+    enumerate_two_cycle_covers,
+)
+
+
+def test_enumeration_vs_closed_form(benchmark):
+    """Exhaustively enumerate V1 and V2 at n = 8 and compare to formulas."""
+
+    def kernel():
+        n = 8
+        v1 = sum(1 for _ in enumerate_one_cycle_covers(n))
+        v2 = sum(1 for _ in enumerate_two_cycle_covers(n))
+        return n, v1, v2
+
+    n, v1, v2 = benchmark(kernel)
+    print_table(
+        "E4: exhaustive |V1|, |V2| vs closed form",
+        ["n", "|V1| enum", "|V1| formula", "|V2| enum", "|V2| formula"],
+        [[n, v1, count_one_cycle_covers(n), v2, count_two_cycle_covers(n)]],
+    )
+    assert v1 == count_one_cycle_covers(n)
+    assert v2 == count_two_cycle_covers(n)
+
+
+def test_ratio_is_theta_log_n(benchmark):
+    """The Lemma 3.9 ratio at large n: |V2|/|V1| -> (1/2) ln n + O(1)."""
+
+    ns = [10**k for k in range(1, 7)]
+
+    def kernel():
+        return [predicted_v2_v1_ratio(n) for n in ns]
+
+    ratios = benchmark(kernel)
+    fit = fit_logarithmic(ns, ratios)
+    lo, hi = ratio_stability(ns, ratios)
+    print_table(
+        "E4: |V2| / |V1| vs (1/2) ln n (Lemma 3.9)",
+        ["n", "ratio", "(1/2) ln n", "ratio / ln n"],
+        [
+            [n, r, 0.5 * math.log(n), r / math.log(n)]
+            for n, r in zip(ns, ratios)
+        ],
+    )
+    print_table(
+        "E4: logarithmic fit",
+        ["slope (-> 1/2)", "intercept", "r^2"],
+        [[fit.slope, fit.intercept, fit.r_squared]],
+    )
+    assert 0.4 < fit.slope < 0.55
+    assert fit.r_squared > 0.999
+    assert 0.2 < hi <= 0.5

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The KT-0 edge-crossing machinery end to end (Section 3).
+
+Recreates Figure 1 (a port-preserving crossing) on a live instance,
+validates Lemma 3.4 on real transcripts, and then runs the Theorem 3.5
+star adversary against three algorithms of increasing strength, printing
+the forced error of each.
+
+    python examples/kt0_crossing_adversary.py
+"""
+
+from repro.core import (
+    BCC1_KT0,
+    ConstantAlgorithm,
+    SilentAlgorithm,
+    Simulator,
+    distributional_error,
+)
+from repro.algorithms import connectivity_factory, id_bit_width, neighbor_exchange_rounds
+from repro.crossing import check_lemma_3_4, cross
+from repro.instances import one_cycle_instance
+from repro.lowerbounds import fool_algorithm, star_distribution, theorem_3_5_error_bound
+
+
+def figure_1_demo() -> None:
+    n = 12
+    inst = one_cycle_instance(n, kt=0)
+    e1, e2 = (0, 1), (5, 6)
+    crossed = cross(inst, e1, e2)
+    print(f"== Figure 1: crossing edges {e1} and {e2} of a {n}-cycle ==")
+    comps = sorted(len(c) for c in crossed.input_graph().connected_components())
+    print(f"  input graph after crossing: two cycles of sizes {comps}")
+    same_ports = all(inst.input_ports(v) == crossed.input_ports(v) for v in range(n))
+    print(f"  every vertex keeps identical input ports: {same_ports}")
+
+    premise, conclusion = check_lemma_3_4(
+        Simulator(BCC1_KT0), inst, crossed, ConstantAlgorithm, e1, e2, rounds=6
+    )
+    print(f"  Lemma 3.4 on a live run: premise={premise}, indistinguishable={conclusion}")
+
+
+def star_adversary_demo() -> None:
+    n = 30
+    sim = Simulator(BCC1_KT0)
+    print(f"\n== Theorem 3.5 star adversary, n = {n} ==")
+    print(f"  closed-form error floor at t=1: {theorem_3_5_error_bound(n, 1):.4f}")
+
+    full = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+    algorithms = [
+        ("silent (never speaks)", SilentAlgorithm, 3),
+        ("constant (always '1')", ConstantAlgorithm, 3),
+        ("neighbor-exchange, truncated", connectivity_factory(2), 4),
+        ("neighbor-exchange, full schedule", connectivity_factory(2), full),
+    ]
+    for name, factory, rounds in algorithms:
+        report = fool_algorithm(sim, factory, n, rounds)
+        print(
+            f"  {name:34s} t={rounds:3d}: |S'|={report.largest_class_size:2d}, "
+            f"fooled pairs={report.fooled_pairs:3d}, "
+            f"achieved error={report.achieved_error:.3f}"
+        )
+
+    # the same story via measured distributional error on the distribution
+    dist = star_distribution(n)
+    err = distributional_error(sim, dist, SilentAlgorithm, rounds=3)
+    print(f"\n  measured distributional error of the silent algorithm: {err:.3f}")
+    print("  (exactly the NO-side mass: it answers YES everywhere)")
+
+
+if __name__ == "__main__":
+    figure_1_demo()
+    star_adversary_demo()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The KT-1 reduction pipeline (Section 4): Figure 2 to Theorem 4.4.
+
+1. rebuild both Figure 2 graphs from the paper's exact example inputs and
+   verify Theorem 4.3 (components <-> join);
+2. certify rank(M_5) = B_5 and rank(E_8) = 105 (Theorem 2.3 / Lemma 4.1);
+3. run the Section 4.3 simulation: Alice and Bob jointly execute a real
+   KT-1 BCC(1) algorithm on G(P_A, P_B) and read off the join, at exactly
+   Theta(n) bits per simulated round;
+4. print the implied Omega(log N) round bounds next to the measured
+   upper-bound rounds.
+
+    python examples/kt1_partition_reduction.py
+"""
+
+from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+from repro.lowerbounds import multicycle_round_bound
+from repro.partitions import (
+    SetPartition,
+    bell_number,
+    m_matrix_is_full_rank,
+    e_matrix_is_full_rank,
+    perfect_matching_count,
+)
+from repro.twoparty import (
+    BCCSimulationProtocol,
+    build_partition_reduction,
+    build_two_partition_reduction,
+    simulation_bits_per_round,
+)
+
+
+def figure_2_demo() -> None:
+    print("== Figure 2 (left): Partition -> 2-party Connectivity ==")
+    pa = SetPartition.from_string(8, "(1,2,3)(4,5,6)(7,8)")
+    pb = SetPartition.from_string(8, "(1,2,6)(3,4,7)(5,8)")
+    red = build_partition_reduction(pa, pb)
+    print(f"  P_A = {pa}")
+    print(f"  P_B = {pb}")
+    print(f"  P_A v P_B = {pa.join(pb)}")
+    print(f"  components of G(P_A, P_B) on L induce: {red.induced_partition_on_l()}")
+    print(f"  G connected: {red.is_connected()} (join trivial: {pa.join(pb).is_coarsest()})")
+
+    print("\n== Figure 2 (right): TwoPartition -> 2-party MultiCycle ==")
+    pa2 = SetPartition.from_string(8, "(1,2)(3,4)(5,6)(7,8)")
+    pb2 = SetPartition.from_string(8, "(1,3)(2,4)(5,7)(6,8)")
+    red2 = build_two_partition_reduction(pa2, pb2)
+    lengths = sorted(len(c) for c in red2.graph.cycle_decomposition())
+    print(f"  2-regular: {red2.graph.is_regular(2)}, cycle lengths: {lengths}")
+    print(f"  induced partition: {red2.induced_partition_on_l()} = join: {pa2.join(pb2)}")
+
+
+def rank_demo() -> None:
+    print("\n== Rank certificates (Theorem 2.3 / Lemma 4.1) ==")
+    print(f"  rank(M_5) = B_5 = {bell_number(5)}: {m_matrix_is_full_rank(5)}")
+    print(f"  rank(E_8) = 8!/(2^4 4!) = {perfect_matching_count(8)}: {e_matrix_is_full_rank(8)}")
+
+
+def simulation_demo() -> None:
+    n = 8
+    pa = SetPartition.from_string(8, "(1,2)(3,4)(5,6)(7,8)")
+    pb = SetPartition.from_string(8, "(1,3)(2,4)(5,7)(6,8)")
+    rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+    print(f"\n== Section 4.3: Alice/Bob simulate a KT-1 BCC(1) algorithm ==")
+    proto = BCCSimulationProtocol(
+        "two_partition", components_factory(2), rounds, mode="components"
+    )
+    result = proto.run(pa, pb)
+    per_round = simulation_bits_per_round("two_partition", n)
+    print(f"  simulated BCC rounds: {rounds}")
+    print(f"  protocol bits: {result.total_bits} (= {rounds} rounds x {per_round} bits)")
+    print(f"  Alice outputs P_A v P_B = {result.alice_output}")
+    print(f"  Bob   outputs P_A v P_B = {result.bob_output}")
+
+    print("\n== Theorem 4.4: the implied round bounds ==")
+    print(f"  {'N':>6s}  {'CC bits':>10s}  {'rounds >=':>10s}  {'upper bound':>12s}")
+    for m in (8, 32, 128):
+        row = multicycle_round_bound(m)
+        upper = neighbor_exchange_rounds(1, 2, id_bit_width(3 * m))
+        print(
+            f"  {2 * m:6d}  {row.cc_bits:10.1f}  {row.round_lower_bound:10.3f}"
+            f"  {upper:12d}"
+        )
+    print("  (lower bound below, upper bound above -- both Theta(log N))")
+
+
+if __name__ == "__main__":
+    figure_2_demo()
+    rank_demo()
+    simulation_demo()

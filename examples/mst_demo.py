@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""MST in the broadcast clique: the paper's companion problem.
+
+The introduction contrasts BCC(b) with the unicast clique, where MST
+takes O(1) rounds [JN18]. In the broadcast model the natural algorithm is
+Boruvka at one edge-proposal per vertex per phase. This example runs the
+library's distributed Boruvka MST on random weighted graphs, checks it
+edge-for-edge against the sequential Kruskal ground truth, and reports the
+O(log n) phase count.
+
+    python examples/mst_demo.py
+"""
+
+import random
+
+from repro.core import BCCInstance, BCCModel, Simulator
+from repro.algorithms import boruvka_mst_factory, mst_bandwidth, mst_max_rounds
+from repro.graphs import forest_weight, gnp_random_graph, kruskal, random_weights
+
+
+def main() -> None:
+    rng = random.Random(42)
+    print("== Distributed Boruvka MST vs sequential Kruskal ==\n")
+    print(f"  {'n':>4s}  {'edges':>6s}  {'rounds':>7s}  {'budget':>7s}  "
+          f"{'weight':>9s}  {'identical':>9s}")
+    for n in (8, 12, 16, 24):
+        g = gnp_random_graph(n, 0.35, rng)
+        weights = {e: int(w) for e, w in random_weights(g, rng).items()}
+        inst = BCCInstance.kt1_from_graph(g)
+        sim = Simulator(BCCModel(bandwidth=mst_bandwidth(n), kt=1))
+        res = sim.run_until_done(
+            inst, boruvka_mst_factory(weights), mst_max_rounds(n) + 2
+        )
+        float_weights = {e: float(w) for e, w in weights.items()}
+        truth = kruskal(g, float_weights)
+        distributed = set(res.outputs[0])
+        print(
+            f"  {n:4d}  {g.edge_count:6d}  {res.rounds_executed:7d}  "
+            f"{mst_max_rounds(n):7d}  "
+            f"{forest_weight(distributed, float_weights):9.0f}  "
+            f"{str(distributed == truth):>9s}"
+        )
+    print(
+        "\n  One broadcast proposal per vertex per phase, O(log n) phases;"
+        "\n  every vertex ends holding the same (exact) minimum forest."
+        "\n  In BCC(1) each proposal costs Theta(log n) rounds of bits, so"
+        "\n  this sits right at the paper's Omega(log n) frontier."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: the BCC(1) model, cycles, and the Omega(log n) story.
+
+Runs in a few seconds and walks through the core objects:
+
+1. build a KT-0 TwoCycle instance (one cycle vs two cycles);
+2. run a real BCC(1) algorithm (neighborhood exchange) to solve it in
+   Theta(log n) rounds;
+3. let the paper's crossing adversary defeat the same algorithm when its
+   round budget is cut -- the lower bound in action.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import BCC1_KT0, Simulator, decision_of_run
+from repro.algorithms import connectivity_factory, id_bit_width, neighbor_exchange_rounds
+from repro.instances import one_cycle_instance, two_cycle_instance
+from repro.lowerbounds import find_fooling_pairs
+from repro.problems import TwoCycle
+
+
+def main() -> None:
+    n = 16
+    simulator = Simulator(BCC1_KT0)
+    problem = TwoCycle()
+
+    print(f"== TwoCycle in BCC(1), KT-0, n = {n} ==")
+    yes_instance = one_cycle_instance(n, kt=0)
+    no_instance = two_cycle_instance(n, 7, kt=0)
+    assert problem.promise(yes_instance) and problem.promise(no_instance)
+
+    # --- the upper bound: Theta(log n) rounds suffice on 2-regular inputs
+    budget = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+    print(f"\nNeighborExchange schedule: {budget} rounds (= 3 * ID width)")
+    for name, inst in [("one cycle", yes_instance), ("two cycles", no_instance)]:
+        result = simulator.run_until_done(inst, connectivity_factory(2), budget + 1)
+        print(
+            f"  {name:10s} -> decision {decision_of_run(result):3s} "
+            f"in {result.rounds_executed} rounds "
+            f"({result.total_bits_broadcast()} bits broadcast total)"
+        )
+
+    # --- the lower bound: cut the budget and the crossing adversary wins
+    print("\nCrossing adversary vs the same algorithm, truncated:")
+    for rounds in (1, 2, budget // 2, budget):
+        pairs = find_fooling_pairs(
+            simulator, connectivity_factory(2), yes_instance, rounds, limit=3
+        )
+        verdict = (
+            f"FOOLED ({len(pairs)}+ crossed NO-instances it cannot distinguish)"
+            if pairs
+            else "safe (no fooling pair exists)"
+        )
+        print(f"  t = {rounds:3d}: {verdict}")
+
+    print(
+        "\nThe adversary wins at every t below the Theta(log n) schedule and"
+        "\nloses exactly when the algorithm completes -- Theorem 3.1 made"
+        "\noperational, tight against the upper bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

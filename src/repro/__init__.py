@@ -1,0 +1,28 @@
+"""repro: a reproduction of "Connectivity Lower Bounds in Broadcast
+Congested Clique" (Pai & Pemmaraju, PODC 2019).
+
+The package provides:
+
+* :mod:`repro.core` -- a full KT-0/KT-1 simulator for the BCC(b) model;
+* :mod:`repro.graphs` -- the graph substrate (components, generators,
+  arboricity);
+* :mod:`repro.instances` -- the one-/two-/multi-cycle instance families and
+  their exhaustive enumeration;
+* :mod:`repro.problems` -- Connectivity, TwoCycle, MultiCycle and
+  ConnectedComponents with verifiers;
+* :mod:`repro.crossing` -- port-preserving crossings and operational
+  indistinguishability (Definitions 3.2/3.3, Lemma 3.4);
+* :mod:`repro.indist` -- the indistinguishability graph, polygamous Hall's
+  theorem and k-matchings (Definition 3.6, Theorem 2.1, Lemmas 3.7-3.9);
+* :mod:`repro.partitions` -- the set-partition lattice, Bell numbers, and
+  the M_n / E_n matrices with exact rank (Theorem 2.3, Lemma 4.1);
+* :mod:`repro.twoparty` -- 2-party communication protocols, the Partition
+  reductions of Section 4.2 and the KT-1 simulation of Section 4.3;
+* :mod:`repro.information` -- entropy/mutual-information tools and the
+  PartitionComp argument (Theorem 4.5);
+* :mod:`repro.algorithms` -- upper-bound BCC algorithms demonstrating the
+  lower bounds are tight on uniformly sparse graphs;
+* :mod:`repro.lowerbounds` -- one executable engine per theorem.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,107 @@
+"""Full-adjacency exchange: the Theta(n)-round BCC(1) baseline.
+
+Every vertex broadcasts its adjacency row -- one bit per round, bit k
+answering "am I adjacent to the k-th smallest ID?" -- so after n rounds
+every vertex holds the entire input graph and answers locally. This is the
+trivially correct KT-1 baseline against which the O(log n) algorithms for
+sparse graphs are compared in the benchmarks: it works for *every* graph,
+at Theta(n) rounds in BCC(1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Set, Tuple
+
+from repro.core.algorithm import NO, YES, NodeAlgorithm
+from repro.core.knowledge import InitialKnowledge
+from repro.graphs.components import UnionFind
+
+
+class FullAdjacencyExchange(NodeAlgorithm):
+    """Reconstructs the whole graph in exactly n rounds of BCC(1), KT-1."""
+
+    def setup(self, knowledge: InitialKnowledge) -> None:
+        super().setup(knowledge)
+        if knowledge.kt != 1:
+            raise ValueError("FullAdjacencyExchange requires the KT-1 model")
+        self._order: List[int] = sorted(knowledge.all_ids)
+        self._rows: Dict[int, List[str]] = {}
+        self._round = 0
+        self._edges: Set[Tuple[int, int]] = None  # type: ignore[assignment]
+
+    def broadcast(self, round_index: int) -> str:
+        if round_index > len(self._order):
+            return ""
+        target = self._order[round_index - 1]
+        return "1" if target in self.knowledge.input_ports else "0"
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        if round_index > len(self._order):
+            return
+        for sender, bit in messages.items():
+            self._rows.setdefault(sender, []).append(bit)
+        self._round = round_index
+        if round_index == len(self._order):
+            self._reconstruct()
+
+    def _reconstruct(self) -> None:
+        edges: Set[Tuple[int, int]] = set()
+        for sender, row in self._rows.items():
+            for k, bit in enumerate(row):
+                if bit == "1":
+                    other = self._order[k]
+                    edges.add((min(sender, other), max(sender, other)))
+        me = self.knowledge.vertex_id
+        for nbr in self.knowledge.input_ports:
+            edges.add((min(me, nbr), max(me, nbr)))
+        self._edges = edges
+
+    def finished(self) -> bool:
+        return self._edges is not None
+
+    def _components(self):
+        """Components of the reconstructed graph, or None if truncated."""
+        if self._edges is None:
+            return None
+        uf = UnionFind(self._order)
+        for u, v in self._edges:
+            uf.union(u, v)
+        return uf
+
+    def output(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class FullAdjacencyConnectivity(FullAdjacencyExchange):
+    """Decision variant: YES iff the reconstructed graph is connected.
+
+    A truncated vertex guesses YES.
+    """
+
+    def output(self) -> str:
+        uf = self._components()
+        if uf is None:
+            return YES
+        return YES if uf.component_count() == 1 else NO
+
+
+class FullAdjacencyComponents(FullAdjacencyExchange):
+    """Labelling variant: minimum ID in this vertex's component.
+
+    A truncated vertex outputs its own ID.
+    """
+
+    def output(self) -> int:
+        uf = self._components()
+        me = self.knowledge.vertex_id
+        if uf is None:
+            return me
+        return min(x for x in self._order if uf.connected(x, me))
+
+
+def full_adjacency_connectivity_factory() -> Callable[[], FullAdjacencyConnectivity]:
+    return FullAdjacencyConnectivity
+
+
+def full_adjacency_components_factory() -> Callable[[], FullAdjacencyComponents]:
+    return FullAdjacencyComponents

@@ -1,0 +1,176 @@
+"""Distributed Boruvka MST in BCC(Theta(log n)), KT-1.
+
+The paper contrasts its Omega(log n) BCC bounds with the O(1)-round MST
+algorithms of the unicast congested clique ([Heg+15; GP16; JN18]); the
+natural broadcast-model counterpart is Boruvka at one announcement per
+vertex per phase:
+
+* every vertex knows the weights of its incident edges (local input);
+* each phase, every vertex broadcasts the minimum-weight incident edge
+  leaving its current fragment (encoded as the two endpoint IDs, W bits
+  each, plus the weight's index in a globally known discretization --
+  here: weights are integers below 2^weight_bits);
+* every vertex hears all proposals, selects the minimum proposal per
+  fragment (ties broken by edge), adds those edges, and merges fragments
+  locally and identically.
+
+With distinct weights this is exactly the deterministic Boruvka forest:
+O(log n) phases, each one round of b = 2W + weight_bits bits -- the
+broadcast analogue the Section 1.3 verification schemes certify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.algorithm import NodeAlgorithm
+from repro.core.knowledge import InitialKnowledge
+from repro.algorithms.bit_codec import decode_fixed, encode_fixed, id_bit_width
+from repro.graphs.components import UnionFind
+
+#: local input: weights of incident edges keyed by (own ID, neighbor ID).
+LocalWeights = Mapping[Tuple[int, int], int]
+
+
+class BoruvkaMST(NodeAlgorithm):
+    """Minimum spanning forest via broadcast Boruvka (KT-1, BCC(big-b)).
+
+    Parameters
+    ----------
+    weights:
+        Global map from canonical (low ID, high ID) edges to integer
+        weights in [0, 2^weight_bits). Each vertex reads only its incident
+        entries (the map is shared for convenience; the information used
+        is local).
+    weight_bits:
+        Width of the weight field in broadcasts.
+    """
+
+    def __init__(self, weights: Mapping[Tuple[int, int], int], weight_bits: int = 16):
+        self._weights = weights
+        self._weight_bits = weight_bits
+
+    def setup(self, knowledge: InitialKnowledge) -> None:
+        super().setup(knowledge)
+        if knowledge.kt != 1:
+            raise ValueError("BoruvkaMST requires the KT-1 model")
+        self._w = id_bit_width(max(knowledge.all_ids))
+        self._message_bits = 2 * self._w + self._weight_bits
+        if knowledge.bandwidth < self._message_bits:
+            raise ValueError(
+                f"bandwidth {knowledge.bandwidth} < message width {self._message_bits}"
+            )
+        me = knowledge.vertex_id
+        self._me = me
+        self._incident: Dict[int, int] = {}
+        for nbr in knowledge.input_ports:
+            edge = (min(me, nbr), max(me, nbr))
+            if edge not in self._weights:
+                raise ValueError(f"missing weight for incident edge {edge}")
+            self._incident[nbr] = int(self._weights[edge])
+        self._fragment: Dict[int, int] = {vid: vid for vid in knowledge.all_ids}
+        self._forest: Set[Tuple[int, int]] = set()
+        self._done = False
+
+    # ------------------------------------------------------------------
+    # per-phase proposal
+    # ------------------------------------------------------------------
+    def _my_proposal(self) -> Optional[Tuple[int, int, int]]:
+        """(weight, low ID, high ID) of my lightest outgoing edge."""
+        best: Optional[Tuple[int, int, int]] = None
+        mine = self._fragment[self._me]
+        for nbr, weight in sorted(self._incident.items()):
+            if self._fragment[nbr] == mine:
+                continue
+            candidate = (weight, min(self._me, nbr), max(self._me, nbr))
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    def broadcast(self, round_index: int) -> str:
+        if self._done:
+            return ""
+        proposal = self._my_proposal()
+        if proposal is None:
+            return ""
+        weight, lo, hi = proposal
+        return (
+            encode_fixed(weight, self._weight_bits)
+            + encode_fixed(lo, self._w)
+            + encode_fixed(hi, self._w)
+        )
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        if self._done:
+            return
+        proposals: List[Tuple[int, int, int]] = []
+        mine = self._my_proposal()
+        if mine is not None:
+            proposals.append(mine)
+        for _sender, bits in messages.items():
+            if not bits:
+                continue
+            weight = decode_fixed(bits[: self._weight_bits])
+            lo = decode_fixed(bits[self._weight_bits : self._weight_bits + self._w])
+            hi = decode_fixed(bits[self._weight_bits + self._w :])
+            proposals.append((weight, lo, hi))
+        if not proposals:
+            self._done = True
+            return
+        # minimum proposal per fragment, then merge (identical everywhere)
+        best_per_fragment: Dict[int, Tuple[int, int, int]] = {}
+        for weight, lo, hi in proposals:
+            for endpoint in (lo, hi):
+                frag = self._fragment[endpoint]
+                cur = best_per_fragment.get(frag)
+                cand = (weight, lo, hi)
+                # only edges actually leaving the fragment count for it
+                if self._fragment[lo] == self._fragment[hi]:
+                    continue
+                if cur is None or cand < cur:
+                    best_per_fragment[frag] = cand
+        uf = UnionFind(set(self._fragment.values()))
+        added = False
+        for frag, (weight, lo, hi) in sorted(best_per_fragment.items()):
+            if self._fragment[lo] != self._fragment[hi]:
+                if uf.union(self._fragment[lo], self._fragment[hi]):
+                    pass
+                self._forest.add((lo, hi))
+                added = True
+        if not added:
+            self._done = True
+            return
+        relabel: Dict[int, int] = {}
+        for group in uf.components():
+            rep = min(group)
+            for frag in group:
+                relabel[frag] = rep
+        self._fragment = {vid: relabel[f] for vid, f in self._fragment.items()}
+
+    def finished(self) -> bool:
+        return self._done
+
+    def output(self) -> frozenset:
+        """The minimum spanning forest, as canonical (low, high) ID pairs.
+
+        Every vertex outputs the same global forest -- all proposals were
+        broadcast, so the computation is common knowledge.
+        """
+        return frozenset(self._forest)
+
+
+def boruvka_mst_factory(
+    weights: Mapping[Tuple[int, int], int], weight_bits: int = 16
+) -> Callable[[], BoruvkaMST]:
+    return lambda: BoruvkaMST(weights, weight_bits)
+
+
+def mst_bandwidth(n: int, weight_bits: int = 16) -> int:
+    """The b needed for one proposal per round: 2 ceil(log2 n) + weight_bits."""
+    return 2 * id_bit_width(max(1, n - 1)) + weight_bits
+
+
+def mst_max_rounds(n: int) -> int:
+    """Boruvka phase budget: fragments at least halve per phase."""
+    return math.ceil(math.log2(max(2, n))) + 2

@@ -1,0 +1,193 @@
+"""Peeling exchange: connectivity for *bounded-arboricity* graphs in BCC(1).
+
+The paper's tightness remark concerns uniformly sparse graphs -- bounded
+arboricity, not bounded degree ([MT16] gives a deterministic O(log n)
+bound there via sketching). The neighborhood-exchange algorithm needs a
+degree bound; this module covers the arboricity regime with a simple
+deterministic *peeling* scheme:
+
+A graph of arboricity <= a has average degree < 2a in every subgraph, so
+(Markov) more than half of the surviving vertices always have surviving
+degree <= 4a. The algorithm proceeds in phases over the surviving
+(un-peeled) graph:
+
+1. **status round**: every surviving vertex with surviving degree <= 4a
+   broadcasts '1' (it peels this phase); everyone else stays silent.
+   Every vertex now knows the exact peeling set (KT-1 ports are IDs).
+2. **list rounds** (4a * W of them): each peeling vertex broadcasts the
+   IDs of its surviving neighbors, W bits per slot, silent slots for the
+   rest. Every vertex records those edges.
+
+Each edge is announced by whichever endpoint peels first (same-phase
+peels announce it twice -- harmless), so when everyone has peeled, every
+vertex holds the entire input graph and answers locally. Surviving sets
+shrink by more than half per phase, so there are at most ceil(log2 n) + 1
+phases of 1 + 4a*W rounds each: **O(a log^2 n) rounds in BCC(1)** for
+arboricity a -- polylogarithmic for uniformly sparse graphs of arbitrary
+maximum degree (a hub vertex of degree n - 1 is fine: it simply peels
+late, after its neighbors have announced all its edges).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.algorithm import NO, YES, NodeAlgorithm
+from repro.core.knowledge import InitialKnowledge
+from repro.algorithms.bit_codec import encode_fixed, id_bit_width
+from repro.graphs.components import UnionFind
+
+
+class PeelingExchange(NodeAlgorithm):
+    """Graph reconstruction by arboricity-threshold peeling (KT-1, BCC(1))."""
+
+    def __init__(self, arboricity: int, id_bits: Optional[int] = None):
+        if arboricity < 1:
+            raise ValueError(f"arboricity bound must be >= 1, got {arboricity}")
+        self._a = arboricity
+        self._id_bits = id_bits
+
+    def setup(self, knowledge: InitialKnowledge) -> None:
+        super().setup(knowledge)
+        if knowledge.kt != 1:
+            raise ValueError("PeelingExchange requires the KT-1 model")
+        self._width = (
+            self._id_bits if self._id_bits is not None else id_bit_width(max(knowledge.all_ids))
+        )
+        self._threshold = 4 * self._a
+        self._phase_rounds = 1 + self._threshold * self._width
+        self._all: Set[int] = set(knowledge.all_ids)
+        self._me = knowledge.vertex_id
+        self._neighbors: Set[int] = set(knowledge.input_ports)
+        self._peeled: Set[int] = set()
+        self._i_peeled = False
+        self._phase_peelers: Set[int] = set()
+        self._i_peel_now = False
+        self._my_list: List[int] = []
+        self._list_bits: Dict[int, List[str]] = {}
+        self._edges: Set[Tuple[int, int]] = set()
+        self._done = False
+
+    # ------------------------------------------------------------------
+    # schedule helpers
+    # ------------------------------------------------------------------
+    def _position(self, round_index: int) -> int:
+        return (round_index - 1) % self._phase_rounds
+
+    def _surviving_degree(self) -> int:
+        return len(self._neighbors - self._peeled)
+
+    # ------------------------------------------------------------------
+    # round behaviour
+    # ------------------------------------------------------------------
+    def broadcast(self, round_index: int) -> str:
+        if self._done:
+            return ""
+        pos = self._position(round_index)
+        if pos == 0:
+            self._i_peel_now = (
+                not self._i_peeled and self._surviving_degree() <= self._threshold
+            )
+            if self._i_peel_now:
+                self._my_list = sorted(self._neighbors - self._peeled)
+                return "1"
+            return ""
+        if not self._i_peel_now:
+            return ""
+        slot, bit = divmod(pos - 1, self._width)
+        if slot >= len(self._my_list):
+            return ""
+        return encode_fixed(self._my_list[slot], self._width)[bit]
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        if self._done:
+            return
+        pos = self._position(round_index)
+        if pos == 0:
+            self._phase_peelers = {s for s, m in messages.items() if m == "1"}
+            if self._i_peel_now:
+                self._phase_peelers.add(self._me)
+            self._list_bits = {s: [] for s in self._phase_peelers}
+            return
+        for sender in self._phase_peelers:
+            if sender != self._me:
+                self._list_bits[sender].append(messages[sender])
+        if pos == self._phase_rounds - 1:
+            self._finish_phase()
+
+    def _finish_phase(self) -> None:
+        # decode every peeler's announced neighbor list
+        for sender, bits in self._list_bits.items():
+            if sender == self._me:
+                announced = self._my_list
+            else:
+                announced = []
+                for slot in range(self._threshold):
+                    chunk = bits[slot * self._width : (slot + 1) * self._width]
+                    if len(chunk) < self._width or "" in chunk:
+                        continue
+                    announced.append(int("".join(chunk), 2))
+            for nbr in announced:
+                self._edges.add((min(sender, nbr), max(sender, nbr)))
+        if self._i_peel_now:
+            self._i_peeled = True
+        self._peeled |= self._phase_peelers
+        if self._peeled == self._all:
+            self._done = True
+
+    def finished(self) -> bool:
+        return self._done
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def _components(self) -> Optional[UnionFind]:
+        if not self._done:
+            return None
+        uf = UnionFind(self._all)
+        for u, v in self._edges:
+            uf.union(u, v)
+        return uf
+
+    def output(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class PeelingConnectivity(PeelingExchange):
+    """Decision variant; truncated vertices guess YES."""
+
+    def output(self) -> str:
+        uf = self._components()
+        if uf is None:
+            return YES
+        return YES if uf.component_count() == 1 else NO
+
+
+class PeelingComponents(PeelingExchange):
+    """Labelling variant; truncated vertices output their own ID."""
+
+    def output(self) -> int:
+        uf = self._components()
+        if uf is None:
+            return self._me
+        return min(x for x in self._all if uf.connected(x, self._me))
+
+
+def peeling_connectivity_factory(
+    arboricity: int, id_bits: Optional[int] = None
+) -> Callable[[], PeelingConnectivity]:
+    return lambda: PeelingConnectivity(arboricity, id_bits)
+
+
+def peeling_components_factory(
+    arboricity: int, id_bits: Optional[int] = None
+) -> Callable[[], PeelingComponents]:
+    return lambda: PeelingComponents(arboricity, id_bits)
+
+
+def peeling_round_budget(n: int, arboricity: int, id_bits: Optional[int] = None) -> int:
+    """A safe budget: (ceil(log2 n) + 2) phases of 1 + 4a*W rounds."""
+    w = id_bits if id_bits is not None else id_bit_width(max(1, n - 1))
+    phases = math.ceil(math.log2(max(2, n))) + 2
+    return phases * (1 + 4 * arboricity * w)

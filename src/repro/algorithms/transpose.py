@@ -1,0 +1,119 @@
+"""Transpose: a clean range separation in the RCC(b, r) spectrum.
+
+Every vertex i holds one private bit x_{i -> j} addressed to each other
+vertex j; everyone must learn the bits addressed to them. This "transpose"
+task isolates the bandwidth gap the paper's introduction leans on:
+
+* with range r >= 2, one round suffices -- a vertex partitions its ports
+  into "send 0" and "send 1" (two distinct messages);
+* with range r = 1 (broadcast, i.e. BCC(b)), a vertex can only reveal b
+  bits per round *in total*, and it must reveal all n - 1 addressed bits
+  (they are independent), so ceil((n - 1) / b) rounds are necessary --
+  and the schedule below achieves exactly that.
+
+This is the executable core of the Becker et al. observation cited in
+Section 1.3: the power of the congested clique spectrum grows with every
+increase in range, which is why "bottleneck" lower-bound arguments work at
+r = 1 but break at large r.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping
+
+from repro.core.range_model import RangeNodeAlgorithm
+
+#: inputs[sender_id][target_id] = "0" | "1"
+TransposeInput = Dict[int, Dict[int, str]]
+
+
+class RangeTranspose(RangeNodeAlgorithm):
+    """Solves transpose in 1 round at r >= 2, ceil((n-1)/b) rounds at r = 1."""
+
+    def __init__(self, inputs: TransposeInput, use_range: bool):
+        self._inputs = inputs
+        self._use_range = use_range
+
+    def setup(self, knowledge) -> None:
+        super().setup(knowledge)
+        if knowledge.kt != 1:
+            raise ValueError("transpose addressing requires KT-1 (ports are IDs)")
+        self._my_vector = dict(self._inputs[knowledge.vertex_id])
+        self._targets = sorted(self._my_vector)
+        self._received: Dict[int, str] = {}
+        self._rounds_needed = (
+            1
+            if self._use_range
+            else math.ceil(len(self._targets) / knowledge.bandwidth)
+        )
+        self._done = False
+
+    def send(self, round_index: int):
+        if self._done or round_index > self._rounds_needed:
+            return ""
+        if self._use_range:
+            zeros = [t for t in self._targets if self._my_vector[t] == "0"]
+            ones = [t for t in self._targets if self._my_vector[t] == "1"]
+            out: Dict[str, list] = {}
+            if zeros:
+                out["0"] = zeros
+            if ones:
+                out["1"] = ones
+            return out
+        # broadcast schedule: bits addressed to targets in ID order, b per round
+        b = self.knowledge.bandwidth
+        start = (round_index - 1) * b
+        chunk = "".join(
+            self._my_vector[t] for t in self._targets[start : start + b]
+        )
+        return chunk
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        if self._done:
+            return
+        if self._use_range:
+            # the message on port u IS the bit u addressed to me
+            for sender, bit in messages.items():
+                self._received[sender] = bit
+            self._done = True
+            return
+        b = self.knowledge.bandwidth
+        me = self.knowledge.vertex_id
+        for sender, chunk in messages.items():
+            # reconstruct which slot of the sender's schedule addressed me
+            sender_targets = sorted(
+                t for t in self.knowledge.all_ids if t != sender
+            )
+            my_slot = sender_targets.index(me)
+            start = (round_index - 1) * b
+            if start <= my_slot < start + len(chunk):
+                self._received[sender] = chunk[my_slot - start]
+        if round_index >= self._rounds_needed:
+            self._done = True
+
+    def finished(self) -> bool:
+        return self._done
+
+    def output(self) -> Dict[int, str]:
+        return dict(self._received)
+
+
+def transpose_factory(inputs: TransposeInput, use_range: bool) -> Callable[[], RangeTranspose]:
+    return lambda: RangeTranspose(inputs, use_range)
+
+
+def transpose_correct(inputs: TransposeInput, outputs_by_id: Mapping[int, Mapping[int, str]]) -> bool:
+    """Did every vertex learn exactly the bits addressed to it?"""
+    for sender, vector in inputs.items():
+        for target, bit in vector.items():
+            if outputs_by_id.get(target, {}).get(sender) != bit:
+                return False
+    return True
+
+
+def broadcast_lower_bound_rounds(n: int, bandwidth: int) -> int:
+    """At r = 1 a vertex must reveal n - 1 independent addressed bits at b
+    bits per round: ceil((n-1)/b) rounds are information-theoretically
+    necessary."""
+    return math.ceil((n - 1) / bandwidth)

@@ -1,0 +1,21 @@
+"""Analysis utilities: growth fitting and table reporting."""
+
+from repro.analysis.fitting import (
+    LogFit,
+    fit_linear,
+    fit_logarithmic,
+    is_logarithmic_growth,
+    ratio_stability,
+)
+from repro.analysis.reporting import format_cell, print_table, render_table
+
+__all__ = [
+    "LogFit",
+    "fit_linear",
+    "fit_logarithmic",
+    "format_cell",
+    "is_logarithmic_growth",
+    "print_table",
+    "ratio_stability",
+    "render_table",
+]

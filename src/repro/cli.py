@@ -1,0 +1,320 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+    python -m repro.cli list
+    python -m repro.cli crossing      --n 12 --rounds 4
+    python -m repro.cli star          --n 30 --rounds 3
+    python -m repro.cli forced-error  --n 6  --rounds 2
+    python -m repro.cli ratio         --max-exp 6
+    python -m repro.cli ranks         --max-n 6
+    python -m repro.cli reduction     --n 8  --seed 1
+    python -m repro.cli information   --n 5  --eps 0.3
+    python -m repro.cli upper-bounds  --n 32
+
+Each subcommand prints a paper-vs-measured table; see EXPERIMENTS.md for
+the mapping to the paper's lemmas and theorems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import print_table
+
+
+def _cmd_crossing(args: argparse.Namespace) -> int:
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.crossing import check_lemma_3_4, cross
+    from repro.instances import one_cycle_instance
+
+    n = args.n
+    inst = one_cycle_instance(n, kt=0)
+    e1, e2 = (0, 1), (n // 2, n // 2 + 1)
+    crossed = cross(inst, e1, e2)
+    premise, conclusion = check_lemma_3_4(
+        Simulator(BCC1_KT0), inst, crossed, ConstantAlgorithm, e1, e2, args.rounds
+    )
+    comps = sorted(len(c) for c in crossed.input_graph().connected_components())
+    print_table(
+        "Figure 1 / Lemma 3.4 (E1)",
+        ["n", "crossed split", "rounds", "premise", "indistinguishable"],
+        [[n, str(comps), args.rounds, premise, conclusion]],
+    )
+    return 0
+
+
+def _cmd_star(args: argparse.Namespace) -> int:
+    from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
+    from repro.lowerbounds import fool_algorithm, theorem_3_5_error_bound
+
+    report = fool_algorithm(Simulator(BCC1_KT0), SilentAlgorithm, args.n, args.rounds)
+    print_table(
+        "Theorem 3.5 star adversary (E2)",
+        ["n", "t", "|S|", "|S'|", "fooled", "verified", "achieved error", "closed-form floor"],
+        [
+            [
+                report.n,
+                report.rounds,
+                report.independent_set_size,
+                report.largest_class_size,
+                report.fooled_pairs,
+                report.indistinguishable_pairs,
+                report.achieved_error,
+                theorem_3_5_error_bound(args.n, args.rounds),
+            ]
+        ],
+    )
+    return 0
+
+
+def _cmd_forced_error(args: argparse.Namespace) -> int:
+    from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
+    from repro.algorithms import connectivity_factory
+    from repro.lowerbounds import forced_error_of_algorithm
+
+    sim = Simulator(BCC1_KT0)
+    rows = []
+    for name, factory in [
+        ("silent", SilentAlgorithm),
+        ("neighbor-exchange", connectivity_factory(2)),
+    ]:
+        rep = forced_error_of_algorithm(sim, factory, args.n, args.rounds)
+        rows.append([name, rep.one_cycle_count, rep.fooled_two_cycle_instances, rep.forced_error])
+    print_table(
+        f"Theorem 3.1 forced error at n={args.n}, t={args.rounds} (E5)",
+        ["algorithm", "|V1|", "fooled NO-instances", "forced error"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    from repro.indist import predicted_v2_v1_ratio
+
+    rows = []
+    for k in range(1, args.max_exp + 1):
+        n = 10**k
+        r = predicted_v2_v1_ratio(n)
+        rows.append([n, r, 0.5 * math.log(n), r / math.log(n)])
+    print_table(
+        "Lemma 3.9: |V2|/|V1| vs (1/2) ln n (E4)",
+        ["n", "ratio", "(1/2) ln n", "ratio / ln n"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_ranks(args: argparse.Namespace) -> int:
+    from repro.partitions import (
+        bell_number,
+        e_matrix_rank,
+        m_matrix_rank,
+        perfect_matching_count,
+    )
+
+    rows = []
+    for n in range(1, args.max_n + 1):
+        rows.append(["M", n, m_matrix_rank(n), bell_number(n)])
+    for n in range(2, args.max_n + 3, 2):
+        rows.append(["E", n, e_matrix_rank(n), perfect_matching_count(n)])
+    print_table(
+        "Theorem 2.3 / Lemma 4.1 exact ranks (E6)",
+        ["matrix", "n", "rank", "predicted"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_reduction(args: argparse.Namespace) -> int:
+    from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+    from repro.partitions import random_perfect_matching
+    from repro.twoparty import (
+        BCCSimulationProtocol,
+        build_two_partition_reduction,
+        simulation_bits_per_round,
+    )
+
+    rng = random.Random(args.seed)
+    n = args.n
+    pa = random_perfect_matching(n, rng)
+    pb = random_perfect_matching(n, rng)
+    red = build_two_partition_reduction(pa, pb)
+    rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+    proto = BCCSimulationProtocol("two_partition", components_factory(2), rounds, mode="components")
+    res = proto.run(pa, pb)
+    print_table(
+        "Figure 2 / Theorem 4.3 / Section 4.3 (E7, E8)",
+        ["P_A", "P_B", "join", "simulated", "BCC rounds", "bits", "bits/round"],
+        [
+            [
+                str(pa),
+                str(pb),
+                str(pa.join(pb)),
+                str(res.bob_output),
+                rounds,
+                res.total_bits,
+                simulation_bits_per_round("two_partition", n),
+            ]
+        ],
+    )
+    return 0 if res.bob_output == pa.join(pb) else 1
+
+
+def _cmd_information(args: argparse.Namespace) -> int:
+    from repro.information import evaluate_protocol, information_lower_bound
+    from repro.twoparty import LossyPartitionCompProtocol, TrivialPartitionCompProtocol
+
+    n = args.n
+    rows = []
+    clean = evaluate_protocol(TrivialPartitionCompProtocol(n), n)
+    rows.append(["error-free", clean.error_rate, clean.information, clean.input_entropy])
+    lossy = evaluate_protocol(LossyPartitionCompProtocol(n, args.eps), n)
+    rows.append(
+        [
+            f"lossy (~{args.eps})",
+            lossy.error_rate,
+            lossy.information,
+            information_lower_bound(n, lossy.error_rate),
+        ]
+    )
+    print_table(
+        f"Theorem 4.5 information accounting, n={n} (E9)",
+        ["protocol", "measured eps", "I(P_A;Pi)", "floor"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_upper_bounds(args: argparse.Namespace) -> int:
+    from repro.algorithms import (
+        agm_total_rounds,
+        boruvka_max_rounds,
+        id_bit_width,
+        mt16_rounds,
+        neighbor_exchange_rounds,
+        peeling_round_budget,
+    )
+    from repro.lowerbounds import multicycle_round_bound
+
+    n = args.n
+    lb = multicycle_round_bound(max(4, (n // 4) * 2)).round_lower_bound
+    print_table(
+        "Upper bounds vs the Omega(log n) lower bound (E10)",
+        ["algorithm", "model", "rounds (closed form)"],
+        [
+            ["Theorem 4.4 lower bound", "BCC(1) KT-1", f">= {lb:.3f}"],
+            [
+                "NeighborExchange (deg<=2)",
+                "BCC(1) KT-1",
+                neighbor_exchange_rounds(1, 2, id_bit_width(n - 1)),
+            ],
+            [
+                "NeighborExchange (deg<=2)",
+                "BCC(1) KT-0",
+                neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1)),
+            ],
+            ["Peeling (arboricity<=2)", "BCC(1) KT-1", peeling_round_budget(n, 2)],
+            ["MT16 sketch (arboricity<=2)", "BCC(1) KT-1", mt16_rounds(2)],
+            ["Boruvka", "BCC(log n) KT-1", boruvka_max_rounds(n)],
+            ["FullAdjacency", "BCC(1) KT-1", n],
+            ["AGM sketch", "BCC(32) KT-1", agm_total_rounds(n, 32)],
+        ],
+    )
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.lowerbounds import full_report
+
+    report = full_report()
+    print_table(
+        "All three results, one pass (laptop scale)",
+        ["result", "quantity", "value"],
+        report.rows(),
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name, help_text in _COMMANDS_HELP:
+        print(f"  {name:14s} {help_text}")
+    return 0
+
+
+_COMMANDS_HELP = [
+    ("crossing", "E1: Figure 1 crossing + Lemma 3.4 on a live run"),
+    ("star", "E2: Theorem 3.5 star adversary"),
+    ("forced-error", "E5: Theorem 3.1 exact forced error (exhaustive; small n)"),
+    ("ratio", "E4: Lemma 3.9 |V2|/|V1| growth"),
+    ("ranks", "E6: Theorem 2.3 / Lemma 4.1 exact ranks"),
+    ("reduction", "E7+E8: Figure 2 reduction + Section 4.3 simulation"),
+    ("information", "E9: Theorem 4.5 information accounting"),
+    ("upper-bounds", "E10: the upper-bound comparators"),
+    ("all", "one-pass summary of all three results"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Run the experiments reproducing Pai & Pemmaraju, PODC 2019.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("crossing", help=_COMMANDS_HELP[0][1])
+    p.add_argument("--n", type=int, default=12)
+    p.add_argument("--rounds", type=int, default=4)
+    p.set_defaults(func=_cmd_crossing)
+
+    p = sub.add_parser("star", help=_COMMANDS_HELP[1][1])
+    p.add_argument("--n", type=int, default=30)
+    p.add_argument("--rounds", type=int, default=3)
+    p.set_defaults(func=_cmd_star)
+
+    p = sub.add_parser("forced-error", help=_COMMANDS_HELP[2][1])
+    p.add_argument("--n", type=int, default=6)
+    p.add_argument("--rounds", type=int, default=2)
+    p.set_defaults(func=_cmd_forced_error)
+
+    p = sub.add_parser("ratio", help=_COMMANDS_HELP[3][1])
+    p.add_argument("--max-exp", type=int, default=6)
+    p.set_defaults(func=_cmd_ratio)
+
+    p = sub.add_parser("ranks", help=_COMMANDS_HELP[4][1])
+    p.add_argument("--max-n", type=int, default=5)
+    p.set_defaults(func=_cmd_ranks)
+
+    p = sub.add_parser("reduction", help=_COMMANDS_HELP[5][1])
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_reduction)
+
+    p = sub.add_parser("information", help=_COMMANDS_HELP[6][1])
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--eps", type=float, default=0.3)
+    p.set_defaults(func=_cmd_information)
+
+    p = sub.add_parser("upper-bounds", help=_COMMANDS_HELP[7][1])
+    p.add_argument("--n", type=int, default=32)
+    p.set_defaults(func=_cmd_upper_bounds)
+
+    p = sub.add_parser("all", help=_COMMANDS_HELP[8][1])
+    p.set_defaults(func=_cmd_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

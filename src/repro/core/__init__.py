@@ -1,0 +1,81 @@
+"""BCC(b) simulator core: model, instances, algorithms, round engine."""
+
+from repro.core.algorithm import (
+    NO,
+    YES,
+    AlgorithmFactory,
+    ConstantAlgorithm,
+    FunctionalAlgorithm,
+    NodeAlgorithm,
+    SilentAlgorithm,
+)
+from repro.core.decision import (
+    ErrorEstimate,
+    decision_of_run,
+    distributional_error,
+    labelling_error,
+    per_input_error,
+    system_decision,
+)
+from repro.core.instance import BCCInstance, IndexEdge
+from repro.core.knowledge import InitialKnowledge
+from repro.core.model import BCC1_KT0, BCC1_KT1, SILENT, SILENT_CHAR, BCCModel, message_to_char
+from repro.core.randomness import PublicCoin
+from repro.core.range_model import (
+    RangeModel,
+    RangeNodeAlgorithm,
+    RangeRunResult,
+    RangeSimulator,
+)
+from repro.core.serialization import (
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+)
+from repro.core.simulator import RunResult, Simulator
+from repro.core.tracing import first_divergence, render_diff, render_run, render_vertex
+from repro.core.transcript import RoundRecord, Transcript, sent_label
+
+__all__ = [
+    "AlgorithmFactory",
+    "BCC1_KT0",
+    "BCC1_KT1",
+    "BCCInstance",
+    "BCCModel",
+    "ConstantAlgorithm",
+    "ErrorEstimate",
+    "FunctionalAlgorithm",
+    "IndexEdge",
+    "InitialKnowledge",
+    "NO",
+    "NodeAlgorithm",
+    "PublicCoin",
+    "RangeModel",
+    "RangeNodeAlgorithm",
+    "RangeRunResult",
+    "RangeSimulator",
+    "RoundRecord",
+    "RunResult",
+    "SILENT",
+    "SILENT_CHAR",
+    "SilentAlgorithm",
+    "Simulator",
+    "Transcript",
+    "YES",
+    "decision_of_run",
+    "distributional_error",
+    "first_divergence",
+    "instance_from_dict",
+    "instance_from_json",
+    "instance_to_dict",
+    "instance_to_json",
+    "labelling_error",
+    "message_to_char",
+    "per_input_error",
+    "render_diff",
+    "render_run",
+    "render_vertex",
+    "sent_label",
+    "system_decision",
+]

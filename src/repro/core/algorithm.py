@@ -1,0 +1,133 @@
+"""The node-algorithm contract for BCC executions.
+
+A BCC algorithm is specified *locally*: every vertex runs the same program,
+parameterized only by its initial knowledge. The simulator instantiates one
+:class:`NodeAlgorithm` per vertex via a factory and drives the synchronous
+round loop:
+
+1. ``setup(knowledge)`` once, before round 1;
+2. for each round t = 1, 2, ...: every vertex's ``broadcast(t)`` is
+   collected, then every vertex's ``receive(t, messages)`` is invoked with
+   the port-labelled messages of the other n - 1 vertices;
+3. after the final round, ``output()`` is read.
+
+(The paper phrases delivery as "received at the beginning of round t + 1";
+folding delivery into the end of round t is the same schedule, just
+re-labelled, and keeps transcripts aligned with round indices.)
+
+Algorithms signal early termination by returning True from ``finished()``;
+the simulator stops after the first round in which *all* vertices are
+finished. Decision problems return the strings ``"YES"``/``"NO"`` from
+``output()``; ConnectedComponents algorithms return a hashable label.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping
+
+from repro.core.knowledge import InitialKnowledge
+
+#: Vertex outputs for decision problems.
+YES = "YES"
+NO = "NO"
+
+
+class NodeAlgorithm(ABC):
+    """One vertex's program in a BCC execution."""
+
+    def setup(self, knowledge: InitialKnowledge) -> None:
+        """Receive the initial knowledge. Default: store it as ``self.knowledge``."""
+        self.knowledge = knowledge
+
+    @abstractmethod
+    def broadcast(self, round_index: int) -> str:
+        """The message to broadcast in round ``round_index`` (1-based).
+
+        Return a 0/1-string of length at most the model bandwidth; the
+        empty string means silence (the paper's ⊥ character).
+        """
+
+    @abstractmethod
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        """Consume the round's broadcasts, keyed by this vertex's port label."""
+
+    def finished(self) -> bool:
+        """True once this vertex needs no further rounds (default: never)."""
+        return False
+
+    @abstractmethod
+    def output(self) -> Any:
+        """The vertex's output after the execution ends."""
+
+
+#: A factory building one fresh NodeAlgorithm per vertex.
+AlgorithmFactory = Callable[[], NodeAlgorithm]
+
+
+class SilentAlgorithm(NodeAlgorithm):
+    """A vertex that never speaks and always answers YES.
+
+    Useful as the degenerate 0-round algorithm in lower-bound experiments:
+    by Lemma 3.4 it cannot distinguish any crossed pair of instances.
+    """
+
+    def broadcast(self, round_index: int) -> str:
+        return ""
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        pass
+
+    def output(self) -> str:
+        return YES
+
+
+class ConstantAlgorithm(NodeAlgorithm):
+    """A vertex that broadcasts a fixed character forever and answers YES.
+
+    Another degenerate adversary target: every edge ends up with the same
+    2t-character label, making the entire edge set active.
+    """
+
+    def __init__(self, character: str = "1"):
+        self._character = character
+
+    def broadcast(self, round_index: int) -> str:
+        return self._character
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        pass
+
+    def output(self) -> str:
+        return YES
+
+
+class FunctionalAlgorithm(NodeAlgorithm):
+    """Adapter turning three callables into a NodeAlgorithm.
+
+    Convenient for small experiments and tests::
+
+        factory = lambda: FunctionalAlgorithm(
+            broadcast=lambda self, t: "1" if t == 1 else "",
+            receive=lambda self, t, msgs: None,
+            output=lambda self: YES,
+        )
+    """
+
+    def __init__(self, broadcast, receive, output, finished=None):
+        self._broadcast = broadcast
+        self._receive = receive
+        self._output = output
+        self._finished = finished
+
+    def broadcast(self, round_index: int) -> str:
+        return self._broadcast(self, round_index)
+
+    def receive(self, round_index: int, messages: Mapping[int, str]) -> None:
+        self._receive(self, round_index, messages)
+
+    def finished(self) -> bool:
+        return bool(self._finished and self._finished(self))
+
+    def output(self) -> Any:
+        return self._output(self)

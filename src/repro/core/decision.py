@@ -1,0 +1,114 @@
+"""Decision semantics and Monte-Carlo error estimation.
+
+For a decision problem the *system* output of a BCC run is YES iff every
+vertex outputs YES (Section 1.2). An ε-error Monte Carlo algorithm must,
+on every individual input, produce the correct system output with
+probability > 1 - ε over the shared random string. This module provides
+those semantics plus estimators for
+
+* per-input error probability (over sampled public-coin seeds), and
+* distributional error (the quantity in Yao's minimax theorem): the
+  μ-weighted fraction of inputs on which a deterministic algorithm errs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.core.algorithm import NO, YES, AlgorithmFactory
+from repro.core.instance import BCCInstance
+from repro.core.randomness import PublicCoin
+from repro.core.simulator import RunResult, Simulator
+
+
+def system_decision(outputs: Iterable[str]) -> str:
+    """Combine vertex outputs: YES iff all vertices said YES."""
+    return YES if all(out == YES for out in outputs) else NO
+
+
+def decision_of_run(result: RunResult) -> str:
+    """System decision of a completed run."""
+    return system_decision(result.outputs)
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """Result of a Monte-Carlo error estimation."""
+
+    errors: int
+    trials: int
+
+    @property
+    def rate(self) -> float:
+        return self.errors / self.trials if self.trials else 0.0
+
+
+def per_input_error(
+    simulator: Simulator,
+    instance: BCCInstance,
+    factory: AlgorithmFactory,
+    rounds: int,
+    expected: str,
+    seeds: Sequence[str],
+) -> ErrorEstimate:
+    """Estimate Pr[wrong system output] on one input over public coins.
+
+    ``expected`` is the correct decision (YES/NO) for this instance; each
+    seed induces one deterministic execution.
+    """
+    errors = 0
+    for seed in seeds:
+        result = simulator.run(instance, factory, rounds, coin=PublicCoin(seed))
+        if decision_of_run(result) != expected:
+            errors += 1
+    return ErrorEstimate(errors=errors, trials=len(seeds))
+
+
+def distributional_error(
+    simulator: Simulator,
+    weighted_inputs: Sequence[Tuple[BCCInstance, str, float]],
+    factory: AlgorithmFactory,
+    rounds: int,
+    coin: Optional[PublicCoin] = None,
+) -> float:
+    """μ-weighted error of a (deterministic) algorithm over a distribution.
+
+    ``weighted_inputs`` is a sequence of (instance, correct decision,
+    probability mass) triples; masses should sum to 1 but are normalized
+    defensively. This is the distributional complexity quantity D^μ_ε from
+    Yao's minimax theorem (Theorem 2.2).
+    """
+    total = sum(w for _, _, w in weighted_inputs)
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    err = 0.0
+    for instance, expected, weight in weighted_inputs:
+        result = simulator.run(instance, factory, rounds, coin=coin)
+        if decision_of_run(result) != expected:
+            err += weight
+    return err / total
+
+
+def labelling_error(
+    simulator: Simulator,
+    weighted_inputs: Sequence[Tuple[BCCInstance, float]],
+    factory: AlgorithmFactory,
+    rounds: int,
+    verifier: Callable[[BCCInstance, Tuple], bool],
+    coin: Optional[PublicCoin] = None,
+) -> float:
+    """μ-weighted error for labelling problems (ConnectedComponents).
+
+    ``verifier(instance, outputs)`` must return True iff the vector of
+    vertex outputs is a correct labelling for the instance.
+    """
+    total = sum(w for _, w in weighted_inputs)
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    err = 0.0
+    for instance, weight in weighted_inputs:
+        result = simulator.run(instance, factory, rounds, coin=coin)
+        if not verifier(instance, result.outputs):
+            err += weight
+    return err / total

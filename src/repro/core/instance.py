@@ -1,0 +1,288 @@
+"""BCC instances: the clique network, its port wiring, and the input graph.
+
+A size-n instance consists of (Section 1.2 of the paper):
+
+* ``n`` vertices, each with a unique ID;
+* a complete communication network: every pair of vertices is joined by a
+  *network edge*;
+* a port numbering: each vertex has ``n - 1`` communication ports, one per
+  network edge. In a **KT-0** instance the ports at a vertex are labelled
+  ``1 .. n-1`` in an arbitrary manner that has *nothing to do with IDs*.
+  In a **KT-1** instance the port of the edge {u, v} at u is labelled with
+  ID(v) (so port labels reveal neighbor IDs);
+* an *input graph*: a subset of the network edges. Each vertex knows which
+  of its ports carry input edges.
+
+Internally vertices are indexed ``0 .. n-1``; the index is a simulation
+artifact that is never exposed to node algorithms (which only see IDs,
+ports, and messages). The wiring is stored as, for each vertex index ``v``,
+a bijection between port labels and peer vertex indices.
+
+The class is immutable; the crossing operator in :mod:`repro.crossing`
+produces new instances via :meth:`BCCInstance.replace`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import Graph
+
+#: An input edge as a canonical (low index, high index) pair.
+IndexEdge = Tuple[int, int]
+
+
+def _canonical_edge(u: int, v: int) -> IndexEdge:
+    if u == v:
+        raise InvalidInstanceError(f"self-loop at vertex index {u}")
+    return (u, v) if u < v else (v, u)
+
+
+class BCCInstance:
+    """An immutable KT-0 or KT-1 instance of the BCC model.
+
+    Parameters
+    ----------
+    kt:
+        Knowledge level, 0 or 1.
+    ids:
+        ``ids[v]`` is the ID of vertex index ``v``. IDs must be distinct
+        non-negative integers.
+    peers:
+        ``peers[v]`` maps each port label of vertex ``v`` to the peer
+        vertex index reached through that port. For KT-0 the label set at
+        every vertex must be ``{1, .., n-1}``; for KT-1 the label of the
+        port to peer ``u`` must be ``ids[u]``.
+    input_edges:
+        The input graph as canonical index pairs.
+    """
+
+    __slots__ = ("_n", "_kt", "_ids", "_peers", "_ports", "_input_edges", "_id_to_index")
+
+    def __init__(
+        self,
+        kt: int,
+        ids: Sequence[int],
+        peers: Sequence[Dict[int, int]],
+        input_edges: Iterable[IndexEdge],
+    ):
+        self._kt = kt
+        self._ids: Tuple[int, ...] = tuple(ids)
+        self._n = len(self._ids)
+        self._peers: Tuple[Dict[int, int], ...] = tuple(dict(p) for p in peers)
+        self._input_edges: FrozenSet[IndexEdge] = frozenset(
+            _canonical_edge(u, v) for u, v in input_edges
+        )
+        # inverse wiring: _ports[v][u] = port label of the edge {v, u} at v
+        self._ports: Tuple[Dict[int, int], ...] = tuple(
+            {peer: port for port, peer in p.items()} for p in self._peers
+        )
+        self._id_to_index: Dict[int, int] = {vid: v for v, vid in enumerate(self._ids)}
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def kt1_from_graph(graph: Graph, ids: Optional[Sequence[int]] = None) -> "BCCInstance":
+        """Build a KT-1 instance whose input graph is ``graph``.
+
+        ``graph`` must have vertex set ``{0, .., n-1}`` (vertex indices).
+        If ``ids`` is omitted, vertex index ``v`` receives ID ``v``.
+        In KT-1 the wiring is forced: the port of {u, v} at u is ID(v).
+        """
+        n = graph.vertex_count
+        _check_index_vertex_set(graph, n)
+        the_ids = tuple(range(n)) if ids is None else tuple(ids)
+        if len(the_ids) != n:
+            raise InvalidInstanceError(f"need {n} ids, got {len(the_ids)}")
+        peers = [{the_ids[u]: u for u in range(n) if u != v} for v in range(n)]
+        edges = [_canonical_edge(u, v) for u, v in graph.edges()]
+        return BCCInstance(1, the_ids, peers, edges)
+
+    @staticmethod
+    def kt0_from_graph(
+        graph: Graph,
+        ids: Optional[Sequence[int]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "BCCInstance":
+        """Build a KT-0 instance whose input graph is ``graph``.
+
+        The port numbering is the canonical *rotation wiring* -- the port of
+        the network edge {v, u} at v is ``(u - v) mod n`` -- optionally
+        shuffled per-vertex by ``rng`` to produce an arbitrary numbering.
+        The rotation wiring is symmetric-free and has no relation to IDs,
+        as the KT-0 model requires.
+        """
+        n = graph.vertex_count
+        _check_index_vertex_set(graph, n)
+        the_ids = tuple(range(n)) if ids is None else tuple(ids)
+        if len(the_ids) != n:
+            raise InvalidInstanceError(f"need {n} ids, got {len(the_ids)}")
+        peers: List[Dict[int, int]] = []
+        for v in range(n):
+            labels = list(range(1, n))
+            if rng is not None:
+                rng.shuffle(labels)
+            mapping = {}
+            for offset in range(1, n):
+                u = (v + offset) % n
+                mapping[labels[offset - 1]] = u
+            peers.append(mapping)
+        edges = [_canonical_edge(u, v) for u, v in graph.edges()]
+        return BCCInstance(0, the_ids, peers, edges)
+
+    def replace(
+        self,
+        peers: Optional[Sequence[Dict[int, int]]] = None,
+        input_edges: Optional[Iterable[IndexEdge]] = None,
+    ) -> "BCCInstance":
+        """Return a copy with the wiring and/or input graph replaced."""
+        return BCCInstance(
+            self._kt,
+            self._ids,
+            self._peers if peers is None else peers,
+            self._input_edges if input_edges is None else input_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n = self._n
+        if n < 2:
+            raise InvalidInstanceError(f"an instance needs >= 2 vertices, got {n}")
+        if len(set(self._ids)) != n:
+            raise InvalidInstanceError("vertex IDs must be distinct")
+        if any(i < 0 for i in self._ids):
+            raise InvalidInstanceError("vertex IDs must be non-negative")
+        if len(self._peers) != n:
+            raise InvalidInstanceError(
+                f"wiring has {len(self._peers)} vertices, expected {n}"
+            )
+        for v, mapping in enumerate(self._peers):
+            peer_set = set(mapping.values())
+            if peer_set != set(range(n)) - {v}:
+                raise InvalidInstanceError(
+                    f"vertex {v}: ports must reach every other vertex exactly once"
+                )
+            if self._kt == 0:
+                if set(mapping.keys()) != set(range(1, n)):
+                    raise InvalidInstanceError(
+                        f"vertex {v}: KT-0 port labels must be 1..{n - 1}"
+                    )
+            else:
+                expected = {self._ids[u] for u in range(n) if u != v}
+                if set(mapping.keys()) != expected:
+                    raise InvalidInstanceError(
+                        f"vertex {v}: KT-1 port labels must be the peer IDs"
+                    )
+                for port, u in mapping.items():
+                    if port != self._ids[u]:
+                        raise InvalidInstanceError(
+                            f"vertex {v}: port {port} must reach the vertex with that ID"
+                        )
+        for u, v in self._input_edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidInstanceError(f"input edge ({u}, {v}) out of range")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def kt(self) -> int:
+        return self._kt
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        return self._ids
+
+    @property
+    def input_edges(self) -> FrozenSet[IndexEdge]:
+        return self._input_edges
+
+    def vertex_id(self, v: int) -> int:
+        """The ID of vertex index ``v``."""
+        return self._ids[v]
+
+    def index_of_id(self, vertex_id: int) -> int:
+        """The vertex index carrying the given ID."""
+        return self._id_to_index[vertex_id]
+
+    def peer_of_port(self, v: int, port: int) -> int:
+        """The vertex index at the far end of ``port`` at vertex ``v``."""
+        return self._peers[v][port]
+
+    def port_to_peer(self, v: int, u: int) -> int:
+        """The port label at ``v`` of the network edge {v, u}."""
+        return self._ports[v][u]
+
+    def port_labels(self, v: int) -> Tuple[int, ...]:
+        """All port labels at vertex ``v``, sorted."""
+        return tuple(sorted(self._peers[v].keys()))
+
+    def input_ports(self, v: int) -> FrozenSet[int]:
+        """The port labels at ``v`` that carry input-graph edges."""
+        ports = set()
+        for u, w in self._input_edges:
+            if u == v:
+                ports.add(self._ports[v][w])
+            elif w == v:
+                ports.add(self._ports[v][u])
+        return frozenset(ports)
+
+    def input_neighbors(self, v: int) -> FrozenSet[int]:
+        """Vertex indices adjacent to ``v`` in the input graph."""
+        nbrs = set()
+        for u, w in self._input_edges:
+            if u == v:
+                nbrs.add(w)
+            elif w == v:
+                nbrs.add(u)
+        return frozenset(nbrs)
+
+    def input_degree(self, v: int) -> int:
+        return len(self.input_neighbors(v))
+
+    def input_graph(self) -> Graph:
+        """The input graph over vertex indices as a :class:`Graph`."""
+        return Graph(range(self._n), self._input_edges)
+
+    def has_input_edge(self, u: int, v: int) -> bool:
+        return _canonical_edge(u, v) in self._input_edges
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BCCInstance):
+            return NotImplemented
+        return (
+            self._kt == other._kt
+            and self._ids == other._ids
+            and self._peers == other._peers
+            and self._input_edges == other._input_edges
+        )
+
+    def __hash__(self) -> int:
+        wiring_key = tuple(tuple(sorted(p.items())) for p in self._peers)
+        return hash((self._kt, self._ids, wiring_key, self._input_edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"BCCInstance(kt={self._kt}, n={self._n}, "
+            f"input_edges={len(self._input_edges)})"
+        )
+
+
+def _check_index_vertex_set(graph: Graph, n: int) -> None:
+    if set(graph.vertices()) != set(range(n)):
+        raise InvalidInstanceError(
+            "instance input graphs must use vertex indices 0..n-1"
+        )

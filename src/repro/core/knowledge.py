@@ -1,0 +1,78 @@
+"""Initial knowledge handed to a node algorithm at time 0.
+
+Per Section 1.2 of the paper, the initial knowledge of a vertex v is:
+
+* its own ID;
+* its port labels and which ports correspond to input-graph edges;
+* (KT-1 only) the IDs of all n vertices -- and, because KT-1 ports *are*
+  peer IDs, the IDs of its input-graph neighbors;
+* an arbitrarily long random string (here: a :class:`PublicCoin`).
+
+Crucially the knowledge object does **not** contain the vertex's simulation
+index or the global wiring; node algorithms are information-theoretically
+limited to exactly what the model grants them. The simulator constructs
+these objects; algorithms only read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.randomness import PublicCoin
+
+
+@dataclass(frozen=True)
+class InitialKnowledge:
+    """Everything a vertex knows before the first round."""
+
+    #: The vertex's own ID.
+    vertex_id: int
+    #: Number of vertices in the network (known in both KT-0 and KT-1).
+    n: int
+    #: Broadcast bandwidth b of the model.
+    bandwidth: int
+    #: Knowledge level of the instance (0 or 1).
+    kt: int
+    #: All port labels at this vertex, sorted ascending.
+    ports: Tuple[int, ...]
+    #: The subset of ports that carry input-graph edges.
+    input_ports: FrozenSet[int]
+    #: All n vertex IDs (KT-1 only; None in KT-0), sorted ascending.
+    all_ids: Optional[Tuple[int, ...]]
+    #: The shared public-coin random string.
+    coin: PublicCoin = field(compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.kt == 0 and self.all_ids is not None:
+            raise ValueError("KT-0 knowledge must not include the global ID list")
+        if self.kt == 1 and self.all_ids is None:
+            raise ValueError("KT-1 knowledge must include the global ID list")
+
+    @property
+    def input_degree(self) -> int:
+        """Degree of this vertex in the input graph."""
+        return len(self.input_ports)
+
+    def neighbor_ids(self) -> FrozenSet[int]:
+        """IDs of input-graph neighbors (KT-1 only, where ports are IDs)."""
+        if self.kt != 1:
+            raise ValueError("neighbor IDs are only known at knowledge level KT-1")
+        return self.input_ports
+
+    def comparable_view(self) -> tuple:
+        """A hashable summary used by the indistinguishability checker.
+
+        Two vertices are in the same initial state iff these views are
+        equal; the coin is shared across compared runs and therefore
+        deliberately excluded (as is anything a node cannot observe).
+        """
+        return (
+            self.vertex_id,
+            self.n,
+            self.bandwidth,
+            self.kt,
+            self.ports,
+            self.input_ports,
+            self.all_ids,
+        )

@@ -1,0 +1,99 @@
+"""Public-coin randomness for BCC algorithms.
+
+The paper's lower bounds are proved in the public-coin model: every vertex
+sees the *same* arbitrarily long random string. :class:`PublicCoin`
+implements that string as a deterministic stream derived from a seed via
+SHA-256 in counter mode, so that
+
+* every vertex of a run draws identical values for identical queries,
+* two runs with the same seed are bit-for-bit reproducible (which the
+  indistinguishability checker relies on when comparing a run on an
+  instance ``I`` with a run on its crossing ``I(e1, e2)``), and
+* algorithms can draw *named* sub-streams (e.g. one hash function per
+  sketch level) without coordinating offsets.
+
+Private-coin algorithms can be modelled by deriving a per-vertex stream
+with ``coin.substream(str(vertex_id))``; lower bounds proved against public
+coins dominate private-coin bounds, as the paper notes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+class PublicCoin:
+    """A reproducible, shared source of random bits keyed by a seed."""
+
+    __slots__ = ("_seed",)
+
+    def __init__(self, seed: str = "repro-public-coin"):
+        self._seed = seed
+
+    @property
+    def seed(self) -> str:
+        return self._seed
+
+    def substream(self, name: str) -> "PublicCoin":
+        """A derived coin; distinct names give independent-looking streams."""
+        return PublicCoin(f"{self._seed}/{name}")
+
+    def _block(self, key: str, counter: int) -> bytes:
+        material = f"{self._seed}|{key}|{counter}".encode("utf-8")
+        return hashlib.sha256(material).digest()
+
+    def bits(self, key: str, count: int) -> List[int]:
+        """Return ``count`` pseudorandom bits for the given query key."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        out: List[int] = []
+        counter = 0
+        while len(out) < count:
+            block = self._block(key, counter)
+            for byte in block:
+                for shift in range(8):
+                    out.append((byte >> shift) & 1)
+                    if len(out) == count:
+                        return out
+            counter += 1
+        return out
+
+    def bit(self, key: str) -> int:
+        """A single pseudorandom bit."""
+        return self.bits(key, 1)[0]
+
+    def randint(self, key: str, low: int, high: int) -> int:
+        """A pseudorandom integer in the inclusive range [low, high].
+
+        Uses rejection sampling over 64-bit blocks so the distribution is
+        exactly uniform.
+        """
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        counter = 0
+        while True:
+            block = self._block(f"int|{key}", counter)
+            value = int.from_bytes(block[:8], "big")
+            limit = (2**64 // span) * span
+            if value < limit:
+                return low + (value % span)
+            counter += 1
+
+    def random(self, key: str) -> float:
+        """A pseudorandom float in [0, 1) with 53 bits of precision."""
+        block = self._block(f"float|{key}", 0)
+        mantissa = int.from_bytes(block[:8], "big") >> 11
+        return mantissa / float(1 << 53)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PublicCoin):
+            return NotImplemented
+        return self._seed == other._seed
+
+    def __hash__(self) -> int:
+        return hash(("PublicCoin", self._seed))
+
+    def __repr__(self) -> str:
+        return f"PublicCoin(seed={self._seed!r})"

@@ -1,0 +1,68 @@
+"""Instance (de)serialization to plain JSON-compatible dictionaries.
+
+Lets downstream users persist instance corpora (e.g. a hard-distribution
+sweep) and reload them elsewhere. The format is explicit and versioned:
+
+    {
+      "format": "repro-bcc-instance",
+      "version": 1,
+      "kt": 0,
+      "ids": [...],
+      "peers": [{"<port>": <peer index>, ...}, ...],
+      "input_edges": [[u, v], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.instance import BCCInstance
+from repro.errors import InvalidInstanceError
+
+FORMAT_NAME = "repro-bcc-instance"
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: BCCInstance) -> Dict[str, Any]:
+    """A JSON-compatible description of an instance."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kt": instance.kt,
+        "ids": list(instance.ids),
+        "peers": [
+            {str(port): instance.peer_of_port(v, port) for port in instance.port_labels(v)}
+            for v in range(instance.n)
+        ],
+        "input_edges": [list(e) for e in sorted(instance.input_edges)],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> BCCInstance:
+    """Inverse of :func:`instance_to_dict`, fully re-validated."""
+    if data.get("format") != FORMAT_NAME:
+        raise InvalidInstanceError(f"not a {FORMAT_NAME} document")
+    if data.get("version") != FORMAT_VERSION:
+        raise InvalidInstanceError(f"unsupported version {data.get('version')!r}")
+    peers = [
+        {int(port): int(peer) for port, peer in mapping.items()}
+        for mapping in data["peers"]
+    ]
+    return BCCInstance(
+        kt=int(data["kt"]),
+        ids=[int(x) for x in data["ids"]],
+        peers=peers,
+        input_edges=[(int(u), int(v)) for u, v in data["input_edges"]],
+    )
+
+
+def instance_to_json(instance: BCCInstance, indent: int = None) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(instance_to_dict(instance), indent=indent, sort_keys=True)
+
+
+def instance_from_json(text: str) -> BCCInstance:
+    """Parse a JSON string produced by :func:`instance_to_json`."""
+    return instance_from_dict(json.loads(text))

@@ -1,0 +1,170 @@
+"""The synchronous round engine for BCC(b) executions.
+
+The simulator is the paper's model made operational: a complete network of
+``n`` vertices, each broadcasting at most ``b`` bits per round, with every
+broadcast delivered to the other ``n - 1`` vertices through their port to
+the sender. It records full per-vertex transcripts so lower-bound machinery
+(active edges, edge labels, indistinguishability checks) can be computed on
+real executions rather than abstract ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.algorithm import AlgorithmFactory, NodeAlgorithm
+from repro.core.instance import BCCInstance
+from repro.core.knowledge import InitialKnowledge
+from repro.core.model import BCCModel
+from repro.core.randomness import PublicCoin
+from repro.core.transcript import RoundRecord, Transcript
+from repro.errors import SimulationError
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one execution.
+
+    Attributes
+    ----------
+    instance:
+        The instance that was executed.
+    outputs:
+        ``outputs[v]`` is vertex index v's output.
+    transcripts:
+        ``transcripts[v]`` is vertex index v's full transcript.
+    rounds_executed:
+        Number of rounds actually run (may be fewer than requested when
+        every vertex reported ``finished()``).
+    broadcast_history:
+        ``broadcast_history[t - 1][v]`` is the message vertex v broadcast in
+        round t. This global view belongs to the simulator/analyst, never to
+        the nodes.
+    """
+
+    instance: BCCInstance
+    outputs: Tuple[Any, ...]
+    transcripts: Tuple[Transcript, ...]
+    rounds_executed: int
+    broadcast_history: Tuple[Tuple[str, ...], ...]
+    all_finished: bool = False
+
+    def sent_sequence(self, v: int) -> Tuple[str, ...]:
+        """The message sequence vertex index ``v`` broadcast."""
+        return self.transcripts[v].sent_sequence()
+
+    def total_bits_broadcast(self) -> int:
+        """Total bits broadcast by all vertices over the whole run."""
+        return sum(t.bits_sent() for t in self.transcripts)
+
+    def state_view(self, v: int, knowledge: InitialKnowledge, t: Optional[int] = None) -> tuple:
+        """Hashable state (knowledge + t-round transcript prefix) of vertex v."""
+        rounds = self.rounds_executed if t is None else t
+        return (knowledge.comparable_view(), self.transcripts[v].prefix_comparable(rounds))
+
+
+class Simulator:
+    """Runs node algorithms on BCC instances under a fixed model."""
+
+    def __init__(self, model: BCCModel):
+        self._model = model
+
+    @property
+    def model(self) -> BCCModel:
+        return self._model
+
+    def initial_knowledge(self, instance: BCCInstance, v: int, coin: PublicCoin) -> InitialKnowledge:
+        """Construct the time-0 knowledge of vertex index ``v``."""
+        return InitialKnowledge(
+            vertex_id=instance.vertex_id(v),
+            n=instance.n,
+            bandwidth=self._model.bandwidth,
+            kt=instance.kt,
+            ports=instance.port_labels(v),
+            input_ports=instance.input_ports(v),
+            all_ids=tuple(sorted(instance.ids)) if instance.kt == 1 else None,
+            coin=coin,
+        )
+
+    def run(
+        self,
+        instance: BCCInstance,
+        factory: AlgorithmFactory,
+        rounds: int,
+        coin: Optional[PublicCoin] = None,
+    ) -> RunResult:
+        """Execute ``rounds`` synchronous rounds of the algorithm.
+
+        Stops early after any round in which every vertex reports
+        ``finished()``. The same ``coin`` object is handed to every vertex
+        (the public-coin model); omit it for a fixed default seed.
+        """
+        if instance.kt != self._model.kt:
+            raise SimulationError(
+                f"instance knowledge level KT-{instance.kt} does not match "
+                f"model KT-{self._model.kt}"
+            )
+        if rounds < 0:
+            raise SimulationError(f"rounds must be >= 0, got {rounds}")
+        the_coin = coin if coin is not None else PublicCoin()
+        n = instance.n
+
+        nodes: List[NodeAlgorithm] = []
+        for v in range(n):
+            node = factory()
+            node.setup(self.initial_knowledge(instance, v, the_coin))
+            nodes.append(node)
+
+        transcripts = [Transcript() for _ in range(n)]
+        history: List[Tuple[str, ...]] = []
+
+        executed = 0
+        done = all(node.finished() for node in nodes)
+        for t in range(1, rounds + 1):
+            if done:
+                break
+            messages = tuple(
+                self._model.validate_message(nodes[v].broadcast(t)) for v in range(n)
+            )
+            history.append(messages)
+            for v in range(n):
+                received: Dict[int, str] = {}
+                for u in range(n):
+                    if u == v:
+                        continue
+                    received[instance.port_to_peer(v, u)] = messages[u]
+                nodes[v].receive(t, received)
+                transcripts[v].append(RoundRecord(sent=messages[v], received=received))
+            executed = t
+            done = all(node.finished() for node in nodes)
+
+        outputs = tuple(nodes[v].output() for v in range(n))
+        return RunResult(
+            instance=instance,
+            outputs=outputs,
+            transcripts=tuple(transcripts),
+            rounds_executed=executed,
+            broadcast_history=tuple(history),
+            all_finished=done,
+        )
+
+    def run_until_done(
+        self,
+        instance: BCCInstance,
+        factory: AlgorithmFactory,
+        max_rounds: int,
+        coin: Optional[PublicCoin] = None,
+    ) -> RunResult:
+        """Run until every vertex is finished, or raise after ``max_rounds``.
+
+        Unlike :meth:`run`, exhausting the budget without global completion
+        is treated as an error; use this for upper-bound algorithms whose
+        round complexity is itself the measured quantity.
+        """
+        result = self.run(instance, factory, max_rounds, coin)
+        if not result.all_finished:
+            raise SimulationError(
+                f"algorithm did not finish within {max_rounds} rounds"
+            )
+        return result

@@ -1,0 +1,103 @@
+"""Per-vertex transcripts of a BCC execution.
+
+After t rounds, the transcript of a vertex consists of the at most ``t * b``
+bits it sent and the at most ``(n - 1) * t * b`` bits it received, *along
+with the ports they were received from* (Section 1.2). The transcript plus
+the initial knowledge is the vertex's *state*, and two instances are
+indistinguishable to an algorithm after t rounds exactly when every vertex
+has the same state in both runs (the property exercised by Lemma 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.model import SILENT_CHAR, message_to_char
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one vertex sent and received in one round.
+
+    ``received`` maps *port label* -> message; silence is the empty string.
+    """
+
+    sent: str
+    received: Mapping[int, str]
+
+    def received_key(self) -> Tuple[Tuple[int, str], ...]:
+        """Canonical hashable form of the received map."""
+        return tuple(sorted(self.received.items()))
+
+    def comparable(self) -> tuple:
+        return (self.sent, self.received_key())
+
+
+class Transcript:
+    """The ordered sequence of :class:`RoundRecord` for one vertex."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def rounds(self) -> int:
+        return len(self._records)
+
+    def record(self, round_index: int) -> RoundRecord:
+        """The record of round ``round_index`` (1-based)."""
+        if not 1 <= round_index <= len(self._records):
+            raise IndexError(
+                f"round {round_index} not in transcript of {len(self._records)} rounds"
+            )
+        return self._records[round_index - 1]
+
+    def sent_sequence(self) -> Tuple[str, ...]:
+        """The messages this vertex broadcast, in round order.
+
+        This is exactly the sequence ``x`` (or ``y``) in the paper's notion
+        of an *active edge*: the directed edge (v, u) is active with respect
+        to (x, y) iff v's sent sequence is x and u's is y.
+        """
+        return tuple(r.sent for r in self._records)
+
+    def sent_string(self) -> str:
+        """Sent sequence rendered over the {0, 1, ⊥} alphabet."""
+        return "".join(message_to_char(r.sent) for r in self._records)
+
+    def comparable(self) -> tuple:
+        """Hashable form of the entire transcript, for state comparison."""
+        return tuple(r.comparable() for r in self._records)
+
+    def prefix_comparable(self, t: int) -> tuple:
+        """Hashable form of the first ``t`` rounds of the transcript."""
+        return tuple(r.comparable() for r in self._records[:t])
+
+    def bits_sent(self) -> int:
+        """Total number of bits this vertex broadcast (silence counts 0)."""
+        return sum(len(r.sent) for r in self._records)
+
+    def bits_received(self) -> int:
+        """Total number of bits received across all ports and rounds."""
+        return sum(sum(len(m) for m in r.received.values()) for r in self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"Transcript(rounds={len(self._records)}, sent={self.sent_string()!r})"
+
+
+def sent_label(head_transcript: Transcript, tail_transcript: Transcript) -> str:
+    """The 2t-character label of a directed edge (Theorem 3.5).
+
+    Given a t-round execution, the label of a directed edge (v, u)
+    concatenates the t characters broadcast by the head v and then the t
+    characters broadcast by the tail u, each over the {0, 1, ⊥} alphabet.
+    """
+    return head_transcript.sent_string() + tail_transcript.sent_string()

@@ -1,0 +1,46 @@
+"""Port-preserving crossings and operational indistinguishability (Section 3)."""
+
+from repro.crossing.active import (
+    active_edges,
+    directed_input_edges,
+    edge_label,
+    edge_labels,
+    label_classes,
+    largest_active_pair,
+    largest_label_class,
+)
+from repro.crossing.crossing import cross, crossed_edge_sets
+from repro.crossing.independent import (
+    DirectedEdge,
+    are_independent,
+    independent_edge_set_on_cycle,
+    independent_pairs,
+)
+from repro.crossing.indistinguishability import (
+    check_lemma_3_4,
+    distinguishing_vertices,
+    indistinguishable_runs,
+    lemma_3_4_premise_holds,
+    vertex_states,
+)
+
+__all__ = [
+    "DirectedEdge",
+    "active_edges",
+    "are_independent",
+    "check_lemma_3_4",
+    "cross",
+    "crossed_edge_sets",
+    "directed_input_edges",
+    "distinguishing_vertices",
+    "edge_label",
+    "edge_labels",
+    "independent_edge_set_on_cycle",
+    "independent_pairs",
+    "indistinguishable_runs",
+    "label_classes",
+    "largest_active_pair",
+    "largest_label_class",
+    "lemma_3_4_premise_holds",
+    "vertex_states",
+]

@@ -1,0 +1,80 @@
+"""Active edges and edge labels extracted from real executions.
+
+Section 3 assigns every directed input edge (v, u) of a t-round execution a
+2t-character *label* over {0, 1, ⊥}: the t characters broadcast by the head
+v followed by the t characters broadcast by the tail u. The edge is
+*active* with respect to strings (x, y) iff v's sent sequence is x and u's
+is y. These are the quantities behind both the warm-up pigeonhole argument
+(Theorem 3.5) and the constant-error indistinguishability graph
+(Definition 3.6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.core.simulator import RunResult
+from repro.core.transcript import sent_label
+from repro.crossing.independent import DirectedEdge
+
+
+def directed_input_edges(result: RunResult) -> List[DirectedEdge]:
+    """Both orientations of every input edge of the executed instance."""
+    out: List[DirectedEdge] = []
+    for u, v in sorted(result.instance.input_edges):
+        out.append((u, v))
+        out.append((v, u))
+    return out
+
+
+def edge_label(result: RunResult, edge: DirectedEdge) -> str:
+    """The 2t-character label of a directed edge (head chars then tail chars)."""
+    head, tail = edge
+    return sent_label(result.transcripts[head], result.transcripts[tail])
+
+
+def edge_labels(result: RunResult) -> Dict[DirectedEdge, str]:
+    """Labels of all directed input edges of the execution."""
+    return {e: edge_label(result, e) for e in directed_input_edges(result)}
+
+
+def active_edges(result: RunResult, x: Tuple[str, ...], y: Tuple[str, ...]) -> List[DirectedEdge]:
+    """Directed input edges (v, u) with v's sent sequence x and u's y."""
+    out: List[DirectedEdge] = []
+    for v, u in directed_input_edges(result):
+        if result.sent_sequence(v) == x and result.sent_sequence(u) == y:
+            out.append((v, u))
+    return out
+
+
+def label_classes(result: RunResult) -> Dict[str, List[DirectedEdge]]:
+    """Group directed input edges by their 2t-character label.
+
+    The pigeonhole step of Theorem 3.5 lower-bounds the size of the largest
+    class by (number of directed edges) / 3^{2t}.
+    """
+    classes: Dict[str, List[DirectedEdge]] = defaultdict(list)
+    for e, lab in edge_labels(result).items():
+        classes[lab].append(e)
+    return dict(classes)
+
+
+def largest_label_class(result: RunResult) -> Tuple[str, List[DirectedEdge]]:
+    """The most common label and its directed edges."""
+    classes = label_classes(result)
+    best = max(classes, key=lambda lab: (len(classes[lab]), lab))
+    return best, classes[best]
+
+
+def largest_active_pair(result: RunResult) -> Tuple[Tuple[str, ...], Tuple[str, ...], List[DirectedEdge]]:
+    """The (x, y) message-sequence pair with the most active edges.
+
+    Returns (x, y, edges); this is the pair the proof of Theorem 3.1 picks
+    ("the strings that correspond to the largest set of active edges").
+    """
+    counter: Counter = Counter()
+    for v, u in directed_input_edges(result):
+        counter[(result.sent_sequence(v), result.sent_sequence(u))] += 1
+    (x, y), _count = max(counter.items(), key=lambda kv: (kv[1], repr(kv[0])))
+    return x, y, active_edges(result, x, y)

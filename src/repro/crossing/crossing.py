@@ -1,0 +1,93 @@
+"""Port-preserving crossings (Definition 3.3, Figure 1).
+
+Given an instance I and independent directed input edges e1 = (v1, u1),
+e2 = (v2, u2), the crossing I(e1, e2) replaces the input edges e1, e2 with
+the network edges e1' = (v1, u2), e2' = (v2, u1) and rewires the four
+network edges so that every vertex keeps exactly the same port labels and
+the same set of input ports. Concretely, with
+
+    e1(p1, q1)    e2(p2, q2)    e1'(p1', q2')    e2'(p2', q1')
+
+in I, the crossed instance has
+
+    e1(p1', q1')  e2(p2', q2')  e1'(p1, q2)      e2'(p2, q1).
+
+The rewiring is what makes the crossed instance *locally identical* at time
+0: each vertex sees the same ports carrying input edges as before, so by
+Lemma 3.4 the instances stay indistinguishable for as long as the crossed
+endpoints broadcast matching message sequences.
+
+Crossings are a KT-0 device: in KT-1 port labels are peer IDs, so moving an
+edge to a different peer necessarily changes a port label, which is exactly
+why the paper needs an entirely different technique (Section 4) there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.instance import BCCInstance
+from repro.crossing.independent import DirectedEdge, are_independent
+from repro.errors import InvalidCrossingError
+
+
+def cross(instance: BCCInstance, e1: DirectedEdge, e2: DirectedEdge) -> BCCInstance:
+    """Return the crossed instance I(e1, e2) of Definition 3.3."""
+    if instance.kt != 0:
+        raise InvalidCrossingError(
+            "port-preserving crossings require a KT-0 instance; in KT-1 port "
+            "labels are neighbor IDs and cannot be preserved under rewiring"
+        )
+    v1, u1 = e1
+    v2, u2 = e2
+    if not instance.has_input_edge(v1, u1):
+        raise InvalidCrossingError(f"e1={e1} is not an input edge")
+    if not instance.has_input_edge(v2, u2):
+        raise InvalidCrossingError(f"e2={e2} is not an input edge")
+    if not are_independent(instance, e1, e2):
+        raise InvalidCrossingError(f"edges {e1} and {e2} are not independent")
+
+    # the eight ports of Definition 3.3
+    p1 = instance.port_to_peer(v1, u1)
+    q1 = instance.port_to_peer(u1, v1)
+    p2 = instance.port_to_peer(v2, u2)
+    q2 = instance.port_to_peer(u2, v2)
+    p1p = instance.port_to_peer(v1, u2)
+    q2p = instance.port_to_peer(u2, v1)
+    p2p = instance.port_to_peer(v2, u1)
+    q1p = instance.port_to_peer(u1, v2)
+
+    # rebuild the four vertices' port->peer maps with the swap applied
+    peers: List[Dict[int, int]] = [
+        dict(_peer_map(instance, v)) for v in range(instance.n)
+    ]
+    peers[v1][p1] = u2  # e1' = (v1, u2) now uses v1's old input port p1
+    peers[v1][p1p] = u1  # e1 survives as a network edge on port p1'
+    peers[u1][q1] = v2  # e2' = (v2, u1) uses u1's old input port q1
+    peers[u1][q1p] = v1
+    peers[v2][p2] = u1  # e2' uses v2's old input port p2
+    peers[v2][p2p] = u2
+    peers[u2][q2] = v1  # e1' uses u2's old input port q2
+    peers[u2][q2p] = v2
+
+    new_edges = set(instance.input_edges)
+    new_edges.discard(_canonical(v1, u1))
+    new_edges.discard(_canonical(v2, u2))
+    new_edges.add(_canonical(v1, u2))
+    new_edges.add(_canonical(v2, u1))
+
+    return instance.replace(peers=peers, input_edges=new_edges)
+
+
+def crossed_edge_sets(e1: DirectedEdge, e2: DirectedEdge) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """The two input edges created by crossing e1 and e2."""
+    (v1, u1), (v2, u2) = e1, e2
+    return _canonical(v1, u2), _canonical(v2, u1)
+
+
+def _canonical(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def _peer_map(instance: BCCInstance, v: int) -> Dict[int, int]:
+    return {port: instance.peer_of_port(v, port) for port in instance.port_labels(v)}

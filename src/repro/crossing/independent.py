@@ -1,0 +1,58 @@
+"""Independent edge pairs (Definition 3.2).
+
+Two *directed* input edges e1 = (v1, u1) and e2 = (v2, u2) are independent
+iff v1, u1, v2, u2 are four distinct vertices and neither {v1, u2} nor
+{v2, u1} is an input edge. Directions matter: on a cycle oriented
+clockwise, a consistently oriented pair at circular distance >= 3 is
+independent, while the reversed orientation of the same undirected pair
+typically is not (one of the would-be new edges already exists).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.core.instance import BCCInstance
+
+#: A directed input edge as an ordered (head, tail) pair of vertex indices.
+DirectedEdge = Tuple[int, int]
+
+
+def are_independent(instance: BCCInstance, e1: DirectedEdge, e2: DirectedEdge) -> bool:
+    """Definition 3.2 for two directed input edges of an instance."""
+    v1, u1 = e1
+    v2, u2 = e2
+    if len({v1, u1, v2, u2}) != 4:
+        return False
+    if not (instance.has_input_edge(v1, u1) and instance.has_input_edge(v2, u2)):
+        return False
+    return not (instance.has_input_edge(v1, u2) or instance.has_input_edge(v2, u1))
+
+
+def independent_pairs(instance: BCCInstance) -> Iterator[Tuple[DirectedEdge, DirectedEdge]]:
+    """All unordered pairs of independent directed edges.
+
+    Every undirected input edge is considered in both orientations; a pair
+    is yielded once, with the lexicographically smaller directed edge first.
+    """
+    directed: List[DirectedEdge] = []
+    for u, v in sorted(instance.input_edges):
+        directed.append((u, v))
+        directed.append((v, u))
+    for i, e1 in enumerate(directed):
+        for e2 in directed[i + 1 :]:
+            if are_independent(instance, e1, e2):
+                yield (e1, e2)
+
+
+def independent_edge_set_on_cycle(n: int, spacing: int = 3) -> List[DirectedEdge]:
+    """A set of floor(n/spacing) pairwise independent edges on the canonical
+    n-cycle 0-1-...-(n-1)-0, all oriented clockwise.
+
+    This realizes footnote 3 of the paper: the clockwise edges at positions
+    0, 3, 6, ... are pairwise independent (any two are >= 3 apart on the
+    cycle), so |S| = floor(n/3) for the default spacing.
+    """
+    if spacing < 3:
+        raise ValueError("edges closer than 3 apart on a cycle are never independent")
+    return [(i, (i + 1) % n) for i in range(0, n - spacing + 1, spacing)][: n // spacing]

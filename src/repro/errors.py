@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An instance violates a structural invariant of the BCC model.
+
+    Examples: port labels at a vertex are not a permutation of the expected
+    label set, the network wiring is not symmetric, or an input edge refers
+    to a vertex outside the instance.
+    """
+
+
+class InvalidCrossingError(ReproError):
+    """A requested port-preserving crossing is not well defined.
+
+    Raised when the two edges handed to the crossing operator are not
+    independent in the sense of Definition 3.2 of the paper, or are not
+    input-graph edges of the instance.
+    """
+
+
+class PromiseViolationError(ReproError):
+    """An input violates the promise of a promise problem.
+
+    For example, the TwoCycle problem promises that the input graph is a
+    single cycle or a disjoint union of exactly two cycles of length >= 3.
+    """
+
+
+class AlgorithmContractError(ReproError):
+    """A node algorithm violated the BCC model contract.
+
+    Raised when a node broadcasts a message longer than the bandwidth ``b``,
+    broadcasts characters outside the message alphabet, or produces an
+    output of the wrong type for the problem being solved.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an inconsistent state.
+
+    This indicates a bug in driver code (e.g. asking for transcripts of a
+    round that was never executed), not in a node algorithm.
+    """
+
+
+class PartitionError(ReproError):
+    """A set-partition operation received malformed input.
+
+    Examples: blocks that overlap, blocks that do not cover the ground set,
+    or a partition over the wrong ground set for the requested operation.
+    """
+
+
+class ProtocolError(ReproError):
+    """A two-party protocol violated its contract.
+
+    Raised for out-of-turn messages, malformed message alphabets, or a
+    missing output at the end of a protocol run.
+    """
+
+
+class RankComputationError(ReproError):
+    """An exact rank computation could not be completed or cross-checked."""

@@ -1,0 +1,72 @@
+"""Graph substrate: graph type, components, generators, arboricity tools."""
+
+from repro.graphs.arboricity import (
+    arboricity_upper_bound,
+    degeneracy,
+    greedy_forest_decomposition,
+    is_uniformly_sparse,
+    nash_williams_lower_bound,
+)
+from repro.graphs.components import (
+    UnionFind,
+    component_labels,
+    components_from_edges,
+    labels_agree_with_components,
+)
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    one_cycle,
+    path_graph,
+    random_cycle,
+    random_forest,
+    random_union_of_cycles,
+    two_cycles,
+    union_of_cycles,
+)
+from repro.graphs.graph import Edge, Graph, Vertex, normalize_edge
+from repro.graphs.mst import (
+    WeightMap,
+    forest_weight,
+    is_spanning_forest,
+    kruskal,
+    random_weights,
+    validate_weights,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "UnionFind",
+    "Vertex",
+    "WeightMap",
+    "arboricity_upper_bound",
+    "bounded_arboricity_graph",
+    "complete_graph",
+    "component_labels",
+    "components_from_edges",
+    "cycle_graph",
+    "degeneracy",
+    "empty_graph",
+    "forest_weight",
+    "gnp_random_graph",
+    "is_spanning_forest",
+    "kruskal",
+    "greedy_forest_decomposition",
+    "is_uniformly_sparse",
+    "labels_agree_with_components",
+    "nash_williams_lower_bound",
+    "normalize_edge",
+    "one_cycle",
+    "path_graph",
+    "random_cycle",
+    "random_forest",
+    "random_union_of_cycles",
+    "random_weights",
+    "validate_weights",
+    "two_cycles",
+    "union_of_cycles",
+]

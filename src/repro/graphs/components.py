@@ -1,0 +1,148 @@
+"""Union-find (disjoint set union) and component labelling.
+
+The BCC upper-bound algorithms and the verifiers for the
+ConnectedComponents problem both need fast incremental component tracking;
+this module provides a classic union-by-size + path-halving implementation
+together with helpers for turning component structure into canonical labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set
+
+from repro.graphs.graph import Graph, Vertex
+
+
+class UnionFind:
+    """Disjoint set union over arbitrary hashable elements.
+
+    Elements are added lazily on first use. ``find`` uses path halving and
+    ``union`` uses union by size, giving the usual near-constant amortized
+    complexity.
+    """
+
+    __slots__ = ("_parent", "_size", "_components")
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._components = 0
+        for x in elements:
+            self.add(x)
+
+    def add(self, x: Hashable) -> None:
+        """Register ``x`` as a singleton component (no-op if present)."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._size[x] = 1
+            self._components += 1
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the representative of the component containing ``x``."""
+        parent = self._parent
+        if x not in parent:
+            raise KeyError(f"{x!r} has not been added to this UnionFind")
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, x: Hashable, y: Hashable) -> bool:
+        """Merge the components of ``x`` and ``y``.
+
+        Returns True if a merge happened, False if they were already in the
+        same component. Unknown elements are added automatically.
+        """
+        self.add(x)
+        self.add(y)
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._components -= 1
+        return True
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        """True iff ``x`` and ``y`` are in the same component."""
+        return self.find(x) == self.find(y)
+
+    def component_count(self) -> int:
+        """Number of components among all added elements."""
+        return self._components
+
+    def component_size(self, x: Hashable) -> int:
+        """Size of the component containing ``x``."""
+        return self._size[self.find(x)]
+
+    def components(self) -> List[Set[Hashable]]:
+        """Materialize all components as a list of sets."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for x in self._parent:
+            groups.setdefault(self.find(x), set()).add(x)
+        return list(groups.values())
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def component_labels(graph: Graph) -> Dict[Vertex, Vertex]:
+    """Label every vertex with the minimum vertex of its component.
+
+    This is the canonical labelling used to verify ConnectedComponents
+    outputs: two vertices must receive equal labels iff they lie in the same
+    component, and using the component minimum makes the expected labelling
+    unique (for orderable vertices such as the integer vertex indices used
+    throughout the library).
+    """
+    labels: Dict[Vertex, Vertex] = {}
+    for comp in graph.connected_components():
+        rep = min(comp)  # type: ignore[type-var]
+        for v in comp:
+            labels[v] = rep
+    return labels
+
+
+def labels_agree_with_components(graph: Graph, labels: Mapping[Vertex, Hashable]) -> bool:
+    """Check that a labelling is a valid ConnectedComponents output.
+
+    A labelling is valid iff it is constant on every component and distinct
+    across components; the actual label values are immaterial (the paper's
+    problem statement only requires each node to output "the label of the
+    connected component it belongs to").
+    """
+    if set(labels) != set(graph.vertices()):
+        return False
+    component_of: Dict[Vertex, int] = {}
+    for i, comp in enumerate(graph.connected_components()):
+        for v in comp:
+            component_of[v] = i
+    seen: Dict[Hashable, int] = {}
+    for v, lab in labels.items():
+        comp = component_of[v]
+        if lab in seen:
+            if seen[lab] != comp:
+                return False
+        else:
+            seen[lab] = comp
+    # constant on components: every component maps to exactly one label
+    label_of_component: Dict[int, Hashable] = {}
+    for v, lab in labels.items():
+        comp = component_of[v]
+        if comp in label_of_component and label_of_component[comp] != lab:
+            return False
+        label_of_component[comp] = lab
+    return True
+
+
+def components_from_edges(n: int, edges: Iterable) -> UnionFind:
+    """Build a UnionFind over vertex indices ``0..n-1`` from an edge list."""
+    uf = UnionFind(range(n))
+    for u, v in edges:
+        uf.union(u, v)
+    return uf

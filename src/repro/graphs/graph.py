@@ -1,0 +1,208 @@
+"""A small, dependency-free undirected graph type.
+
+The library deliberately carries its own graph substrate instead of relying
+on an external package: the crossing and enumeration machinery needs precise
+control over edge identity (ordered endpoint pairs versus unordered edges)
+and the instance spaces enumerated by the lower-bound engines are built from
+these graphs in tight loops.
+
+Vertices are arbitrary hashable objects; in most of the library they are the
+integers ``0 .. n-1`` (vertex *indices* of a BCC instance, as opposed to the
+instance's vertex *IDs*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+def normalize_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    Raises ``ValueError`` on self-loops, which never occur in the paper's
+    input graphs and would break the crossing machinery.
+    """
+    if u == v:
+        raise ValueError(f"self-loop at vertex {u!r} is not allowed")
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """An undirected simple graph with set-based adjacency.
+
+    The class supports exactly the operations the library needs: edge and
+    vertex queries, degree, neighbor iteration, connected components (via
+    :mod:`repro.graphs.components`), and structural predicates used by the
+    cycle-instance machinery.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, vertices: Iterable[Vertex] = (), edges: Iterable[Edge] = ()):
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u!r} is not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``{u, v}``; KeyError if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError as exc:
+            raise KeyError(f"edge {{{u!r}, {v!r}}} not in graph") from exc
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of this graph."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        return len(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once in canonical order."""
+        seen: Set[FrozenSet[Vertex]] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return a *copy* of the neighbor set of ``v``."""
+        return set(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def is_regular(self, d: int) -> bool:
+        """True iff every vertex has degree exactly ``d``."""
+        return all(len(nbrs) == d for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List[Set[Vertex]]:
+        """Return the connected components as a list of vertex sets.
+
+        Uses iterative DFS so that very long cycles (the common case in this
+        library) do not hit the recursion limit.
+        """
+        seen: Set[Vertex] = set()
+        components: List[Set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp: Set[Vertex] = set()
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                if v in comp:
+                    continue
+                comp.add(v)
+                stack.extend(self._adj[v] - comp)
+            seen |= comp
+            components.append(comp)
+        return components
+
+    def is_connected(self) -> bool:
+        """True iff the graph has at most one connected component."""
+        if not self._adj:
+            return True
+        return len(self.connected_components()) == 1
+
+    def is_disjoint_union_of_cycles(self) -> bool:
+        """True iff every vertex has degree 2 (a 2-regular graph is exactly
+        a disjoint union of simple cycles)."""
+        return self.vertex_count >= 3 and self.is_regular(2)
+
+    def cycle_decomposition(self) -> List[List[Vertex]]:
+        """Decompose a 2-regular graph into its cycles.
+
+        Each cycle is returned as a list of vertices in traversal order
+        (starting at the minimum-``repr`` vertex of the cycle, direction
+        chosen toward its smaller neighbor so the output is canonical for
+        integer vertices). Raises ``ValueError`` if the graph is not
+        2-regular.
+        """
+        if not self.is_regular(2):
+            raise ValueError("cycle decomposition requires a 2-regular graph")
+        remaining: Set[Vertex] = set(self._adj)
+        cycles: List[List[Vertex]] = []
+        while remaining:
+            start = min(remaining, key=repr)
+            cycle = [start]
+            prev = start
+            cur = min(self._adj[start], key=repr)
+            while cur != start:
+                cycle.append(cur)
+                nxt = next(iter(self._adj[cur] - {prev}))
+                prev, cur = cur, nxt
+            remaining -= set(cycle)
+            cycles.append(cycle)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self):  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.vertex_count}, m={self.edge_count})"
+
+    def edge_set(self) -> FrozenSet[FrozenSet[Vertex]]:
+        """Return the edge set as a hashable frozenset of frozensets."""
+        return frozenset(frozenset(e) for e in self.edges())

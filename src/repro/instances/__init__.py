@@ -1,0 +1,37 @@
+"""Cycle instance families and exhaustive enumeration of V1 / V2."""
+
+from repro.instances.cycles import (
+    multi_cycle_instance,
+    one_cycle_instance,
+    random_multi_cycle_instance,
+    random_one_cycle_instance,
+    two_cycle_instance,
+)
+from repro.instances.enumeration import (
+    CycleCover,
+    count_cycles_on_set,
+    count_one_cycle_covers,
+    count_two_cycle_covers,
+    count_two_cycle_covers_with_split,
+    enumerate_multi_cycle_covers,
+    enumerate_one_cycle_covers,
+    enumerate_two_cycle_covers,
+    v2_to_v1_ratio,
+)
+
+__all__ = [
+    "CycleCover",
+    "count_cycles_on_set",
+    "count_one_cycle_covers",
+    "count_two_cycle_covers",
+    "count_two_cycle_covers_with_split",
+    "enumerate_multi_cycle_covers",
+    "enumerate_one_cycle_covers",
+    "enumerate_two_cycle_covers",
+    "multi_cycle_instance",
+    "one_cycle_instance",
+    "random_multi_cycle_instance",
+    "random_one_cycle_instance",
+    "two_cycle_instance",
+    "v2_to_v1_ratio",
+]

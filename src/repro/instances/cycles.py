@@ -1,0 +1,88 @@
+"""Builders for the paper's cycle instance families.
+
+All of the paper's lower bounds live on 2-regular inputs: one cycle, two
+cycles (TwoCycle, Section 3), or many cycles (MultiCycle, Section 4). This
+module turns vertex orderings into fully wired KT-0 / KT-1
+:class:`BCCInstance` objects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.instance import BCCInstance
+from repro.graphs.generators import (
+    cycle_graph,
+    one_cycle,
+    random_cycle,
+    random_union_of_cycles,
+    two_cycles,
+    union_of_cycles,
+)
+
+
+def one_cycle_instance(
+    n: int,
+    kt: int = 0,
+    order: Optional[Sequence[int]] = None,
+    ids: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> BCCInstance:
+    """A single-cycle (YES) instance on ``n`` vertices.
+
+    ``order`` gives the cyclic vertex order (default ``0, 1, .., n-1``).
+    For KT-0, ``rng`` optionally shuffles the per-vertex port numbering.
+    """
+    graph = one_cycle(n) if order is None else cycle_graph(order)
+    if kt == 1:
+        return BCCInstance.kt1_from_graph(graph, ids=ids)
+    return BCCInstance.kt0_from_graph(graph, ids=ids, rng=rng)
+
+
+def two_cycle_instance(
+    n: int,
+    split: int,
+    kt: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> BCCInstance:
+    """A two-cycle (NO) instance: cycles on 0..split-1 and split..n-1."""
+    graph = two_cycles(n, split)
+    if kt == 1:
+        return BCCInstance.kt1_from_graph(graph, ids=ids)
+    return BCCInstance.kt0_from_graph(graph, ids=ids, rng=rng)
+
+
+def multi_cycle_instance(
+    cycles: Sequence[Sequence[int]],
+    kt: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> BCCInstance:
+    """An instance whose input graph is the disjoint union of the given
+    cycles; the cycles must cover the vertex indices ``0..n-1`` exactly."""
+    graph = union_of_cycles(cycles)
+    if kt == 1:
+        return BCCInstance.kt1_from_graph(graph, ids=ids)
+    return BCCInstance.kt0_from_graph(graph, ids=ids, rng=rng)
+
+
+def random_one_cycle_instance(
+    n: int, kt: int, rng: random.Random, shuffle_ports: bool = False
+) -> BCCInstance:
+    """A uniformly random Hamiltonian-cycle instance."""
+    graph = random_cycle(n, rng)
+    if kt == 1:
+        return BCCInstance.kt1_from_graph(graph)
+    return BCCInstance.kt0_from_graph(graph, rng=rng if shuffle_ports else None)
+
+
+def random_multi_cycle_instance(
+    n: int, num_cycles: int, kt: int, rng: random.Random, shuffle_ports: bool = False
+) -> BCCInstance:
+    """A random instance with exactly ``num_cycles`` disjoint cycles."""
+    graph = random_union_of_cycles(n, num_cycles, rng)
+    if kt == 1:
+        return BCCInstance.kt1_from_graph(graph)
+    return BCCInstance.kt0_from_graph(graph, rng=rng if shuffle_ports else None)

@@ -1,0 +1,74 @@
+"""Executable lower-bound engines, one per theorem of the paper."""
+
+from repro.lowerbounds.adversary import FoolingPair, adversary_defeats, find_fooling_pairs
+from repro.lowerbounds.exhaustive import (
+    UniversalBoundReport,
+    disconnecting_pairs,
+    forced_error_of_assignment,
+    universal_bound_id_oblivious,
+)
+from repro.lowerbounds.kt0_constant_error import (
+    ForcedErrorReport,
+    forced_error_curve,
+    forced_error_of_algorithm,
+)
+from repro.lowerbounds.kt0_star import (
+    FoolingReport,
+    fool_algorithm,
+    guaranteed_class_size,
+    label_class_count,
+    minimum_rounds_for_error,
+    theorem_3_5_error_bound,
+)
+from repro.lowerbounds.kt1_infotheory import (
+    KT1InformationBound,
+    components_round_bound,
+    information_bound_table,
+    measure_bcc_algorithm_information,
+)
+from repro.lowerbounds.kt1_rank import (
+    KT1RankBound,
+    connectivity_round_bound,
+    multicycle_round_bound,
+    omega_log_constant,
+    round_bound_table,
+)
+from repro.lowerbounds.report import FullReport, full_report
+from repro.lowerbounds.yao import (
+    WeightedInput,
+    star_distribution,
+    uniform_v1_v2_distribution,
+)
+
+__all__ = [
+    "FoolingPair",
+    "FoolingReport",
+    "ForcedErrorReport",
+    "FullReport",
+    "full_report",
+    "KT1InformationBound",
+    "KT1RankBound",
+    "UniversalBoundReport",
+    "WeightedInput",
+    "disconnecting_pairs",
+    "forced_error_of_assignment",
+    "universal_bound_id_oblivious",
+    "adversary_defeats",
+    "components_round_bound",
+    "connectivity_round_bound",
+    "find_fooling_pairs",
+    "fool_algorithm",
+    "forced_error_curve",
+    "forced_error_of_algorithm",
+    "guaranteed_class_size",
+    "information_bound_table",
+    "label_class_count",
+    "measure_bcc_algorithm_information",
+    "minimum_rounds_for_error",
+    "multicycle_round_bound",
+    "omega_log_constant",
+    "round_bound_table",
+    "star_distribution",
+    "theorem_3_5_error_bound",
+    "uniform_v1_v2_distribution",
+]

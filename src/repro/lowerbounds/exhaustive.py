@@ -1,0 +1,121 @@
+"""Exhaustive universal lower bounds over a restricted algorithm class.
+
+Theorems 3.1/3.5 quantify over *all* t-round algorithms; the engines in
+:mod:`repro.lowerbounds.kt0_constant_error` measure the forced error of
+any *given* algorithm. This module closes the remaining gap at miniature
+scale: it enumerates an entire (restricted but natural) class of
+algorithms and minimizes the forced error over the class, producing a
+statement with a real universal quantifier:
+
+    every ID-oblivious 1-round KT-0 algorithm has forced error >= c
+    on the uniform V1/V2 distribution at n = 6 (or 7),
+
+where *ID-oblivious* means the single broadcast character of a vertex is a
+function of its ID alone (the natural first-round behavior: at time 0 a
+KT-0 vertex knows little else -- its input-port set is the only other
+signal, and on 2-regular instances with canonical wirings it varies just
+as predictably). The output rule is left fully adversarial: for each
+broadcast assignment the engine grants the *best possible* output rule
+subject only to the indistinguishability constraints of Lemma 3.4, so the
+resulting minimum is a true lower bound for the class.
+
+The computation: for each one-cycle cover, the disconnecting independent
+directed pairs are precomputed once (they do not depend on the
+algorithm); a broadcast assignment f activates the pairs whose head IDs
+and tail IDs agree under f, and the optimal output rule pays, per
+one-cycle instance, the cheaper of (its own YES-side mass) and (the mass
+of its fooled crossed NO-instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.indist.graph_builder import cross_cover
+from repro.instances.enumeration import CycleCover, enumerate_one_cycle_covers
+
+#: A directed pair of edges eligible for a disconnecting crossing.
+DirectedPair = Tuple[Tuple[int, int], Tuple[int, int]]
+
+
+def disconnecting_pairs(cover: CycleCover) -> List[DirectedPair]:
+    """All independent directed pairs whose crossing splits the cycle."""
+    directed = []
+    for u, v in sorted(cover.edges):
+        directed.append((u, v))
+        directed.append((v, u))
+    out: List[DirectedPair] = []
+    for e1, e2 in itertools.combinations(directed, 2):
+        crossed = cross_cover(cover, e1, e2)
+        if crossed is not None and crossed.num_cycles == 2:
+            out.append((e1, e2))
+    return out
+
+
+@dataclass(frozen=True)
+class UniversalBoundReport:
+    """Result of the exhaustive minimization."""
+
+    n: int
+    class_size: int
+    minimum_forced_error: float
+    worst_assignment: Tuple[str, ...]  # the broadcast character per vertex ID
+
+    @property
+    def is_constant(self) -> bool:
+        return self.minimum_forced_error >= 0.1
+
+
+def forced_error_of_assignment(
+    n: int,
+    assignment: Sequence[str],
+    covers_and_pairs: List[Tuple[CycleCover, List[DirectedPair]]],
+) -> float:
+    """Forced error of the best output rule for one broadcast assignment."""
+    v1_count = len(covers_and_pairs)
+    fooled_counts = []
+    for _cover, pairs in covers_and_pairs:
+        count = 0
+        for (v1, u1), (v2, u2) in pairs:
+            if assignment[v1] == assignment[v2] and assignment[u1] == assignment[u2]:
+                count += 1
+        fooled_counts.append(count)
+    total_fooled = sum(fooled_counts)
+    per_yes_instance = 0.5 / v1_count
+    error = 0.0
+    for count in fooled_counts:
+        if total_fooled:
+            yes_cost = 0.5 * count / total_fooled  # answer YES: err on fooled
+        else:
+            yes_cost = 0.0
+        error += min(per_yes_instance, yes_cost)
+    return error
+
+
+def universal_bound_id_oblivious(
+    n: int, alphabet: Sequence[str] = ("", "0", "1")
+) -> UniversalBoundReport:
+    """Minimize forced error over every ID-oblivious 1-round algorithm.
+
+    The class has |alphabet|^n members; n = 6 gives 729, n = 7 gives 2187
+    -- all enumerated. The returned minimum is the universal lower bound
+    for the class.
+    """
+    covers_and_pairs = [
+        (cover, disconnecting_pairs(cover)) for cover in enumerate_one_cycle_covers(n)
+    ]
+    best = None
+    best_assignment: Tuple[str, ...] = ()
+    for assignment in itertools.product(alphabet, repeat=n):
+        err = forced_error_of_assignment(n, assignment, covers_and_pairs)
+        if best is None or err < best:
+            best = err
+            best_assignment = assignment
+    return UniversalBoundReport(
+        n=n,
+        class_size=len(alphabet) ** n,
+        minimum_forced_error=best if best is not None else 0.0,
+        worst_assignment=best_assignment,
+    )

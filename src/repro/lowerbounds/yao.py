@@ -1,0 +1,74 @@
+"""Yao's minimax theorem tooling: hard distributions for TwoCycle.
+
+Yao (Theorem 2.2) reduces randomized lower bounds to distributional ones:
+exhibit a distribution mu and show every *deterministic* t-round algorithm
+errs on an eps fraction of mu. This module materializes the two hard
+distributions the paper uses:
+
+* the **star distribution** of Theorem 3.5 -- mass 1/2 on one fixed
+  one-cycle instance I, the rest uniform on the crossings I(e, e') over a
+  fixed independent edge set S of size floor(n/3);
+* the **uniform V1/V2 distribution** of Theorem 3.1 -- mass 1/2 uniform on
+  all one-cycle instances, 1/2 uniform on all two-cycle instances.
+
+Distributions are realized as weighted lists of fully wired KT-0 instances
+that plug straight into :func:`repro.core.decision.distributional_error`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.core.algorithm import NO, YES
+from repro.core.instance import BCCInstance
+from repro.crossing.crossing import cross
+from repro.crossing.independent import independent_edge_set_on_cycle
+from repro.instances.cycles import one_cycle_instance
+from repro.instances.enumeration import (
+    enumerate_one_cycle_covers,
+    enumerate_two_cycle_covers,
+)
+
+WeightedInput = Tuple[BCCInstance, str, float]
+
+
+def star_distribution(n: int) -> List[WeightedInput]:
+    """Theorem 3.5's hard distribution: (instance, truth, weight) triples.
+
+    The central instance is the canonical n-cycle with probability 1/2;
+    each crossing of a pair from the canonical independent set S gets an
+    equal share of the rest. (All crossings of distinct edges in S produce
+    two-cycle = NO instances.)
+    """
+    center = one_cycle_instance(n, kt=0)
+    s_edges = independent_edge_set_on_cycle(n)
+    crossings = [
+        cross(center, e1, e2) for e1, e2 in combinations(s_edges, 2)
+    ]
+    if not crossings:
+        raise ValueError(f"n={n} is too small to build the star distribution")
+    weights: List[WeightedInput] = [(center, YES, 0.5)]
+    share = 0.5 / len(crossings)
+    for inst in crossings:
+        weights.append((inst, NO, share))
+    return weights
+
+
+def uniform_v1_v2_distribution(n: int) -> List[WeightedInput]:
+    """Theorem 3.1's hard distribution over canonically wired instances:
+    1/2 uniform on V1 (one-cycle covers), 1/2 uniform on V2 (two-cycle)."""
+    v1 = [
+        BCCInstance.kt0_from_graph(cover.to_graph())
+        for cover in enumerate_one_cycle_covers(n)
+    ]
+    v2 = [
+        BCCInstance.kt0_from_graph(cover.to_graph())
+        for cover in enumerate_two_cycle_covers(n)
+    ]
+    if not v2:
+        raise ValueError(f"n={n} has no two-cycle instances")
+    out: List[WeightedInput] = []
+    out.extend((inst, YES, 0.5 / len(v1)) for inst in v1)
+    out.extend((inst, NO, 0.5 / len(v2)) for inst in v2)
+    return out

@@ -1,0 +1,77 @@
+"""Bell numbers, Stirling numbers, and perfect-matching counts.
+
+The communication lower bounds of Section 4 rest on exact counting:
+
+* the number of set partitions of [n] is the Bell number B_n = 2^{Theta(n log n)}
+  (the rank of M_n in Theorem 2.3);
+* the number of perfect-matching partitions of [n] (every block of size 2)
+  is r = n! / (2^{n/2} (n/2)!) = (n-1)!!, the rank of E_n in Lemma 4.1.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """B_n via the Bell triangle (exact, arbitrary precision)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return 1
+    row = [1]
+    for _ in range(n - 1):
+        new_row = [row[-1]]
+        for value in row:
+            new_row.append(new_row[-1] + value)
+        row = new_row
+    return row[-1]
+
+
+def bell_numbers_upto(n: int) -> List[int]:
+    """[B_0, B_1, .., B_n]."""
+    return [bell_number(k) for k in range(n + 1)]
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind: partitions of [n] into k blocks."""
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be >= 0")
+    if n == k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def perfect_matching_count(n: int) -> int:
+    """r = n!/(2^{n/2} (n/2)!) perfect-matching partitions of an even [n]."""
+    if n < 0 or n % 2 != 0:
+        raise ValueError(f"perfect matchings need an even ground set, got n={n}")
+    if n == 0:
+        return 1
+    return math.factorial(n) // (2 ** (n // 2) * math.factorial(n // 2))
+
+
+def double_factorial_odd(m: int) -> int:
+    """(m)!! for odd m; perfect_matching_count(n) == (n-1)!!."""
+    out = 1
+    while m > 1:
+        out *= m
+        m -= 2
+    return out
+
+
+def log2_bell(n: int) -> float:
+    """log2(B_n) -- the input entropy H(P_A) of the PartitionComp hard
+    distribution (Theorem 4.5), and Theta(n log n)."""
+    return math.log2(bell_number(n))
+
+
+def log2_perfect_matchings(n: int) -> float:
+    """log2(r) = Theta(n log n) -- the TwoPartition rank bound exponent."""
+    return math.log2(perfect_matching_count(n))

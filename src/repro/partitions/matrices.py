@@ -1,0 +1,81 @@
+"""The Partition matrices M_n and E_n and their ranks.
+
+M_n is the B_n x B_n 0/1 matrix indexed by all set partitions of [n] with
+M_n(i, j) = 1 iff P_i ∨ P_j = 1 (the trivial one-block partition).
+Theorem 2.3 (Dowling-Wilson): rank(M_n) = B_n, i.e. M_n is non-singular.
+
+E_n is the submatrix of M_n indexed by the perfect-matching partitions
+(every block of size exactly 2); Lemma 4.1 shows rank(E_n) = r with
+r = n!/(2^{n/2} (n/2)!), via the general fact that a principal submatrix of
+a full-rank matrix on matching row/column sets has full rank.
+
+By [KN97, Lemma 1.28] (Mehlhorn-Schmidt), the deterministic two-party
+communication complexity of a Boolean function is at least log2 of the rank
+of its communication matrix -- giving Corollaries 2.4 and 4.2:
+D(Partition) = Omega(n log n) and D(TwoPartition) = Omega(n log n).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.partitions.bell import bell_number, perfect_matching_count
+from repro.partitions.enumeration import enumerate_partitions, enumerate_perfect_matchings
+from repro.partitions.linalg import is_full_rank, rank_exact
+from repro.partitions.set_partition import SetPartition, joins_to_top
+
+
+def partition_matrix(partitions: Sequence[SetPartition]) -> List[List[int]]:
+    """The 0/1 join-to-top matrix over an arbitrary partition family."""
+    return [
+        [1 if joins_to_top(pa, pb) else 0 for pb in partitions]
+        for pa in partitions
+    ]
+
+
+def build_m_matrix(n: int) -> Tuple[List[SetPartition], List[List[int]]]:
+    """All partitions of [n] and the full M_n matrix (B_n x B_n)."""
+    partitions = list(enumerate_partitions(n))
+    return partitions, partition_matrix(partitions)
+
+
+def build_e_matrix(n: int) -> Tuple[List[SetPartition], List[List[int]]]:
+    """Perfect-matching partitions of an even [n] and the E_n matrix (r x r)."""
+    matchings = list(enumerate_perfect_matchings(n))
+    return matchings, partition_matrix(matchings)
+
+
+def m_matrix_rank(n: int) -> int:
+    """rank(M_n), computed exactly; Theorem 2.3 predicts B_n."""
+    _, matrix = build_m_matrix(n)
+    return rank_exact(matrix)
+
+
+def e_matrix_rank(n: int) -> int:
+    """rank(E_n), computed exactly; Lemma 4.1 predicts n!/(2^{n/2}(n/2)!)."""
+    _, matrix = build_e_matrix(n)
+    return rank_exact(matrix)
+
+
+def m_matrix_is_full_rank(n: int) -> bool:
+    """One-prime certificate that M_n is non-singular."""
+    _, matrix = build_m_matrix(n)
+    return is_full_rank(matrix)
+
+
+def e_matrix_is_full_rank(n: int) -> bool:
+    """One-prime certificate that E_n is non-singular."""
+    _, matrix = build_e_matrix(n)
+    return is_full_rank(matrix)
+
+
+def partition_cc_lower_bound(n: int) -> float:
+    """log2 rank(M_n) = log2 B_n bits (Corollary 2.4): a lower bound on the
+    deterministic 2-party communication complexity of Partition."""
+    return math.log2(bell_number(n))
+
+
+def two_partition_cc_lower_bound(n: int) -> float:
+    """log2 rank(E_n) = log2 r bits (Corollary 4.2) for even n."""
+    return math.log2(perfect_matching_count(n))

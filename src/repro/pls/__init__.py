@@ -1,0 +1,21 @@
+"""Proof-labeling schemes in the broadcast clique (Section 1.3 machinery)."""
+
+from repro.pls.from_bcc import TranscriptPLS
+from repro.pls.randomized import RandomizedSpanningTreePLS
+from repro.pls.scheme import (
+    Labelling,
+    ProofLabelingScheme,
+    VerificationResult,
+    VertexView,
+)
+from repro.pls.spanning_tree import SpanningTreePLS
+
+__all__ = [
+    "Labelling",
+    "ProofLabelingScheme",
+    "RandomizedSpanningTreePLS",
+    "SpanningTreePLS",
+    "TranscriptPLS",
+    "VerificationResult",
+    "VertexView",
+]

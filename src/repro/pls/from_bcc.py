@@ -1,0 +1,132 @@
+"""From BCC algorithms to proof-labeling schemes (the Section 1.3 bridge).
+
+The paper's related-work discussion derives its deterministic KT-0 bound
+from proof-labeling schemes: *"if there were a faster BCC(1) Connectivity
+algorithm, the prover could use the transcript of the algorithm at each
+vertex v as the label at v. The verifier could then broadcast these
+transcripts and locally, at each vertex v, simulate the algorithm at v."*
+
+:class:`TranscriptPLS` implements exactly that: given a t-round
+deterministic BCC(1) algorithm,
+
+* the **prover** labels each vertex with the t characters it broadcasts
+  (packed at 2 bits per {0, 1, ⊥} character: 2t-bit labels);
+* the **verifier** at vertex v replays v's own node algorithm against the
+  *claimed* characters of the other vertices (each claimed label arrives
+  on the wire of its sender, so v feeds it to the correct port), checking
+  that v's own recomputed broadcasts match its claimed label and that v's
+  final output is YES.
+
+Completeness: honest labels are the real sent sequences, so every check
+passes iff the algorithm answers YES. Soundness: if every vertex accepts,
+an induction over rounds shows the claimed characters *are* the genuine
+execution's characters, hence the outputs are the algorithm's outputs --
+and a correct algorithm says NO somewhere on a disconnected instance.
+
+Consequence (executable here, proved in [PP17]): the Omega(log n) lower
+bound on PLS verification complexity for connectivity-type predicates
+transfers to t = Omega(log n) for deterministic BCC(1) algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.algorithm import YES, AlgorithmFactory
+from repro.core.instance import BCCInstance
+from repro.core.randomness import PublicCoin
+from repro.core.simulator import Simulator
+from repro.algorithms.bit_codec import pack_symbols, unpack_symbols
+from repro.pls.scheme import Labelling, VerificationResult
+
+
+class TranscriptPLS:
+    """The transcript-as-label scheme built from a BCC(1) algorithm."""
+
+    name = "transcript"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        factory: AlgorithmFactory,
+        rounds: int,
+        coin: Optional[PublicCoin] = None,
+    ):
+        self.simulator = simulator
+        self.factory = factory
+        self.rounds = rounds
+        self.coin = coin if coin is not None else PublicCoin()
+
+    def predicate(self, instance: BCCInstance) -> bool:
+        return instance.input_graph().is_connected()
+
+    # ------------------------------------------------------------------
+    # prover
+    # ------------------------------------------------------------------
+    def prove(self, instance: BCCInstance) -> Labelling:
+        """Labels = the real execution's per-vertex sent sequences."""
+        run = self.simulator.run(instance, self.factory, self.rounds, coin=self.coin)
+        return {
+            v: pack_symbols(list(run.sent_sequence(v)) + [""] * (self.rounds - run.rounds_executed))
+            for v in range(instance.n)
+        }
+
+    # ------------------------------------------------------------------
+    # verifier
+    # ------------------------------------------------------------------
+    def run(self, instance: BCCInstance, labels: Labelling) -> VerificationResult:
+        """Replay every vertex locally against the claimed characters."""
+        claimed: Dict[int, List[str]] = {}
+        for v in range(instance.n):
+            label = labels.get(v, "")
+            try:
+                claimed[v] = unpack_symbols(label, self.rounds)
+            except ValueError:
+                claimed[v] = None  # malformed label: automatic reject
+        rejecting: List[int] = []
+        for v in range(instance.n):
+            if claimed[v] is None or not self._verify_vertex(instance, v, claimed):
+                rejecting.append(v)
+        return VerificationResult(
+            accepted=not rejecting,
+            rejecting_vertices=rejecting,
+            verification_bits=max((len(l) for l in labels.values()), default=0),
+        )
+
+    def _verify_vertex(
+        self, instance: BCCInstance, v: int, claimed: Dict[int, Optional[List[str]]]
+    ) -> bool:
+        """Re-run v's own node program against the claimed characters."""
+        for u in range(instance.n):
+            if claimed[u] is None:
+                return False
+        node = self.factory()
+        node.setup(self.simulator.initial_knowledge(instance, v, self.coin))
+        for t in range(1, self.rounds + 1):
+            mine = node.broadcast(t)
+            if mine != claimed[v][t - 1]:
+                return False
+            received = {
+                instance.port_to_peer(v, u): claimed[u][t - 1]
+                for u in range(instance.n)
+                if u != v
+            }
+            node.receive(t, received)
+        return node.output() == YES
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def verification_complexity(self) -> int:
+        """2t bits: two bits per broadcast character."""
+        return 2 * self.rounds
+
+    def completeness_holds(self, instance: BCCInstance) -> bool:
+        if not self.predicate(instance):
+            raise ValueError("completeness is only defined on YES instances")
+        return self.run(instance, self.prove(instance)).accepted
+
+    def soundness_holds(self, instance: BCCInstance, labels: Labelling) -> bool:
+        if self.predicate(instance):
+            raise ValueError("soundness is only defined on NO instances")
+        return not self.run(instance, labels).accepted

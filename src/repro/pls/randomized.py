@@ -1,0 +1,175 @@
+"""Randomized proof-labeling: fingerprint-compressed verification (BFP15).
+
+Baruch, Fraigniaud and Patt-Shamir show that a deterministic PLS with
+verification complexity kappa can be made randomized (one-sided error)
+with complexity O(log kappa): the verifier broadcasts *fingerprints* of
+labels instead of the labels themselves. The paper leans on this in
+Section 1.3 (O(log log n)-bit randomized MST verification) to highlight
+how much stronger its own Omega(log n) Monte-Carlo lower bound is.
+
+This module instantiates the mechanism on the spanning-tree scheme. Each
+vertex still *holds* its full (root, distance, parent) label, but
+broadcasts only ``h(root, distance)`` for a public-coin random linear hash
+h over a prime field. The checks become:
+
+* every vertex recomputes the fingerprint its parent *should* broadcast --
+  h(my root, my distance - 1) -- and compares it against the parent's
+  actual broadcast;
+* every vertex checks the claimed root's broadcast equals h(root, 0);
+* parent-is-a-neighbor and root-self-consistency are local (they use only
+  the vertex's own held label).
+
+Completeness is perfect (honest labels always accepted). Soundness is
+one-sided: a cheating labelling survives only if some required-unequal
+pair of (root, distance) values collides under h -- probability at most
+(number of checks) / p over the public coin, measurable here exactly by
+sweeping seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import BCCInstance
+from repro.core.randomness import PublicCoin
+from repro.algorithms.bit_codec import id_bit_width
+from repro.pls.scheme import Labelling, VerificationResult
+from repro.pls.spanning_tree import SpanningTreePLS, _parse
+
+
+def _next_prime(lower: int) -> int:
+    """The smallest prime >= lower (trial division; fine at these sizes)."""
+    candidate = max(2, lower)
+    while True:
+        if all(candidate % d for d in range(2, int(candidate**0.5) + 1)):
+            return candidate
+        candidate += 1
+
+
+class RandomizedSpanningTreePLS:
+    """Spanning-tree connectivity verification at fingerprint size.
+
+    Parameters
+    ----------
+    field_bits:
+        The fingerprint field is the smallest prime with at least this
+        many bits; the broadcast per vertex is ``field_bits``-ish bits and
+        the per-check collision probability is < 2^-(field_bits - 1)
+        (up to the encoding slack).
+    """
+
+    name = "randomized-spanning-tree"
+
+    def __init__(self, field_bits: int = 16):
+        if field_bits < 4:
+            raise ValueError("field must have at least 4 bits")
+        self._field_bits = field_bits
+        self._inner = SpanningTreePLS()
+
+    def predicate(self, instance: BCCInstance) -> bool:
+        return self._inner.predicate(instance)
+
+    def prove(self, instance: BCCInstance) -> Labelling:
+        """Same labels as the deterministic scheme (held, not broadcast)."""
+        return self._inner.prove(instance)
+
+    # ------------------------------------------------------------------
+    # fingerprints
+    # ------------------------------------------------------------------
+    def _hash_params(self, coin: PublicCoin, max_id: int) -> Tuple[int, int, int]:
+        # encode (root, dist) as root * (max_id + 2) + dist < (max_id+2)^2
+        bound = (max_id + 2) ** 2
+        p = _next_prime(max(bound + 1, 1 << self._field_bits))
+        a = coin.randint("pls-fp-a", 1, p - 1)
+        b = coin.randint("pls-fp-b", 0, p - 1)
+        return p, a, b
+
+    @staticmethod
+    def _encode(root: int, dist: int, max_id: int) -> int:
+        return root * (max_id + 2) + min(dist, max_id + 1)
+
+    def fingerprint(self, root: int, dist: int, coin: PublicCoin, max_id: int) -> int:
+        p, a, b = self._hash_params(coin, max_id)
+        return (a * self._encode(root, dist, max_id) + b) % p
+
+    def verification_bits(self, instance: BCCInstance) -> int:
+        p, _a, _b = self._hash_params(PublicCoin(), max(instance.ids))
+        return p.bit_length()
+
+    # ------------------------------------------------------------------
+    # the randomized verifier
+    # ------------------------------------------------------------------
+    def run(
+        self, instance: BCCInstance, labels: Labelling, coin: Optional[PublicCoin] = None
+    ) -> VerificationResult:
+        the_coin = coin if coin is not None else PublicCoin()
+        max_id = max(instance.ids)
+        width = id_bit_width(max_id)
+
+        parsed: Dict[int, Optional[Tuple[int, int, int]]] = {
+            v: _parse(labels.get(v, ""), width) for v in range(instance.n)
+        }
+        # each vertex broadcasts h(root, dist) -- or a sentinel on garbage
+        broadcast: Dict[int, Optional[int]] = {}
+        for v in range(instance.n):
+            if parsed[v] is None:
+                broadcast[instance.vertex_id(v)] = None
+            else:
+                root, dist, _parent = parsed[v]
+                broadcast[instance.vertex_id(v)] = self.fingerprint(
+                    root, dist, the_coin, max_id
+                )
+
+        rejecting: List[int] = []
+        for v in range(instance.n):
+            if not self._verify_vertex(instance, v, parsed[v], broadcast, the_coin, max_id):
+                rejecting.append(v)
+        return VerificationResult(
+            accepted=not rejecting,
+            rejecting_vertices=rejecting,
+            verification_bits=self.verification_bits(instance),
+        )
+
+    def _verify_vertex(self, instance, v, own, broadcast, coin, max_id) -> bool:
+        if own is None:
+            return False
+        root, dist, parent = own
+        ids = set(instance.ids)
+        if root not in ids:
+            return False
+        me = instance.vertex_id(v)
+        if me == root:
+            return dist == 0 and parent == me
+        if dist <= 0:
+            return False
+        neighbor_ids = {instance.vertex_id(u) for u in instance.input_neighbors(v)}
+        if parent not in neighbor_ids:
+            return False
+        # fingerprint checks replace reading the labels themselves
+        expected_parent = self.fingerprint(root, dist - 1, coin, max_id)
+        if broadcast.get(parent) != expected_parent:
+            return False
+        expected_root = self.fingerprint(root, 0, coin, max_id)
+        return broadcast.get(root) == expected_root
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def completeness_holds(self, instance: BCCInstance, seeds: Sequence[str] = ("a", "b", "c")) -> bool:
+        """Honest labels must be accepted under *every* coin."""
+        labels = self.prove(instance)
+        return all(self.run(instance, labels, PublicCoin(s)).accepted for s in seeds)
+
+    def soundness_rejection_rate(
+        self, instance: BCCInstance, labels: Labelling, seeds: Sequence[str]
+    ) -> float:
+        """Fraction of coins under which a cheating labelling is rejected.
+
+        BFP15-style one-sided error: this should be 1 - O(1/p); the tests
+        sweep seeds and assert a high measured rate.
+        """
+        rejected = sum(
+            0 if self.run(instance, labels, PublicCoin(s)).accepted else 1
+            for s in seeds
+        )
+        return rejected / len(seeds)

@@ -1,0 +1,114 @@
+"""The classic spanning-tree proof-labeling scheme for Connectivity.
+
+Labels are (root ID, distance to root, parent ID), each W bits -- so the
+verification complexity is 3W = O(log n) bits. Every vertex checks, from
+the broadcast labels:
+
+* everyone claims the same root;
+* the root claims distance 0 and is its own parent;
+* every non-root's parent is one of its *input-graph* neighbors with
+  claimed distance exactly one less.
+
+Completeness: a BFS tree of a connected graph satisfies all checks.
+Soundness: distances strictly decrease along claimed parent edges, so
+every vertex has a genuine input path to the claimed root -- impossible in
+a disconnected graph, whatever the prover writes.
+
+This is the O(log n) upper bound against which the Omega(log n)
+*verification* lower bound of [PP17] is tight, and the scheme from which
+the paper's Section 1.3 derives its context.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.core.instance import BCCInstance
+from repro.algorithms.bit_codec import decode_fixed, encode_fixed, id_bit_width
+from repro.pls.scheme import Labelling, ProofLabelingScheme, VertexView
+
+
+class SpanningTreePLS(ProofLabelingScheme):
+    """(root, distance, parent) labels certifying connectivity."""
+
+    name = "spanning-tree"
+
+    def __init__(self, id_bits: Optional[int] = None):
+        self._id_bits = id_bits
+
+    def predicate(self, instance: BCCInstance) -> bool:
+        return instance.input_graph().is_connected()
+
+    # ------------------------------------------------------------------
+    # prover
+    # ------------------------------------------------------------------
+    def prove(self, instance: BCCInstance) -> Labelling:
+        width = self._width(instance)
+        root = min(range(instance.n), key=instance.vertex_id)
+        parent: Dict[int, int] = {root: root}
+        distance: Dict[int, int] = {root: 0}
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for u in sorted(instance.input_neighbors(v)):
+                if u not in distance:
+                    distance[u] = distance[v] + 1
+                    parent[u] = v
+                    queue.append(u)
+        if len(distance) != instance.n:
+            raise ValueError("honest prover requires a connected instance")
+        labels: Labelling = {}
+        for v in range(instance.n):
+            labels[v] = (
+                encode_fixed(instance.vertex_id(root), width)
+                + encode_fixed(distance[v], width)
+                + encode_fixed(instance.vertex_id(parent[v]), width)
+            )
+        return labels
+
+    # ------------------------------------------------------------------
+    # verifier
+    # ------------------------------------------------------------------
+    def verify_at(self, view: VertexView) -> bool:
+        width = id_bit_width(max(view.all_ids))
+        if self._id_bits is not None:
+            width = self._id_bits
+        parsed = _parse(view.own_label, width)
+        if parsed is None:
+            return False
+        root, dist, parent = parsed
+        if root not in view.all_ids:
+            return False
+        # global agreement on the root (everything is broadcast)
+        for label in view.labels_by_id.values():
+            other = _parse(label, width)
+            if other is None or other[0] != root:
+                return False
+        if view.vertex_id == root:
+            return dist == 0 and parent == view.vertex_id
+        if dist <= 0:
+            return False
+        if parent not in view.neighbor_ids:
+            return False
+        parent_parsed = _parse(view.labels_by_id.get(parent, ""), width)
+        return parent_parsed is not None and parent_parsed[1] == dist - 1
+
+    def _width(self, instance: BCCInstance) -> int:
+        if self._id_bits is not None:
+            return self._id_bits
+        return id_bit_width(max(instance.ids))
+
+    def verification_complexity(self, instance: BCCInstance) -> int:
+        """3W bits: the O(log n) upper bound."""
+        return 3 * self._width(instance)
+
+
+def _parse(label: str, width: int):
+    if len(label) != 3 * width or any(c not in "01" for c in label):
+        return None
+    return (
+        decode_fixed(label[:width]),
+        decode_fixed(label[width : 2 * width]),
+        decode_fixed(label[2 * width :]),
+    )

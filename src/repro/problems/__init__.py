@@ -1,0 +1,26 @@
+"""Problem definitions: Connectivity, ConnectedComponents, TwoCycle, MultiCycle."""
+
+from repro.problems.base import DecisionProblem, LabellingProblem, Problem
+from repro.problems.connectivity import ConnectedComponents, Connectivity
+from repro.problems.cycles import MultiCycle, TwoCycle, cycle_lengths
+from repro.problems.subgraph import (
+    K4Detection,
+    contains_k4,
+    dko14_round_lower_bound,
+    trivial_upper_bound_rounds,
+)
+
+__all__ = [
+    "ConnectedComponents",
+    "Connectivity",
+    "DecisionProblem",
+    "K4Detection",
+    "LabellingProblem",
+    "MultiCycle",
+    "Problem",
+    "TwoCycle",
+    "contains_k4",
+    "cycle_lengths",
+    "dko14_round_lower_bound",
+    "trivial_upper_bound_rounds",
+]

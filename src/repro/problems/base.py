@@ -1,0 +1,58 @@
+"""Problem definitions: promises, ground truth, and output verification.
+
+A :class:`Problem` bundles three things the lower-bound and upper-bound
+machinery both need:
+
+* ``promise(instance)`` -- does the instance satisfy the problem's input
+  promise? (TwoCycle, for example, promises a single cycle or exactly two
+  disjoint cycles of length >= 3.)
+* ``ground_truth(instance)`` -- the correct answer;
+* ``verify(instance, outputs)`` -- is a vector of per-vertex outputs
+  correct for this instance under the model's decision semantics?
+
+Decision problems answer YES/NO under the all-vertices-say-YES rule;
+labelling problems (ConnectedComponents) accept any labelling constant on
+components and distinct across them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.core.algorithm import NO, YES
+from repro.core.decision import system_decision
+from repro.core.instance import BCCInstance
+
+
+class Problem(ABC):
+    """Base class for all problems posed to BCC algorithms."""
+
+    #: Human-readable problem name.
+    name: str = "problem"
+
+    @abstractmethod
+    def promise(self, instance: BCCInstance) -> bool:
+        """True iff the instance satisfies the input promise."""
+
+    @abstractmethod
+    def verify(self, instance: BCCInstance, outputs: Sequence[Any]) -> bool:
+        """True iff the per-vertex outputs are a correct answer."""
+
+
+class DecisionProblem(Problem):
+    """A YES/NO problem under the all-YES decision rule."""
+
+    @abstractmethod
+    def ground_truth(self, instance: BCCInstance) -> str:
+        """The correct system decision (YES or NO) for the instance."""
+
+    def verify(self, instance: BCCInstance, outputs: Sequence[Any]) -> bool:
+        for out in outputs:
+            if out not in (YES, NO):
+                return False
+        return system_decision(outputs) == self.ground_truth(instance)
+
+
+class LabellingProblem(Problem):
+    """A problem whose answer is one hashable label per vertex."""

@@ -1,0 +1,42 @@
+"""The Connectivity and ConnectedComponents problems.
+
+Connectivity: decide whether the input graph (on all n vertices) is
+connected. ConnectedComponents: each vertex outputs the label of its
+connected component; any labelling that is constant on components and
+distinct across components is accepted (the paper does not fix a canonical
+label).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.algorithm import NO, YES
+from repro.core.instance import BCCInstance
+from repro.graphs.components import labels_agree_with_components
+from repro.problems.base import DecisionProblem, LabellingProblem
+
+
+class Connectivity(DecisionProblem):
+    """Is the input graph connected? (No input promise.)"""
+
+    name = "Connectivity"
+
+    def promise(self, instance: BCCInstance) -> bool:
+        return True
+
+    def ground_truth(self, instance: BCCInstance) -> str:
+        return YES if instance.input_graph().is_connected() else NO
+
+
+class ConnectedComponents(LabellingProblem):
+    """Each vertex outputs its component's label. (No input promise.)"""
+
+    name = "ConnectedComponents"
+
+    def promise(self, instance: BCCInstance) -> bool:
+        return True
+
+    def verify(self, instance: BCCInstance, outputs: Sequence[Any]) -> bool:
+        labels = {v: outputs[v] for v in range(instance.n)}
+        return labels_agree_with_components(instance.input_graph(), labels)

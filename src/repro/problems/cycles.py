@@ -1,0 +1,65 @@
+"""The TwoCycle and MultiCycle promise problems.
+
+TwoCycle (Section 3): the input graph is promised to be either one cycle on
+all n vertices or two disjoint cycles covering all n vertices, each of
+length at least 3; the algorithm must distinguish the two cases (YES = one
+cycle, i.e. connected).
+
+MultiCycle (Section 4): the input is either a single cycle or two *or more*
+disjoint cycles, each of length at least 4. (The length->=4 promise comes
+from the TwoPartition reduction: when every part has exactly two elements,
+every cycle of G(P_A, P_B) alternates Alice/Bob edges with the l_i-r_i
+rungs and thus has length at least 4.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.algorithm import NO, YES
+from repro.core.instance import BCCInstance
+from repro.graphs.graph import Graph
+from repro.problems.base import DecisionProblem
+
+
+def cycle_lengths(graph: Graph) -> List[int]:
+    """Lengths of the cycles of a 2-regular graph (ValueError otherwise)."""
+    return sorted(len(c) for c in graph.cycle_decomposition())
+
+
+class TwoCycle(DecisionProblem):
+    """One cycle vs. exactly two disjoint cycles, each of length >= 3."""
+
+    name = "TwoCycle"
+    min_cycle_length = 3
+
+    def promise(self, instance: BCCInstance) -> bool:
+        g = instance.input_graph()
+        if not g.is_disjoint_union_of_cycles():
+            return False
+        lengths = cycle_lengths(g)
+        if len(lengths) == 1:
+            return True
+        return len(lengths) == 2 and all(l >= self.min_cycle_length for l in lengths)
+
+    def ground_truth(self, instance: BCCInstance) -> str:
+        return YES if instance.input_graph().is_connected() else NO
+
+
+class MultiCycle(DecisionProblem):
+    """One cycle vs. two or more disjoint cycles, each of length >= 4."""
+
+    name = "MultiCycle"
+    min_cycle_length = 4
+
+    def promise(self, instance: BCCInstance) -> bool:
+        g = instance.input_graph()
+        if not g.is_disjoint_union_of_cycles():
+            return False
+        lengths = cycle_lengths(g)
+        if len(lengths) == 1:
+            return True
+        return all(l >= self.min_cycle_length for l in lengths)
+
+    def ground_truth(self, instance: BCCInstance) -> str:
+        return YES if instance.input_graph().is_connected() else NO

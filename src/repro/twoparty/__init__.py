@@ -1,0 +1,99 @@
+"""Two-party communication: protocols, reductions (Sec. 4.2), simulation (Sec. 4.3)."""
+
+from repro.twoparty.lower_bounds import (
+    fooling_set_lower_bound,
+    is_fooling_set,
+    rank_lower_bound,
+    rank_lower_bound_from_rank,
+    verify_rank_bound_on_protocol,
+)
+from repro.twoparty.problems import (
+    PartitionCompProblem,
+    PartitionProblem,
+    TwoPartitionProblem,
+)
+from repro.twoparty.protocol import (
+    ALICE,
+    BOB,
+    ProtocolResult,
+    Turn,
+    TwoPartyProtocol,
+    decode_int,
+    encode_int,
+)
+from repro.twoparty.rectangles import (
+    all_classes_are_rectangles,
+    is_rectangle,
+    partition_is_monochromatic,
+    rectangle_count_bound,
+    transcript_partition,
+    verify_rectangle_structure,
+    worst_case_bits,
+)
+from repro.twoparty.reductions import (
+    HostedInstance,
+    NamedVertex,
+    ReductionGraph,
+    build_partition_reduction,
+    build_two_partition_reduction,
+    paper_id,
+    to_kt1_instance,
+)
+from repro.twoparty.simulation import (
+    PARTITION,
+    TWO_PARTITION,
+    BCCSimulationProtocol,
+    rounds_lower_bound_from_cc,
+    simulation_bits_per_round,
+)
+from repro.twoparty.upper_bounds import (
+    LossyPartitionCompProtocol,
+    TrivialPartitionCompProtocol,
+    TrivialPartitionProtocol,
+    decode_partition,
+    encode_partition,
+    rgs_bit_width,
+)
+
+__all__ = [
+    "ALICE",
+    "BCCSimulationProtocol",
+    "BOB",
+    "HostedInstance",
+    "LossyPartitionCompProtocol",
+    "NamedVertex",
+    "PARTITION",
+    "PartitionCompProblem",
+    "PartitionProblem",
+    "ProtocolResult",
+    "ReductionGraph",
+    "TWO_PARTITION",
+    "TrivialPartitionCompProtocol",
+    "TrivialPartitionProtocol",
+    "Turn",
+    "TwoPartitionProblem",
+    "TwoPartyProtocol",
+    "all_classes_are_rectangles",
+    "build_partition_reduction",
+    "build_two_partition_reduction",
+    "decode_int",
+    "decode_partition",
+    "encode_int",
+    "encode_partition",
+    "fooling_set_lower_bound",
+    "is_fooling_set",
+    "is_rectangle",
+    "paper_id",
+    "partition_is_monochromatic",
+    "rank_lower_bound",
+    "rank_lower_bound_from_rank",
+    "rectangle_count_bound",
+    "rgs_bit_width",
+    "transcript_partition",
+    "verify_rectangle_structure",
+    "worst_case_bits",
+    "rounds_lower_bound_from_cc",
+    "simulation_bits_per_round",
+    "to_kt1_instance",
+    "verify_rank_bound_on_protocol",
+]

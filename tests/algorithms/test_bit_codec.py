@@ -1,0 +1,116 @@
+"""Tests for bit serialization helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    ChunkAssembler,
+    decode_fixed,
+    encode_fixed,
+    id_bit_width,
+    pack_symbols,
+    rounds_needed,
+    schedule_bits,
+    unpack_symbols,
+)
+
+
+class TestFixedWidth:
+    def test_round_trip(self):
+        assert decode_fixed(encode_fixed(13, 6)) == 13
+
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            encode_fixed(16, 4)
+        with pytest.raises(ValueError):
+            encode_fixed(-1, 4)
+
+    def test_leading_zeros(self):
+        assert encode_fixed(1, 5) == "00001"
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_fixed("01x")
+        with pytest.raises(ValueError):
+            decode_fixed("")
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, v):
+        assert decode_fixed(encode_fixed(v, 16)) == v
+
+
+class TestIdWidth:
+    def test_values(self):
+        assert id_bit_width(0) == 1
+        assert id_bit_width(1) == 1
+        assert id_bit_width(2) == 2
+        assert id_bit_width(255) == 8
+        assert id_bit_width(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            id_bit_width(-1)
+
+
+class TestScheduling:
+    def test_schedule_chunks(self):
+        payload = "110010"
+        assert schedule_bits(payload, 2, 1) == "11"
+        assert schedule_bits(payload, 2, 3) == "10"
+        assert schedule_bits(payload, 2, 4) == ""
+
+    def test_single_bit_pacing(self):
+        payload = "101"
+        chars = [schedule_bits(payload, 1, t) for t in range(1, 6)]
+        assert chars == ["1", "0", "1", "", ""]
+
+    def test_rounds_needed(self):
+        assert rounds_needed(0, 4) == 0
+        assert rounds_needed(7, 4) == 2
+        assert rounds_needed(8, 4) == 2
+        assert rounds_needed(9, 4) == 3
+
+    def test_assembler(self):
+        asm = ChunkAssembler(6)
+        for chunk in ("11", "00", ""):
+            asm.feed(chunk)
+        assert not asm.complete()
+        asm.feed("10")
+        assert asm.complete()
+        assert asm.value() == int("110010", 2)
+
+    def test_assembler_incomplete_raises(self):
+        asm = ChunkAssembler(4)
+        asm.feed("01")
+        with pytest.raises(ValueError):
+            asm.value()
+
+
+class TestSymbolPacking:
+    def test_round_trip(self):
+        symbols = ["", "0", "1", "1", "", "0"]
+        bits = pack_symbols(symbols)
+        assert len(bits) == 12
+        assert unpack_symbols(bits, 6) == symbols
+
+    def test_silence_distinct_from_zero(self):
+        assert pack_symbols([""]) != pack_symbols(["0"])
+
+    def test_bad_symbol(self):
+        with pytest.raises(ValueError):
+            pack_symbols(["x"])
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            unpack_symbols("000", 2)
+
+    def test_bad_code(self):
+        with pytest.raises(ValueError):
+            unpack_symbols("01", 1)
+
+    @given(st.lists(st.sampled_from(["", "0", "1"]), min_size=0, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, symbols):
+        assert unpack_symbols(pack_symbols(symbols), len(symbols)) == symbols

@@ -1,0 +1,131 @@
+"""Tests for Boruvka (BCC(log n)) and the full-adjacency baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    BCC1_KT1,
+    NO,
+    YES,
+    BCCInstance,
+    BCCModel,
+    Simulator,
+    decision_of_run,
+)
+from repro.algorithms import (
+    boruvka_connectivity_factory,
+    boruvka_factory,
+    boruvka_max_rounds,
+    full_adjacency_components_factory,
+    full_adjacency_connectivity_factory,
+)
+from repro.graphs import component_labels, gnp_random_graph, labels_agree_with_components
+from repro.instances import one_cycle_instance, random_multi_cycle_instance, two_cycle_instance
+from repro.problems import ConnectedComponents
+
+SIM1 = Simulator(BCC1_KT1)
+
+
+def _sim_for(n):
+    return Simulator(BCCModel(bandwidth=max(1, math.ceil(math.log2(n))), kt=1))
+
+
+class TestBoruvka:
+    def test_one_cycle(self):
+        n = 16
+        sim = _sim_for(n)
+        res = sim.run_until_done(one_cycle_instance(n, kt=1), boruvka_factory(), boruvka_max_rounds(n))
+        assert set(res.outputs) == {0}
+
+    def test_two_cycles(self):
+        n = 16
+        sim = _sim_for(n)
+        res = sim.run_until_done(two_cycle_instance(n, 7, kt=1), boruvka_factory(), boruvka_max_rounds(n))
+        assert set(res.outputs) == {0, 7}
+
+    def test_random_graphs_match_ground_truth(self):
+        rng = random.Random(11)
+        problem = ConnectedComponents()
+        for _ in range(5):
+            g = gnp_random_graph(12, 0.15, rng)
+            inst = BCCInstance.kt1_from_graph(g)
+            sim = _sim_for(12)
+            res = sim.run_until_done(inst, boruvka_factory(), boruvka_max_rounds(12))
+            assert problem.verify(inst, res.outputs)
+
+    def test_logarithmic_rounds(self):
+        for n in (8, 32, 128):
+            sim = _sim_for(n)
+            res = sim.run_until_done(
+                one_cycle_instance(n, kt=1), boruvka_factory(), boruvka_max_rounds(n)
+            )
+            assert res.rounds_executed <= boruvka_max_rounds(n)
+            # a path-shaped merge still needs at least a couple of phases
+            assert res.rounds_executed >= 4
+
+    def test_connectivity_variant(self):
+        n = 12
+        sim = _sim_for(n)
+        res = sim.run_until_done(
+            one_cycle_instance(n, kt=1), boruvka_connectivity_factory(), boruvka_max_rounds(n)
+        )
+        assert decision_of_run(res) == YES
+        res2 = sim.run_until_done(
+            two_cycle_instance(n, 5, kt=1), boruvka_connectivity_factory(), boruvka_max_rounds(n)
+        )
+        assert decision_of_run(res2) == NO
+
+    def test_requires_bandwidth(self):
+        inst = one_cycle_instance(16, kt=1)
+        with pytest.raises(ValueError):
+            SIM1.run(inst, boruvka_factory(), 4)  # b = 1 < ID width
+
+    def test_requires_kt1(self):
+        from repro.core import BCC1_KT0
+
+        inst = one_cycle_instance(8, kt=0)
+        with pytest.raises(ValueError):
+            Simulator(BCC1_KT0).run(inst, boruvka_factory(), 4)
+
+    def test_empty_graph_all_singletons(self):
+        from repro.graphs import empty_graph
+
+        n = 8
+        inst = BCCInstance.kt1_from_graph(empty_graph(n))
+        sim = _sim_for(n)
+        res = sim.run_until_done(inst, boruvka_factory(), boruvka_max_rounds(n))
+        assert res.outputs == tuple(range(n))
+
+
+class TestFullAdjacency:
+    def test_exactly_n_rounds(self):
+        n = 14
+        res = SIM1.run_until_done(
+            one_cycle_instance(n, kt=1), full_adjacency_connectivity_factory(), n + 1
+        )
+        assert res.rounds_executed == n
+        assert decision_of_run(res) == YES
+
+    def test_components_on_random_graph(self):
+        rng = random.Random(5)
+        g = gnp_random_graph(10, 0.12, rng)
+        inst = BCCInstance.kt1_from_graph(g)
+        res = SIM1.run_until_done(inst, full_adjacency_components_factory(), 11)
+        labels = {v: res.outputs[v] for v in range(10)}
+        assert labels_agree_with_components(g, labels)
+
+    def test_multi_cycle(self):
+        rng = random.Random(9)
+        inst = random_multi_cycle_instance(12, 3, kt=1, rng=rng)
+        res = SIM1.run_until_done(inst, full_adjacency_connectivity_factory(), 13)
+        assert decision_of_run(res) == NO
+
+    def test_agrees_with_ground_truth_labels(self):
+        rng = random.Random(13)
+        g = gnp_random_graph(9, 0.2, rng)
+        inst = BCCInstance.kt1_from_graph(g)
+        res = SIM1.run_until_done(inst, full_adjacency_components_factory(), 10)
+        truth = component_labels(g)
+        assert {v: res.outputs[v] for v in range(9)} == truth

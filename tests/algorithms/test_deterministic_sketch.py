@@ -1,0 +1,179 @@
+"""Tests for the [MT16]-style deterministic syndrome-sketch algorithm."""
+
+import random
+
+import pytest
+
+from repro.core import BCC1_KT0, BCC1_KT1, NO, YES, BCCInstance, Simulator, decision_of_run
+from repro.algorithms import (
+    NeighborhoodSketch,
+    berlekamp_massey,
+    mt16_components_factory,
+    mt16_connectivity_factory,
+    mt16_rounds,
+    peel_sketches,
+)
+from repro.algorithms.deterministic_sketch import PRIME
+from repro.graphs import (
+    Graph,
+    bounded_arboricity_graph,
+    labels_agree_with_components,
+    one_cycle,
+    random_forest,
+    two_cycles,
+)
+from repro.problems import ConnectedComponents
+
+SIM1 = Simulator(BCC1_KT1)
+
+
+class TestBerlekampMassey:
+    def test_fibonacci(self):
+        # s_n = s_{n-1} + s_{n-2}: connection poly 1 - x - x^2
+        seq = [1, 1, 2, 3, 5, 8, 13, 21]
+        c = berlekamp_massey(seq)
+        assert len(c) == 3
+        assert c[0] == 1
+        assert c[1] == PRIME - 1 and c[2] == PRIME - 1
+
+    def test_constant_sequence(self):
+        c = berlekamp_massey([7, 7, 7, 7])
+        assert len(c) == 2  # s_n = s_{n-1}
+
+    def test_zero_sequence(self):
+        assert berlekamp_massey([0, 0, 0, 0]) == [1]
+
+
+class TestNeighborhoodSketch:
+    def test_exact_decode(self):
+        ids = list(range(30))
+        for support in ([], [5], [0, 29], [1, 2, 3, 4]):
+            s = NeighborhoodSketch.of_neighborhood(support, d=4)
+            assert s.decode(ids) == sorted(support)
+
+    def test_oversized_support_refused(self):
+        ids = list(range(30))
+        s = NeighborhoodSketch.of_neighborhood(list(range(5)), d=4)
+        assert s.decode(ids) is None
+
+    def test_linearity(self):
+        s = NeighborhoodSketch.of_neighborhood([2, 9, 14], d=3)
+        s.remove_point(9)
+        assert s.decode(list(range(20))) == [2, 14]
+        s.remove_point(2)
+        s.remove_point(14)
+        assert s.is_empty()
+
+    def test_count(self):
+        s = NeighborhoodSketch.of_neighborhood([1, 3, 5], d=4)
+        assert s.count == 3
+
+    def test_bit_round_trip(self):
+        s = NeighborhoodSketch.of_neighborhood([0, 7, 11], d=4)
+        t = NeighborhoodSketch.decode_bits(s.encode_bits(), 4)
+        assert t.syndromes == s.syndromes
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborhoodSketch.decode_bits("01", 4)
+
+
+class TestPeeling:
+    def test_recovers_a_path(self):
+        nbrs = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        sketches = {v: NeighborhoodSketch.of_neighborhood(n, 4) for v, n in nbrs.items()}
+        edges = peel_sketches(sketches, [0, 1, 2, 3], 4)
+        assert edges == {(0, 1), (1, 2), (2, 3)}
+
+    def test_hub_peeled_via_linearity(self):
+        """A hub of degree 9 with d = 4 cannot be decoded directly; the
+        leaves decode first and subtraction empties the hub's sketch."""
+        n = 10
+        nbrs = {0: list(range(1, n))}
+        for i in range(1, n):
+            nbrs[i] = [0]
+        sketches = {v: NeighborhoodSketch.of_neighborhood(nb, 4) for v, nb in nbrs.items()}
+        edges = peel_sketches(sketches, list(range(n)), 4)
+        assert edges == {(0, i) for i in range(1, n)}
+
+    def test_dense_graph_fails_gracefully(self):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(12)  # arboricity 6 > d/4 = 1
+        sketches = {
+            v: NeighborhoodSketch.of_neighborhood(sorted(g.neighbors(v)), 4)
+            for v in range(12)
+        }
+        assert peel_sketches(sketches, list(range(12)), 4) is None
+
+
+class TestAlgorithm:
+    @pytest.mark.parametrize(
+        "builder,a,expected",
+        [
+            (lambda: one_cycle(14), 2, YES),
+            (lambda: two_cycles(14, 6), 2, NO),
+            (lambda: random_forest(15, 1, random.Random(1)), 1, YES),
+            (lambda: random_forest(15, 3, random.Random(2)), 1, NO),
+        ],
+    )
+    def test_connectivity(self, builder, a, expected):
+        inst = BCCInstance.kt1_from_graph(builder())
+        res = SIM1.run_until_done(inst, mt16_connectivity_factory(a), mt16_rounds(a) + 1)
+        assert decision_of_run(res) == expected
+        assert res.rounds_executed == mt16_rounds(a)
+
+    def test_star_graph(self):
+        n = 20
+        star = Graph(range(n), [(0, i) for i in range(1, n)])
+        inst = BCCInstance.kt1_from_graph(star)
+        res = SIM1.run_until_done(inst, mt16_connectivity_factory(1), mt16_rounds(1) + 1)
+        assert decision_of_run(res) == YES
+
+    def test_components(self):
+        problem = ConnectedComponents()
+        rng = random.Random(9)
+        for _ in range(3):
+            g = bounded_arboricity_graph(14, 2, rng)
+            inst = BCCInstance.kt1_from_graph(g)
+            res = SIM1.run_until_done(
+                inst, mt16_components_factory(2), mt16_rounds(2) + 1
+            )
+            assert problem.verify(inst, res.outputs)
+
+    def test_round_count_independent_of_n(self):
+        """One fixed-size burst: the round count is (8a + 1) * 31 / b,
+        independent of n (the field covers IDs up to ~46000)."""
+        for n in (8, 20, 40):
+            inst = BCCInstance.kt1_from_graph(one_cycle(n))
+            res = SIM1.run_until_done(
+                inst, mt16_connectivity_factory(2), mt16_rounds(2) + 1
+            )
+            assert res.rounds_executed == mt16_rounds(2) == 527
+
+    def test_beats_neighbor_exchange_constant(self):
+        """Both are Theta(log n)-class; the sketch burst is a fixed 527
+        rounds while full-adjacency is n -- crossover near n = 527."""
+        assert mt16_rounds(2) == 527
+
+    def test_requires_kt1(self):
+        from repro.instances import one_cycle_instance
+
+        with pytest.raises(ValueError):
+            Simulator(BCC1_KT0).run(
+                one_cycle_instance(8, kt=0), mt16_connectivity_factory(2), 5
+            )
+
+    def test_bad_arboricity(self):
+        with pytest.raises(ValueError):
+            mt16_connectivity_factory(0)()
+
+    def test_violated_promise_fails_closed(self):
+        """On a graph violating the arboricity bound the peeling stalls;
+        the algorithm finishes in the 'failed' state and outputs a guess
+        rather than wrong-but-confident garbage."""
+        from repro.graphs import complete_graph
+
+        inst = BCCInstance.kt1_from_graph(complete_graph(10))
+        res = SIM1.run_until_done(inst, mt16_connectivity_factory(1), mt16_rounds(1) + 1)
+        assert decision_of_run(res) in (YES, NO)

@@ -1,0 +1,120 @@
+"""Tests for the distributed Boruvka MST in BCC(Theta(log n))."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance, BCCModel, Simulator
+from repro.algorithms import boruvka_mst_factory, mst_bandwidth, mst_max_rounds
+from repro.graphs import (
+    gnp_random_graph,
+    is_spanning_forest,
+    kruskal,
+    one_cycle,
+    random_weights,
+    two_cycles,
+)
+
+
+def _run_mst(graph, weights, n):
+    inst = BCCInstance.kt1_from_graph(graph)
+    sim = Simulator(BCCModel(bandwidth=mst_bandwidth(n), kt=1))
+    return sim.run_until_done(
+        inst, boruvka_mst_factory(weights), mst_max_rounds(n) + 2
+    )
+
+
+def _int_weights(graph, rng):
+    return {e: int(w) for e, w in random_weights(graph, rng).items()}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_kruskal_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = 11
+        g = gnp_random_graph(n, 0.35, rng)
+        weights = _int_weights(g, rng)
+        res = _run_mst(g, weights, n)
+        truth = kruskal(g, {e: float(w) for e, w in weights.items()})
+        assert set(res.outputs[0]) == truth
+
+    def test_all_vertices_agree(self):
+        rng = random.Random(7)
+        n = 10
+        g = gnp_random_graph(n, 0.4, rng)
+        res = _run_mst(g, _int_weights(g, rng), n)
+        assert len(set(res.outputs)) == 1
+
+    def test_cycle_drops_heaviest_edge(self):
+        n = 8
+        g = one_cycle(n)
+        weights = {e: i for i, e in enumerate(sorted((min(u, v), max(u, v)) for u, v in g.edges()))}
+        res = _run_mst(g, weights, n)
+        forest = set(res.outputs[0])
+        heaviest = max(weights, key=lambda e: weights[e])
+        assert heaviest not in forest
+        assert len(forest) == n - 1
+
+    def test_disconnected_input_gives_forest(self):
+        n = 10
+        g = two_cycles(n, 4)
+        rng = random.Random(3)
+        weights = _int_weights(g, rng)
+        res = _run_mst(g, weights, n)
+        forest = set(res.outputs[0])
+        assert len(forest) == n - 2
+        assert is_spanning_forest(g, forest)
+
+    def test_ties_broken_consistently(self):
+        """All-equal weights: the distributed tie-break (weight, lo, hi)
+        must match Kruskal's (weight, edge) order exactly."""
+        n = 9
+        g = gnp_random_graph(n, 0.5, random.Random(5))
+        weights = {(min(u, v), max(u, v)): 1 for u, v in g.edges()}
+        res = _run_mst(g, weights, n)
+        truth = kruskal(g, {e: 1.0 for e in weights})
+        assert set(res.outputs[0]) == truth
+
+    def test_empty_graph(self):
+        from repro.graphs import empty_graph
+
+        n = 6
+        res = _run_mst(empty_graph(n), {}, n)
+        assert set(res.outputs[0]) == set()
+
+
+class TestComplexityAndContracts:
+    def test_logarithmic_phases(self):
+        n = 32
+        g = one_cycle(n)
+        res = _run_mst(g, _int_weights(g, random.Random(1)), n)
+        assert res.rounds_executed <= mst_max_rounds(n) + 1
+
+    def test_bandwidth_requirement(self):
+        n = 8
+        g = one_cycle(n)
+        weights = _int_weights(g, random.Random(2))
+        inst = BCCInstance.kt1_from_graph(g)
+        with pytest.raises(ValueError):
+            Simulator(BCCModel(bandwidth=4, kt=1)).run(
+                inst, boruvka_mst_factory(weights), 3
+            )
+
+    def test_requires_kt1(self):
+        from repro.core import BCC1_KT0
+        from repro.instances import one_cycle_instance
+
+        with pytest.raises(ValueError):
+            Simulator(BCC1_KT0).run(
+                one_cycle_instance(6, kt=0), boruvka_mst_factory({}), 2
+            )
+
+    def test_missing_weight_rejected(self):
+        n = 6
+        g = one_cycle(n)
+        inst = BCCInstance.kt1_from_graph(g)
+        with pytest.raises(ValueError):
+            Simulator(BCCModel(bandwidth=mst_bandwidth(n), kt=1)).run(
+                inst, boruvka_mst_factory({(0, 1): 3}), 2
+            )

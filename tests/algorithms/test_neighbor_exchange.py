@@ -1,0 +1,132 @@
+"""Tests for the neighborhood-exchange upper bound (the tightness algorithm)."""
+
+import random
+
+import pytest
+
+from repro.core import BCC1_KT0, BCC1_KT1, NO, YES, BCCInstance, Simulator, decision_of_run
+from repro.algorithms import (
+    components_factory,
+    connectivity_factory,
+    id_bit_width,
+    neighbor_exchange_rounds,
+)
+from repro.graphs import labels_agree_with_components, random_forest
+from repro.instances import (
+    multi_cycle_instance,
+    one_cycle_instance,
+    random_multi_cycle_instance,
+    random_one_cycle_instance,
+    two_cycle_instance,
+)
+from repro.problems import Connectivity, TwoCycle
+
+SIM0 = Simulator(BCC1_KT0)
+SIM1 = Simulator(BCC1_KT1)
+
+
+class TestCorrectnessOnCycles:
+    @pytest.mark.parametrize("kt", [0, 1])
+    @pytest.mark.parametrize("n", [6, 9, 13])
+    def test_one_cycle_yes(self, kt, n):
+        sim = SIM0 if kt == 0 else SIM1
+        inst = one_cycle_instance(n, kt=kt)
+        res = sim.run_until_done(inst, connectivity_factory(2), 300)
+        assert decision_of_run(res) == YES
+
+    @pytest.mark.parametrize("kt", [0, 1])
+    def test_two_cycle_no(self, kt):
+        sim = SIM0 if kt == 0 else SIM1
+        inst = two_cycle_instance(11, 5, kt=kt)
+        res = sim.run_until_done(inst, connectivity_factory(2), 300)
+        assert decision_of_run(res) == NO
+
+    @pytest.mark.parametrize("kt", [0, 1])
+    def test_random_instances(self, kt):
+        rng = random.Random(42)
+        sim = SIM0 if kt == 0 else SIM1
+        problem = Connectivity()
+        for _ in range(5):
+            inst = random_one_cycle_instance(10, kt, rng, shuffle_ports=(kt == 0))
+            res = sim.run_until_done(inst, connectivity_factory(2), 300)
+            assert problem.verify(inst, res.outputs)
+        for k in (2, 3):
+            inst = random_multi_cycle_instance(12, k, kt, rng)
+            res = sim.run_until_done(inst, connectivity_factory(2), 300)
+            assert problem.verify(inst, res.outputs)
+
+    def test_components_labels_valid(self):
+        inst = multi_cycle_instance([[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]], kt=1)
+        res = SIM1.run_until_done(inst, components_factory(2), 300)
+        labels = {v: res.outputs[v] for v in range(10)}
+        assert labels_agree_with_components(inst.input_graph(), labels)
+
+    def test_components_use_min_id(self):
+        inst = two_cycle_instance(8, 4, kt=1, ids=[10, 11, 12, 13, 20, 21, 22, 23])
+        res = SIM1.run_until_done(inst, components_factory(2), 300)
+        assert set(res.outputs) == {10, 20}
+
+
+class TestRoundComplexity:
+    def test_kt1_round_count(self):
+        n = 16
+        inst = one_cycle_instance(n, kt=1)
+        res = SIM1.run_until_done(inst, connectivity_factory(2), 300)
+        w = id_bit_width(n - 1)
+        assert res.rounds_executed == neighbor_exchange_rounds(1, 2, w) == 2 * w
+
+    def test_kt0_round_count(self):
+        n = 16
+        inst = one_cycle_instance(n, kt=0)
+        res = SIM0.run_until_done(inst, connectivity_factory(2), 300)
+        w = id_bit_width(4 * n - 1)
+        assert res.rounds_executed == neighbor_exchange_rounds(0, 2, w) == 3 * w
+
+    def test_rounds_are_theta_log_n(self):
+        """The measured upper-bound curve is Theta(log n) -- tightness."""
+        from repro.analysis import fit_logarithmic
+
+        ns = [8, 16, 32, 64, 128]
+        measured = []
+        for n in ns:
+            inst = one_cycle_instance(n, kt=1)
+            res = SIM1.run_until_done(inst, connectivity_factory(2), 10_000)
+            measured.append(res.rounds_executed)
+        fit = fit_logarithmic(ns, measured)
+        assert fit.slope > 0
+        assert fit.r_squared > 0.9
+
+
+class TestHigherDegree:
+    def test_forest_with_degree_bound(self):
+        rng = random.Random(3)
+        g = random_forest(12, 2, rng)
+        delta = g.max_degree()
+        inst = BCCInstance.kt1_from_graph(g)
+        res = SIM1.run_until_done(inst, connectivity_factory(delta), 2000)
+        assert decision_of_run(res) == NO  # 2 trees
+
+    def test_bad_max_degree_param(self):
+        with pytest.raises(ValueError):
+            connectivity_factory(0)()
+
+
+class TestTruncation:
+    def test_truncated_run_outputs_guess(self):
+        inst = one_cycle_instance(10, kt=0)
+        res = SIM0.run(inst, connectivity_factory(2), 2)
+        assert all(out in (YES, NO) for out in res.outputs)
+
+    def test_truncated_components_output_own_id(self):
+        inst = one_cycle_instance(6, kt=1)
+        res = SIM1.run(inst, components_factory(2), 1)
+        assert res.outputs == tuple(range(6))
+
+
+class TestTwoCyclePromiseProblem:
+    def test_solves_two_cycle_problem(self):
+        problem = TwoCycle()
+        for inst in (one_cycle_instance(12, kt=0), two_cycle_instance(12, 5, kt=0)):
+            assert problem.promise(inst)
+            res = SIM0.run_until_done(inst, connectivity_factory(2), 300)
+            assert problem.verify(inst, res.outputs)

@@ -1,0 +1,117 @@
+"""Tests for the bounded-arboricity peeling exchange."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BCC1_KT0, BCC1_KT1, NO, YES, BCCInstance, Simulator, decision_of_run
+from repro.algorithms import (
+    peeling_components_factory,
+    peeling_connectivity_factory,
+    peeling_round_budget,
+)
+from repro.graphs import (
+    Graph,
+    bounded_arboricity_graph,
+    labels_agree_with_components,
+    one_cycle,
+    random_forest,
+    two_cycles,
+)
+from repro.instances import one_cycle_instance
+from repro.problems import ConnectedComponents
+
+SIM1 = Simulator(BCC1_KT1)
+
+
+def _run(graph, factory, n, a):
+    inst = BCCInstance.kt1_from_graph(graph)
+    return inst, SIM1.run_until_done(inst, factory, peeling_round_budget(n, a))
+
+
+class TestCorrectness:
+    def test_connected_forest(self):
+        g = random_forest(15, 1, random.Random(2))
+        _inst, res = _run(g, peeling_connectivity_factory(1), 15, 1)
+        assert decision_of_run(res) == YES
+
+    def test_disconnected_forest(self):
+        g = random_forest(15, 3, random.Random(2))
+        _inst, res = _run(g, peeling_connectivity_factory(1), 15, 1)
+        assert decision_of_run(res) == NO
+
+    def test_cycles(self):
+        for g, expected in [(one_cycle(14), YES), (two_cycles(14, 6), NO)]:
+            _inst, res = _run(g, peeling_connectivity_factory(2), 14, 2)
+            assert decision_of_run(res) == expected
+
+    def test_star_graph_high_degree_hub(self):
+        """Arboricity 1, maximum degree n - 1: the regime NeighborExchange
+        cannot handle cheaply but peeling can -- the hub peels last, its
+        edges all announced by the leaves."""
+        n = 16
+        star = Graph(range(n), [(0, i) for i in range(1, n)])
+        _inst, res = _run(star, peeling_connectivity_factory(1), n, 1)
+        assert decision_of_run(res) == YES
+
+    def test_components_on_bounded_arboricity(self):
+        rng = random.Random(7)
+        problem = ConnectedComponents()
+        for _ in range(4):
+            g = bounded_arboricity_graph(16, 2, rng)
+            inst, res = _run(g, peeling_components_factory(2), 16, 2)
+            assert problem.verify(inst, res.outputs)
+
+    def test_empty_graph(self):
+        from repro.graphs import empty_graph
+
+        n = 8
+        _inst, res = _run(empty_graph(n), peeling_components_factory(1), n, 1)
+        assert res.outputs == tuple(range(n))
+
+    def test_labels_are_min_ids(self):
+        g = two_cycles(10, 4)
+        _inst, res = _run(g, peeling_components_factory(2), 10, 2)
+        assert set(res.outputs) == {0, 4}
+
+
+class TestComplexity:
+    def test_rounds_within_budget(self):
+        for n in (8, 32, 64):
+            g = random_forest(n, 1, random.Random(n))
+            _inst, res = _run(g, peeling_connectivity_factory(1), n, 1)
+            assert res.rounds_executed <= peeling_round_budget(n, 1)
+
+    def test_polylog_scaling(self):
+        """Measured rounds grow polylogarithmically (phases x 4aW)."""
+        measured = []
+        ns = [8, 32, 128]
+        for n in ns:
+            g = one_cycle(n)
+            _inst, res = _run(g, peeling_components_factory(2), n, 2)
+            measured.append(res.rounds_executed)
+        # crude polylog check: doubling log n should not double rounds 4x
+        for n, r in zip(ns, measured):
+            assert r <= 3 * (math.log2(n) + 2) * (1 + 8 * math.ceil(math.log2(n)))
+
+    def test_budget_formula(self):
+        assert peeling_round_budget(16, 1) == (4 + 2) * (1 + 4 * 4)
+
+
+class TestValidation:
+    def test_requires_kt1(self):
+        inst = one_cycle_instance(8, kt=0)
+        with pytest.raises(ValueError):
+            Simulator(BCC1_KT0).run(inst, peeling_connectivity_factory(2), 5)
+
+    def test_bad_arboricity(self):
+        with pytest.raises(ValueError):
+            peeling_connectivity_factory(0)()
+
+    def test_truncated_outputs_guess(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(10))
+        res = SIM1.run(inst, peeling_connectivity_factory(2), 2)
+        assert all(out in (YES, NO) for out in res.outputs)
+        res2 = SIM1.run(inst, peeling_components_factory(2), 2)
+        assert res2.outputs == tuple(range(10))

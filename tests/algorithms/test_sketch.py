@@ -1,0 +1,146 @@
+"""Tests for the AGM linear-sketch connectivity algorithm."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance, BCCModel, NO, YES, PublicCoin, Simulator, decision_of_run
+from repro.algorithms import (
+    AGMSketchComponents,
+    SketchSpec,
+    agm_components_factory,
+    agm_connectivity_factory,
+    agm_total_rounds,
+    coordinate_to_edge,
+    edge_coordinate,
+)
+from repro.graphs import gnp_random_graph, labels_agree_with_components, one_cycle, two_cycles
+from repro.problems import ConnectedComponents
+
+SIM32 = Simulator(BCCModel(bandwidth=32, kt=1))
+
+
+class TestEdgeCoordinates:
+    def test_round_trip(self):
+        n = 10
+        coord = 0
+        for j in range(1, n):
+            for i in range(j):
+                assert edge_coordinate(i, j, n) == coord
+                assert coordinate_to_edge(coord, n) == (i, j)
+                coord += 1
+
+    def test_rejects_bad_pairs(self):
+        with pytest.raises(ValueError):
+            edge_coordinate(3, 3, 10)
+        with pytest.raises(ValueError):
+            edge_coordinate(5, 2, 10)
+
+
+class TestSketchSpec:
+    def test_single_coordinate_recovery(self):
+        spec = SketchSpec(PublicCoin("t"), phase=0, n=8)
+        sketch = spec.empty_sketch()
+        coord = edge_coordinate(2, 5, 8)
+        spec.add_coordinate(sketch, coord, 1)
+        assert spec.recover(sketch) == (coord, 1)
+
+    def test_negative_sign_recovery(self):
+        spec = SketchSpec(PublicCoin("t"), phase=0, n=8)
+        sketch = spec.empty_sketch()
+        coord = edge_coordinate(0, 3, 8)
+        spec.add_coordinate(sketch, coord, -1)
+        assert spec.recover(sketch) == (coord, -1)
+
+    def test_cancellation(self):
+        """Adding the same coordinate with both signs cancels exactly --
+        the linearity that makes component-summing work."""
+        spec = SketchSpec(PublicCoin("t"), phase=0, n=8)
+        a = spec.empty_sketch()
+        b = spec.empty_sketch()
+        coord = edge_coordinate(1, 4, 8)
+        spec.add_coordinate(a, coord, 1)
+        spec.add_coordinate(b, coord, -1)
+        combined = spec.combine(a, b)
+        assert all(entry == [0, 0, 0] for entry in combined)
+
+    def test_combine_is_entrywise_sum(self):
+        spec = SketchSpec(PublicCoin("t"), phase=0, n=6)
+        a, b = spec.empty_sketch(), spec.empty_sketch()
+        spec.add_coordinate(a, 0, 1)
+        spec.add_coordinate(b, 5, 1)
+        c = spec.combine(a, b)
+        d = spec.empty_sketch()
+        spec.add_coordinate(d, 0, 1)
+        spec.add_coordinate(d, 5, 1)
+        assert c == d
+
+    def test_encode_decode_round_trip(self):
+        spec = SketchSpec(PublicCoin("t"), phase=3, n=8)
+        sketch = spec.empty_sketch()
+        for coord in (0, 7, 19):
+            spec.add_coordinate(sketch, coord, 1)
+        assert spec.decode(spec.encode(sketch)) == sketch
+
+    def test_dense_sum_usually_recovers_something(self):
+        """With geometric levels, a multi-coordinate sum usually has a
+        1-sparse level; verify recovery returns a genuine coordinate."""
+        spec = SketchSpec(PublicCoin("dense"), phase=0, n=10)
+        sketch = spec.empty_sketch()
+        coords = [edge_coordinate(0, j, 10) for j in range(1, 8)]
+        for c in coords:
+            spec.add_coordinate(sketch, c, 1)
+        recovered = spec.recover(sketch)
+        if recovered is not None:
+            assert recovered[0] in coords
+
+    def test_specs_shared_across_nodes(self):
+        a = SketchSpec(PublicCoin("seed"), phase=2, n=12)
+        b = SketchSpec(PublicCoin("seed"), phase=2, n=12)
+        assert a.base == b.base
+        assert [a.level_of(c) for c in range(30)] == [b.level_of(c) for c in range(30)]
+
+
+class TestAGMAlgorithm:
+    def test_cycle_connected(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(10))
+        res = SIM32.run_until_done(
+            inst, agm_connectivity_factory(), 1000, coin=PublicCoin("agm1")
+        )
+        assert decision_of_run(res) == YES
+
+    def test_two_cycles_disconnected(self):
+        inst = BCCInstance.kt1_from_graph(two_cycles(12, 5))
+        res = SIM32.run_until_done(
+            inst, agm_connectivity_factory(), 1000, coin=PublicCoin("agm2")
+        )
+        assert decision_of_run(res) == NO
+
+    def test_random_graphs(self):
+        rng = random.Random(23)
+        problem = ConnectedComponents()
+        for i in range(4):
+            g = gnp_random_graph(9, 0.25, rng)
+            inst = BCCInstance.kt1_from_graph(g)
+            res = SIM32.run_until_done(
+                inst, agm_components_factory(), 1000, coin=PublicCoin(f"agm-{i}")
+            )
+            assert problem.verify(inst, res.outputs)
+
+    def test_round_count_matches_closed_form(self):
+        n = 10
+        inst = BCCInstance.kt1_from_graph(one_cycle(n))
+        res = SIM32.run_until_done(
+            inst, agm_components_factory(), 1000, coin=PublicCoin("agm3")
+        )
+        assert res.rounds_executed == agm_total_rounds(n, 32)
+
+    def test_requires_kt1(self):
+        from repro.core import BCC1_KT0
+        from repro.instances import one_cycle_instance
+
+        with pytest.raises(ValueError):
+            Simulator(BCC1_KT0).run(one_cycle_instance(8, kt=0), agm_components_factory(), 4)
+
+    def test_rounds_scale_inverse_with_bandwidth(self):
+        assert agm_total_rounds(16, 64) < agm_total_rounds(16, 8)

@@ -1,0 +1,92 @@
+"""Tests for growth fitting and table rendering."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    fit_linear,
+    fit_logarithmic,
+    is_logarithmic_growth,
+    print_table,
+    ratio_stability,
+    render_table,
+)
+
+
+class TestLogFit:
+    def test_exact_log_series(self):
+        xs = [2, 4, 8, 16, 32, 64]
+        ys = [3 * math.log(x) + 1 for x in xs]
+        fit = fit_logarithmic(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        xs = [2, 4, 8]
+        ys = [math.log(x) for x in xs]
+        fit = fit_logarithmic(xs, ys)
+        assert fit.predict(16) == pytest.approx(math.log(16), abs=1e-9)
+
+    def test_noisy_log_series(self):
+        rng = random.Random(0)
+        xs = list(range(10, 200, 10))
+        ys = [2 * math.log(x) + rng.uniform(-0.1, 0.1) for x in xs]
+        fit = fit_logarithmic(xs, ys)
+        assert abs(fit.slope - 2.0) < 0.2
+        assert fit.r_squared > 0.98
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_logarithmic([2], [1])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_logarithmic([5, 5], [1, 2])
+
+    def test_is_logarithmic_growth(self):
+        xs = [4, 8, 16, 32, 64, 128]
+        log_ys = [5 * math.log(x) for x in xs]
+        assert is_logarithmic_growth(xs, log_ys)
+        # a linear series fits ln poorly over a wide range
+        lin_ys = [3 * x for x in xs]
+        assert not is_logarithmic_growth(xs, lin_ys)
+
+    def test_ratio_stability(self):
+        xs = [10, 100, 1000]
+        ys = [0.5 * math.log(x) for x in xs]
+        lo, hi = ratio_stability(xs, ys)
+        assert lo == pytest.approx(0.5) and hi == pytest.approx(0.5)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        a, b, r2 = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert a == pytest.approx(2.0) and b == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_flat_series(self):
+        a, b, r2 = fit_linear([1, 2, 3], [4, 4, 4])
+        assert a == pytest.approx(0.0)
+        assert r2 == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["n", "value"], [[8, 0.5], [128, 12345.678]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("n")
+        assert "1.235e+04" in out or "12345" in out
+
+    def test_render_empty(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_print_table_smoke(self, capsys):
+        print_table("demo", ["x"], [[1], [2]])
+        captured = capsys.readouterr().out
+        assert "== demo ==" in captured
+        assert "1" in captured

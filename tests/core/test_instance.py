@@ -1,0 +1,134 @@
+"""Tests for BCCInstance construction, wiring, and invariants."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance
+from repro.errors import InvalidInstanceError
+from repro.graphs import one_cycle, two_cycles
+
+
+class TestKT1Construction:
+    def test_ports_are_peer_ids(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(5))
+        for v in range(5):
+            for u in range(5):
+                if u != v:
+                    assert inst.port_to_peer(v, u) == inst.vertex_id(u)
+
+    def test_custom_ids(self):
+        ids = [10, 20, 30, 40, 50]
+        inst = BCCInstance.kt1_from_graph(one_cycle(5), ids=ids)
+        assert inst.vertex_id(2) == 30
+        assert inst.index_of_id(40) == 3
+        assert inst.port_to_peer(0, 3) == 40
+
+    def test_wrong_id_count(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance.kt1_from_graph(one_cycle(5), ids=[1, 2, 3])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance.kt1_from_graph(one_cycle(4), ids=[1, 1, 2, 3])
+
+    def test_input_ports_are_neighbor_ids(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(5))
+        assert inst.input_ports(0) == frozenset({1, 4})
+
+
+class TestKT0Construction:
+    def test_port_labels_are_1_to_n_minus_1(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(6))
+        for v in range(6):
+            assert inst.port_labels(v) == tuple(range(1, 6))
+
+    def test_rotation_wiring_is_consistent(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(6))
+        for v in range(6):
+            for port in range(1, 6):
+                u = inst.peer_of_port(v, port)
+                assert inst.port_to_peer(v, u) == port
+
+    def test_shuffled_wiring_valid(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(7), rng=random.Random(3))
+        for v in range(7):
+            peers = {inst.peer_of_port(v, p) for p in range(1, 7)}
+            assert peers == set(range(7)) - {v}
+
+    def test_input_degree(self):
+        inst = BCCInstance.kt0_from_graph(two_cycles(8, 4))
+        for v in range(8):
+            assert inst.input_degree(v) == 2
+            assert len(inst.input_ports(v)) == 2
+
+    def test_input_neighbors(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(5))
+        assert inst.input_neighbors(0) == frozenset({1, 4})
+
+    def test_input_graph_round_trip(self):
+        g = two_cycles(9, 4)
+        inst = BCCInstance.kt0_from_graph(g)
+        assert inst.input_graph() == g
+
+
+class TestValidation:
+    def test_too_small(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance(0, [0], [{}], [])
+
+    def test_bad_port_label_set_kt0(self):
+        # labels must be 1..n-1; use 0..n-2 instead
+        peers = [{0: 1, 1: 2}, {0: 0, 1: 2}, {0: 0, 1: 1}]
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance(0, [0, 1, 2], peers, [])
+
+    def test_kt1_port_must_match_peer_id(self):
+        # swap two port labels so port ID(x) reaches y
+        peers = [{1: 2, 2: 1}, {0: 0, 2: 2}, {0: 0, 1: 1}]
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance(1, [0, 1, 2], peers, [])
+
+    def test_ports_must_reach_all_peers(self):
+        peers = [{1: 1, 2: 1}, {1: 0, 2: 2}, {1: 0, 2: 1}]
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance(0, [0, 1, 2], peers, [])
+
+    def test_input_edge_out_of_range(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance.kt0_from_graph(one_cycle(4)).replace(input_edges=[(0, 9)])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance.kt1_from_graph(one_cycle(3), ids=[-1, 0, 1])
+
+    def test_non_index_vertex_set_rejected(self):
+        from repro.graphs import Graph
+
+        g = Graph([5, 6, 7], [(5, 6), (6, 7), (7, 5)])
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance.kt0_from_graph(g)
+
+
+class TestReplaceEqualityHash:
+    def test_replace_input_edges(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(5))
+        other = inst.replace(input_edges=[(0, 1)])
+        assert other.input_edges == frozenset({(0, 1)})
+        assert inst.input_edges != other.input_edges
+        # wiring is unchanged
+        for v in range(5):
+            for p in range(1, 5):
+                assert inst.peer_of_port(v, p) == other.peer_of_port(v, p)
+
+    def test_equality_and_hash(self):
+        a = BCCInstance.kt0_from_graph(one_cycle(5))
+        b = BCCInstance.kt0_from_graph(one_cycle(5))
+        assert a == b and hash(a) == hash(b)
+        c = a.replace(input_edges=[(0, 2)])
+        assert a != c
+
+    def test_has_input_edge(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        assert inst.has_input_edge(0, 1) and inst.has_input_edge(1, 0)
+        assert not inst.has_input_edge(0, 2)

@@ -1,0 +1,108 @@
+"""Direct tests for InitialKnowledge and Transcript primitives."""
+
+import pytest
+
+from repro.core import (
+    InitialKnowledge,
+    PublicCoin,
+    RoundRecord,
+    Transcript,
+    sent_label,
+)
+
+
+def _knowledge(kt=0, **overrides):
+    base = dict(
+        vertex_id=3,
+        n=5,
+        bandwidth=1,
+        kt=kt,
+        ports=(1, 2, 3, 4),
+        input_ports=frozenset({1, 4}),
+        all_ids=None if kt == 0 else (0, 1, 2, 3, 4),
+        coin=PublicCoin(),
+    )
+    base.update(overrides)
+    return InitialKnowledge(**base)
+
+
+class TestInitialKnowledge:
+    def test_kt0_must_not_have_ids(self):
+        with pytest.raises(ValueError):
+            _knowledge(kt=0, all_ids=(0, 1, 2, 3, 4))
+
+    def test_kt1_must_have_ids(self):
+        with pytest.raises(ValueError):
+            _knowledge(kt=1, all_ids=None)
+
+    def test_input_degree(self):
+        assert _knowledge().input_degree == 2
+
+    def test_neighbor_ids_kt1_only(self):
+        k = _knowledge(kt=1)
+        assert k.neighbor_ids() == frozenset({1, 4})
+        with pytest.raises(ValueError):
+            _knowledge(kt=0).neighbor_ids()
+
+    def test_comparable_view_excludes_coin(self):
+        a = _knowledge(coin=PublicCoin("a"))
+        b = _knowledge(coin=PublicCoin("b"))
+        assert a.comparable_view() == b.comparable_view()
+
+    def test_comparable_view_sees_input_ports(self):
+        a = _knowledge()
+        b = _knowledge(input_ports=frozenset({2, 3}))
+        assert a.comparable_view() != b.comparable_view()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            _knowledge().n = 7  # type: ignore[misc]
+
+
+class TestTranscript:
+    @staticmethod
+    def _transcript():
+        t = Transcript()
+        t.append(RoundRecord(sent="1", received={1: "0", 2: ""}))
+        t.append(RoundRecord(sent="", received={1: "1", 2: "1"}))
+        t.append(RoundRecord(sent="0", received={1: "", 2: "0"}))
+        return t
+
+    def test_rounds_and_records(self):
+        t = self._transcript()
+        assert t.rounds == len(t) == 3
+        assert t.record(2).sent == ""
+        with pytest.raises(IndexError):
+            t.record(0)
+        with pytest.raises(IndexError):
+            t.record(4)
+
+    def test_sent_sequence_and_string(self):
+        t = self._transcript()
+        assert t.sent_sequence() == ("1", "", "0")
+        assert t.sent_string() == "1⊥0"
+
+    def test_bit_accounting(self):
+        t = self._transcript()
+        assert t.bits_sent() == 2
+        assert t.bits_received() == 4
+
+    def test_comparable_prefix(self):
+        t = self._transcript()
+        assert t.prefix_comparable(2) == t.comparable()[:2]
+        assert len(t.prefix_comparable(99)) == 3
+
+    def test_received_key_canonical(self):
+        a = RoundRecord(sent="1", received={2: "0", 1: "1"})
+        b = RoundRecord(sent="1", received={1: "1", 2: "0"})
+        assert a.received_key() == b.received_key()
+        assert a.comparable() == b.comparable()
+
+    def test_sent_label(self):
+        head = Transcript()
+        head.append(RoundRecord(sent="1", received={}))
+        head.append(RoundRecord(sent="", received={}))
+        tail = Transcript()
+        tail.append(RoundRecord(sent="0", received={}))
+        tail.append(RoundRecord(sent="0", received={}))
+        assert sent_label(head, tail) == "1⊥00"

@@ -1,0 +1,70 @@
+"""Tests for the public-coin random source."""
+
+from repro.core import PublicCoin
+
+
+class TestDeterminism:
+    def test_same_seed_same_bits(self):
+        a = PublicCoin("s")
+        b = PublicCoin("s")
+        assert a.bits("k", 100) == b.bits("k", 100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert PublicCoin("s1").bits("k", 64) != PublicCoin("s2").bits("k", 64)
+
+    def test_different_keys_differ(self):
+        c = PublicCoin()
+        assert c.bits("a", 64) != c.bits("b", 64)
+
+    def test_substream_derivation(self):
+        c = PublicCoin("root")
+        s1 = c.substream("phase1")
+        s2 = c.substream("phase2")
+        assert s1 != s2
+        assert s1.bits("k", 32) == PublicCoin("root/phase1").bits("k", 32)
+
+
+class TestDistributions:
+    def test_bits_shape(self):
+        bits = PublicCoin().bits("k", 500)
+        assert len(bits) == 500
+        assert set(bits) <= {0, 1}
+        # crude balance check on a long stream
+        assert 150 < sum(bits) < 350
+
+    def test_zero_bits(self):
+        assert PublicCoin().bits("k", 0) == []
+
+    def test_negative_count_raises(self):
+        try:
+            PublicCoin().bits("k", -1)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_randint_range(self):
+        c = PublicCoin()
+        values = {c.randint(f"k{i}", 3, 7) for i in range(200)}
+        assert values == {3, 4, 5, 6, 7}
+
+    def test_randint_singleton(self):
+        assert PublicCoin().randint("k", 5, 5) == 5
+
+    def test_randint_empty_range(self):
+        try:
+            PublicCoin().randint("k", 5, 4)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_random_unit_interval(self):
+        c = PublicCoin()
+        for i in range(50):
+            x = c.random(f"k{i}")
+            assert 0.0 <= x < 1.0
+
+    def test_hashable(self):
+        assert len({PublicCoin("a"), PublicCoin("a"), PublicCoin("b")}) == 2

@@ -1,0 +1,164 @@
+"""Tests for the RCC(b, r) range model and the transpose separation."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance, PublicCoin
+from repro.core.range_model import RangeModel, RangeNodeAlgorithm, RangeSimulator
+from repro.algorithms.transpose import (
+    broadcast_lower_bound_rounds,
+    transpose_correct,
+    transpose_factory,
+)
+from repro.errors import AlgorithmContractError, SimulationError
+from repro.graphs import one_cycle
+
+
+def _instance(n):
+    return BCCInstance.kt1_from_graph(one_cycle(n))
+
+
+def _random_inputs(n, seed):
+    rng = random.Random(seed)
+    return {
+        i: {j: rng.choice("01") for j in range(n) if j != i} for i in range(n)
+    }
+
+
+class _EchoRange(RangeNodeAlgorithm):
+    """Sends '1' on the lowest port, silence elsewhere."""
+
+    def send(self, round_index):
+        low = min(self.knowledge.ports)
+        return {"1": [low]}
+
+    def receive(self, round_index, messages):
+        self.seen = dict(messages)
+
+    def output(self):
+        return self.seen
+
+
+class TestRangeModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeModel(message_range=0)
+        with pytest.raises(ValueError):
+            RangeModel(bandwidth=0)
+
+    def test_classification(self):
+        assert RangeModel(message_range=1).is_broadcast()
+        assert RangeModel(message_range=7).is_full_clique(8)
+        assert not RangeModel(message_range=3).is_full_clique(8)
+
+
+class TestRangeSimulator:
+    def test_point_to_point_delivery(self):
+        n = 5
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=1, message_range=2))
+        res = sim.run(_instance(n), _EchoRange, 1)
+        # vertex with ID u sends '1' only toward its lowest port (smallest
+        # other ID); everyone else hears silence from u
+        for v in range(n):
+            seen = res.outputs[v]
+            for sender, msg in seen.items():
+                lowest_of_sender = min(
+                    x for x in range(n) if x != sender
+                )
+                expected = "1" if v == lowest_of_sender else ""
+                assert msg == expected, (v, sender)
+
+    def test_range_enforced(self):
+        class ThreeMessages(RangeNodeAlgorithm):
+            def send(self, t):
+                ports = sorted(self.knowledge.ports)
+                return {"1": [ports[0]], "0": [ports[1]], "": ports[2:]}
+
+            def receive(self, t, m):
+                pass
+
+            def output(self):
+                return None
+
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=1, message_range=2))
+        with pytest.raises(AlgorithmContractError):
+            sim.run(_instance(5), ThreeMessages, 1)
+
+    def test_double_assignment_rejected(self):
+        class DoubleAssign(RangeNodeAlgorithm):
+            def send(self, t):
+                p = min(self.knowledge.ports)
+                return {"1": [p], "0": [p]}
+
+            def receive(self, t, m):
+                pass
+
+            def output(self):
+                return None
+
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=1, message_range=2))
+        with pytest.raises(AlgorithmContractError):
+            sim.run(_instance(4), DoubleAssign, 1)
+
+    def test_kt_mismatch(self):
+        sim = RangeSimulator(RangeModel(kt=0, message_range=2))
+        with pytest.raises(SimulationError):
+            sim.run(_instance(4), _EchoRange, 1)
+
+    def test_plain_string_is_broadcast(self):
+        class Shout(RangeNodeAlgorithm):
+            def send(self, t):
+                return "1"
+
+            def receive(self, t, m):
+                self.m = m
+
+            def output(self):
+                return set(self.m.values())
+
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=1, message_range=1))
+        res = sim.run(_instance(4), Shout, 1)
+        assert all(out == {"1"} for out in res.outputs)
+        assert res.distinct_messages_used == 1
+
+
+class TestTransposeSeparation:
+    def test_one_round_with_range_two(self):
+        n = 6
+        inputs = _random_inputs(n, 3)
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=1, message_range=2))
+        res = sim.run(_instance(n), transpose_factory(inputs, use_range=True), 2)
+        assert res.rounds_executed == 1
+        outputs_by_id = {res.instance.vertex_id(v): res.outputs[v] for v in range(n)}
+        assert transpose_correct(inputs, outputs_by_id)
+        assert res.distinct_messages_used <= 2
+
+    def test_broadcast_needs_n_minus_1_rounds(self):
+        n = 6
+        inputs = _random_inputs(n, 4)
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=1, message_range=1))
+        res = sim.run(_instance(n), transpose_factory(inputs, use_range=False), 2 * n)
+        assert res.rounds_executed == broadcast_lower_bound_rounds(n, 1) == n - 1
+        outputs_by_id = {res.instance.vertex_id(v): res.outputs[v] for v in range(n)}
+        assert transpose_correct(inputs, outputs_by_id)
+
+    def test_wider_bandwidth_shrinks_broadcast_rounds(self):
+        n = 9
+        inputs = _random_inputs(n, 5)
+        sim = RangeSimulator(RangeModel(bandwidth=4, kt=1, message_range=1))
+        res = sim.run(_instance(n), transpose_factory(inputs, use_range=False), 2 * n)
+        assert res.rounds_executed == broadcast_lower_bound_rounds(n, 4) == 2
+        outputs_by_id = {res.instance.vertex_id(v): res.outputs[v] for v in range(n)}
+        assert transpose_correct(inputs, outputs_by_id)
+
+    def test_lower_bound_formula(self):
+        assert broadcast_lower_bound_rounds(10, 1) == 9
+        assert broadcast_lower_bound_rounds(10, 3) == 3
+
+    def test_transpose_requires_kt1(self):
+        inputs = _random_inputs(4, 0)
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        sim = RangeSimulator(RangeModel(bandwidth=1, kt=0, message_range=2))
+        with pytest.raises(ValueError):
+            sim.run(inst, transpose_factory(inputs, True), 1)

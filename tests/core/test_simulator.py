@@ -1,0 +1,212 @@
+"""Tests for the synchronous round engine."""
+
+import pytest
+
+from repro.core import (
+    BCC1_KT0,
+    BCC1_KT1,
+    BCCInstance,
+    BCCModel,
+    ConstantAlgorithm,
+    FunctionalAlgorithm,
+    NO,
+    NodeAlgorithm,
+    PublicCoin,
+    SilentAlgorithm,
+    Simulator,
+    YES,
+    decision_of_run,
+)
+from repro.errors import AlgorithmContractError, SimulationError
+from repro.graphs import one_cycle, two_cycles
+
+
+class EchoDegree(NodeAlgorithm):
+    """Broadcasts '1' iff this vertex has input degree 2; collects messages."""
+
+    def setup(self, knowledge):
+        super().setup(knowledge)
+        self.seen = []
+
+    def broadcast(self, round_index):
+        return "1" if self.knowledge.input_degree == 2 else "0"
+
+    def receive(self, round_index, messages):
+        self.seen.append(dict(messages))
+
+    def output(self):
+        return YES
+
+
+class TestRunBasics:
+    def test_zero_rounds(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        res = Simulator(BCC1_KT0).run(inst, SilentAlgorithm, 0)
+        assert res.rounds_executed == 0
+        assert res.broadcast_history == ()
+        assert decision_of_run(res) == YES
+
+    def test_transcripts_align_with_history(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(5))
+        res = Simulator(BCC1_KT0).run(inst, EchoDegree, 3)
+        assert res.rounds_executed == 3
+        for v in range(5):
+            assert res.transcripts[v].rounds == 3
+            for t in range(1, 4):
+                assert res.transcripts[v].record(t).sent == res.broadcast_history[t - 1][v]
+
+    def test_messages_routed_by_port(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(4))
+        res = Simulator(BCC1_KT1).run(inst, EchoDegree, 1)
+        # in KT-1 the port label is the sender's ID
+        rec = res.transcripts[0].record(1).received
+        assert set(rec.keys()) == {1, 2, 3}
+        assert all(m == "1" for m in rec.values())
+
+    def test_every_vertex_hears_n_minus_1(self):
+        inst = BCCInstance.kt0_from_graph(two_cycles(8, 4))
+        res = Simulator(BCC1_KT0).run(inst, ConstantAlgorithm, 2)
+        for v in range(8):
+            assert len(res.transcripts[v].record(1).received) == 7
+
+    def test_public_coin_shared(self):
+        captured = []
+
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: str(self.knowledge.coin.bit("r1")),
+                receive=lambda self, t, m: captured.append(sorted(m.values())),
+                output=lambda self: YES,
+            )
+
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        res = Simulator(BCC1_KT0).run(inst, factory, 1, coin=PublicCoin("x"))
+        # all vertices drew the same public bit
+        assert len(set(res.broadcast_history[0])) == 1
+
+    def test_same_coin_reproducible(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: str(self.knowledge.coin.bit(f"r{t}")),
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        sim = Simulator(BCC1_KT0)
+        r1 = sim.run(inst, factory, 4, coin=PublicCoin("seed-a"))
+        r2 = sim.run(inst, factory, 4, coin=PublicCoin("seed-a"))
+        assert r1.broadcast_history == r2.broadcast_history
+
+
+class TestContracts:
+    def test_kt_mismatch(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(4))
+        with pytest.raises(SimulationError):
+            Simulator(BCC1_KT0).run(inst, SilentAlgorithm, 1)
+
+    def test_negative_rounds(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        with pytest.raises(SimulationError):
+            Simulator(BCC1_KT0).run(inst, SilentAlgorithm, -1)
+
+    def test_bandwidth_enforced(self):
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: "01",
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        with pytest.raises(AlgorithmContractError):
+            Simulator(BCC1_KT0).run(inst, factory, 1)
+
+    def test_knowledge_hides_global_ids_in_kt0(self):
+        seen = {}
+
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: seen.setdefault("k", self.knowledge) and "",
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        Simulator(BCC1_KT0).run(inst, factory, 1)
+        assert seen["k"].all_ids is None
+        assert seen["k"].kt == 0
+
+    def test_knowledge_exposes_ids_in_kt1(self):
+        sim = Simulator(BCC1_KT1)
+        inst = BCCInstance.kt1_from_graph(one_cycle(4), ids=[7, 8, 9, 10])
+        k = sim.initial_knowledge(inst, 2, PublicCoin())
+        assert k.all_ids == (7, 8, 9, 10)
+        assert k.vertex_id == 9
+        assert k.neighbor_ids() == frozenset({8, 10})
+
+
+class TestEarlyTermination:
+    @staticmethod
+    def _stops_after(k):
+        class StopsAfter(NodeAlgorithm):
+            def setup(self, knowledge):
+                super().setup(knowledge)
+                self.rounds_seen = 0
+
+            def broadcast(self, t):
+                return "1"
+
+            def receive(self, t, messages):
+                self.rounds_seen += 1
+
+            def finished(self):
+                return self.rounds_seen >= k
+
+            def output(self):
+                return YES
+
+        return StopsAfter
+
+    def test_stops_early(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        res = Simulator(BCC1_KT0).run(inst, self._stops_after(2), 10)
+        assert res.rounds_executed == 2
+        assert res.all_finished
+
+    def test_run_until_done_ok(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        res = Simulator(BCC1_KT0).run_until_done(inst, self._stops_after(3), 5)
+        assert res.rounds_executed == 3
+
+    def test_run_until_done_raises_on_budget(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        with pytest.raises(SimulationError):
+            Simulator(BCC1_KT0).run_until_done(inst, self._stops_after(9), 5)
+
+
+class TestAccounting:
+    def test_bits_counted(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(5))
+        res = Simulator(BCC1_KT0).run(inst, ConstantAlgorithm, 3)
+        assert res.total_bits_broadcast() == 5 * 3
+        assert res.transcripts[0].bits_sent() == 3
+        assert res.transcripts[0].bits_received() == 4 * 3
+
+    def test_silent_bits_zero(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(5))
+        res = Simulator(BCC1_KT0).run(inst, SilentAlgorithm, 3)
+        assert res.total_bits_broadcast() == 0
+
+    def test_decision_no(self):
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: "",
+                receive=lambda self, t, m: None,
+                output=lambda self: NO if self.knowledge.vertex_id == 0 else YES,
+            )
+
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        res = Simulator(BCC1_KT0).run(inst, factory, 1)
+        assert decision_of_run(res) == NO

@@ -1,0 +1,110 @@
+"""Hypothesis property tests for the round engine's global invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BCC1_KT0,
+    BCC1_KT1,
+    FunctionalAlgorithm,
+    PublicCoin,
+    Simulator,
+    YES,
+)
+from repro.instances import random_multi_cycle_instance, random_one_cycle_instance
+
+
+def _coin_chatter_factory():
+    """A message pattern rich enough to exercise all alphabet characters."""
+
+    def broadcast(self, t):
+        r = self.knowledge.coin.substream(str(self.knowledge.vertex_id)).randint(
+            f"r{t}", 0, 2
+        )
+        return ["", "0", "1"][r]
+
+    return lambda: FunctionalAlgorithm(
+        broadcast=broadcast,
+        receive=lambda self, t, m: None,
+        output=lambda self: YES,
+    )
+
+
+@st.composite
+def run_configs(draw):
+    n = draw(st.integers(min_value=6, max_value=14))
+    kt = draw(st.sampled_from([0, 1]))
+    rounds = draw(st.integers(min_value=0, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    return n, kt, rounds, seed
+
+
+class TestGlobalInvariants:
+    @given(run_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_of_bits(self, config):
+        """Every broadcast bit is received exactly n - 1 times."""
+        n, kt, rounds, seed = config
+        rng = random.Random(seed)
+        inst = random_one_cycle_instance(n, kt, rng, shuffle_ports=(kt == 0))
+        sim = Simulator(BCC1_KT0 if kt == 0 else BCC1_KT1)
+        res = sim.run(inst, _coin_chatter_factory(), rounds, coin=PublicCoin(str(seed)))
+        sent = res.total_bits_broadcast()
+        received = sum(t.bits_received() for t in res.transcripts)
+        assert received == (n - 1) * sent
+
+    @given(run_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_history_matches_transcripts(self, config):
+        n, kt, rounds, seed = config
+        rng = random.Random(seed)
+        inst = random_one_cycle_instance(n, kt, rng)
+        sim = Simulator(BCC1_KT0 if kt == 0 else BCC1_KT1)
+        res = sim.run(inst, _coin_chatter_factory(), rounds, coin=PublicCoin(str(seed)))
+        for t in range(res.rounds_executed):
+            for v in range(n):
+                assert res.broadcast_history[t][v] == res.transcripts[v].record(t + 1).sent
+
+    @given(run_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_received_messages_respect_wiring(self, config):
+        """The message vertex v records on port p is exactly what the peer
+        behind p broadcast that round."""
+        n, kt, rounds, seed = config
+        rng = random.Random(seed)
+        inst = random_one_cycle_instance(n, kt, rng, shuffle_ports=(kt == 0))
+        sim = Simulator(BCC1_KT0 if kt == 0 else BCC1_KT1)
+        res = sim.run(inst, _coin_chatter_factory(), rounds, coin=PublicCoin(str(seed)))
+        for t in range(res.rounds_executed):
+            for v in range(n):
+                for port, msg in res.transcripts[v].record(t + 1).received.items():
+                    peer = inst.peer_of_port(v, port)
+                    assert msg == res.broadcast_history[t][peer]
+
+    @given(run_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, config):
+        n, kt, rounds, seed = config
+        rng = random.Random(seed)
+        inst = random_multi_cycle_instance(max(n, 6), 2, kt, rng)
+        sim = Simulator(BCC1_KT0 if kt == 0 else BCC1_KT1)
+        coin = PublicCoin(f"det-{seed}")
+        a = sim.run(inst, _coin_chatter_factory(), rounds, coin=coin)
+        b = sim.run(inst, _coin_chatter_factory(), rounds, coin=coin)
+        assert a.broadcast_history == b.broadcast_history
+        assert a.outputs == b.outputs
+
+    @given(run_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_sent_string_alphabet(self, config):
+        n, kt, rounds, seed = config
+        rng = random.Random(seed)
+        inst = random_one_cycle_instance(n, kt, rng)
+        sim = Simulator(BCC1_KT0 if kt == 0 else BCC1_KT1)
+        res = sim.run(inst, _coin_chatter_factory(), rounds, coin=PublicCoin(str(seed)))
+        for v in range(n):
+            s = res.transcripts[v].sent_string()
+            assert len(s) == res.rounds_executed
+            assert set(s) <= {"0", "1", "⊥"}

@@ -1,0 +1,134 @@
+"""Tests for execution tracing and instance serialization."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BCC1_KT0,
+    ConstantAlgorithm,
+    Simulator,
+    first_divergence,
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+    render_diff,
+    render_run,
+    render_vertex,
+)
+from repro.crossing import cross
+from repro.errors import InvalidInstanceError
+from repro.instances import one_cycle_instance, two_cycle_instance
+
+SIM = Simulator(BCC1_KT0)
+
+
+class TestRendering:
+    def test_render_run_shape(self):
+        inst = one_cycle_instance(5)
+        res = SIM.run(inst, ConstantAlgorithm, 3)
+        text = render_run(res)
+        assert "round" in text
+        assert text.count("\n") >= 6  # header + rule + 3 rounds + rule + out
+        assert "1" in text
+
+    def test_render_run_truncation(self):
+        inst = one_cycle_instance(4)
+        res = SIM.run(inst, ConstantAlgorithm, 5)
+        short = render_run(res, max_rounds=2)
+        assert "3 |" not in short
+
+    def test_render_vertex(self):
+        inst = one_cycle_instance(4)
+        res = SIM.run(inst, ConstantAlgorithm, 2)
+        text = render_vertex(res, 2)
+        assert "vertex index 2" in text
+        assert "round 1" in text and "round 2" in text
+        assert "output" in text
+
+    def test_silent_rendered_as_bottom(self):
+        from repro.core import SilentAlgorithm
+
+        inst = one_cycle_instance(4)
+        res = SIM.run(inst, SilentAlgorithm, 1)
+        assert "⊥" in render_run(res)
+
+
+class TestDiff:
+    def test_identical_runs(self):
+        inst = one_cycle_instance(6)
+        a = SIM.run(inst, ConstantAlgorithm, 3)
+        b = SIM.run(inst, ConstantAlgorithm, 3)
+        assert first_divergence(a, b) is None
+        assert "identical" in render_diff(a, b)
+
+    def test_divergent_runs_located(self):
+        from repro.core import FunctionalAlgorithm, YES
+
+        def id_factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: str(self.knowledge.vertex_id % 2),
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        inst = one_cycle_instance(8)
+        crossed = cross(inst, (0, 1), (4, 5))
+        a = SIM.run(inst, id_factory, 2)
+        b = SIM.run(crossed, id_factory, 2)
+        # ID-parity broadcasts are instance-independent: histories equal
+        assert first_divergence(a, b) is None
+
+    def test_divergence_on_different_behavior(self):
+        from repro.core import FunctionalAlgorithm, YES
+
+        def degree_of_port_one():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: "1" if 1 in self.knowledge.input_ports else "0",
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        a = SIM.run(one_cycle_instance(6), degree_of_port_one, 1)
+        b = SIM.run(two_cycle_instance(6, 3), degree_of_port_one, 1)
+        divergence = first_divergence(a, b)
+        if divergence is not None:
+            t, _v = divergence
+            assert t == 1
+        assert "diff" in render_diff(a, b)
+
+
+class TestSerialization:
+    def test_round_trip_kt0(self):
+        inst = one_cycle_instance(7, rng=random.Random(3))
+        assert instance_from_dict(instance_to_dict(inst)) == inst
+
+    def test_round_trip_kt1(self):
+        inst = one_cycle_instance(6, kt=1, ids=[5, 9, 11, 20, 21, 30])
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_round_trip_crossed_instance(self):
+        inst = one_cycle_instance(9)
+        crossed = cross(inst, (0, 1), (4, 5))
+        assert instance_from_json(instance_to_json(crossed)) == crossed
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"format": "something-else"})
+
+    def test_bad_version_rejected(self):
+        data = instance_to_dict(one_cycle_instance(4))
+        data["version"] = 99
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+    def test_corrupt_wiring_rejected(self):
+        data = instance_to_dict(one_cycle_instance(4))
+        data["peers"][0]["1"] = 0  # port now points at the vertex itself
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+    def test_json_is_stable(self):
+        inst = one_cycle_instance(5)
+        assert instance_to_json(inst) == instance_to_json(inst)

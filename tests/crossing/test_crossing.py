@@ -1,0 +1,121 @@
+"""Tests for Definition 3.3 (port-preserving crossings)."""
+
+import pytest
+
+from repro.core import BCCInstance
+from repro.crossing import cross, crossed_edge_sets
+from repro.errors import InvalidCrossingError
+from repro.instances import one_cycle_instance, two_cycle_instance
+
+
+class TestCrossStructure:
+    def test_splits_cycle(self):
+        inst = one_cycle_instance(10)
+        crossed = cross(inst, (0, 1), (4, 5))
+        comps = sorted(len(c) for c in crossed.input_graph().connected_components())
+        assert comps == [4, 6]
+
+    def test_new_edges_present_old_absent(self):
+        inst = one_cycle_instance(10)
+        crossed = cross(inst, (0, 1), (4, 5))
+        assert crossed.has_input_edge(0, 5)
+        assert crossed.has_input_edge(4, 1)
+        assert not crossed.has_input_edge(0, 1)
+        assert not crossed.has_input_edge(4, 5)
+
+    def test_crossed_edge_sets_helper(self):
+        assert crossed_edge_sets((0, 1), (4, 5)) == ((0, 5), (1, 4))
+
+    def test_merges_two_cycles(self):
+        inst = two_cycle_instance(10, 5)
+        crossed = cross(inst, (0, 1), (5, 6))
+        assert crossed.input_graph().is_connected()
+
+    def test_degrees_preserved(self):
+        inst = one_cycle_instance(9)
+        crossed = cross(inst, (0, 1), (3, 4))
+        for v in range(9):
+            assert crossed.input_degree(v) == 2
+
+
+class TestPortPreservation:
+    def test_local_views_unchanged(self):
+        """Every vertex keeps its port labels and input ports (the heart of
+        Definition 3.3)."""
+        inst = one_cycle_instance(10)
+        crossed = cross(inst, (0, 1), (4, 5))
+        for v in range(10):
+            assert inst.port_labels(v) == crossed.port_labels(v)
+            assert inst.input_ports(v) == crossed.input_ports(v)
+
+    def test_rewiring_matches_definition(self):
+        inst = one_cycle_instance(10)
+        v1, u1, v2, u2 = 0, 1, 4, 5
+        p1 = inst.port_to_peer(v1, u1)
+        q1 = inst.port_to_peer(u1, v1)
+        p2 = inst.port_to_peer(v2, u2)
+        q2 = inst.port_to_peer(u2, v2)
+        p1p = inst.port_to_peer(v1, u2)
+        q2p = inst.port_to_peer(u2, v1)
+        p2p = inst.port_to_peer(v2, u1)
+        q1p = inst.port_to_peer(u1, v2)
+
+        crossed = cross(inst, (v1, u1), (v2, u2))
+        # e1 = (v1, u1) now wired at ports (p1', q1')
+        assert crossed.port_to_peer(v1, u1) == p1p
+        assert crossed.port_to_peer(u1, v1) == q1p
+        # e2 = (v2, u2) at (p2', q2')
+        assert crossed.port_to_peer(v2, u2) == p2p
+        assert crossed.port_to_peer(u2, v2) == q2p
+        # e1' = (v1, u2) at (p1, q2)
+        assert crossed.port_to_peer(v1, u2) == p1
+        assert crossed.port_to_peer(u2, v1) == q2
+        # e2' = (v2, u1) at (p2, q1)
+        assert crossed.port_to_peer(v2, u1) == p2
+        assert crossed.port_to_peer(u1, v2) == q1
+
+    def test_other_wiring_untouched(self):
+        inst = one_cycle_instance(10)
+        crossed = cross(inst, (0, 1), (4, 5))
+        touched = {0, 1, 4, 5}
+        for v in range(10):
+            for port in inst.port_labels(v):
+                peer_before = inst.peer_of_port(v, port)
+                peer_after = crossed.peer_of_port(v, port)
+                if v not in touched or peer_before not in touched:
+                    assert peer_before == peer_after
+
+    def test_crossing_is_involution_on_input_graph(self):
+        """Crossing the new pair back restores the original input graph."""
+        inst = one_cycle_instance(10)
+        crossed = cross(inst, (0, 1), (4, 5))
+        # cross back using the new edges (0,5) and (4,1)
+        restored = cross(crossed, (0, 5), (4, 1))
+        assert restored.input_edges == inst.input_edges
+
+
+class TestCrossValidation:
+    def test_requires_kt0(self):
+        inst = one_cycle_instance(10, kt=1)
+        with pytest.raises(InvalidCrossingError):
+            cross(inst, (0, 1), (4, 5))
+
+    def test_requires_input_edges(self):
+        inst = one_cycle_instance(10)
+        with pytest.raises(InvalidCrossingError):
+            cross(inst, (0, 2), (4, 5))
+
+    def test_requires_independence(self):
+        inst = one_cycle_instance(10)
+        with pytest.raises(InvalidCrossingError):
+            cross(inst, (0, 1), (1, 2))
+        with pytest.raises(InvalidCrossingError):
+            cross(inst, (0, 1), (2, 3))
+
+    def test_result_is_valid_instance(self):
+        inst = one_cycle_instance(12)
+        crossed = cross(inst, (2, 3), (7, 8))
+        # BCCInstance validates invariants on construction; also spot-check
+        for v in range(12):
+            peers = {crossed.peer_of_port(v, p) for p in crossed.port_labels(v)}
+            assert peers == set(range(12)) - {v}

@@ -1,0 +1,122 @@
+"""Tests for Definition 3.2 (independent edges).
+
+Orientation subtleties on a cycle (all verified here):
+
+* consistently oriented edges (both "clockwise") are independent iff their
+  circular distance is >= 3 in both directions -- and crossing such a pair
+  splits the cycle in two;
+* oppositely oriented edges are independent already at distance >= 2 --
+  crossing such a pair *reverses* a segment and keeps a single cycle.
+
+Both kinds are legitimate crossings under Definition 3.3; only the first
+kind produces TwoCycle NO-instances, which is why the indistinguishability
+graph builder filters by component count.
+"""
+
+from repro.crossing import (
+    are_independent,
+    cross,
+    independent_edge_set_on_cycle,
+    independent_pairs,
+)
+from repro.instances import one_cycle_instance
+
+
+class TestAreIndependent:
+    def test_consistent_distance_three(self):
+        inst = one_cycle_instance(9)
+        assert are_independent(inst, (0, 1), (3, 4))
+
+    def test_shared_vertex_not_independent(self):
+        inst = one_cycle_instance(9)
+        assert not are_independent(inst, (0, 1), (1, 2))
+
+    def test_consistent_distance_two_not_independent(self):
+        # crossing (0,1) and (2,3) would need {1,2} absent, but it's an edge
+        inst = one_cycle_instance(9)
+        assert not are_independent(inst, (0, 1), (2, 3))
+
+    def test_reversed_distance_two_is_independent(self):
+        # (0,1) with (3,2): new edges {0,2} and {1,3} are both absent
+        inst = one_cycle_instance(9)
+        assert are_independent(inst, (0, 1), (3, 2))
+
+    def test_reversed_crossing_preserves_one_cycle(self):
+        inst = one_cycle_instance(9)
+        crossed = cross(inst, (0, 1), (3, 2))
+        assert crossed.input_graph().is_connected()
+
+    def test_consistent_crossing_disconnects(self):
+        inst = one_cycle_instance(9)
+        crossed = cross(inst, (0, 1), (3, 4))
+        assert not crossed.input_graph().is_connected()
+
+    def test_non_input_edges_rejected(self):
+        inst = one_cycle_instance(9)
+        assert not are_independent(inst, (0, 2), (4, 5))
+
+
+class TestIndependentPairs:
+    @staticmethod
+    def _expected_count(n):
+        """Directed independent pairs on the canonical n-cycle.
+
+        Per unordered pair of undirected edges at circular distance d:
+        2 reversed variants are independent at d >= 2, plus 2 consistent
+        variants at d >= 3. There are n unordered pairs at each distance
+        d < n/2 and n/2 at d = n/2.
+        """
+        total = 0
+        for d in range(2, n // 2 + 1):
+            pairs = n if 2 * d != n else n // 2
+            variants = 2 if d == 2 else 4
+            total += pairs * variants
+        return total
+
+    def test_count_on_cycles(self):
+        for n in (6, 7, 8, 9):
+            inst = one_cycle_instance(n)
+            pairs = list(independent_pairs(inst))
+            assert len(pairs) == self._expected_count(n), n
+            for e1, e2 in pairs:
+                assert are_independent(inst, e1, e2)
+
+    def test_every_pair_crossable(self):
+        inst = one_cycle_instance(8)
+        for e1, e2 in independent_pairs(inst):
+            crossed = cross(inst, e1, e2)
+            assert crossed.input_graph().is_regular(2)
+
+    def test_tiny_cycle_has_no_disconnecting_pairs(self):
+        # n = 5: reversed pairs exist (segment reversal), but no crossing
+        # can split into two cycles of length >= 3
+        inst = one_cycle_instance(5)
+        for e1, e2 in independent_pairs(inst):
+            assert cross(inst, e1, e2).input_graph().is_connected()
+
+
+class TestIndependentEdgeSet:
+    def test_floor_n_over_3(self):
+        for n in (9, 10, 11, 12, 13):
+            inst = one_cycle_instance(n)
+            edges = independent_edge_set_on_cycle(n)
+            assert len(edges) == n // 3
+            for i, e1 in enumerate(edges):
+                for e2 in edges[i + 1 :]:
+                    assert are_independent(inst, e1, e2), (n, e1, e2)
+
+    def test_all_crossings_in_set_disconnect(self):
+        n = 12
+        inst = one_cycle_instance(n)
+        edges = independent_edge_set_on_cycle(n)
+        for i, e1 in enumerate(edges):
+            for e2 in edges[i + 1 :]:
+                assert not cross(inst, e1, e2).input_graph().is_connected()
+
+    def test_rejects_tight_spacing(self):
+        try:
+            independent_edge_set_on_cycle(9, spacing=2)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")

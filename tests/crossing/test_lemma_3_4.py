@@ -1,0 +1,206 @@
+"""Operational validation of Lemma 3.4 on real simulator executions.
+
+Lemma 3.4: if the heads of two crossed independent edges broadcast the same
+sequence and the tails broadcast the same sequence during the first t
+rounds, then I and I(e1, e2) are indistinguishable after t rounds.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BCC1_KT0,
+    ConstantAlgorithm,
+    FunctionalAlgorithm,
+    NodeAlgorithm,
+    PublicCoin,
+    SilentAlgorithm,
+    Simulator,
+    YES,
+)
+from repro.crossing import (
+    check_lemma_3_4,
+    cross,
+    distinguishing_vertices,
+    indistinguishable_runs,
+    lemma_3_4_premise_holds,
+)
+from repro.instances import one_cycle_instance
+
+SIM = Simulator(BCC1_KT0)
+
+
+class BroadcastDegreeParity(NodeAlgorithm):
+    """Symmetric algorithm: all vertices of a 2-regular graph act alike."""
+
+    def broadcast(self, t):
+        return str(self.knowledge.input_degree % 2)
+
+    def receive(self, t, messages):
+        pass
+
+    def output(self):
+        return YES
+
+
+class BroadcastIdBits(NodeAlgorithm):
+    """Asymmetric algorithm: vertex broadcasts its ID bit by bit."""
+
+    def broadcast(self, t):
+        return str((self.knowledge.vertex_id >> (t - 1)) & 1)
+
+    def receive(self, t, messages):
+        pass
+
+    def output(self):
+        return YES
+
+
+class EchoMinPort(NodeAlgorithm):
+    """Stateful algorithm: echoes the message heard on the minimum input port.
+
+    Exercises the induction step of Lemma 3.4: round t's broadcast depends
+    on messages received in earlier rounds.
+    """
+
+    def setup(self, knowledge):
+        super().setup(knowledge)
+        self._next = "1"
+
+    def broadcast(self, t):
+        return self._next
+
+    def receive(self, t, messages):
+        port = min(self.knowledge.input_ports)
+        self._next = messages[port] or "0"
+
+    def output(self):
+        return YES
+
+
+@pytest.mark.parametrize("factory", [SilentAlgorithm, ConstantAlgorithm, BroadcastDegreeParity, EchoMinPort])
+@pytest.mark.parametrize("rounds", [1, 3, 5])
+def test_symmetric_algorithms_fooled(factory, rounds):
+    """Symmetric algorithms satisfy the premise, so crossing must fool them."""
+    inst = one_cycle_instance(10)
+    e1, e2 = (0, 1), (4, 5)
+    crossed = cross(inst, e1, e2)
+    premise, conclusion = check_lemma_3_4(SIM, inst, crossed, factory, e1, e2, rounds)
+    assert premise
+    assert conclusion
+
+
+def test_asymmetric_algorithm_premise_fails_and_distinguishes():
+    """With distinct IDs broadcast, the premise fails; the lemma is silent,
+    and indeed the runs are distinguishable at the crossed endpoints."""
+    inst = one_cycle_instance(10)
+    e1, e2 = (0, 1), (4, 5)
+    crossed = cross(inst, e1, e2)
+    premise, conclusion = check_lemma_3_4(
+        SIM, inst, crossed, BroadcastIdBits, e1, e2, rounds=4
+    )
+    assert not premise
+    assert not conclusion
+
+
+def test_asymmetric_with_matching_endpoints():
+    """Premise can hold for an ID-based algorithm if the crossed endpoints'
+    IDs happen to agree on the broadcast bits; engineer that via ID choice."""
+    # IDs chosen so vertices 0 and 4 share low bits, and 1 and 5 share them
+    ids = [0b00, 0b01, 0b10, 0b11, 0b100, 0b101, 0b110, 0b111, 0b1000, 0b1001]
+    # low 2 bits: v0=00, v4=00; v1=01, v5=01
+    inst = one_cycle_instance(10, ids=ids)
+    e1, e2 = (0, 1), (4, 5)
+    crossed = cross(inst, e1, e2)
+    premise, conclusion = check_lemma_3_4(
+        SIM, inst, crossed, BroadcastIdBits, e1, e2, rounds=2
+    )
+    assert premise
+    assert conclusion
+
+
+def test_distinguishing_vertices_are_crossed_endpoints():
+    inst = one_cycle_instance(10)
+    e1, e2 = (0, 1), (4, 5)
+    crossed = cross(inst, e1, e2)
+    run_a = SIM.run(inst, BroadcastIdBits, 4)
+    run_b = SIM.run(crossed, BroadcastIdBits, 4)
+    diff = distinguishing_vertices(SIM, run_a, run_b)
+    assert set(diff) <= {0, 1, 4, 5}
+    assert diff  # they do differ
+
+
+def test_randomized_algorithm_with_shared_coin_fooled():
+    """Public-coin randomness is identical across runs, so a coin-driven
+    symmetric algorithm still satisfies the premise."""
+
+    def factory():
+        return FunctionalAlgorithm(
+            broadcast=lambda self, t: str(self.knowledge.coin.bit(f"round{t}")),
+            receive=lambda self, t, m: None,
+            output=lambda self: YES,
+        )
+
+    inst = one_cycle_instance(9)
+    e1, e2 = (0, 1), (3, 4)
+    crossed = cross(inst, e1, e2)
+    coin = PublicCoin("lemma34")
+    premise, conclusion = check_lemma_3_4(
+        SIM, inst, crossed, factory, e1, e2, rounds=5, coin=coin
+    )
+    assert premise and conclusion
+
+
+def test_indistinguishable_runs_reflexive():
+    inst = one_cycle_instance(8)
+    run = SIM.run(inst, ConstantAlgorithm, 3)
+    assert indistinguishable_runs(SIM, run, run)
+
+
+def test_premise_checker():
+    inst = one_cycle_instance(10)
+    run = SIM.run(inst, BroadcastIdBits, 3)
+    # vertices 0 and 4 differ in bit 2 (value 0 vs 1): premise fails at t=3
+    assert not lemma_3_4_premise_holds(run, (0, 1), (4, 5))
+    # at t=2 their low bits agree only if IDs match there; ids are 0..9
+    # v0=0b00, v4=0b100 -> low 2 bits match
+    assert lemma_3_4_premise_holds(run, (0, 1), (4, 5), rounds=2)
+
+
+@given(
+    n=st.integers(min_value=8, max_value=14),
+    rounds=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_premise_implies_indistinguishable(n, rounds, seed):
+    """Lemma 3.4 as a property: random independent pair, coin-driven
+    symmetric algorithm, arbitrary (shuffled) KT-0 port numbering."""
+    rng = random.Random(seed)
+    inst = one_cycle_instance(n, rng=rng)
+    # pick a random independent consistently-oriented pair on the canonical cycle
+    i = rng.randrange(n)
+    j = (i + rng.randrange(3, n - 2)) % n
+    # ensure distance >= 3 both ways
+    d = (j - i) % n
+    if d < 3 or n - d < 3:
+        return
+    e1 = (i, (i + 1) % n)
+    e2 = (j, (j + 1) % n)
+    crossed = cross(inst, e1, e2)
+
+    def factory():
+        return FunctionalAlgorithm(
+            broadcast=lambda self, t: str(self.knowledge.coin.bit(f"b{t}")),
+            receive=lambda self, t, m: None,
+            output=lambda self: YES,
+        )
+
+    premise, conclusion = check_lemma_3_4(
+        SIM, inst, crossed, factory, e1, e2, rounds, coin=PublicCoin(f"s{seed}")
+    )
+    assert premise
+    assert conclusion

@@ -1,0 +1,134 @@
+"""Unit and property tests for union-find and component labelling."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    UnionFind,
+    component_labels,
+    components_from_edges,
+    gnp_random_graph,
+    labels_agree_with_components,
+    one_cycle,
+    two_cycles,
+)
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(range(5))
+        assert uf.component_count() == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.component_count() == 3
+
+    def test_union_same_component_returns_false(self):
+        uf = UnionFind(range(3))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert not uf.union(0, 2)
+
+    def test_lazy_add_on_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert len(uf) == 2
+
+    def test_find_unknown_raises(self):
+        uf = UnionFind()
+        try:
+            uf.find(42)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_component_size(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(3) == 1
+
+    def test_components_materialization(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        comps = sorted(sorted(c) for c in uf.components())
+        assert comps == [[0, 1], [2], [3]]
+
+
+class TestComponentLabels:
+    def test_cycle_single_label(self):
+        labels = component_labels(one_cycle(6))
+        assert set(labels.values()) == {0}
+
+    def test_two_cycles_two_labels(self):
+        labels = component_labels(two_cycles(8, 4))
+        assert set(labels.values()) == {0, 4}
+
+    def test_labels_agree_accepts_valid(self):
+        g = two_cycles(8, 4)
+        assert labels_agree_with_components(g, component_labels(g))
+
+    def test_labels_agree_accepts_renamed_labels(self):
+        g = two_cycles(8, 4)
+        labels = {v: ("L" if v < 4 else "R") for v in range(8)}
+        assert labels_agree_with_components(g, labels)
+
+    def test_labels_agree_rejects_merged_labels(self):
+        g = two_cycles(8, 4)
+        labels = {v: "same" for v in range(8)}
+        assert not labels_agree_with_components(g, labels)
+
+    def test_labels_agree_rejects_split_component(self):
+        g = one_cycle(6)
+        labels = {v: (0 if v < 3 else 1) for v in range(6)}
+        assert not labels_agree_with_components(g, labels)
+
+    def test_labels_agree_rejects_missing_vertex(self):
+        g = one_cycle(4)
+        labels = {0: 0, 1: 0, 2: 0}
+        assert not labels_agree_with_components(g, labels)
+
+
+@st.composite
+def random_edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    m = draw(st.integers(min_value=0, max_value=40))
+    edges = [
+        tuple(
+            draw(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ).filter(lambda e: e[0] != e[1])
+            )
+        )
+        for _ in range(m)
+    ]
+    return n, edges
+
+
+class TestUnionFindMatchesBFS:
+    @given(random_edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_union_find_agrees_with_graph_components(self, data):
+        n, edges = data
+        uf = components_from_edges(n, edges)
+        g = Graph(range(n), edges)
+        bfs_comps = {frozenset(c) for c in g.connected_components()}
+        uf_comps = {frozenset(c) for c in uf.components()}
+        assert bfs_comps == uf_comps
+
+    def test_random_gnp_agreement(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            g = gnp_random_graph(30, 0.05, rng)
+            uf = components_from_edges(30, g.edges())
+            assert uf.component_count() == len(g.connected_components())

@@ -1,0 +1,109 @@
+"""Tests for graph generators."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    bounded_arboricity_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    one_cycle,
+    path_graph,
+    random_cycle,
+    random_forest,
+    random_union_of_cycles,
+    two_cycles,
+    union_of_cycles,
+)
+
+
+class TestCycleGenerators:
+    def test_one_cycle_shape(self):
+        g = one_cycle(5)
+        assert g.vertex_count == 5 and g.edge_count == 5
+        assert g.is_regular(2) and g.is_connected()
+
+    def test_cycle_graph_order(self):
+        g = cycle_graph([3, 1, 4])
+        assert g.has_edge(3, 1) and g.has_edge(1, 4) and g.has_edge(4, 3)
+
+    def test_cycle_too_short(self):
+        with pytest.raises(ValueError):
+            cycle_graph([0, 1])
+
+    def test_cycle_repeated_vertices(self):
+        with pytest.raises(ValueError):
+            cycle_graph([0, 1, 0])
+
+    def test_two_cycles_shape(self):
+        g = two_cycles(10, 4)
+        comps = sorted(len(c) for c in g.connected_components())
+        assert comps == [4, 6]
+        assert g.is_regular(2)
+
+    def test_two_cycles_bad_split(self):
+        with pytest.raises(ValueError):
+            two_cycles(10, 2)
+        with pytest.raises(ValueError):
+            two_cycles(10, 8)
+
+    def test_union_disjointness_enforced(self):
+        with pytest.raises(ValueError):
+            union_of_cycles([[0, 1, 2], [2, 3, 4]])
+
+    def test_random_cycle_is_hamiltonian(self):
+        rng = random.Random(3)
+        for _ in range(5):
+            g = random_cycle(9, rng)
+            assert g.is_connected() and g.is_regular(2)
+            assert g.vertex_count == 9
+
+    def test_random_union_of_cycles(self):
+        rng = random.Random(11)
+        for k in (1, 2, 3):
+            g = random_union_of_cycles(15, k, rng)
+            assert g.is_regular(2)
+            comps = g.connected_components()
+            assert len(comps) == k
+            assert all(len(c) >= 3 for c in comps)
+            assert sum(len(c) for c in comps) == 15
+
+    def test_random_union_too_many_cycles(self):
+        with pytest.raises(ValueError):
+            random_union_of_cycles(8, 3, random.Random(0))
+
+
+class TestOtherGenerators:
+    def test_gnp_extremes(self):
+        rng = random.Random(5)
+        assert gnp_random_graph(10, 0.0, rng).edge_count == 0
+        assert gnp_random_graph(10, 1.0, rng).edge_count == 45
+
+    def test_gnp_bad_probability(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5, random.Random(0))
+
+    def test_random_forest_structure(self):
+        rng = random.Random(9)
+        g = random_forest(20, 3, rng)
+        assert g.edge_count == 20 - 3  # forest with 3 trees
+        assert len(g.connected_components()) == 3
+
+    def test_random_forest_single_tree(self):
+        g = random_forest(10, 1, random.Random(1))
+        assert g.is_connected() and g.edge_count == 9
+
+    def test_bounded_arboricity_is_sparse(self):
+        g = bounded_arboricity_graph(30, 2, random.Random(2))
+        assert g.edge_count <= 2 * 29
+
+    def test_path_and_empty_and_complete(self):
+        assert path_graph(6).edge_count == 5
+        assert path_graph(6).is_connected()
+        assert empty_graph(4).edge_count == 0
+        assert len(empty_graph(4).connected_components()) == 4
+        k5 = complete_graph(5)
+        assert k5.edge_count == 10 and k5.is_regular(4)

@@ -1,0 +1,142 @@
+"""Unit tests for the base Graph type."""
+
+import pytest
+
+from repro.graphs import Graph, normalize_edge, one_cycle, two_cycles
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.vertex_count == 0
+        assert g.edge_count == 0
+        assert g.is_connected()  # vacuously
+
+    def test_vertices_and_edges(self):
+        g = Graph(range(4), [(0, 1), (1, 2)])
+        assert g.vertex_count == 4
+        assert g.edge_count == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(5)
+        g.add_vertex(5)
+        assert g.vertex_count == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_duplicate_edge_is_noop(self):
+        g = Graph(range(2), [(0, 1), (0, 1), (1, 0)])
+        assert g.edge_count == 1
+
+
+class TestRemoveAndCopy:
+    def test_remove_edge(self):
+        g = Graph(range(3), [(0, 1), (1, 2)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.edge_count == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(range(3), [(0, 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 2)
+
+    def test_copy_is_independent(self):
+        g = Graph(range(3), [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert h.has_edge(1, 2)
+
+    def test_equality(self):
+        g = Graph(range(3), [(0, 1)])
+        h = Graph(range(3), [(1, 0)])
+        assert g == h
+        h.add_edge(1, 2)
+        assert g != h
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        g = Graph(range(4), [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.max_degree() == 3
+
+    def test_neighbors_returns_copy(self):
+        g = Graph(range(3), [(0, 1)])
+        nbrs = g.neighbors(0)
+        nbrs.add(2)
+        assert g.neighbors(0) == {1}
+
+    def test_is_regular(self):
+        assert one_cycle(5).is_regular(2)
+        assert not one_cycle(5).is_regular(3)
+
+    def test_edges_reported_once(self):
+        g = one_cycle(6)
+        edges = list(g.edges())
+        assert len(edges) == 6
+        assert len({frozenset(e) for e in edges}) == 6
+
+    def test_edge_set_hashable(self):
+        a = one_cycle(4).edge_set()
+        b = one_cycle(4).edge_set()
+        assert a == b and hash(a) == hash(b)
+
+
+class TestComponentsAndCycles:
+    def test_one_cycle_connected(self):
+        assert one_cycle(7).is_connected()
+
+    def test_two_cycles_disconnected(self):
+        g = two_cycles(8, 4)
+        assert not g.is_connected()
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [4, 4]
+
+    def test_long_cycle_no_recursion_error(self):
+        g = one_cycle(5000)
+        assert g.is_connected()
+
+    def test_is_disjoint_union_of_cycles(self):
+        assert one_cycle(5).is_disjoint_union_of_cycles()
+        assert two_cycles(9, 4).is_disjoint_union_of_cycles()
+        g = Graph(range(3), [(0, 1)])
+        assert not g.is_disjoint_union_of_cycles()
+
+    def test_cycle_decomposition_single(self):
+        cycles = one_cycle(6).cycle_decomposition()
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == list(range(6))
+
+    def test_cycle_decomposition_two(self):
+        cycles = two_cycles(9, 4).cycle_decomposition()
+        assert sorted(sorted(c) for c in cycles) == [[0, 1, 2, 3], [4, 5, 6, 7, 8]]
+
+    def test_cycle_decomposition_requires_2_regular(self):
+        g = Graph(range(4), [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            g.cycle_decomposition()
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(2, 2)

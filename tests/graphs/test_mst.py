@@ -1,0 +1,99 @@
+"""Tests for the sequential MST substrate (Kruskal ground truth)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    forest_weight,
+    gnp_random_graph,
+    is_spanning_forest,
+    kruskal,
+    one_cycle,
+    random_weights,
+    two_cycles,
+    validate_weights,
+)
+
+
+class TestValidation:
+    def test_missing_weight_rejected(self):
+        g = one_cycle(4)
+        with pytest.raises(ValueError):
+            validate_weights(g, {(0, 1): 1.0})
+
+    def test_extra_weight_rejected(self):
+        g = Graph(range(3), [(0, 1)])
+        with pytest.raises(ValueError):
+            validate_weights(g, {(0, 1): 1.0, (1, 2): 2.0})
+
+
+class TestKruskal:
+    def test_cycle_drops_heaviest(self):
+        g = one_cycle(5)
+        weights = {e: float(i) for i, e in enumerate(sorted(g.edges()))}
+        forest = kruskal(g, weights)
+        assert len(forest) == 4
+        heaviest = max(weights, key=weights.get)
+        assert heaviest not in forest
+
+    def test_disconnected_forest(self):
+        g = two_cycles(8, 4)
+        weights = random_weights(g, random.Random(2))
+        forest = kruskal(g, weights)
+        assert len(forest) == 6  # (4-1) + (4-1)
+        assert is_spanning_forest(g, forest)
+
+    def test_forest_weight(self):
+        g = one_cycle(4)
+        weights = {(min(u, v), max(u, v)): 2.0 for u, v in g.edges()}
+        forest = kruskal(g, weights)
+        assert forest_weight(forest, weights) == 2.0 * 3
+
+    def test_is_spanning_forest_rejects_cycle(self):
+        g = one_cycle(4)
+        all_edges = {(min(u, v), max(u, v)) for u, v in g.edges()}
+        assert not is_spanning_forest(g, all_edges)
+
+    def test_is_spanning_forest_rejects_non_edges(self):
+        g = Graph(range(4), [(0, 1), (2, 3)])
+        assert not is_spanning_forest(g, {(0, 2)})
+
+    def test_is_spanning_forest_requires_spanning(self):
+        g = one_cycle(5)
+        assert not is_spanning_forest(g, {(0, 1)})
+
+
+def _brute_force_msf(graph, weights):
+    """Exponential reference: try all acyclic spanning subsets."""
+    from itertools import combinations
+
+    edges = sorted(weights)
+    target_components = len(graph.connected_components())
+    size = graph.vertex_count - target_components
+    best = None
+    for subset in combinations(edges, size):
+        s = set(subset)
+        if is_spanning_forest(graph, s):
+            w = forest_weight(s, weights)
+            if best is None or w < best:
+                best = w
+    return best
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_kruskal_is_minimum(self, seed):
+        rng = random.Random(seed)
+        g = gnp_random_graph(6, 0.5, rng)
+        if g.edge_count == 0:
+            return
+        weights = random_weights(g, rng)
+        forest = kruskal(g, weights)
+        assert is_spanning_forest(g, forest)
+        brute = _brute_force_msf(g, weights)
+        assert forest_weight(forest, weights) == pytest.approx(brute)

@@ -1,0 +1,114 @@
+"""Exact validation of the counting lemmas 3.7 and 3.9 at small n."""
+
+import math
+import random
+
+import pytest
+
+from repro.indist import (
+    build_combinatorial_graph,
+    hall_expansion_curve,
+    harmonic,
+    lemma_3_9_table,
+    measured_one_cycle_degree,
+    measured_split_population,
+    measured_two_cycle_degree,
+    one_cycle_degree,
+    one_cycle_neighbor_split_counts,
+    predicted_split_counts,
+    predicted_v2_v1_ratio,
+    split_population_bound,
+    two_cycle_degree,
+)
+from repro.instances import (
+    count_one_cycle_covers,
+    count_two_cycle_covers,
+    enumerate_one_cycle_covers,
+    enumerate_two_cycle_covers,
+)
+
+
+class TestOneCycleDegrees:
+    @pytest.mark.parametrize("n", [7, 8, 9, 10])
+    def test_exact_degree_formula(self, n):
+        for cover in list(enumerate_one_cycle_covers(n))[:5]:
+            assert measured_one_cycle_degree(cover) == one_cycle_degree(n)
+
+    @pytest.mark.parametrize("n", [8, 9, 10])
+    def test_split_profile_lemma_3_7(self, n):
+        """Each one-cycle cover has n two-cycle neighbors per split i < n/2
+        and n/2 for i = n/2; this is the per-i neighbor count behind
+        Lemma 3.7 (with d = n at t = 0)."""
+        cover = next(enumerate_one_cycle_covers(n))
+        measured = one_cycle_neighbor_split_counts(cover)
+        predicted = predicted_split_counts(n)
+        # splits at distance < 3 from both ends cannot occur
+        assert measured == {
+            i: c for i, c in predicted.items() if i >= 3 and n - i >= 3
+        }
+
+    def test_degree_counts_sum(self):
+        n = 9
+        cover = next(enumerate_one_cycle_covers(n))
+        assert sum(one_cycle_neighbor_split_counts(cover).values()) == one_cycle_degree(n)
+
+
+class TestTwoCycleDegrees:
+    @pytest.mark.parametrize("n", [7, 8, 9])
+    def test_degree_2i_n_minus_i(self, n):
+        """Measured two-cycle degree is 2 i (n - i): each unordered pair of
+        edges in different cycles admits two orientation variants. (The
+        paper's Lemma 3.9 quotes i (n - i), an orientation-fixed count;
+        the factor 2 cancels in every Theta().)"""
+        seen_splits = set()
+        for cover in enumerate_two_cycle_covers(n):
+            i = cover.cycle_lengths()[0]
+            if i in seen_splits:
+                continue
+            seen_splits.add(i)
+            assert measured_two_cycle_degree(cover) == two_cycle_degree(n, i)
+
+    def test_population_bound_lemma_3_9(self):
+        """|T_i| <= |V1| * n / (i (n - i)) for every split."""
+        for n in (8, 9, 10, 12):
+            for i in range(3, n // 2 + 1):
+                if n - i < 3:
+                    continue
+                assert measured_split_population(n, i) <= split_population_bound(n, i)
+
+
+class TestLemma39Ratio:
+    def test_exact_ratio_small(self):
+        for n in (8, 9, 10):
+            v1 = count_one_cycle_covers(n)
+            v2 = count_two_cycle_covers(n)
+            assert predicted_v2_v1_ratio(n) == pytest.approx(v2 / v1)
+
+    def test_ratio_is_theta_log_n(self):
+        """|V2|/|V1| divided by ln n settles between constants (-> 1/2)."""
+        for n in (100, 1000, 10000):
+            ratio = predicted_v2_v1_ratio(n)
+            assert 0.25 * math.log(n) < ratio < 0.55 * math.log(n)
+
+    def test_table_rows(self):
+        rows = lemma_3_9_table([8, 10])
+        assert rows[0][0] == 8
+        assert rows[0][1] == count_one_cycle_covers(8)
+        assert rows[0][2] == count_two_cycle_covers(8)
+
+    def test_harmonic(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+
+class TestHallExpansion:
+    def test_expansion_positive_on_full_graph(self):
+        """Lemma 3.8 direction: at t=0 every subset of V1 expands; measured
+        min |N(S)|/|S| over sampled subsets is strictly positive and grows
+        as subsets shrink."""
+        g = build_combinatorial_graph(7)
+        rng = random.Random(1)
+        curve = hall_expansion_curve(g, [1, 5, 20], rng)
+        assert all(value > 0 for _size, value in curve)
+        # singletons see the full one-cycle degree
+        assert curve[0][1] == one_cycle_degree(7)

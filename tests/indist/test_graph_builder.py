@@ -1,0 +1,156 @@
+"""Tests for the indistinguishability graph builders (Definition 3.6)."""
+
+import pytest
+
+from repro.core import BCC1_KT0, ConstantAlgorithm, NodeAlgorithm, Simulator, YES
+from repro.indist import (
+    all_two_cycle_covers_present,
+    build_combinatorial_graph,
+    build_operational_graph,
+    cover_from_edges,
+    cross_cover,
+    crossing_neighbors,
+    one_cycle_degree,
+    one_cycle_two_cycle_neighbors,
+)
+from repro.instances import (
+    CycleCover,
+    count_one_cycle_covers,
+    count_two_cycle_covers,
+    enumerate_one_cycle_covers,
+    enumerate_two_cycle_covers,
+)
+
+
+def _canonical_cycle(n):
+    return CycleCover.from_cycles(n, (tuple(range(n)),))
+
+
+class TestCoverCrossing:
+    def test_cover_from_edges(self):
+        edges = {(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (3, 5)}
+        cover = cover_from_edges(6, edges)
+        assert cover.num_cycles == 2
+        assert cover.cycle_lengths() == (3, 3)
+
+    def test_cross_cover_splits(self):
+        cover = _canonical_cycle(8)
+        crossed = cross_cover(cover, (0, 1), (4, 5))
+        assert crossed is not None
+        assert crossed.cycle_lengths() == (4, 4)
+
+    def test_cross_cover_rejects_dependent(self):
+        cover = _canonical_cycle(8)
+        assert cross_cover(cover, (0, 1), (1, 2)) is None
+        assert cross_cover(cover, (0, 1), (2, 3)) is None
+
+    def test_cross_cover_rejects_non_edges(self):
+        cover = _canonical_cycle(8)
+        assert cross_cover(cover, (0, 2), (4, 5)) is None
+
+    def test_reversal_crossing_keeps_one_cycle(self):
+        cover = _canonical_cycle(8)
+        crossed = cross_cover(cover, (0, 1), (4, 3))
+        assert crossed is not None
+        assert crossed.num_cycles == 1
+
+    def test_neighbors_include_both_kinds(self):
+        cover = _canonical_cycle(8)
+        nbrs = crossing_neighbors(cover)
+        kinds = {c.num_cycles for c in nbrs}
+        assert kinds == {1, 2}
+
+    def test_two_cycle_neighbor_count_formula(self):
+        for n in (7, 8, 9, 10):
+            cover = _canonical_cycle(n)
+            assert len(one_cycle_two_cycle_neighbors(cover)) == one_cycle_degree(n)
+
+
+class TestCombinatorialGraph:
+    @pytest.mark.parametrize("n", [6, 7])
+    def test_sides_complete(self, n):
+        g = build_combinatorial_graph(n)
+        assert len(g.left) == count_one_cycle_covers(n)
+        assert len(g.right) == count_two_cycle_covers(n)
+        assert all_two_cycle_covers_present(g, n)
+
+    def test_left_degrees_uniform(self):
+        n = 7
+        g = build_combinatorial_graph(n)
+        degs = {g.degree(v) for v in g.left}
+        assert degs == {one_cycle_degree(n)}
+
+    def test_edge_count_consistent(self):
+        n = 7
+        g = build_combinatorial_graph(n)
+        assert g.edge_count() == count_one_cycle_covers(n) * one_cycle_degree(n)
+
+    def test_edges_are_crossings(self):
+        n = 6
+        g = build_combinatorial_graph(n)
+        for one in list(g.left)[:10]:
+            for two in g.neighbors(one):
+                # symmetric difference is exactly two old + two new edges
+                assert len(one.edges - two.edges) == 2
+                assert len(two.edges - one.edges) == 2
+
+
+class _SpeakOnce(NodeAlgorithm):
+    """Round 1: broadcast 1; silent afterwards. Keeps everything symmetric."""
+
+    def broadcast(self, t):
+        return "1" if t == 1 else ""
+
+    def receive(self, t, messages):
+        pass
+
+    def output(self):
+        return YES
+
+
+class _IdParity(NodeAlgorithm):
+    """Breaks symmetry: broadcasts the parity of the vertex ID each round."""
+
+    def broadcast(self, t):
+        return str(self.knowledge.vertex_id % 2)
+
+    def receive(self, t, messages):
+        pass
+
+    def output(self):
+        return YES
+
+
+class TestOperationalGraph:
+    def test_symmetric_algorithm_keeps_full_graph(self):
+        n, t = 6, 2
+        sim = Simulator(BCC1_KT0)
+        x = y = ("1", "")
+        g = build_operational_graph(sim, _SpeakOnce, n, t, x, y)
+        full = build_combinatorial_graph(n)
+        assert g.edge_count() == full.edge_count()
+        assert {v for v in g.left} == {v for v in full.left}
+
+    def test_wrong_strings_give_empty_graph(self):
+        n, t = 6, 2
+        sim = Simulator(BCC1_KT0)
+        g = build_operational_graph(sim, _SpeakOnce, n, t, ("0", "0"), ("0", "0"))
+        assert g.edge_count() == 0
+
+    def test_asymmetric_algorithm_shrinks_graph(self):
+        n, t = 6, 1
+        sim = Simulator(BCC1_KT0)
+        # only odd-ID heads with even-ID tails are active for x=("1",), y=("0",)
+        # (same-parity pairs cannot yield two disjoint active edges at n = 6:
+        # there are only three vertices of each parity)
+        g = build_operational_graph(sim, _IdParity, n, t, ("1",), ("0",))
+        full = build_combinatorial_graph(n)
+        assert 0 < g.edge_count() < full.edge_count()
+
+    def test_operational_edges_subset_of_combinatorial(self):
+        n, t = 6, 1
+        sim = Simulator(BCC1_KT0)
+        g = build_operational_graph(sim, _IdParity, n, t, ("1",), ("0",))
+        full = build_combinatorial_graph(n)
+        for one in g.left:
+            assert g.neighbors(one) <= full.neighbors(one)

@@ -1,0 +1,139 @@
+"""Tests for polygamous Hall's theorem and k-matchings (Theorem 2.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indist import (
+    BipartiteGraph,
+    all_subsets_satisfy_hall,
+    cloned_graph,
+    hall_condition_violations,
+    is_valid_k_matching,
+    k_matching,
+    k_matching_size,
+    max_saturating_k,
+    sampled_hall_check,
+    saturates,
+)
+
+
+def _graph(edges):
+    g = BipartiteGraph()
+    for l, r in edges:
+        g.add_edge(l, r)
+    return g
+
+
+class TestCloning:
+    def test_clone_counts(self):
+        g = _graph([("a", 1), ("a", 2), ("b", 2)])
+        c = cloned_graph(g, 3)
+        assert len(c.left) == 6
+        assert c.neighbors(("a", 0)) == {1, 2}
+        assert c.neighbors(("b", 2)) == {2}
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            cloned_graph(_graph([]), 0)
+
+
+class TestKMatching:
+    def test_k1_is_ordinary_matching(self):
+        g = _graph([(l, r) for l in "ab" for r in (1, 2)])
+        stars = k_matching(g, 1)
+        assert len(stars) == 2
+        assert is_valid_k_matching(g, 1, stars)
+
+    def test_k2_complete(self):
+        g = _graph([(l, r) for l in "ab" for r in (1, 2, 3, 4)])
+        stars = k_matching(g, 2)
+        assert len(stars) == 2
+        assert is_valid_k_matching(g, 2, stars)
+
+    def test_k2_insufficient_rights(self):
+        g = _graph([(l, r) for l in "abc" for r in (1, 2, 3, 4, 5)])
+        assert k_matching_size(g, 2) == 2  # 5 rights can host only 2 full stars
+
+    def test_partial_stars_discarded(self):
+        g = _graph([("a", 1), ("a", 2), ("a", 3)])
+        stars = k_matching(g, 4)
+        assert stars == {}
+
+    def test_saturates(self):
+        g = _graph([(l, r) for l in "ab" for r in range(6)])
+        assert saturates(g, 3)
+        assert not saturates(g, 4)
+
+    def test_max_saturating_k(self):
+        g = _graph([(l, r) for l in "ab" for r in range(6)])
+        assert max_saturating_k(g) == 3
+
+    def test_max_saturating_k_zero(self):
+        g = BipartiteGraph()
+        g.add_left("isolated")
+        assert max_saturating_k(g) == 0
+
+    def test_max_saturating_k_empty(self):
+        assert max_saturating_k(BipartiteGraph()) == 0
+
+
+class TestHallCondition:
+    def test_violations_found(self):
+        g = _graph([("a", 1), ("b", 1)])
+        violations = hall_condition_violations(g, 1, [["a", "b"]])
+        assert violations == [(("a", "b"), 1)]
+
+    def test_exhaustive_check_positive(self):
+        g = _graph([(l, r) for l in "abc" for r in range(9)])
+        assert all_subsets_satisfy_hall(g, 3)
+        assert not all_subsets_satisfy_hall(g, 4)
+
+    def test_exhaustive_check_too_large(self):
+        g = _graph([(i, i) for i in range(25)])
+        with pytest.raises(ValueError):
+            all_subsets_satisfy_hall(g, 1)
+
+    def test_sampled_check(self):
+        rng = random.Random(0)
+        g = _graph([("a", 1), ("b", 1)])
+        violations = sampled_hall_check(g, 1, rng, samples=100)
+        assert violations  # the {a, b} subset is found with high probability
+
+
+class TestTheorem21:
+    """Empirical verification of Theorem 2.1: Hall condition at level k
+    implies a k-matching of size |L| (and the converse, which also holds)."""
+
+    @given(
+        k=st.integers(min_value=1, max_value=3),
+        edges=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 11)),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hall_iff_saturating_k_matching(self, k, edges):
+        g = _graph([((("L", l), ("R", r))) for l, r in edges])
+        hall = all_subsets_satisfy_hall(g, k)
+        sat = saturates(g, k)
+        assert hall == sat
+
+    @given(
+        k=st.integers(min_value=1, max_value=3),
+        edges=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 11)),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_returned_stars_always_valid(self, k, edges):
+        g = _graph([((("L", l), ("R", r))) for l, r in edges])
+        stars = k_matching(g, k)
+        assert is_valid_k_matching(g, k, stars)

@@ -1,0 +1,107 @@
+"""Tests for the Hopcroft-Karp matching engine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indist import (
+    BipartiteGraph,
+    hopcroft_karp,
+    is_valid_matching,
+    maximum_matching_size,
+)
+
+
+def _graph_from_edges(edges):
+    g = BipartiteGraph()
+    for l, r in edges:
+        g.add_edge(("L", l), ("R", r))
+    return g
+
+
+class TestBipartiteGraph:
+    def test_counts(self):
+        g = _graph_from_edges([(0, 0), (0, 1), (1, 1)])
+        assert len(g.left) == 2 and len(g.right) == 2
+        assert g.edge_count() == 3
+
+    def test_neighborhood(self):
+        g = _graph_from_edges([(0, 0), (0, 1), (1, 1), (2, 2)])
+        assert g.neighborhood([("L", 0), ("L", 1)]) == {("R", 0), ("R", 1)}
+
+    def test_isolated_left(self):
+        g = BipartiteGraph()
+        g.add_left("lonely")
+        assert g.degree("lonely") == 0
+        assert maximum_matching_size(g) == 0
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        g = _graph_from_edges([(i, i) for i in range(5)])
+        m = hopcroft_karp(g)
+        assert len(m) == 5
+        assert is_valid_matching(g, m)
+
+    def test_augmenting_path_needed(self):
+        # greedy could match L0-R0 and strand L1; HK must find size 2
+        g = _graph_from_edges([(0, 0), (0, 1), (1, 0)])
+        m = hopcroft_karp(g)
+        assert len(m) == 2
+        assert is_valid_matching(g, m)
+
+    def test_deficiency(self):
+        # three left vertices share one right vertex
+        g = _graph_from_edges([(0, 0), (1, 0), (2, 0)])
+        assert maximum_matching_size(g) == 1
+
+    def test_complete_bipartite(self):
+        g = _graph_from_edges([(l, r) for l in range(4) for r in range(6)])
+        assert maximum_matching_size(g) == 4
+
+    def test_empty(self):
+        assert hopcroft_karp(BipartiteGraph()) == {}
+
+    def test_is_valid_matching_rejects_shared_right(self):
+        g = _graph_from_edges([(0, 0), (1, 0)])
+        assert not is_valid_matching(g, {("L", 0): ("R", 0), ("L", 1): ("R", 0)})
+
+    def test_is_valid_matching_rejects_non_edge(self):
+        g = _graph_from_edges([(0, 0)])
+        assert not is_valid_matching(g, {("L", 0): ("R", 1)})
+
+
+def _brute_force_max_matching(edges):
+    """Exponential reference matcher for small graphs."""
+    best = 0
+    edges = list(edges)
+
+    def rec(i, used_l, used_r, size):
+        nonlocal best
+        best = max(best, size)
+        if i == len(edges):
+            return
+        l, r = edges[i]
+        rec(i + 1, used_l, used_r, size)
+        if l not in used_l and r not in used_r:
+            rec(i + 1, used_l | {l}, used_r | {r}, size + 1)
+
+    rec(0, frozenset(), frozenset(), 0)
+    return best
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        min_size=0,
+        max_size=14,
+        unique=True,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_hk_matches_brute_force(edges):
+    g = _graph_from_edges(edges)
+    assert maximum_matching_size(g) == _brute_force_max_matching(
+        [(("L", l), ("R", r)) for l, r in set(edges)]
+    )

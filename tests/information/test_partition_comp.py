@@ -1,0 +1,80 @@
+"""Tests for the Theorem 4.5 engine (PartitionComp information bound)."""
+
+import math
+
+import pytest
+
+from repro.information import (
+    evaluate_protocol,
+    hard_distribution,
+    implied_round_lower_bound,
+    information_lower_bound,
+)
+from repro.partitions import bell_number, log2_bell
+from repro.twoparty import LossyPartitionCompProtocol, TrivialPartitionCompProtocol
+
+
+class TestHardDistribution:
+    def test_uniform_over_bell(self):
+        dist = hard_distribution(4)
+        assert len(dist) == bell_number(4)
+        assert all(p == pytest.approx(1 / bell_number(4)) for p in dist.values())
+
+
+class TestErrorFreeProtocol:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_information_equals_input_entropy(self, n):
+        """For a correct protocol on the hard distribution, the transcript
+        determines P_A, so I(P_A; Pi) = H(P_A) = log2 B_n exactly."""
+        report = evaluate_protocol(TrivialPartitionCompProtocol(n), n)
+        assert report.error_rate == 0.0
+        assert report.information == pytest.approx(log2_bell(n), abs=1e-9)
+        assert report.residual_entropy == pytest.approx(0.0, abs=1e-9)
+
+    def test_chain_of_inequalities(self):
+        report = evaluate_protocol(TrivialPartitionCompProtocol(5), 5)
+        assert report.chain_holds()
+        assert report.max_transcript_bits >= report.information
+
+    def test_transcript_bits_dominate_entropy(self):
+        report = evaluate_protocol(TrivialPartitionCompProtocol(4), 4)
+        assert report.max_transcript_bits >= report.transcript_entropy
+
+
+class TestLossyProtocol:
+    def test_information_respects_eps_bound(self):
+        """Theorem 4.5's robustness: even with error eps, the protocol
+        carries at least (1 - eps) H(P_A) bits about P_A."""
+        n = 5
+        report = evaluate_protocol(LossyPartitionCompProtocol(n, 0.25), n)
+        assert report.error_rate > 0
+        assert report.information >= information_lower_bound(n, report.error_rate) - 1e-9
+
+    def test_more_error_less_information(self):
+        n = 5
+        low = evaluate_protocol(LossyPartitionCompProtocol(n, 0.1), n)
+        high = evaluate_protocol(LossyPartitionCompProtocol(n, 0.6), n)
+        assert high.information < low.information
+
+
+class TestRoundBoundArithmetic:
+    def test_information_lower_bound_values(self):
+        assert information_lower_bound(5, 0.0) == pytest.approx(math.log2(52))
+        assert information_lower_bound(5, 0.5) == pytest.approx(0.5 * math.log2(52))
+
+    def test_implied_round_bound(self):
+        # I bits over 8n-bit rounds
+        assert implied_round_lower_bound(10, 160.0) == pytest.approx(2.0)
+
+    def test_omega_log_shape(self):
+        """The implied bound grows like log n (the Theorem 4.5 statement)."""
+        from repro.analysis import fit_logarithmic
+
+        ns = [8, 16, 32, 64, 128]
+        bounds = [
+            implied_round_lower_bound(n, information_lower_bound(n, 1 / 3))
+            for n in ns
+        ]
+        fit = fit_logarithmic(ns, bounds)
+        assert fit.slope > 0
+        assert fit.r_squared > 0.98

@@ -1,0 +1,67 @@
+"""Tests for sampled mutual-information estimation."""
+
+import math
+import random
+
+import pytest
+
+from repro.information import (
+    estimate_protocol_information,
+    evaluate_protocol,
+)
+from repro.partitions import bell_number, log2_bell
+from repro.twoparty import LossyPartitionCompProtocol, TrivialPartitionCompProtocol
+
+
+class TestSampledEstimation:
+    def test_converges_to_exact_small_n(self):
+        """At n = 4 (B_4 = 15) a few thousand samples pin the exact value."""
+        n = 4
+        exact = evaluate_protocol(TrivialPartitionCompProtocol(n), n)
+        rng = random.Random(1)
+        report = estimate_protocol_information(
+            TrivialPartitionCompProtocol(n), n, samples=4000, rng=rng
+        )
+        assert report.information_estimate == pytest.approx(exact.information, abs=0.1)
+        assert report.distinct_inputs_seen == bell_number(n)
+        assert report.error_rate_estimate == 0.0
+        assert not report.saturated
+
+    def test_larger_n_than_exact_enumeration(self):
+        """n = 9 (B_9 = 21147): enumeration-free estimation still tracks
+        the Theta(n log n) input entropy from below."""
+        n = 9
+        rng = random.Random(2)
+        report = estimate_protocol_information(
+            TrivialPartitionCompProtocol(n), n, samples=3000, rng=rng
+        )
+        assert report.true_input_entropy == pytest.approx(math.log2(21147))
+        # the plug-in estimate is capped near log2(samples): saturation flag
+        assert report.saturated
+        assert report.information_estimate <= math.log2(3000) + 0.1
+        assert report.information_estimate > 8.0  # still large
+
+    def test_lossy_protocol_error_estimated(self):
+        n = 5
+        rng = random.Random(3)
+        report = estimate_protocol_information(
+            LossyPartitionCompProtocol(n, 0.4), n, samples=2500, rng=rng
+        )
+        assert 0.2 < report.error_rate_estimate < 0.6
+        exact = evaluate_protocol(LossyPartitionCompProtocol(n, 0.4), n)
+        assert report.information_estimate == pytest.approx(exact.information, abs=0.2)
+
+    def test_correction_is_small_and_nonnegative_regime(self):
+        n = 4
+        rng = random.Random(4)
+        report = estimate_protocol_information(
+            TrivialPartitionCompProtocol(n), n, samples=3000, rng=rng
+        )
+        assert abs(report.miller_madow_correction) < 0.05
+        assert report.corrected_information >= 0
+
+    def test_minimum_samples(self):
+        with pytest.raises(ValueError):
+            estimate_protocol_information(
+                TrivialPartitionCompProtocol(3), 3, samples=1, rng=random.Random(0)
+            )

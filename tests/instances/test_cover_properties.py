@@ -1,0 +1,71 @@
+"""Hypothesis property tests on cycle covers and cover-level crossings."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_cycle, random_union_of_cycles
+from repro.indist import cover_from_edges, cross_cover, crossing_neighbors
+from repro.instances import CycleCover
+
+
+@st.composite
+def random_covers(draw):
+    n = draw(st.integers(min_value=6, max_value=12))
+    k = draw(st.integers(min_value=1, max_value=max(1, n // 4)))
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    if k == 1:
+        g = random_cycle(n, rng)
+    else:
+        g = random_union_of_cycles(n, k, rng)
+    edges = frozenset((min(u, v), max(u, v)) for u, v in g.edges())
+    return cover_from_edges(n, edges)
+
+
+class TestCoverRoundTrip:
+    @given(random_covers())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_to_cover_to_edges(self, cover):
+        rebuilt = cover_from_edges(cover.n, cover.edges)
+        assert rebuilt == cover
+        assert rebuilt.cycle_lengths() == cover.cycle_lengths()
+
+    @given(random_covers())
+    @settings(max_examples=60, deadline=None)
+    def test_structure_invariants(self, cover):
+        assert sum(cover.cycle_lengths()) == cover.n
+        assert len(cover.edges) == cover.n  # 2-regular: n edges
+        g = cover.to_graph()
+        assert g.is_regular(2)
+        assert len(g.connected_components()) == cover.num_cycles
+
+
+class TestCrossingProperties:
+    @given(random_covers())
+    @settings(max_examples=50, deadline=None)
+    def test_crossing_preserves_2_regularity(self, cover):
+        for nbr in list(crossing_neighbors(cover))[:10]:
+            assert len(nbr.edges) == cover.n
+            assert nbr.to_graph().is_regular(2)
+
+    @given(random_covers())
+    @settings(max_examples=50, deadline=None)
+    def test_crossing_changes_exactly_two_edges(self, cover):
+        for nbr in list(crossing_neighbors(cover))[:10]:
+            assert len(cover.edges - nbr.edges) == 2
+            assert len(nbr.edges - cover.edges) == 2
+
+    @given(random_covers())
+    @settings(max_examples=50, deadline=None)
+    def test_crossing_is_reversible(self, cover):
+        """Any cover reachable by one crossing can reach back."""
+        for nbr in list(crossing_neighbors(cover))[:5]:
+            assert cover in crossing_neighbors(nbr)
+
+    @given(random_covers())
+    @settings(max_examples=40, deadline=None)
+    def test_component_count_changes_by_at_most_one(self, cover):
+        for nbr in list(crossing_neighbors(cover))[:10]:
+            assert abs(nbr.num_cycles - cover.num_cycles) <= 1

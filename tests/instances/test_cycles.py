@@ -1,0 +1,70 @@
+"""Tests for cycle instance builders."""
+
+import random
+
+import pytest
+
+from repro.instances import (
+    multi_cycle_instance,
+    one_cycle_instance,
+    random_multi_cycle_instance,
+    random_one_cycle_instance,
+    two_cycle_instance,
+)
+
+
+class TestOneCycleInstance:
+    def test_default_order_kt0(self):
+        inst = one_cycle_instance(6, kt=0)
+        assert inst.kt == 0
+        assert inst.input_graph().is_connected()
+        assert all(inst.input_degree(v) == 2 for v in range(6))
+
+    def test_kt1(self):
+        inst = one_cycle_instance(6, kt=1)
+        assert inst.kt == 1
+        assert inst.input_ports(0) == frozenset({1, 5})
+
+    def test_custom_order(self):
+        inst = one_cycle_instance(5, order=[0, 2, 4, 1, 3])
+        assert inst.has_input_edge(0, 2)
+        assert inst.has_input_edge(3, 0)
+        assert not inst.has_input_edge(0, 1)
+
+    def test_custom_ids(self):
+        inst = one_cycle_instance(4, kt=1, ids=[100, 200, 300, 400])
+        assert inst.vertex_id(3) == 400
+
+    def test_shuffled_ports_still_valid(self):
+        inst = one_cycle_instance(7, kt=0, rng=random.Random(5))
+        for v in range(7):
+            assert set(inst.port_labels(v)) == set(range(1, 7))
+
+
+class TestTwoAndMultiCycle:
+    def test_two_cycle_split(self):
+        inst = two_cycle_instance(9, 4)
+        comps = inst.input_graph().connected_components()
+        assert sorted(len(c) for c in comps) == [4, 5]
+
+    def test_multi_cycle(self):
+        inst = multi_cycle_instance([[0, 1, 2], [3, 4, 5, 6], [7, 8, 9]])
+        comps = inst.input_graph().connected_components()
+        assert sorted(len(c) for c in comps) == [3, 3, 4]
+
+    def test_multi_cycle_must_cover_indices(self):
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            multi_cycle_instance([[0, 1, 2], [4, 5, 6]])  # index 3 missing
+
+    def test_random_one_cycle(self):
+        rng = random.Random(2)
+        inst = random_one_cycle_instance(8, kt=0, rng=rng)
+        assert inst.input_graph().is_connected()
+        assert inst.input_graph().is_regular(2)
+
+    def test_random_multi_cycle(self):
+        rng = random.Random(2)
+        inst = random_multi_cycle_instance(12, 3, kt=1, rng=rng)
+        assert len(inst.input_graph().connected_components()) == 3

@@ -1,0 +1,135 @@
+"""Tests for exhaustive enumeration of V1 / V2 against closed forms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances import (
+    CycleCover,
+    count_cycles_on_set,
+    count_one_cycle_covers,
+    count_two_cycle_covers,
+    count_two_cycle_covers_with_split,
+    enumerate_multi_cycle_covers,
+    enumerate_one_cycle_covers,
+    enumerate_two_cycle_covers,
+    v2_to_v1_ratio,
+)
+
+
+class TestOneCycleEnumeration:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_count_matches_formula(self, n):
+        covers = list(enumerate_one_cycle_covers(n))
+        assert len(covers) == count_one_cycle_covers(n) == math.factorial(n - 1) // 2
+
+    def test_no_duplicates(self):
+        covers = list(enumerate_one_cycle_covers(6))
+        assert len(set(covers)) == len(covers)
+
+    def test_all_are_hamiltonian(self):
+        for cover in enumerate_one_cycle_covers(6):
+            assert cover.is_one_cycle()
+            g = cover.to_graph()
+            assert g.is_connected() and g.is_regular(2)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_one_cycle_covers(2))
+
+
+class TestTwoCycleEnumeration:
+    @pytest.mark.parametrize("n", [6, 7, 8, 9])
+    def test_count_matches_formula(self, n):
+        covers = list(enumerate_two_cycle_covers(n))
+        assert len(covers) == count_two_cycle_covers(n)
+        assert len(set(covers)) == len(covers)
+
+    def test_structure(self):
+        for cover in enumerate_two_cycle_covers(7):
+            assert cover.num_cycles == 2
+            assert all(l >= 3 for l in cover.cycle_lengths())
+            assert sum(cover.cycle_lengths()) == 7
+
+    def test_too_small_yields_nothing(self):
+        assert list(enumerate_two_cycle_covers(5)) == []
+
+    def test_split_counts(self):
+        # |T_3| for n=8: C(8,3) * 1 * (4!/2) = 672
+        assert count_two_cycle_covers_with_split(8, 3) == 672
+        # |T_4| for n=8: C(8,4) * 3 * 3 / 2 = 315
+        assert count_two_cycle_covers_with_split(8, 4) == 315
+        assert count_two_cycle_covers(8) == 672 + 315
+
+    def test_split_counts_sum_to_total(self):
+        for n in (7, 9, 10):
+            total = sum(
+                count_two_cycle_covers_with_split(n, i)
+                for i in range(3, n // 2 + 1)
+                if n - i >= 3
+            )
+            assert total == count_two_cycle_covers(n)
+
+    def test_invalid_split_raises(self):
+        with pytest.raises(ValueError):
+            count_two_cycle_covers_with_split(8, 5)  # smaller cycle must be <= n/2
+
+
+class TestMultiCycleEnumeration:
+    def test_n9_includes_three_cycles(self):
+        covers = list(enumerate_multi_cycle_covers(9))
+        by_count = {}
+        for c in covers:
+            by_count.setdefault(c.num_cycles, 0)
+            by_count[c.num_cycles] += 1
+        assert by_count[1] == count_one_cycle_covers(9)
+        assert by_count[2] == count_two_cycle_covers(9)
+        # 3 cycles of length 3: partition 9 into three 3-sets, one cycle each:
+        # 9! / (3!^3 * 3!) set partitions * 1 cycle per block = 280
+        assert by_count[3] == 280
+
+    def test_min_length_respected(self):
+        for c in enumerate_multi_cycle_covers(8, min_length=4):
+            assert all(l >= 4 for l in c.cycle_lengths())
+
+
+class TestCycleCover:
+    def test_from_cycles_edges(self):
+        c = CycleCover.from_cycles(5, ((0, 1, 2, 3, 4),))
+        assert (0, 4) in c.edges and (0, 1) in c.edges
+        assert len(c.edges) == 5
+
+    def test_equality_by_edge_set(self):
+        a = CycleCover.from_cycles(4, ((0, 1, 2, 3),))
+        b = CycleCover.from_cycles(4, ((1, 2, 3, 0),))
+        assert a == b and hash(a) == hash(b)
+
+    def test_reflection_equal(self):
+        a = CycleCover.from_cycles(4, ((0, 1, 2, 3),))
+        b = CycleCover.from_cycles(4, ((0, 3, 2, 1),))
+        assert a == b
+
+    def test_cycle_lengths_sorted(self):
+        c = CycleCover.from_cycles(9, ((0, 1, 2, 3, 4), (5, 6, 7, 8)))
+        assert c.cycle_lengths() == (4, 5)
+
+
+class TestRatio:
+    def test_ratio_values(self):
+        assert v2_to_v1_ratio(8) == pytest.approx(987 / 2520)
+
+    def test_ratio_grows_like_half_log(self):
+        # (|V2|/|V1|) / ln n should approach 1/2 from below as n grows
+        r1 = v2_to_v1_ratio(20) / math.log(20)
+        r2 = v2_to_v1_ratio(200) / math.log(200)
+        assert r1 < r2 < 0.5
+
+    @given(st.integers(min_value=8, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_closed_form_ratio_matches_counts(self, n):
+        from repro.indist import predicted_v2_v1_ratio
+
+        exact = count_two_cycle_covers(n) / count_one_cycle_covers(n)
+        assert predicted_v2_v1_ratio(n) == pytest.approx(exact, rel=1e-9)

@@ -1,0 +1,236 @@
+"""Cross-package integration tests: each theorem's full pipeline.
+
+These tests chain instance construction, simulation, adversaries,
+reductions, and information accounting the way the paper's proofs do --
+they are the executable versions of the three main results' statements.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    BCC1_KT0,
+    BCC1_KT1,
+    BCCModel,
+    NO,
+    PublicCoin,
+    SilentAlgorithm,
+    Simulator,
+    YES,
+    decision_of_run,
+    distributional_error,
+    labelling_error,
+    per_input_error,
+)
+from repro.algorithms import (
+    boruvka_factory,
+    boruvka_max_rounds,
+    components_factory,
+    connectivity_factory,
+    full_adjacency_components_factory,
+    id_bit_width,
+    neighbor_exchange_rounds,
+)
+from repro.instances import one_cycle_instance, two_cycle_instance
+from repro.lowerbounds import (
+    adversary_defeats,
+    fool_algorithm,
+    forced_error_of_algorithm,
+    measure_bcc_algorithm_information,
+    multicycle_round_bound,
+    star_distribution,
+    theorem_3_5_error_bound,
+    uniform_v1_v2_distribution,
+)
+from repro.partitions import SetPartition, random_perfect_matching
+from repro.problems import ConnectedComponents, Connectivity, TwoCycle
+from repro.twoparty import (
+    BCCSimulationProtocol,
+    build_two_partition_reduction,
+    to_kt1_instance,
+)
+
+SIM0 = Simulator(BCC1_KT0)
+SIM1 = Simulator(BCC1_KT1)
+
+
+class TestResultOnePipeline:
+    """Theorem 3.1 / 3.5 end to end: lower bound vs upper bound at one n."""
+
+    def test_sandwich_at_n12(self):
+        n = 12
+        schedule = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+        inst = one_cycle_instance(n, kt=0)
+        # at t = 1 only one ID bit has been spoken: crossing pairs with
+        # matching bit prefixes exist and the adversary provably fools it
+        assert adversary_defeats(SIM0, connectivity_factory(2), inst, 1)
+        # mid-schedule the ID phase has broken the crossing premise, but
+        # the algorithm still cannot answer: it errs on the entire NO side
+        dist = star_distribution(n)
+        mid_err = distributional_error(
+            SIM0, dist, connectivity_factory(2), schedule // 2
+        )
+        assert mid_err >= 0.25
+        # at the full Theta(log n) schedule: zero error on the distribution
+        err = distributional_error(SIM0, dist, connectivity_factory(2), schedule)
+        assert err == 0.0
+
+    def test_forced_error_matches_measured_error_for_silent(self):
+        """The forced-error engine's prediction must be realized by the
+        actual distributional error of the same algorithm."""
+        n = 6
+        forced = forced_error_of_algorithm(SIM0, SilentAlgorithm, n, 2).forced_error
+        measured = distributional_error(
+            SIM0, uniform_v1_v2_distribution(n), SilentAlgorithm, 2
+        )
+        assert measured >= forced - 1e-9
+
+    def test_theorem_3_5_bound_respected_by_all_tested_algorithms(self):
+        """No tested algorithm beats the closed-form error floor at its
+        round budget on the star distribution."""
+        n = 15
+        for factory, t in [
+            (SilentAlgorithm, 1),
+            (connectivity_factory(2), 1),
+            (connectivity_factory(2), 2),
+        ]:
+            err = distributional_error(SIM0, star_distribution(n), factory, t)
+            assert err >= theorem_3_5_error_bound(n, t) - 1e-9
+
+
+class TestResultTwoPipeline:
+    """Theorem 4.4 end to end: reduction instance, real algorithm, bound."""
+
+    def test_real_algorithm_on_reduction_instance(self):
+        rng = random.Random(8)
+        n = 8
+        pa, pb = random_perfect_matching(n, rng), random_perfect_matching(n, rng)
+        hosted = to_kt1_instance(build_two_partition_reduction(pa, pb))
+        res = SIM1.run_until_done(hosted.instance, connectivity_factory(2), 200)
+        expected = YES if pa.join(pb).is_coarsest() else NO
+        assert decision_of_run(res) == expected
+
+    def test_measured_rounds_dominate_lower_bound(self):
+        for n in (8, 16):
+            bound = multicycle_round_bound(n).round_lower_bound
+            rng = random.Random(n)
+            pa, pb = random_perfect_matching(n, rng), random_perfect_matching(n, rng)
+            hosted = to_kt1_instance(build_two_partition_reduction(pa, pb))
+            res = SIM1.run_until_done(hosted.instance, components_factory(2), 400)
+            assert res.rounds_executed >= bound
+
+    def test_simulation_and_direct_decisions_agree(self):
+        n = 6
+        rng = random.Random(77)
+        pa, pb = random_perfect_matching(n, rng), random_perfect_matching(n, rng)
+        rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+        proto = BCCSimulationProtocol(
+            "two_partition", connectivity_factory(2), rounds, mode="decision"
+        )
+        res = proto.run(pa, pb)
+        hosted = to_kt1_instance(build_two_partition_reduction(pa, pb))
+        direct = SIM1.run(hosted.instance, connectivity_factory(2), rounds)
+        assert res.alice_output == (1 if decision_of_run(direct) == YES else 0)
+
+
+class TestResultThreePipeline:
+    """Theorem 4.5 end to end: information of a real algorithm >= bound."""
+
+    def test_information_accounting_closes(self):
+        n = 4
+        w = id_bit_width(4 * n)
+        rounds = neighbor_exchange_rounds(1, n + 1, w)
+        report = measure_bcc_algorithm_information(
+            components_factory(n + 1, id_bits=w), n, rounds
+        )
+        # the exact chain of Theorem 4.5's proof
+        assert report.max_transcript_bits >= report.transcript_entropy
+        assert report.transcript_entropy >= report.information - 1e-9
+        assert report.information == pytest.approx(
+            report.input_entropy - report.residual_entropy, abs=1e-9
+        )
+        assert report.information == pytest.approx(math.log2(15), abs=1e-9)
+
+
+class TestMonteCarloSemantics:
+    """Randomized (public-coin) algorithms under the epsilon-error regime."""
+
+    @staticmethod
+    def _coin_guess_factory():
+        """An algorithm that guesses the answer from one public coin flip.
+
+        Correct on any fixed instance with probability exactly 1/2 --
+        the boundary of the epsilon-error definition.
+        """
+        from repro.core import FunctionalAlgorithm
+
+        return lambda: FunctionalAlgorithm(
+            broadcast=lambda self, t: "",
+            receive=lambda self, t, m: None,
+            output=lambda self: YES if self.knowledge.coin.bit("guess") else NO,
+        )
+
+    def test_per_input_error_of_coin_guess(self):
+        inst = one_cycle_instance(8, kt=0)
+        seeds = [f"s{i}" for i in range(60)]
+        est = per_input_error(
+            SIM0, inst, self._coin_guess_factory(), 1, YES, seeds
+        )
+        assert 0.25 < est.rate < 0.75
+
+    def test_labelling_error_helper(self):
+        problem = ConnectedComponents()
+        inst_good = two_cycle_instance(8, 4, kt=1)
+        weighted = [(inst_good, 1.0)]
+        err = labelling_error(
+            SIM1,
+            weighted,
+            components_factory(2),
+            neighbor_exchange_rounds(1, 2, id_bit_width(7)),
+            lambda inst, outputs: problem.verify(inst, outputs),
+        )
+        assert err == 0.0
+
+    def test_private_coins_via_substreams(self):
+        """Private coins are modelled by per-vertex substreams: different
+        vertices then draw different bits from the same master coin."""
+        from repro.core import FunctionalAlgorithm
+
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: str(
+                    self.knowledge.coin.substream(str(self.knowledge.vertex_id)).bit("b")
+                ),
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        inst = one_cycle_instance(10, kt=0)
+        res = SIM0.run(inst, factory, 1, coin=PublicCoin("master"))
+        assert len(set(res.broadcast_history[0])) == 2  # both bits occur
+
+
+class TestCrossAlgorithmAgreement:
+    """All four upper-bound algorithms agree with ground truth and with
+    each other on the same instances."""
+
+    def test_agreement_on_cycles(self):
+        n = 12
+        problem = Connectivity()
+        for inst_builder in (
+            lambda: one_cycle_instance(n, kt=1),
+            lambda: two_cycle_instance(n, 5, kt=1),
+        ):
+            inst = inst_builder()
+            r_ne = SIM1.run_until_done(inst, connectivity_factory(2), 300)
+            r_fa = SIM1.run_until_done(
+                inst, full_adjacency_components_factory(), n + 1
+            )
+            sim_log = Simulator(BCCModel(bandwidth=4, kt=1))
+            r_bo = sim_log.run_until_done(inst, boruvka_factory(), boruvka_max_rounds(n))
+            assert problem.verify(inst, r_ne.outputs)
+            truth_connected = inst.input_graph().is_connected()
+            assert (len(set(r_fa.outputs)) == 1) == truth_connected
+            assert (len(set(r_bo.outputs)) == 1) == truth_connected

@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main()`` is imported and executed in-process (stdout
+captured), so a regression anywhere in the public API surfaces here.
+Only the faster examples are exercised to keep the suite quick; the full
+set is run by CI-style shell loops (see README).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,expect",
+    [
+        ("quickstart", "adversary"),
+        ("mst_demo", "Kruskal"),
+        ("mutual_information_demo", "Theorem 4.5"),
+    ],
+)
+def test_example_runs(capsys, name, expect):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert expect.lower() in out.lower()
+    assert "Traceback" not in out
+
+
+def test_examples_exist_and_have_mains():
+    expected = {
+        "quickstart",
+        "kt0_crossing_adversary",
+        "kt1_partition_reduction",
+        "mutual_information_demo",
+        "sketch_connectivity",
+        "sparse_and_verification",
+        "mst_demo",
+    }
+    found = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert expected <= found

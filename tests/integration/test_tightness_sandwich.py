@@ -1,0 +1,98 @@
+"""The paper's headline sandwich, asserted end to end.
+
+Section 1.1's closing claim: the Omega(log n) lower bounds are *tight*
+for uniformly sparse graphs. These tests assert the full sandwich with
+every component measured, not assumed:
+
+    Thm 4.4 / 4.5 lower bounds  <=  measured upper-bound rounds
+    and both sides grow as Theta(log N) (or better on the upper side).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BCC1_KT0, BCC1_KT1, Simulator, YES, decision_of_run
+from repro.algorithms import (
+    connectivity_factory,
+    id_bit_width,
+    mt16_connectivity_factory,
+    mt16_rounds,
+    neighbor_exchange_rounds,
+    peeling_round_budget,
+)
+from repro.instances import one_cycle_instance
+from repro.lowerbounds import (
+    components_round_bound,
+    multicycle_round_bound,
+    theorem_3_5_error_bound,
+)
+
+SIM1 = Simulator(BCC1_KT1)
+
+
+class TestSandwich:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_lower_bounds_below_all_upper_bounds(self, n):
+        lb_det = multicycle_round_bound(n).round_lower_bound
+        lb_mc = components_round_bound(n).round_lower_bound
+        uppers = [
+            neighbor_exchange_rounds(1, 2, id_bit_width(3 * n)),
+            peeling_round_budget(2 * n, 2),
+            mt16_rounds(2),
+        ]
+        for upper in uppers:
+            assert lb_det <= upper
+            assert lb_mc <= upper
+
+    def test_both_sides_logarithmic(self):
+        from repro.analysis import fit_logarithmic
+
+        ns = [8, 16, 32, 64, 128, 256]
+        lowers = [multicycle_round_bound(n).round_lower_bound for n in ns]
+        uppers = [neighbor_exchange_rounds(1, 2, id_bit_width(3 * n)) for n in ns]
+        fit_low = fit_logarithmic(ns, lowers)
+        fit_up = fit_logarithmic(ns, uppers)
+        assert fit_low.slope > 0 and fit_low.r_squared > 0.95
+        assert fit_up.slope > 0 and fit_up.r_squared > 0.9
+
+    def test_measured_upper_bound_actually_runs_at_that_count(self):
+        n = 24
+        inst = one_cycle_instance(n, kt=1)
+        res = SIM1.run_until_done(inst, connectivity_factory(2), 10_000)
+        assert res.rounds_executed == neighbor_exchange_rounds(1, 2, id_bit_width(n - 1))
+        assert decision_of_run(res) == YES
+
+    def test_mt16_run_matches_closed_form(self):
+        n = 18
+        inst = one_cycle_instance(n, kt=1)
+        res = SIM1.run_until_done(
+            inst, mt16_connectivity_factory(2), mt16_rounds(2) + 1
+        )
+        assert res.rounds_executed == mt16_rounds(2)
+        assert decision_of_run(res) == YES
+
+    def test_gap_is_constant_factor_in_the_log(self):
+        """Upper / lower stays bounded as n grows (no log factor gap)."""
+        ratios = []
+        for n in (16, 64, 256, 1024):
+            lb = multicycle_round_bound(n).round_lower_bound
+            ub = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+            ratios.append(ub / lb)
+        # ratios should be decreasing-then-flat, never exploding
+        assert ratios[-1] < ratios[0]
+        assert ratios[-1] < 60
+
+
+class TestLowerBoundsNeverVacuous:
+    def test_thm35_floor_positive_below_threshold(self):
+        for k in (6, 8, 10):
+            n = 3**k
+            t = max(0, k // 4 - 1)  # strictly below the ~log3(n)/4 threshold
+            assert theorem_3_5_error_bound(n, t) > 1.0 / n
+
+    def test_thm44_bound_positive_everywhere(self):
+        for n in (6, 8, 100, 1000):
+            if n % 2 == 0:
+                assert multicycle_round_bound(n).round_lower_bound > 0

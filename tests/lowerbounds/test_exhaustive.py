@@ -1,0 +1,93 @@
+"""Tests for the exhaustive (universally quantified) class lower bound."""
+
+import pytest
+
+from repro.instances import CycleCover, enumerate_one_cycle_covers
+from repro.lowerbounds import (
+    disconnecting_pairs,
+    forced_error_of_assignment,
+    universal_bound_id_oblivious,
+)
+from repro.indist import one_cycle_degree
+
+
+class TestDisconnectingPairs:
+    def test_count_matches_degree_formula(self):
+        """Disconnecting directed pairs = 2 global orientations of each of
+        the n(n-5)/2 unordered consistent pairs."""
+        for n in (6, 7, 8):
+            cover = next(enumerate_one_cycle_covers(n))
+            pairs = disconnecting_pairs(cover)
+            assert len(pairs) == 2 * one_cycle_degree(n)
+
+    def test_pairs_actually_disconnect(self):
+        from repro.indist import cross_cover
+
+        cover = next(enumerate_one_cycle_covers(7))
+        for e1, e2 in disconnecting_pairs(cover):
+            crossed = cross_cover(cover, e1, e2)
+            assert crossed is not None and crossed.num_cycles == 2
+
+
+class TestAssignmentError:
+    @staticmethod
+    def _setup(n):
+        return [
+            (cover, disconnecting_pairs(cover))
+            for cover in enumerate_one_cycle_covers(n)
+        ]
+
+    def test_constant_assignment_forced_half(self):
+        n = 6
+        cps = self._setup(n)
+        err = forced_error_of_assignment(n, [""] * n, cps)
+        assert err == pytest.approx(0.5)
+        err1 = forced_error_of_assignment(n, ["1"] * n, cps)
+        assert err1 == pytest.approx(0.5)
+
+    def test_distinct_characters_reduce_error(self):
+        n = 6
+        cps = self._setup(n)
+        mixed = forced_error_of_assignment(n, ["", "", "0", "0", "1", "1"], cps)
+        assert mixed < 0.5
+
+
+class TestUniversalBound:
+    def test_n6_every_algorithm_errs(self):
+        """The headline: min over all 729 ID-oblivious 1-round algorithms
+        of the forced error is strictly positive (measured: 1/30)."""
+        report = universal_bound_id_oblivious(6)
+        assert report.class_size == 729
+        assert report.minimum_forced_error == pytest.approx(1 / 30)
+        assert report.minimum_forced_error > 0
+
+    def test_binary_alphabet_is_weaker_for_the_algorithm(self):
+        """Restricting algorithms to {0, 1} (no silence) leaves them less
+        symmetry-breaking power: the universal bound cannot decrease."""
+        full = universal_bound_id_oblivious(6)
+        binary = universal_bound_id_oblivious(6, alphabet=("0", "1"))
+        assert binary.class_size == 64
+        assert binary.minimum_forced_error >= full.minimum_forced_error
+
+    def test_worst_assignment_verified_against_direct_engine(self):
+        """The analytic per-assignment error must agree with the
+        simulator-based forced-error engine run on the same algorithm."""
+        from repro.core import BCC1_KT0, FunctionalAlgorithm, Simulator, YES
+        from repro.lowerbounds import forced_error_of_algorithm
+
+        n = 6
+        report = universal_bound_id_oblivious(n)
+        assignment = report.worst_assignment
+
+        def factory():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: assignment[self.knowledge.vertex_id],
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        engine = forced_error_of_algorithm(Simulator(BCC1_KT0), factory, n, rounds=1)
+        # the engine charges the always-YES output rule: its error is the
+        # full fooled mass, an upper-bound realization of the same pairs;
+        # the analytic bound (best output rule) can only be smaller
+        assert report.minimum_forced_error <= engine.forced_error + 1e-9

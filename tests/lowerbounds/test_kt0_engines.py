@@ -1,0 +1,177 @@
+"""Tests for the KT-0 lower-bound engines (Theorems 3.1 and 3.5)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BCC1_KT0,
+    ConstantAlgorithm,
+    NO,
+    NodeAlgorithm,
+    SilentAlgorithm,
+    Simulator,
+    YES,
+    distributional_error,
+)
+from repro.algorithms import connectivity_factory, id_bit_width, neighbor_exchange_rounds
+from repro.instances import one_cycle_instance
+from repro.lowerbounds import (
+    adversary_defeats,
+    find_fooling_pairs,
+    fool_algorithm,
+    forced_error_curve,
+    forced_error_of_algorithm,
+    guaranteed_class_size,
+    label_class_count,
+    minimum_rounds_for_error,
+    star_distribution,
+    theorem_3_5_error_bound,
+    uniform_v1_v2_distribution,
+)
+
+SIM = Simulator(BCC1_KT0)
+
+
+class AlwaysNo(NodeAlgorithm):
+    def broadcast(self, t):
+        return ""
+
+    def receive(self, t, m):
+        pass
+
+    def output(self):
+        return NO
+
+
+class TestTheorem35ClosedForm:
+    def test_label_count(self):
+        assert label_class_count(0) == 1
+        assert label_class_count(2) == 81
+
+    def test_class_size_pigeonhole(self):
+        assert guaranteed_class_size(30, 0) == 10
+        assert guaranteed_class_size(30, 1) == 2  # ceil(10 / 9)
+
+    def test_error_bound_at_t0(self):
+        # at t = 0 all of S is one class: error = 1/2
+        assert theorem_3_5_error_bound(30, 0) == pytest.approx(0.5)
+
+    def test_error_decays_with_t(self):
+        n = 3**8
+        errs = [theorem_3_5_error_bound(n, t) for t in range(5)]
+        assert all(errs[i] >= errs[i + 1] for i in range(4))
+
+    def test_minimum_rounds_is_logarithmic(self):
+        """The smallest t with bound < 1/n is ~ log3(n)/4: the forced error
+        decays as Theta(3^{-4t}), so t must reach (log3 n)/4 before the
+        bound dips under 1/n -- the Omega(log n) statement at c = 1."""
+        for k in range(4, 20, 2):
+            n = 3**k
+            t = minimum_rounds_for_error(n, 1.0 / n)
+            assert abs(t - k / 4) <= 1.0, (k, t)
+        ts = [minimum_rounds_for_error(3**k, 3.0**-k) for k in range(4, 20)]
+        assert all(t2 >= t1 for t1, t2 in zip(ts, ts[1:]))
+        assert ts[-1] > ts[0]
+
+
+class TestTheorem35Operational:
+    @pytest.mark.parametrize("factory", [SilentAlgorithm, ConstantAlgorithm])
+    def test_symmetric_algorithms_fully_fooled(self, factory):
+        rep = fool_algorithm(SIM, factory, 15, rounds=3)
+        # all of S shares one label, so every pair is fooled
+        assert rep.largest_class_size == rep.independent_set_size == 5
+        assert rep.all_pairs_indistinguishable
+        assert rep.achieved_error == pytest.approx(0.5)
+
+    def test_always_no_errs_on_center(self):
+        rep = fool_algorithm(SIM, AlwaysNo, 15, rounds=2)
+        assert rep.center_decision == NO
+        assert rep.achieved_error == pytest.approx(0.5)
+
+    def test_real_algorithm_escapes_after_enough_rounds(self):
+        n = 15
+        full = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+        rep = fool_algorithm(SIM, connectivity_factory(2), n, rounds=full)
+        # at full rounds, the exchange distinguishes: achieved error must be
+        # below the symmetric worst case on the NO side
+        assert rep.center_decision == YES
+        assert rep.achieved_error < 0.5
+
+    def test_star_distribution_weights(self):
+        dist = star_distribution(12)
+        assert sum(w for _, _, w in dist) == pytest.approx(1.0)
+        assert dist[0][1] == YES and dist[0][2] == 0.5
+        assert all(truth == NO for _, truth, _ in dist[1:])
+
+    def test_distributional_error_of_silent(self):
+        dist = star_distribution(12)
+        err = distributional_error(SIM, dist, SilentAlgorithm, rounds=3)
+        assert err == pytest.approx(0.5)
+
+
+class TestTheorem31Engine:
+    def test_silent_algorithm_forced_half(self):
+        rep = forced_error_of_algorithm(SIM, SilentAlgorithm, 6, rounds=3)
+        assert rep.forced_error == pytest.approx(0.5, abs=1e-9)
+        assert rep.yes_on_one_cycles == rep.one_cycle_count
+
+    def test_always_no_forced_half(self):
+        rep = forced_error_of_algorithm(SIM, AlwaysNo, 6, rounds=2)
+        assert rep.forced_error == pytest.approx(0.5, abs=1e-9)
+        assert rep.yes_on_one_cycles == 0
+
+    def test_real_algorithm_curve_decays_to_zero(self):
+        n = 6
+        full = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+        curve = forced_error_curve(
+            SIM, connectivity_factory(2), n, [0, 2, full]
+        )
+        assert curve[0][1] == pytest.approx(0.5)
+        assert curve[-1][1] == pytest.approx(0.0)
+
+    def test_uniform_distribution_weights(self):
+        dist = uniform_v1_v2_distribution(6)
+        assert sum(w for _, _, w in dist) == pytest.approx(1.0)
+        yes_mass = sum(w for _, truth, w in dist if truth == YES)
+        assert yes_mass == pytest.approx(0.5)
+
+    def test_distributional_error_matches_forced_error_for_silent(self):
+        """For the silent algorithm, the measured distributional error on
+        the uniform V1/V2 distribution equals the forced-error prediction:
+        it answers YES everywhere, so it errs on exactly the V2 half."""
+        dist = uniform_v1_v2_distribution(6)
+        err = distributional_error(SIM, dist, SilentAlgorithm, rounds=2)
+        assert err == pytest.approx(0.5)
+
+
+class TestAdversary:
+    def test_defeats_silent(self):
+        inst = one_cycle_instance(10, kt=0)
+        assert adversary_defeats(SIM, SilentAlgorithm, inst, rounds=4)
+
+    def test_fooling_pairs_verified(self):
+        inst = one_cycle_instance(10, kt=0)
+        pairs = find_fooling_pairs(SIM, ConstantAlgorithm, inst, rounds=3, limit=5)
+        assert pairs
+        for p in pairs:
+            assert p.indistinguishable
+            assert p.same_decision
+            assert not p.crossed_instance.input_graph().is_connected()
+
+    def test_cannot_defeat_completed_exchange(self):
+        n = 10
+        inst = one_cycle_instance(n, kt=0)
+        full = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+        pairs = find_fooling_pairs(SIM, connectivity_factory(2), inst, rounds=full)
+        assert pairs == []
+
+    def test_non_disconnecting_crossings_optional(self):
+        inst = one_cycle_instance(8, kt=0)
+        pairs = find_fooling_pairs(
+            SIM, SilentAlgorithm, inst, rounds=2, require_disconnecting=False
+        )
+        kinds = {
+            p.crossed_instance.input_graph().is_connected() for p in pairs
+        }
+        assert kinds == {True, False}  # both reversal and split crossings

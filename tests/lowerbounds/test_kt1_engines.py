@@ -1,0 +1,108 @@
+"""Tests for the KT-1 lower-bound engines (Theorems 4.4 and 4.5)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+from repro.lowerbounds import (
+    components_round_bound,
+    connectivity_round_bound,
+    information_bound_table,
+    measure_bcc_algorithm_information,
+    multicycle_round_bound,
+    omega_log_constant,
+    round_bound_table,
+)
+from repro.partitions import bell_number, log2_bell, perfect_matching_count
+
+
+class TestTheorem44:
+    def test_connectivity_bound_values(self):
+        row = connectivity_round_bound(8)
+        assert row.cc_bits == pytest.approx(math.log2(bell_number(8)))
+        assert row.bits_per_round == 64  # 2 * 4n
+        assert row.round_lower_bound == pytest.approx(row.cc_bits / 64)
+        assert row.instance_vertices == 32
+
+    def test_multicycle_bound_values(self):
+        row = multicycle_round_bound(8)
+        assert row.cc_bits == pytest.approx(math.log2(perfect_matching_count(8)))
+        assert row.bits_per_round == 32  # 2 * 2n
+        assert row.instance_vertices == 16
+
+    def test_multicycle_odd_rejected(self):
+        with pytest.raises(ValueError):
+            multicycle_round_bound(7)
+
+    def test_bound_is_omega_log(self):
+        """normalized = bound / log2 N must sit in a stable positive band
+        and *increase* toward its limit (the bound is ~ (n log n) / n)."""
+        ns = [8, 32, 128, 512, 2048]
+        lo, hi = omega_log_constant(ns, "two_partition")
+        assert lo > 0.02
+        rows = round_bound_table(ns, "two_partition")
+        normals = [r.normalized for r in rows]
+        assert all(b >= a for a, b in zip(normals, normals[1:]))
+
+    def test_round_bound_grows_logarithmically(self):
+        from repro.analysis import fit_logarithmic
+
+        ns = [8, 16, 32, 64, 128, 256]
+        bounds = [multicycle_round_bound(n).round_lower_bound for n in ns]
+        fit = fit_logarithmic([2 * n for n in ns], bounds)
+        assert fit.slope > 0 and fit.r_squared > 0.97
+
+    def test_upper_bound_dominates_lower_bound(self):
+        """Tightness sandwich: the measured NeighborExchange round count on
+        the reduction instances sits above the Theorem 4.4 bound, and both
+        are Theta(log N)."""
+        for n in (8, 16, 32):
+            lower = multicycle_round_bound(n).round_lower_bound
+            upper = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+            assert lower <= upper
+
+
+class TestTheorem45:
+    def test_bound_row(self):
+        row = components_round_bound(8, error_rate=1 / 3)
+        assert row.information_bound_bits == pytest.approx((2 / 3) * log2_bell(8))
+        assert row.bits_per_round == 64
+        assert row.round_lower_bound == pytest.approx(
+            row.information_bound_bits / 64
+        )
+
+    def test_table(self):
+        rows = information_bound_table([4, 8, 16])
+        assert [r.ground_set for r in rows] == [4, 8, 16]
+        assert all(r.round_lower_bound > 0 for r in rows)
+
+    def test_measured_information_of_real_algorithm(self):
+        """Run a real KT-1 BCC(1) ConnectedComponents algorithm through the
+        Section 4.3 simulation over the whole Theorem 4.5 hard
+        distribution, and check the measured mutual information equals
+        H(P_A) (the algorithm is correct, so the transcript determines
+        P_A)."""
+        n = 4
+        w = id_bit_width(4 * n)
+        rounds = neighbor_exchange_rounds(1, n + 1, w)
+        report = measure_bcc_algorithm_information(
+            components_factory(n + 1, id_bits=w), n, rounds
+        )
+        assert report.error_rate == 0.0
+        assert report.information == pytest.approx(log2_bell(n), abs=1e-9)
+        assert report.chain_holds()
+
+    def test_measured_information_lower_bounds_communication(self):
+        """The end-to-end Theorem 4.5 inequality on a real algorithm: the
+        protocol's bit cost (rounds * 8n) must be >= measured information."""
+        from repro.twoparty import simulation_bits_per_round
+
+        n = 4
+        w = id_bit_width(4 * n)
+        rounds = neighbor_exchange_rounds(1, n + 1, w)
+        report = measure_bcc_algorithm_information(
+            components_factory(n + 1, id_bits=w), n, rounds
+        )
+        protocol_bits = rounds * simulation_bits_per_round("partition", n)
+        assert protocol_bits >= report.information

@@ -1,0 +1,32 @@
+"""Tests for the one-call full report."""
+
+import pytest
+
+from repro.lowerbounds import FullReport, full_report
+from repro.partitions import log2_bell
+
+
+class TestFullReport:
+    def test_default_report(self):
+        report = full_report()
+        assert report.star_achieved_error == pytest.approx(0.5)
+        assert report.star_pairs_verified
+        assert report.forced_error == pytest.approx(0.5)
+        assert report.rank_round_bound > 0
+        assert report.info_bits == pytest.approx(log2_bell(5))
+        assert report.info_chain_holds
+
+    def test_rows_shape(self):
+        report = full_report(star_n=12, star_rounds=1, forced_n=6, forced_rounds=1)
+        rows = report.rows()
+        assert len(rows) == 9
+        assert all(len(r) == 3 for r in rows)
+        results = {r[0] for r in rows}
+        assert results == {"Thm 3.5", "Thm 3.1", "Thm 4.4", "Thm 4.5"}
+
+    def test_cli_all(self, capsys):
+        from repro.cli import main
+
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 4.5" in out and "inequality chain holds" in out

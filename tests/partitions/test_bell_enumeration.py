@@ -1,0 +1,121 @@
+"""Tests for Bell/Stirling counting and partition enumeration."""
+
+import math
+import random
+
+import pytest
+
+from repro.partitions import (
+    SetPartition,
+    bell_number,
+    bell_numbers_upto,
+    double_factorial_odd,
+    enumerate_partitions,
+    enumerate_perfect_matchings,
+    enumerate_rgs,
+    log2_bell,
+    perfect_matching_count,
+    random_perfect_matching,
+    stirling2,
+)
+
+KNOWN_BELL = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975]
+
+
+class TestBellNumbers:
+    def test_known_values(self):
+        assert bell_numbers_upto(10) == KNOWN_BELL
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+    def test_bell_is_sum_of_stirlings(self):
+        for n in range(1, 9):
+            assert bell_number(n) == sum(stirling2(n, k) for k in range(n + 1))
+
+    def test_stirling_base_cases(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(5, 5) == 1
+        assert stirling2(5, 1) == 1
+        assert stirling2(4, 2) == 7
+
+    def test_log2_bell_growth(self):
+        # log2 B_n = Theta(n log n): check the normalized value is stable
+        vals = [log2_bell(n) / (n * math.log2(n)) for n in (10, 20, 40)]
+        assert all(0.3 < v < 1.1 for v in vals)
+
+
+class TestPerfectMatchingCounts:
+    def test_known_values(self):
+        assert [perfect_matching_count(n) for n in (0, 2, 4, 6, 8, 10)] == [
+            1,
+            1,
+            3,
+            15,
+            105,
+            945,
+        ]
+
+    def test_equals_double_factorial(self):
+        for n in (2, 4, 6, 8, 10, 12):
+            assert perfect_matching_count(n) == double_factorial_odd(n - 1)
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            perfect_matching_count(5)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 6])
+    def test_rgs_count(self, n):
+        assert sum(1 for _ in enumerate_rgs(n)) == bell_number(n)
+
+    def test_rgs_validity(self):
+        for rgs in enumerate_rgs(5):
+            assert rgs[0] == 0
+            for i in range(1, 5):
+                assert rgs[i] <= max(rgs[:i]) + 1
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_partition_count_and_uniqueness(self, n):
+        parts = list(enumerate_partitions(n))
+        assert len(parts) == bell_number(n)
+        assert len(set(parts)) == len(parts)
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_perfect_matching_count_and_shape(self, n):
+        matchings = list(enumerate_perfect_matchings(n))
+        assert len(matchings) == perfect_matching_count(n)
+        assert len(set(matchings)) == len(matchings)
+        assert all(m.is_perfect_matching() for m in matchings)
+
+    def test_perfect_matchings_odd_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_perfect_matchings(5))
+
+    def test_block_count_distribution_matches_stirling(self):
+        from collections import Counter
+
+        counts = Counter(p.num_blocks for p in enumerate_partitions(6))
+        for k in range(1, 7):
+            assert counts[k] == stirling2(6, k)
+
+
+class TestRandomPerfectMatching:
+    def test_uniform_on_n4(self):
+        rng = random.Random(3)
+        counts = {}
+        trials = 3000
+        for _ in range(trials):
+            m = random_perfect_matching(4, rng)
+            counts[m] = counts.get(m, 0) + 1
+        assert len(counts) == 3
+        for c in counts.values():
+            assert abs(c / trials - 1 / 3) < 0.04
+
+    def test_shape(self):
+        m = random_perfect_matching(10, random.Random(0))
+        assert m.is_perfect_matching()
+        assert m.n == 10

@@ -1,0 +1,92 @@
+"""Tests for Möbius / Whitney machinery of the partition lattice [DW75]."""
+
+import math
+
+import pytest
+
+from repro.partitions import (
+    SetPartition,
+    bell_number,
+    characteristic_polynomial,
+    interval,
+    mobius,
+    mobius_bottom_top,
+    predicted_characteristic_polynomial,
+    predicted_mobius_bottom_top,
+    predicted_mobius_to_top,
+    enumerate_partitions,
+    stirling2,
+    whitney_numbers_second_kind,
+    whitney_sum_is_bell,
+)
+
+
+class TestInterval:
+    def test_full_interval_is_lattice(self):
+        n = 4
+        full = interval(SetPartition.finest(n), SetPartition.coarsest(n))
+        assert len(full) == bell_number(n)
+
+    def test_point_interval(self):
+        x = SetPartition.from_string(4, "(1,2)(3,4)")
+        assert interval(x, x) == [x]
+
+    def test_empty_interval_rejected(self):
+        x = SetPartition.from_string(4, "(1,2)(3,4)")
+        y = SetPartition.from_string(4, "(1,3)(2,4)")
+        with pytest.raises(ValueError):
+            interval(x, y)
+
+    def test_upper_interval_size_is_bell_of_blocks(self):
+        """[x, 1] is isomorphic to Pi_b where b = #blocks of x."""
+        x = SetPartition.from_string(5, "(1,2)(3,4)(5)")
+        assert len(interval(x, SetPartition.coarsest(5))) == bell_number(3)
+
+
+class TestMobius:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_bottom_top_closed_form(self, n):
+        assert mobius_bottom_top(n) == predicted_mobius_bottom_top(n)
+        assert predicted_mobius_bottom_top(n) == (-1) ** (n - 1) * math.factorial(n - 1)
+
+    def test_reflexive(self):
+        x = SetPartition.from_string(4, "(1,2)(3)(4)")
+        assert mobius(x, x) == 1
+
+    def test_incomparable_is_zero(self):
+        x = SetPartition.from_string(4, "(1,2)(3,4)")
+        y = SetPartition.from_string(4, "(1,3)(2,4)")
+        assert mobius(x, y) == 0
+
+    def test_upper_interval_closed_form(self):
+        """mu(x, 1) = (-1)^{b-1} (b-1)! for every x (checked over all of
+        Pi_4)."""
+        top = SetPartition.coarsest(4)
+        for x in enumerate_partitions(4):
+            assert mobius(x, top) == predicted_mobius_to_top(x)
+
+    def test_mobius_sum_vanishes(self):
+        """The defining identity: sum over [0, 1] of mu(0, z) = 0."""
+        n = 4
+        bottom = SetPartition.finest(n)
+        total = sum(mobius(bottom, z) for z in enumerate_partitions(n))
+        assert total == 0
+
+
+class TestWhitney:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_whitney_are_stirling(self, n):
+        w = whitney_numbers_second_kind(n)
+        assert w == [stirling2(n, n - k) for k in range(n)]
+        assert w[0] == 1  # only the finest partition has rank 0
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_whitney_sum(self, n):
+        assert whitney_sum_is_bell(n)
+
+
+class TestCharacteristicPolynomial:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    @pytest.mark.parametrize("t", [0, 1, 2, 5, 7])
+    def test_falling_factorial_identity(self, n, t):
+        assert characteristic_polynomial(n, t) == predicted_characteristic_polynomial(n, t)

@@ -1,0 +1,204 @@
+"""Unit and property tests for SetPartition and the lattice operations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partitions import SetPartition, joins_to_top, random_partition
+
+
+def sp(n, text):
+    return SetPartition.from_string(n, text)
+
+
+@st.composite
+def partitions(draw, max_n=7):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    rgs = [0]
+    for _ in range(n - 1):
+        rgs.append(draw(st.integers(0, max(rgs) + 1)))
+    return SetPartition.from_rgs(rgs)
+
+
+@st.composite
+def partition_pairs(draw, max_n=7):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+
+    def one():
+        rgs = [0]
+        for _ in range(n - 1):
+            rgs.append(draw(st.integers(0, max(rgs) + 1)))
+        return SetPartition.from_rgs(rgs)
+
+    return one(), one()
+
+
+class TestConstruction:
+    def test_canonical_form(self):
+        a = SetPartition(5, [[3, 4], [1, 2], [5]])
+        b = SetPartition(5, [[2, 1], [5], [4, 3]])
+        assert a == b and hash(a) == hash(b)
+        assert repr(a) == "(1,2)(3,4)(5)"
+
+    def test_from_string(self):
+        p = sp(5, "(1,2)(3,4)(5)")
+        assert p.blocks == ((1, 2), (3, 4), (5,))
+
+    def test_from_string_malformed(self):
+        with pytest.raises(PartitionError):
+            SetPartition.from_string(3, "1,2)(3")
+        with pytest.raises(PartitionError):
+            SetPartition.from_string(3, "(1,x)(2,3)")
+
+    def test_overlap_rejected(self):
+        with pytest.raises(PartitionError):
+            SetPartition(4, [[1, 2], [2, 3], [4]])
+
+    def test_cover_required(self):
+        with pytest.raises(PartitionError):
+            SetPartition(4, [[1, 2], [3]])
+
+    def test_out_of_range(self):
+        with pytest.raises(PartitionError):
+            SetPartition(3, [[1, 2], [3, 4]])
+
+    def test_finest_coarsest(self):
+        assert SetPartition.finest(4).num_blocks == 4
+        assert SetPartition.coarsest(4).num_blocks == 1
+        assert SetPartition.finest(4).is_finest()
+        assert SetPartition.coarsest(4).is_coarsest()
+
+    def test_rgs_round_trip(self):
+        p = sp(6, "(1,3)(2,5,6)(4)")
+        assert SetPartition.from_rgs(p.rgs()) == p
+
+
+class TestQueries:
+    def test_block_containing(self):
+        p = sp(5, "(1,2)(3,4)(5)")
+        assert p.block_containing(4) == (3, 4)
+
+    def test_same_block(self):
+        p = sp(5, "(1,2)(3,4)(5)")
+        assert p.same_block(1, 2)
+        assert not p.same_block(2, 3)
+
+    def test_block_sizes(self):
+        assert sp(5, "(1,2)(3,4)(5)").block_sizes() == (1, 2, 2)
+
+    def test_is_perfect_matching(self):
+        assert sp(4, "(1,3)(2,4)").is_perfect_matching()
+        assert not sp(4, "(1,2,3)(4)").is_perfect_matching()
+
+
+class TestPaperExamples:
+    """The worked examples from Section 1.1 of the paper."""
+
+    def test_join_examples(self):
+        pa = sp(5, "(1,2)(3,4)(5)")
+        pb = sp(5, "(1,2,4)(3)(5)")
+        pc = sp(5, "(1,2,4)(3,5)")
+        assert pa.join(pb) == sp(5, "(1,2,3,4)(5)")
+        assert pa.join(pc) == sp(5, "(1,2,3,4,5)")
+        assert not joins_to_top(pa, pb)
+        assert joins_to_top(pa, pc)
+
+    def test_refinement_example(self):
+        # (1,2)(3,4)(5) is a refinement of (1,2)(3,4,5)
+        assert sp(5, "(1,2)(3,4)(5)").refines(sp(5, "(1,2)(3,4,5)"))
+        assert not sp(5, "(1,2)(3,4,5)").refines(sp(5, "(1,2)(3,4)(5)"))
+
+
+class TestLatticeLaws:
+    @given(partition_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_join_commutative(self, pair):
+        a, b = pair
+        assert a.join(b) == b.join(a)
+
+    @given(partition_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_meet_commutative(self, pair):
+        a, b = pair
+        assert a.meet(b) == b.meet(a)
+
+    @given(partitions())
+    @settings(max_examples=50, deadline=None)
+    def test_join_meet_idempotent(self, p):
+        assert p.join(p) == p
+        assert p.meet(p) == p
+
+    @given(partition_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_absorption(self, pair):
+        a, b = pair
+        assert a.join(a.meet(b)) == a
+        assert a.meet(a.join(b)) == a
+
+    @given(partition_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_both_refine_join(self, pair):
+        a, b = pair
+        j = a.join(b)
+        assert a.refines(j) and b.refines(j)
+
+    @given(partition_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_meet_refines_both(self, pair):
+        a, b = pair
+        m = a.meet(b)
+        assert m.refines(a) and m.refines(b)
+
+    @given(partition_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_join_is_finest_upper_bound(self, pair):
+        """Minimality of the join (the property Theorem 4.3's proof uses):
+        any partition coarser than both a and b is coarser than a ∨ b."""
+        from repro.partitions import enumerate_partitions
+
+        a, b = pair
+        if a.n > 5:
+            return
+        j = a.join(b)
+        for q in enumerate_partitions(a.n):
+            if a.refines(q) and b.refines(q):
+                assert j.refines(q)
+
+    @given(partitions())
+    @settings(max_examples=50, deadline=None)
+    def test_extremes(self, p):
+        bottom = SetPartition.finest(p.n)
+        top = SetPartition.coarsest(p.n)
+        assert p.join(bottom) == p
+        assert p.join(top) == top
+        assert p.meet(bottom) == bottom
+        assert p.meet(top) == p
+
+    def test_mixed_ground_sets_rejected(self):
+        with pytest.raises(PartitionError):
+            SetPartition.finest(3).join(SetPartition.finest(4))
+
+
+class TestRandomPartition:
+    def test_uniformity_small(self):
+        """Exact-uniform sampler: chi-square-free sanity check on n=3 where
+        B_3 = 5; each partition should appear with frequency ~ 1/5."""
+        rng = random.Random(17)
+        counts = {}
+        trials = 5000
+        for _ in range(trials):
+            p = random_partition(3, rng)
+            counts[p] = counts.get(p, 0) + 1
+        assert len(counts) == 5
+        for c in counts.values():
+            assert abs(c / trials - 0.2) < 0.03
+
+    def test_operators(self):
+        a = sp(4, "(1,2)(3)(4)")
+        b = sp(4, "(2,3)(1)(4)")
+        assert (a | b) == sp(4, "(1,2,3)(4)")
+        assert (a & b) == SetPartition.finest(4)
+        assert a <= (a | b)

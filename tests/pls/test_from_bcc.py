@@ -1,0 +1,96 @@
+"""Tests for the transcript proof-labeling scheme (Section 1.3 bridge)."""
+
+import random
+
+import pytest
+
+from repro.core import BCC1_KT0, BCC1_KT1, PublicCoin, Simulator
+from repro.algorithms import connectivity_factory, id_bit_width, neighbor_exchange_rounds
+from repro.instances import one_cycle_instance, two_cycle_instance
+from repro.pls import TranscriptPLS
+
+
+def _scheme(kt=0, n=10):
+    sim = Simulator(BCC1_KT0 if kt == 0 else BCC1_KT1)
+    width = id_bit_width(4 * n - 1) if kt == 0 else id_bit_width(n - 1)
+    rounds = neighbor_exchange_rounds(kt, 2, width)
+    factory = connectivity_factory(2, id_bits=width if kt == 0 else None)
+    return TranscriptPLS(sim, factory, rounds), rounds
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("kt", [0, 1])
+    def test_honest_labels_accepted(self, kt):
+        scheme, _rounds = _scheme(kt=kt)
+        inst = one_cycle_instance(10, kt=kt)
+        assert scheme.completeness_holds(inst)
+
+    def test_verification_complexity_is_2t(self):
+        scheme, rounds = _scheme(kt=0)
+        inst = one_cycle_instance(10, kt=0)
+        result = scheme.run(inst, scheme.prove(inst))
+        assert result.verification_bits == scheme.verification_complexity() == 2 * rounds
+
+    def test_shuffled_kt0_ports(self):
+        sim = Simulator(BCC1_KT0)
+        n = 8
+        width = id_bit_width(4 * n - 1)
+        rounds = neighbor_exchange_rounds(0, 2, width)
+        scheme = TranscriptPLS(sim, connectivity_factory(2), rounds)
+        inst = one_cycle_instance(n, kt=0, rng=random.Random(3))
+        assert scheme.completeness_holds(inst)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("kt", [0, 1])
+    def test_honest_transcripts_of_no_instance_reject(self, kt):
+        """Even the *true* transcripts of the algorithm on the disconnected
+        instance must be rejected: the algorithm outputs NO somewhere."""
+        scheme, _r = _scheme(kt=kt)
+        inst = two_cycle_instance(10, 4, kt=kt)
+        honest_but_no = scheme.prove(inst)
+        assert scheme.soundness_holds(inst, honest_but_no)
+
+    def test_forged_transcripts_reject(self):
+        """Transcripts stolen from a connected instance fail the local
+        replay checks on the disconnected one."""
+        scheme, _r = _scheme(kt=0)
+        donor = one_cycle_instance(10, kt=0)
+        forged = scheme.prove(donor)
+        inst = two_cycle_instance(10, 4, kt=0)
+        assert scheme.soundness_holds(inst, forged)
+
+    def test_random_forgeries_reject(self):
+        scheme, rounds = _scheme(kt=0)
+        inst = two_cycle_instance(10, 4, kt=0)
+        rng = random.Random(9)
+        from repro.algorithms import pack_symbols
+
+        for _ in range(10):
+            labels = {
+                v: pack_symbols(
+                    [rng.choice(["", "0", "1"]) for _ in range(rounds)]
+                )
+                for v in range(10)
+            }
+            assert scheme.soundness_holds(inst, labels)
+
+    def test_malformed_labels_reject(self):
+        scheme, _r = _scheme(kt=0)
+        inst = two_cycle_instance(10, 4, kt=0)
+        assert scheme.soundness_holds(inst, {v: "01" for v in range(10)})
+
+
+class TestLowerBoundBridge:
+    def test_verification_bits_track_rounds(self):
+        """The Section 1.3 inequality, executable: a t-round algorithm
+        yields a 2t-bit PLS, so PLS-verification >= Omega(log n) forces
+        t >= Omega(log n). Here: the scheme built from the real Theta(log n)
+        algorithm has Theta(log n)-bit labels, matching the [PP17] tight
+        bound for the broadcast model."""
+        import math
+
+        for n in (8, 16, 32):
+            scheme, rounds = _scheme(kt=1, n=n)
+            assert scheme.verification_complexity() == 2 * rounds
+            assert scheme.verification_complexity() >= math.log2(n)

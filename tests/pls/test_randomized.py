@@ -1,0 +1,105 @@
+"""Tests for the randomized (fingerprint) spanning-tree scheme (BFP15)."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance, PublicCoin
+from repro.algorithms import encode_fixed, id_bit_width
+from repro.graphs import one_cycle, path_graph, two_cycles
+from repro.pls import RandomizedSpanningTreePLS, SpanningTreePLS
+
+SEEDS = [f"seed-{i}" for i in range(40)]
+
+
+def _kt1(graph):
+    return BCCInstance.kt1_from_graph(graph)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("builder", [lambda: one_cycle(10), lambda: path_graph(8)])
+    def test_honest_labels_always_accepted(self, builder):
+        scheme = RandomizedSpanningTreePLS()
+        inst = _kt1(builder())
+        labels = scheme.prove(inst)
+        for seed in SEEDS[:10]:
+            assert scheme.run(inst, labels, PublicCoin(seed)).accepted
+
+    def test_completeness_helper(self):
+        scheme = RandomizedSpanningTreePLS()
+        assert scheme.completeness_holds(_kt1(one_cycle(8)))
+
+
+class TestOneSidedSoundness:
+    def test_forged_bfs_rejected_whp(self):
+        scheme = RandomizedSpanningTreePLS()
+        donor = _kt1(one_cycle(10))
+        forged = scheme.prove(donor)
+        inst = _kt1(two_cycles(10, 4))
+        rate = scheme.soundness_rejection_rate(inst, forged, SEEDS)
+        assert rate == 1.0  # structural checks fail regardless of the coin
+
+    def test_distance_cheat_rejected_whp(self):
+        """A labelling wrong only in a *value* (not structure) is caught by
+        the fingerprint comparison for almost every coin."""
+        scheme = RandomizedSpanningTreePLS(field_bits=16)
+        inst = _kt1(two_cycles(8, 4))
+        width = id_bit_width(7)
+        labels = {}
+        for v in range(8):
+            # all claim root 0 with a fake consistent-looking distance chain;
+            # the second component has no path to 0
+            dist = v if v < 4 else v - 4 + 1
+            parent = 0 if v in (0, 1, 4) else v - 1
+            if v == 4:
+                parent = 5  # a genuine neighbor in its own cycle
+                dist = 2
+            labels[v] = (
+                encode_fixed(0, width)
+                + encode_fixed(dist, width)
+                + encode_fixed(parent if v != 0 else 0, width)
+            )
+        rate = scheme.soundness_rejection_rate(inst, labels, SEEDS)
+        assert rate > 0.9
+
+    def test_rejection_matches_deterministic_scheme(self):
+        """Whatever the deterministic verifier rejects structurally, the
+        randomized one rejects too (fingerprints only relax value reads)."""
+        rng = random.Random(4)
+        det = SpanningTreePLS()
+        rand = RandomizedSpanningTreePLS()
+        inst = _kt1(two_cycles(10, 5))
+        width = id_bit_width(9)
+        for _ in range(10):
+            labels = {
+                v: encode_fixed(rng.randrange(10), width)
+                + encode_fixed(rng.randrange(10), width)
+                + encode_fixed(rng.randrange(10), width)
+                for v in range(10)
+            }
+            assert not det.run(inst, labels).accepted
+            rate = rand.soundness_rejection_rate(inst, labels, SEEDS[:10])
+            assert rate > 0.8
+
+
+class TestCompression:
+    def test_fingerprint_smaller_than_labels_for_large_ids(self):
+        """With wide IDs, the broadcast fingerprint (≈ 2 log n bits) beats
+        the 3W-bit full label."""
+        n = 12
+        ids = [i * 1000 for i in range(n)]  # W = 14 bits -> labels 42 bits
+        inst = BCCInstance.kt1_from_graph(one_cycle(n), ids=ids)
+        det = SpanningTreePLS()
+        rand = RandomizedSpanningTreePLS(field_bits=16)
+        det_bits = det.verification_complexity(inst)
+        rand_bits = rand.verification_bits(inst)
+        assert rand_bits < det_bits
+
+    def test_field_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RandomizedSpanningTreePLS(field_bits=2)
+
+    def test_malformed_labels_rejected(self):
+        scheme = RandomizedSpanningTreePLS()
+        inst = _kt1(two_cycles(8, 4))
+        assert scheme.soundness_rejection_rate(inst, {v: "01" for v in range(8)}, SEEDS[:5]) == 1.0

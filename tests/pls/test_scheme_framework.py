@@ -1,0 +1,100 @@
+"""Framework-level tests for the PLS scheme base class."""
+
+import pytest
+
+from repro.core import BCCInstance
+from repro.graphs import one_cycle, two_cycles
+from repro.pls import ProofLabelingScheme, SpanningTreePLS, VertexView
+
+
+class AcceptAll(ProofLabelingScheme):
+    """A degenerate scheme used to exercise the driver."""
+
+    def predicate(self, instance):
+        return instance.input_graph().is_connected()
+
+    def prove(self, instance):
+        return {v: "" for v in range(instance.n)}
+
+    def verify_at(self, view):
+        return True
+
+
+class RejectVertexZero(ProofLabelingScheme):
+    def predicate(self, instance):
+        return True
+
+    def prove(self, instance):
+        return {v: "1" for v in range(instance.n)}
+
+    def verify_at(self, view):
+        return view.vertex_id != 0
+
+
+class TestDriver:
+    def test_run_reports_rejectors(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(5))
+        scheme = RejectVertexZero()
+        result = scheme.run(inst, scheme.prove(inst))
+        assert not result.accepted
+        assert result.rejecting_vertices == [0]
+
+    def test_verification_bits_is_longest_label(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(4))
+        result = AcceptAll().run(inst, {0: "101", 1: "", 2: "1", 3: ""})
+        assert result.verification_bits == 3
+
+    def test_missing_labels_become_empty(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(4))
+        result = AcceptAll().run(inst, {})
+        assert result.accepted  # AcceptAll does not look at labels
+        assert result.verification_bits == 0
+
+    def test_completeness_guard(self):
+        inst = BCCInstance.kt1_from_graph(two_cycles(8, 4))
+        with pytest.raises(ValueError):
+            AcceptAll().completeness_holds(inst)
+
+    def test_soundness_guard(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(6))
+        with pytest.raises(ValueError):
+            AcceptAll().soundness_holds(inst, {})
+
+    def test_bool_of_result(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(4))
+        assert bool(AcceptAll().run(inst, {}))
+
+
+class TestVertexView:
+    def test_view_contents(self):
+        inst = BCCInstance.kt1_from_graph(one_cycle(5), ids=[10, 11, 12, 13, 14])
+        captured = {}
+
+        class Capture(ProofLabelingScheme):
+            def predicate(self, instance):
+                return True
+
+            def prove(self, instance):
+                return {v: "x" and "1" for v in range(instance.n)}
+
+            def verify_at(self, view):
+                captured[view.vertex_id] = view
+                return True
+
+        Capture().run(inst, {v: "1" for v in range(5)})
+        view = captured[12]
+        assert isinstance(view, VertexView)
+        assert view.all_ids == (10, 11, 12, 13, 14)
+        assert view.neighbor_ids == (11, 13)
+        assert view.own_label == "1"
+        assert view.labels_by_id[10] == "1"
+
+    def test_spanning_tree_uses_views_only(self):
+        """The deterministic scheme's verifier is a pure function of the
+        view: the same labels on equal-view instances verify identically."""
+        scheme = SpanningTreePLS()
+        inst = BCCInstance.kt1_from_graph(one_cycle(6))
+        labels = scheme.prove(inst)
+        r1 = scheme.run(inst, labels)
+        r2 = scheme.run(inst, dict(labels))
+        assert r1.accepted == r2.accepted == True  # noqa: E712

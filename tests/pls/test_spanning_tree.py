@@ -1,0 +1,133 @@
+"""Tests for the spanning-tree proof-labeling scheme."""
+
+import random
+
+import pytest
+
+from repro.core import BCCInstance
+from repro.algorithms import encode_fixed, id_bit_width
+from repro.graphs import gnp_random_graph, one_cycle, path_graph, random_forest, two_cycles
+from repro.instances import one_cycle_instance, two_cycle_instance
+from repro.pls import SpanningTreePLS
+
+
+def _kt1(graph):
+    return BCCInstance.kt1_from_graph(graph)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [lambda: one_cycle(9), lambda: path_graph(7), lambda: random_forest(10, 1, random.Random(1))],
+    )
+    def test_honest_prover_accepted(self, graph_builder):
+        inst = _kt1(graph_builder())
+        assert SpanningTreePLS().completeness_holds(inst)
+
+    def test_works_on_kt0_instances_too(self):
+        # the scheme only reads IDs and neighbor IDs, both defined for any
+        # instance object; run() supplies them from the instance directly
+        inst = one_cycle_instance(8, kt=0)
+        scheme = SpanningTreePLS()
+        assert scheme.run(inst, scheme.prove(inst)).accepted
+
+    def test_prover_rejects_disconnected(self):
+        inst = _kt1(two_cycles(8, 4))
+        with pytest.raises(ValueError):
+            SpanningTreePLS().prove(inst)
+
+    def test_verification_complexity(self):
+        inst = _kt1(one_cycle(9))
+        scheme = SpanningTreePLS()
+        labels = scheme.prove(inst)
+        result = scheme.run(inst, labels)
+        assert result.verification_bits == scheme.verification_complexity(inst) == 3 * id_bit_width(8)
+
+
+class TestSoundness:
+    def test_empty_labels_rejected(self):
+        inst = _kt1(two_cycles(8, 4))
+        scheme = SpanningTreePLS()
+        assert scheme.soundness_holds(inst, {v: "" for v in range(8)})
+
+    def test_forged_bfs_labels_rejected(self):
+        """Labels copied from a *connected* graph's BFS tree still fail on
+        the disconnected instance: the parent edges don't exist."""
+        scheme = SpanningTreePLS()
+        connected = _kt1(one_cycle(8))
+        forged = scheme.prove(connected)
+        disconnected = _kt1(two_cycles(8, 4))
+        assert scheme.soundness_holds(disconnected, forged)
+
+    def test_random_forgeries_rejected(self):
+        rng = random.Random(5)
+        scheme = SpanningTreePLS()
+        inst = _kt1(two_cycles(10, 4))
+        width = id_bit_width(9)
+        for _ in range(25):
+            labels = {
+                v: encode_fixed(rng.randrange(10), width)
+                + encode_fixed(rng.randrange(10), width)
+                + encode_fixed(rng.randrange(10), width)
+                for v in range(10)
+            }
+            assert scheme.soundness_holds(inst, labels)
+
+    def test_soundness_defined_only_on_no_instances(self):
+        scheme = SpanningTreePLS()
+        with pytest.raises(ValueError):
+            scheme.soundness_holds(_kt1(one_cycle(6)), {})
+
+    def test_wrong_root_agreement_rejected(self):
+        """Two halves claiming different roots: rejected by the global
+        root-agreement check (every label is broadcast)."""
+        scheme = SpanningTreePLS()
+        inst = _kt1(two_cycles(8, 4))
+        width = id_bit_width(7)
+        labels = {}
+        for v in range(8):
+            root = 0 if v < 4 else 4
+            dist = v % 4
+            parent = v - 1 if v % 4 else root
+            labels[v] = (
+                encode_fixed(root, width)
+                + encode_fixed(dist, width)
+                + encode_fixed(parent, width)
+            )
+        assert scheme.soundness_holds(inst, labels)
+
+    def test_distance_cheating_rejected(self):
+        """All vertices claim the same root with plausible distances --
+        the component without the root still cannot justify its chains."""
+        scheme = SpanningTreePLS()
+        inst = _kt1(two_cycles(8, 4))
+        width = id_bit_width(7)
+        labels = {}
+        for v in range(8):
+            if v < 4:
+                dist, parent = (0 if v == 0 else 1, 0 if v != 0 else 0)
+                if v in (2, 3):
+                    dist, parent = 1, 0
+            else:
+                dist, parent = v - 3, v - 1 if v > 4 else 4
+            labels[v] = (
+                encode_fixed(0, width)
+                + encode_fixed(dist, width)
+                + encode_fixed(parent, width)
+            )
+        assert scheme.soundness_holds(inst, labels)
+
+
+class TestSoundnessSweep:
+    def test_connected_random_graphs_accept_disconnected_reject(self):
+        rng = random.Random(11)
+        scheme = SpanningTreePLS()
+        for _ in range(6):
+            g = gnp_random_graph(9, 0.4, rng)
+            inst = _kt1(g)
+            if g.is_connected():
+                assert scheme.completeness_holds(inst)
+            else:
+                # forge with the labels of some connected graph
+                donor = _kt1(one_cycle(9))
+                assert scheme.soundness_holds(inst, scheme.prove(donor))

@@ -1,0 +1,113 @@
+"""Tests for problem definitions: promises, ground truth, verification."""
+
+from repro.core import NO, YES, BCCInstance
+from repro.graphs import Graph, one_cycle, path_graph, two_cycles
+from repro.instances import multi_cycle_instance, one_cycle_instance, two_cycle_instance
+from repro.problems import (
+    ConnectedComponents,
+    Connectivity,
+    MultiCycle,
+    TwoCycle,
+    cycle_lengths,
+)
+
+
+def _inst(graph):
+    return BCCInstance.kt0_from_graph(graph)
+
+
+class TestConnectivity:
+    problem = Connectivity()
+
+    def test_promise_always_true(self):
+        assert self.problem.promise(_inst(path_graph(5)))
+        assert self.problem.promise(_inst(Graph(range(4))))
+
+    def test_ground_truth(self):
+        assert self.problem.ground_truth(_inst(one_cycle(5))) == YES
+        assert self.problem.ground_truth(_inst(two_cycles(8, 4))) == NO
+        assert self.problem.ground_truth(_inst(path_graph(6))) == YES
+
+    def test_verify_correct_outputs(self):
+        inst = _inst(one_cycle(4))
+        assert self.problem.verify(inst, [YES] * 4)
+        assert not self.problem.verify(inst, [YES, YES, NO, YES])
+
+    def test_verify_disconnected(self):
+        inst = _inst(two_cycles(8, 4))
+        assert self.problem.verify(inst, [NO] * 8)
+        # one NO suffices under all-YES semantics
+        assert self.problem.verify(inst, [YES] * 7 + [NO])
+        assert not self.problem.verify(inst, [YES] * 8)
+
+    def test_verify_rejects_garbage_outputs(self):
+        inst = _inst(one_cycle(4))
+        assert not self.problem.verify(inst, ["maybe"] * 4)
+
+
+class TestTwoCycle:
+    problem = TwoCycle()
+
+    def test_promise_one_cycle(self):
+        assert self.problem.promise(one_cycle_instance(6))
+
+    def test_promise_two_cycles(self):
+        assert self.problem.promise(two_cycle_instance(8, 4))
+
+    def test_promise_rejects_three_cycles(self):
+        inst = multi_cycle_instance([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        assert not self.problem.promise(inst)
+
+    def test_promise_rejects_non_2_regular(self):
+        assert not self.problem.promise(_inst(path_graph(6)))
+
+    def test_ground_truth(self):
+        assert self.problem.ground_truth(one_cycle_instance(6)) == YES
+        assert self.problem.ground_truth(two_cycle_instance(8, 4)) == NO
+
+
+class TestMultiCycle:
+    problem = MultiCycle()
+
+    def test_promise_one_cycle(self):
+        assert self.problem.promise(one_cycle_instance(5))
+
+    def test_promise_many_long_cycles(self):
+        inst = multi_cycle_instance([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11]])
+        assert self.problem.promise(inst)
+
+    def test_promise_rejects_short_cycles(self):
+        inst = multi_cycle_instance([[0, 1, 2], [3, 4, 5, 6]])
+        assert not self.problem.promise(inst)
+
+    def test_ground_truth(self):
+        inst = multi_cycle_instance([[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert self.problem.ground_truth(inst) == NO
+
+
+class TestConnectedComponents:
+    problem = ConnectedComponents()
+
+    def test_verify_canonical_labels(self):
+        inst = _inst(two_cycles(8, 4))
+        labels = [0, 0, 0, 0, 4, 4, 4, 4]
+        assert self.problem.verify(inst, labels)
+
+    def test_verify_arbitrary_labels(self):
+        inst = _inst(two_cycles(8, 4))
+        labels = ["a"] * 4 + ["b"] * 4
+        assert self.problem.verify(inst, labels)
+
+    def test_verify_rejects_merged(self):
+        inst = _inst(two_cycles(8, 4))
+        assert not self.problem.verify(inst, ["x"] * 8)
+
+    def test_verify_rejects_split(self):
+        inst = _inst(one_cycle(6))
+        assert not self.problem.verify(inst, [0, 0, 0, 1, 1, 1])
+
+
+class TestCycleLengths:
+    def test_lengths(self):
+        assert cycle_lengths(two_cycles(9, 4)) == [4, 5]
+        assert cycle_lengths(one_cycle(7)) == [7]

@@ -1,0 +1,101 @@
+"""Tests for K4 detection (the [DKO14] contrast problem)."""
+
+import random
+
+import pytest
+
+from repro.core import BCC1_KT1, NO, YES, BCCInstance, Simulator, decision_of_run
+from repro.graphs import Graph, complete_graph, gnp_random_graph, one_cycle
+from repro.problems import (
+    K4Detection,
+    contains_k4,
+    dko14_round_lower_bound,
+    trivial_upper_bound_rounds,
+)
+
+
+class TestContainsK4:
+    def test_k4_itself(self):
+        assert contains_k4(complete_graph(4))
+
+    def test_k5_contains_k4(self):
+        assert contains_k4(complete_graph(5))
+
+    def test_cycle_does_not(self):
+        assert not contains_k4(one_cycle(8))
+
+    def test_k4_minus_edge(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        assert not contains_k4(g)
+
+    def test_planted_k4(self):
+        g = one_cycle(10)
+        for u in (0, 2, 4, 6):
+            for v in (0, 2, 4, 6):
+                if u < v:
+                    g.add_edge(u, v)
+        assert contains_k4(g)
+
+    def test_brute_force_agreement(self):
+        from itertools import combinations
+
+        rng = random.Random(5)
+        for _ in range(15):
+            g = gnp_random_graph(8, 0.45, rng)
+            brute = any(
+                all(g.has_edge(a, b) for a, b in combinations(quad, 2))
+                for quad in combinations(range(8), 4)
+            )
+            assert contains_k4(g) == brute
+
+
+class TestProblem:
+    problem = K4Detection()
+
+    def test_ground_truth(self):
+        assert self.problem.ground_truth(
+            BCCInstance.kt1_from_graph(complete_graph(5))
+        ) == YES
+        assert self.problem.ground_truth(
+            BCCInstance.kt1_from_graph(one_cycle(6))
+        ) == NO
+
+    def test_solved_by_full_adjacency_exchange(self):
+        """The trivial Theta(n) upper bound: reconstruct, check locally."""
+        from repro.core import NodeAlgorithm
+        from repro.algorithms.flooding import FullAdjacencyExchange
+
+        class K4Solver(FullAdjacencyExchange):
+            def output(self):
+                if self._edges is None:
+                    return YES
+                g = Graph(self._order, self._edges)
+                return YES if contains_k4(g) else NO
+
+        g = complete_graph(6)
+        inst = BCCInstance.kt1_from_graph(g)
+        res = Simulator(BCC1_KT1).run_until_done(inst, K4Solver, 7)
+        assert decision_of_run(res) == YES
+        assert res.rounds_executed == trivial_upper_bound_rounds(6)
+
+        g2 = one_cycle(6)
+        res2 = Simulator(BCC1_KT1).run_until_done(
+            BCCInstance.kt1_from_graph(g2), K4Solver, 7
+        )
+        assert decision_of_run(res2) == NO
+
+
+class TestBoundShapes:
+    def test_dko14_shape(self):
+        # Omega(n / b): linear in n, inverse in b
+        assert dko14_round_lower_bound(100, 1) == pytest.approx(100.0)
+        assert dko14_round_lower_bound(100, 10) == pytest.approx(10.0)
+
+    def test_contrast_with_connectivity(self):
+        """The paper's framing: K4 detection is polynomially hard in
+        BCC(1), Connectivity only logarithmically."""
+        import math
+
+        n = 1024
+        assert dko14_round_lower_bound(n, 1) > 10 * math.log2(n)

@@ -1,0 +1,60 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "crossing" in out and "upper-bounds" in out
+
+    def test_crossing(self, capsys):
+        assert main(["crossing", "--n", "10", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 3.4" in out and "True" in out
+
+    def test_star(self, capsys):
+        assert main(["star", "--n", "15", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.5" in out
+
+    def test_forced_error(self, capsys):
+        assert main(["forced-error", "--n", "6", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "forced error" in out
+
+    def test_ratio(self, capsys):
+        assert main(["ratio", "--max-exp", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 3.9" in out
+
+    def test_ranks(self, capsys):
+        assert main(["ranks", "--max-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2.3" in out
+
+    def test_reduction_correct(self, capsys):
+        assert main(["reduction", "--n", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.3" in out
+
+    def test_information(self, capsys):
+        assert main(["information", "--n", "4", "--eps", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.5" in out
+
+    def test_upper_bounds(self, capsys):
+        assert main(["upper-bounds", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "NeighborExchange" in out and "Peeling" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

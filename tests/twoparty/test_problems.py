@@ -1,0 +1,63 @@
+"""Tests for the 2-party problem definitions."""
+
+import pytest
+
+from repro.partitions import SetPartition
+from repro.twoparty import (
+    PartitionCompProblem,
+    PartitionProblem,
+    TwoPartitionProblem,
+)
+
+
+def sp(n, text):
+    return SetPartition.from_string(n, text)
+
+
+class TestPartitionProblem:
+    problem = PartitionProblem(5)
+
+    def test_answer_positive(self):
+        pa = sp(5, "(1,2)(3,4)(5)")
+        pc = sp(5, "(1,2,4)(3,5)")
+        assert self.problem.answer(pa, pc) == 1
+
+    def test_answer_negative(self):
+        pa = sp(5, "(1,2)(3,4)(5)")
+        pb = sp(5, "(1,2,4)(3)(5)")
+        assert self.problem.answer(pa, pb) == 0
+
+    def test_valid_input(self):
+        assert self.problem.valid_input(sp(5, "(1,2,3,4,5)"), SetPartition.finest(5))
+        assert not self.problem.valid_input(SetPartition.finest(4), SetPartition.finest(5))
+
+
+class TestTwoPartitionProblem:
+    def test_odd_ground_set_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPartitionProblem(5)
+
+    def test_valid_input_requires_matchings(self):
+        problem = TwoPartitionProblem(4)
+        assert problem.valid_input(sp(4, "(1,2)(3,4)"), sp(4, "(1,3)(2,4)"))
+        assert not problem.valid_input(sp(4, "(1,2,3)(4)"), sp(4, "(1,3)(2,4)"))
+
+    def test_answer(self):
+        problem = TwoPartitionProblem(4)
+        assert problem.answer(sp(4, "(1,2)(3,4)"), sp(4, "(1,3)(2,4)")) == 1
+        assert problem.answer(sp(4, "(1,2)(3,4)"), sp(4, "(1,2)(3,4)")) == 0
+
+
+class TestPartitionCompProblem:
+    problem = PartitionCompProblem(5)
+
+    def test_answer_is_join(self):
+        pa = sp(5, "(1,2)(3,4)(5)")
+        pb = sp(5, "(1,2,4)(3)(5)")
+        assert self.problem.answer(pa, pb) == sp(5, "(1,2,3,4)(5)")
+
+    def test_correct_checker(self):
+        pa = sp(5, "(1,2)(3,4)(5)")
+        pb = sp(5, "(1,2,4)(3)(5)")
+        assert self.problem.correct(pa, pb, sp(5, "(1,2,3,4)(5)"))
+        assert not self.problem.correct(pa, pb, SetPartition.coarsest(5))

@@ -1,0 +1,159 @@
+"""Tests for the Section 4.2 reduction graphs and Theorem 4.3."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitions import (
+    SetPartition,
+    enumerate_partitions,
+    enumerate_perfect_matchings,
+    random_partition,
+    random_perfect_matching,
+)
+from repro.problems import MultiCycle
+from repro.twoparty import (
+    build_partition_reduction,
+    build_two_partition_reduction,
+    paper_id,
+    to_kt1_instance,
+)
+
+
+def sp(n, text):
+    return SetPartition.from_string(n, text)
+
+
+class TestFigure2Examples:
+    """The exact inputs drawn in Figure 2 of the paper."""
+
+    def test_left_figure(self):
+        pa = sp(8, "(1,2,3)(4,5,6)(7,8)")
+        pb = sp(8, "(1,2,6)(3,4,7)(5,8)")
+        red = build_partition_reduction(pa, pb)
+        join = pa.join(pb)
+        assert red.induced_partition_on_l() == join
+        assert red.induced_partition_on_r() == join
+        # (1,2,3,4,5,6,7,8): the join is trivial, so G must be connected
+        assert join.is_coarsest() and red.is_connected()
+
+    def test_right_figure(self):
+        pa = sp(8, "(1,2)(3,4)(5,6)(7,8)")
+        pb = sp(8, "(1,3)(2,4)(5,7)(6,8)")
+        red = build_two_partition_reduction(pa, pb)
+        assert red.graph.is_regular(2)
+        join = pa.join(pb)
+        assert red.induced_partition_on_l() == join
+        assert not join.is_coarsest() and not red.is_connected()
+
+
+class TestPartitionReduction:
+    def test_vertex_count(self):
+        pa = sp(4, "(1,2)(3,4)")
+        red = build_partition_reduction(pa, pa)
+        assert red.graph.vertex_count == 16  # 4n
+
+    def test_rungs_always_present(self):
+        pa = sp(5, "(1,2,3,4,5)")
+        pb = SetPartition.finest(5)
+        red = build_partition_reduction(pa, pb)
+        for i in range(1, 6):
+            assert red.graph.has_edge(("l", i), ("r", i))
+
+    def test_unused_owner_vertices_anchor(self):
+        # one-part partition uses a_1 only; a_2..a_n attach to l* = l_n
+        pa = sp(4, "(1,2,3,4)")
+        red = build_partition_reduction(pa, SetPartition.finest(4))
+        for k in (2, 3, 4):
+            assert red.graph.has_edge(("a", k), ("l", 4))
+
+    def test_connected_iff_join_trivial_exhaustive_n4(self):
+        parts = list(enumerate_partitions(4))
+        for pa in parts[::3]:
+            for pb in parts[::4]:
+                red = build_partition_reduction(pa, pb)
+                assert red.is_connected() == pa.join(pb).is_coarsest()
+
+    @given(st.integers(0, 10_000), st.integers(min_value=3, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_4_3_property(self, seed, n):
+        rng = random.Random(seed)
+        pa = random_partition(n, rng)
+        pb = random_partition(n, rng)
+        red = build_partition_reduction(pa, pb)
+        assert red.induced_partition_on_l() == pa.join(pb)
+        assert red.induced_partition_on_r() == pa.join(pb)
+
+    def test_mismatched_ground_sets(self):
+        with pytest.raises(ValueError):
+            build_partition_reduction(SetPartition.finest(3), SetPartition.finest(4))
+
+
+class TestTwoPartitionReduction:
+    def test_requires_matchings(self):
+        with pytest.raises(ValueError):
+            build_two_partition_reduction(sp(4, "(1,2,3)(4)"), sp(4, "(1,2)(3,4)"))
+
+    def test_always_2_regular_and_long_cycles(self):
+        problem = MultiCycle()
+        rng = random.Random(7)
+        for _ in range(10):
+            pa = random_perfect_matching(8, rng)
+            pb = random_perfect_matching(8, rng)
+            red = build_two_partition_reduction(pa, pb)
+            assert red.graph.is_regular(2)
+            lengths = [len(c) for c in red.graph.cycle_decomposition()]
+            assert all(l >= 4 for l in lengths)
+            assert all(l % 2 == 0 for l in lengths)  # rungs alternate sides
+
+    @given(st.integers(0, 10_000), st.sampled_from([4, 6, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_4_3_on_matchings(self, seed, n):
+        rng = random.Random(seed)
+        pa = random_perfect_matching(n, rng)
+        pb = random_perfect_matching(n, rng)
+        red = build_two_partition_reduction(pa, pb)
+        assert red.induced_partition_on_l() == pa.join(pb)
+
+    def test_exhaustive_n4(self):
+        matchings = list(enumerate_perfect_matchings(4))
+        for pa in matchings:
+            for pb in matchings:
+                red = build_two_partition_reduction(pa, pb)
+                assert red.is_connected() == pa.join(pb).is_coarsest()
+
+
+class TestKT1Conversion:
+    def test_ids_follow_paper_scheme(self):
+        pa = sp(4, "(1,2)(3,4)")
+        pb = sp(4, "(1,3)(2,4)")
+        hosted = to_kt1_instance(build_two_partition_reduction(pa, pb))
+        inst = hosted.instance
+        assert inst.n == 8
+        # l_i -> n + i, r_i -> 2n + i
+        for idx, (kind, i) in enumerate(hosted.name_of_index):
+            assert inst.vertex_id(idx) == paper_id(kind, i, 4)
+
+    def test_hosting_split(self):
+        pa = sp(4, "(1,2)(3,4)")
+        hosted = to_kt1_instance(build_partition_reduction(pa, pa))
+        assert len(hosted.alice_indices) == 8  # A + L
+        assert len(hosted.bob_indices) == 8  # B + R
+        assert set(hosted.alice_indices) | set(hosted.bob_indices) == set(range(16))
+        for idx in hosted.alice_indices:
+            kind, _ = hosted.name_of_index[idx]
+            assert kind in ("a", "l")
+
+    def test_instance_edges_match_graph(self):
+        pa = sp(4, "(1,2)(3,4)")
+        pb = sp(4, "(1,4)(2,3)")
+        red = build_two_partition_reduction(pa, pb)
+        hosted = to_kt1_instance(red)
+        index_of = {name: i for i, name in enumerate(hosted.name_of_index)}
+        expected = {
+            frozenset((index_of[u], index_of[v])) for u, v in red.graph.edges()
+        }
+        actual = {frozenset(e) for e in hosted.instance.input_edges}
+        assert actual == expected

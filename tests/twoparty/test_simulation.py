@@ -1,0 +1,155 @@
+"""Tests for the Section 4.3 Alice/Bob simulation of KT-1 BCC algorithms.
+
+The strongest check here: the two-party simulation must reproduce the
+*exact* broadcast history of a direct full-instance simulation -- the
+parties simulate real vertices, not approximations of them.
+"""
+
+import random
+
+import pytest
+
+from repro.core import BCC1_KT1, PublicCoin, Simulator
+from repro.algorithms import (
+    components_factory,
+    connectivity_factory,
+    id_bit_width,
+    neighbor_exchange_rounds,
+    unpack_symbols,
+)
+from repro.partitions import SetPartition, random_partition, random_perfect_matching
+from repro.twoparty import (
+    BCCSimulationProtocol,
+    build_partition_reduction,
+    build_two_partition_reduction,
+    rounds_lower_bound_from_cc,
+    simulation_bits_per_round,
+    to_kt1_instance,
+)
+
+SIM1 = Simulator(BCC1_KT1)
+
+
+def sp(n, text):
+    return SetPartition.from_string(n, text)
+
+
+def _ne_rounds(variant, n):
+    if variant == "two_partition":
+        return neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+    return neighbor_exchange_rounds(1, 4 * n, id_bit_width(4 * n))
+
+
+class TestSimulationMatchesDirectExecution:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_two_partition_broadcast_history_identical(self, seed):
+        n = 6
+        rng = random.Random(seed)
+        pa = random_perfect_matching(n, rng)
+        pb = random_perfect_matching(n, rng)
+        rounds = _ne_rounds("two_partition", n)
+        coin = PublicCoin(f"sim-{seed}")
+
+        # direct execution on the fully wired instance
+        hosted = to_kt1_instance(build_two_partition_reduction(pa, pb))
+        direct = SIM1.run(hosted.instance, components_factory(2), rounds, coin=coin)
+
+        # two-party simulation
+        proto = BCCSimulationProtocol(
+            "two_partition", components_factory(2), rounds, mode="components", coin=coin
+        )
+        res = proto.run(pa, pb)
+
+        # decode the per-round symbols from the protocol transcript and
+        # compare with the direct broadcast history, vertex by vertex
+        id_of_index = [hosted.instance.vertex_id(v) for v in range(hosted.instance.n)]
+        alice_ids = sorted(
+            hosted.instance.vertex_id(v) for v in hosted.alice_indices
+        )
+        bob_ids = sorted(hosted.instance.vertex_id(v) for v in hosted.bob_indices)
+        for t in range(rounds):
+            alice_syms = unpack_symbols(res.turns[2 * t].bits, n)
+            bob_syms = unpack_symbols(res.turns[2 * t + 1].bits, n)
+            sym_of_id = dict(zip(alice_ids, alice_syms))
+            sym_of_id.update(zip(bob_ids, bob_syms))
+            for v in range(hosted.instance.n):
+                assert direct.broadcast_history[t][v] == sym_of_id[id_of_index[v]]
+
+    def test_components_output_is_the_join(self):
+        n = 6
+        rng = random.Random(9)
+        for _ in range(3):
+            pa = random_perfect_matching(n, rng)
+            pb = random_perfect_matching(n, rng)
+            proto = BCCSimulationProtocol(
+                "two_partition",
+                components_factory(2),
+                _ne_rounds("two_partition", n),
+                mode="components",
+            )
+            res = proto.run(pa, pb)
+            assert res.alice_output == pa.join(pb)
+            assert res.bob_output == pa.join(pb)
+
+    def test_partition_variant_decision(self):
+        n = 4
+        rng = random.Random(3)
+        w = id_bit_width(4 * n)
+        rounds = neighbor_exchange_rounds(1, n + 1, w)
+        for _ in range(4):
+            pa = random_partition(n, rng)
+            pb = random_partition(n, rng)
+            proto = BCCSimulationProtocol(
+                "partition",
+                connectivity_factory(n + 1, id_bits=w),
+                rounds,
+                mode="decision",
+            )
+            res = proto.run(pa, pb)
+            expected = 1 if pa.join(pb).is_coarsest() else 0
+            assert res.alice_output == expected == res.bob_output
+
+
+class TestCommunicationAccounting:
+    def test_bits_per_round_exact(self):
+        n = 6
+        rounds = 5
+        pa = sp(6, "(1,2)(3,4)(5,6)")
+        pb = sp(6, "(1,4)(2,5)(3,6)")
+        proto = BCCSimulationProtocol(
+            "two_partition", components_factory(2), rounds, mode="components"
+        )
+        res = proto.run(pa, pb)
+        assert res.total_bits == rounds * simulation_bits_per_round("two_partition", n)
+
+    def test_decision_mode_adds_two_bits(self):
+        n = 4
+        rounds = 3
+        pa = sp(4, "(1,2)(3,4)")
+        proto = BCCSimulationProtocol(
+            "partition", connectivity_factory(5), rounds, mode="decision"
+        )
+        res = proto.run(pa, pa)
+        assert res.total_bits == rounds * simulation_bits_per_round("partition", n) + 2
+
+    def test_round_bound_inversion(self):
+        # Theorem 4.4 arithmetic: cc / (bits per round)
+        assert rounds_lower_bound_from_cc(80.0, "two_partition", 10) == pytest.approx(2.0)
+        assert rounds_lower_bound_from_cc(80.0, "partition", 10) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            BCCSimulationProtocol("partition", connectivity_factory(5), 2, mode="wat")
+
+    def test_two_partition_needs_matchings(self):
+        from repro.errors import ProtocolError
+
+        proto = BCCSimulationProtocol(
+            "two_partition", components_factory(2), 2, mode="components"
+        )
+        with pytest.raises(ProtocolError):
+            proto.run(sp(4, "(1,2,3)(4)"), sp(4, "(1,2)(3,4)"))

@@ -1,0 +1,62 @@
+"""E0 -- the round engine itself, with metrics on.
+
+Every other experiment stands on `Simulator.run`, so its throughput (and
+the cost of observability) is worth a record of its own. Times the raw
+engine on a cycle, checks the instrumented counters agree exactly with
+the `RunResult` accounting, and measures the metrics-enabled overhead --
+the no-op path (no registry installed) must stay within a few percent of
+the pre-instrumentation engine.
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+from repro.instances import one_cycle_instance
+from repro.obs import MetricsRegistry, use_registry
+
+SIM = Simulator(BCC1_KT0)
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_throughput(benchmark, n):
+    """Raw rounds/sec of the engine with observability disabled."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+
+    result = benchmark(SIM.run, inst, ConstantAlgorithm, rounds)
+    print_table(
+        "E0: round engine throughput (metrics off)",
+        ["n", "rounds", "bits broadcast", "bits predicted"],
+        [[n, result.rounds_executed, result.total_bits_broadcast(), n * rounds]],
+    )
+    assert result.rounds_executed == rounds
+    assert result.total_bits_broadcast() == n * rounds
+
+
+def test_engine_metrics_agree(benchmark):
+    """Instrumented counters match the RunResult accounting exactly."""
+    n, rounds = 24, 6
+    inst = one_cycle_instance(n, kt=0)
+
+    def kernel():
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = SIM.run(inst, ConstantAlgorithm, rounds)
+        return result, registry.snapshot()
+
+    result, snap = benchmark(kernel)
+    counters = snap["counters"]
+    print_table(
+        "E0: instrumented run, counters vs RunResult",
+        ["metric", "counter", "run result"],
+        [
+            ["rounds", counters["simulator.rounds_executed"], result.rounds_executed],
+            ["bits", counters["simulator.bits_broadcast"], result.total_bits_broadcast()],
+            ["messages", counters["simulator.messages_validated"], n * rounds],
+        ],
+    )
+    assert counters["simulator.rounds_executed"] == result.rounds_executed
+    assert counters["simulator.bits_broadcast"] == result.total_bits_broadcast()
+    assert counters["simulator.messages_validated"] == n * rounds
+    assert snap["histograms"]["simulator.round_seconds"]["count"] == rounds

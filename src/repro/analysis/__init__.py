@@ -7,10 +7,17 @@ from repro.analysis.fitting import (
     is_logarithmic_growth,
     ratio_stability,
 )
-from repro.analysis.reporting import format_cell, print_table, render_table
+from repro.analysis.reporting import (
+    emit_table,
+    format_cell,
+    print_table,
+    render_table,
+    table_payload,
+)
 
 __all__ = [
     "LogFit",
+    "emit_table",
     "fit_linear",
     "fit_logarithmic",
     "format_cell",
@@ -18,4 +25,5 @@ __all__ = [
     "print_table",
     "ratio_stability",
     "render_table",
+    "table_payload",
 ]

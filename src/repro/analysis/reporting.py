@@ -2,12 +2,16 @@
 
 Benchmarks print paper-predicted quantities next to measured ones; a tiny
 fixed-width table keeps that output legible in CI logs without pulling in
-a formatting dependency.
+a formatting dependency. Every table also has a machine-readable twin:
+:func:`table_payload` turns the same (title, headers, rows) triple into a
+JSON-serializable dict, and :func:`emit_table` switches between the two
+representations (the CLI's ``--json`` flag).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+import json
+from typing import Any, Dict, List, Sequence
 
 
 def format_cell(value: Any) -> str:
@@ -40,3 +44,34 @@ def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]
     print()
     print(f"== {title} ==")
     print(render_table(headers, rows))
+
+
+def _json_cell(value: Any) -> Any:
+    """A JSON-serializable rendering of one cell (repr for exotic types)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def table_payload(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> Dict[str, Any]:
+    """The machine-readable twin of :func:`print_table`."""
+    return {
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_json_cell(v) for v in row] for row in rows],
+    }
+
+
+def emit_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    as_json: bool = False,
+) -> None:
+    """Print either the human table or its JSON payload (one object)."""
+    if as_json:
+        print(json.dumps(table_payload(title, headers, rows)))
+    else:
+        print_table(title, headers, rows)

@@ -9,9 +9,20 @@
     python -m repro.cli reduction     --n 8  --seed 1
     python -m repro.cli information   --n 5  --eps 0.3
     python -m repro.cli upper-bounds  --n 32
+    python -m repro.cli bench         --quick
+    python -m repro.cli report
 
 Each subcommand prints a paper-vs-measured table; see EXPERIMENTS.md for
-the mapping to the paper's lemmas and theorems.
+the mapping to the paper's lemmas and theorems. Observability:
+
+* every experiment subcommand takes ``--json`` (emit the table as one
+  JSON object instead of ASCII);
+* the simulation-backed subcommands (crossing, star, forced-error,
+  reduction) take ``--trace FILE`` to append a structured JSONL run
+  trace (see `repro.obs.trace`);
+* ``bench`` runs the machine-readable benchmark harness and writes
+  schema-versioned ``BENCH_<name>.json`` files; ``report`` validates and
+  summarizes them.
 """
 
 from __future__ import annotations
@@ -22,7 +33,22 @@ import random
 import sys
 from typing import List, Optional
 
-from repro.analysis.reporting import print_table
+from repro.analysis.reporting import emit_table
+
+
+def _emit(args: argparse.Namespace, title: str, headers, rows) -> None:
+    """Table or JSON, depending on the subcommand's ``--json`` flag."""
+    emit_table(title, headers, rows, as_json=getattr(args, "json", False))
+
+
+def _open_trace(args: argparse.Namespace):
+    """A RunTrace for ``--trace FILE``, or None when the flag is absent."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.obs import RunTrace
+
+    return RunTrace(path)
 
 
 def _cmd_crossing(args: argparse.Namespace) -> int:
@@ -34,11 +60,23 @@ def _cmd_crossing(args: argparse.Namespace) -> int:
     inst = one_cycle_instance(n, kt=0)
     e1, e2 = (0, 1), (n // 2, n // 2 + 1)
     crossed = cross(inst, e1, e2)
-    premise, conclusion = check_lemma_3_4(
-        Simulator(BCC1_KT0), inst, crossed, ConstantAlgorithm, e1, e2, args.rounds
-    )
+    trace = _open_trace(args)
+    try:
+        premise, conclusion = check_lemma_3_4(
+            Simulator(BCC1_KT0, trace=trace),
+            inst,
+            crossed,
+            ConstantAlgorithm,
+            e1,
+            e2,
+            args.rounds,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
     comps = sorted(len(c) for c in crossed.input_graph().connected_components())
-    print_table(
+    _emit(
+        args,
         "Figure 1 / Lemma 3.4 (E1)",
         ["n", "crossed split", "rounds", "premise", "indistinguishable"],
         [[n, str(comps), args.rounds, premise, conclusion]],
@@ -50,8 +88,16 @@ def _cmd_star(args: argparse.Namespace) -> int:
     from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
     from repro.lowerbounds import fool_algorithm, theorem_3_5_error_bound
 
-    report = fool_algorithm(Simulator(BCC1_KT0), SilentAlgorithm, args.n, args.rounds)
-    print_table(
+    trace = _open_trace(args)
+    try:
+        report = fool_algorithm(
+            Simulator(BCC1_KT0, trace=trace), SilentAlgorithm, args.n, args.rounds
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    _emit(
+        args,
         "Theorem 3.5 star adversary (E2)",
         ["n", "t", "|S|", "|S'|", "fooled", "verified", "achieved error", "closed-form floor"],
         [
@@ -75,15 +121,23 @@ def _cmd_forced_error(args: argparse.Namespace) -> int:
     from repro.algorithms import connectivity_factory
     from repro.lowerbounds import forced_error_of_algorithm
 
-    sim = Simulator(BCC1_KT0)
+    trace = _open_trace(args)
+    sim = Simulator(BCC1_KT0, trace=trace)
     rows = []
-    for name, factory in [
-        ("silent", SilentAlgorithm),
-        ("neighbor-exchange", connectivity_factory(2)),
-    ]:
-        rep = forced_error_of_algorithm(sim, factory, args.n, args.rounds)
-        rows.append([name, rep.one_cycle_count, rep.fooled_two_cycle_instances, rep.forced_error])
-    print_table(
+    try:
+        for name, factory in [
+            ("silent", SilentAlgorithm),
+            ("neighbor-exchange", connectivity_factory(2)),
+        ]:
+            rep = forced_error_of_algorithm(sim, factory, args.n, args.rounds)
+            rows.append(
+                [name, rep.one_cycle_count, rep.fooled_two_cycle_instances, rep.forced_error]
+            )
+    finally:
+        if trace is not None:
+            trace.close()
+    _emit(
+        args,
         f"Theorem 3.1 forced error at n={args.n}, t={args.rounds} (E5)",
         ["algorithm", "|V1|", "fooled NO-instances", "forced error"],
         rows,
@@ -99,7 +153,8 @@ def _cmd_ratio(args: argparse.Namespace) -> int:
         n = 10**k
         r = predicted_v2_v1_ratio(n)
         rows.append([n, r, 0.5 * math.log(n), r / math.log(n)])
-    print_table(
+    _emit(
+        args,
         "Lemma 3.9: |V2|/|V1| vs (1/2) ln n (E4)",
         ["n", "ratio", "(1/2) ln n", "ratio / ln n"],
         rows,
@@ -120,7 +175,8 @@ def _cmd_ranks(args: argparse.Namespace) -> int:
         rows.append(["M", n, m_matrix_rank(n), bell_number(n)])
     for n in range(2, args.max_n + 3, 2):
         rows.append(["E", n, e_matrix_rank(n), perfect_matching_count(n)])
-    print_table(
+    _emit(
+        args,
         "Theorem 2.3 / Lemma 4.1 exact ranks (E6)",
         ["matrix", "n", "rank", "predicted"],
         rows,
@@ -145,7 +201,31 @@ def _cmd_reduction(args: argparse.Namespace) -> int:
     rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
     proto = BCCSimulationProtocol("two_partition", components_factory(2), rounds, mode="components")
     res = proto.run(pa, pb)
-    print_table(
+    trace = _open_trace(args)
+    if trace is not None:
+        trace.emit(
+            "protocol_start",
+            variant="two_partition",
+            n=n,
+            seed=args.seed,
+            bcc_rounds=rounds,
+            p_a=str(pa),
+            p_b=str(pb),
+        )
+        for index, turn in enumerate(res.turns):
+            trace.emit(
+                "turn", index=index, speaker=turn.speaker, bits=len(turn.bits)
+            )
+        trace.emit(
+            "protocol_end",
+            total_bits=res.total_bits,
+            bob_output=str(res.bob_output),
+            join=str(pa.join(pb)),
+            correct=res.bob_output == pa.join(pb),
+        )
+        trace.close()
+    _emit(
+        args,
         "Figure 2 / Theorem 4.3 / Section 4.3 (E7, E8)",
         ["P_A", "P_B", "join", "simulated", "BCC rounds", "bits", "bits/round"],
         [
@@ -160,7 +240,15 @@ def _cmd_reduction(args: argparse.Namespace) -> int:
             ]
         ],
     )
-    return 0 if res.bob_output == pa.join(pb) else 1
+    if res.bob_output != pa.join(pb):
+        print(
+            f"FAIL: simulated join disagrees with ground truth: "
+            f"expected {pa.join(pb)}, got {res.bob_output} "
+            f"(n={n}, seed={args.seed}, rounds={rounds})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_information(args: argparse.Namespace) -> int:
@@ -180,7 +268,8 @@ def _cmd_information(args: argparse.Namespace) -> int:
             information_lower_bound(n, lossy.error_rate),
         ]
     )
-    print_table(
+    _emit(
+        args,
         f"Theorem 4.5 information accounting, n={n} (E9)",
         ["protocol", "measured eps", "I(P_A;Pi)", "floor"],
         rows,
@@ -201,7 +290,8 @@ def _cmd_upper_bounds(args: argparse.Namespace) -> int:
 
     n = args.n
     lb = multicycle_round_bound(max(4, (n // 4) * 2)).round_lower_bound
-    print_table(
+    _emit(
+        args,
         "Upper bounds vs the Omega(log n) lower bound (E10)",
         ["algorithm", "model", "rounds (closed form)"],
         [
@@ -230,12 +320,82 @@ def _cmd_all(args: argparse.Namespace) -> int:
     from repro.lowerbounds import full_report
 
     report = full_report()
-    print_table(
+    _emit(
+        args,
         "All three results, one pass (laptop scale)",
         ["result", "quantity", "value"],
         report.rows(),
     )
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import BenchmarkHarness
+
+    harness = BenchmarkHarness(out_dir=args.out_dir, quick=args.quick)
+    results = harness.run(args.only or None)
+    rows = []
+    for r in results:
+        counters = r.metrics.get("counters", {})
+        rows.append(
+            [
+                r.name,
+                r.ok,
+                r.wall_time_seconds,
+                counters.get("simulator.rounds_executed", 0),
+                counters.get("simulator.bits_broadcast", 0),
+                r.path or "-",
+            ]
+        )
+    _emit(
+        args,
+        f"benchmark harness ({'quick' if args.quick else 'full'} parameters)",
+        ["benchmark", "ok", "wall s", "sim rounds", "sim bits", "file"],
+        rows,
+    )
+    failures = [r.name for r in results if not r.ok]
+    if failures:
+        print(f"FAIL: benchmarks not ok: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_bench_payloads, validate_bench_payload
+
+    payloads = load_bench_payloads(args.dir)
+    if not payloads:
+        print(f"no BENCH_*.json files found in {args.dir!r}", file=sys.stderr)
+        return 1
+    rows = []
+    invalid = []
+    for path, payload in payloads:
+        problems = validate_bench_payload(payload)
+        if problems:
+            invalid.append((path, problems))
+        counters = payload.get("metrics", {}).get("counters", {})
+        rows.append(
+            [
+                payload.get("name", "?"),
+                payload.get("schema_version", "?"),
+                payload.get("quick", "?"),
+                payload.get("ok", "?"),
+                payload.get("wall_time_seconds", "?"),
+                counters.get("simulator.rounds_executed", 0),
+                counters.get("simulator.bits_broadcast", 0),
+                "valid" if not problems else f"{len(problems)} problem(s)",
+            ]
+        )
+    _emit(
+        args,
+        f"benchmark history in {args.dir} ({len(payloads)} files)",
+        ["benchmark", "schema", "quick", "ok", "wall s", "sim rounds", "sim bits", "schema check"],
+        rows,
+    )
+    for path, problems in invalid:
+        for problem in problems:
+            print(f"INVALID {path}: {problem}", file=sys.stderr)
+    return 1 if invalid else 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -255,7 +415,26 @@ _COMMANDS_HELP = [
     ("information", "E9: Theorem 4.5 information accounting"),
     ("upper-bounds", "E10: the upper-bound comparators"),
     ("all", "one-pass summary of all three results"),
+    ("bench", "run the machine-readable benchmark harness (BENCH_*.json)"),
+    ("report", "validate + summarize existing BENCH_*.json files"),
 ]
+
+
+def _add_json_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result table as one JSON object instead of ASCII",
+    )
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="append a structured JSONL run trace to FILE",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,42 +449,85 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crossing", help=_COMMANDS_HELP[0][1])
     p.add_argument("--n", type=int, default=12)
     p.add_argument("--rounds", type=int, default=4)
+    _add_json_flag(p)
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_crossing)
 
     p = sub.add_parser("star", help=_COMMANDS_HELP[1][1])
     p.add_argument("--n", type=int, default=30)
     p.add_argument("--rounds", type=int, default=3)
+    _add_json_flag(p)
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_star)
 
     p = sub.add_parser("forced-error", help=_COMMANDS_HELP[2][1])
     p.add_argument("--n", type=int, default=6)
     p.add_argument("--rounds", type=int, default=2)
+    _add_json_flag(p)
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_forced_error)
 
     p = sub.add_parser("ratio", help=_COMMANDS_HELP[3][1])
     p.add_argument("--max-exp", type=int, default=6)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_ratio)
 
     p = sub.add_parser("ranks", help=_COMMANDS_HELP[4][1])
     p.add_argument("--max-n", type=int, default=5)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_ranks)
 
     p = sub.add_parser("reduction", help=_COMMANDS_HELP[5][1])
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--seed", type=int, default=1)
+    _add_json_flag(p)
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_reduction)
 
     p = sub.add_parser("information", help=_COMMANDS_HELP[6][1])
     p.add_argument("--n", type=int, default=5)
     p.add_argument("--eps", type=float, default=0.3)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_information)
 
     p = sub.add_parser("upper-bounds", help=_COMMANDS_HELP[7][1])
     p.add_argument("--n", type=int, default=32)
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_upper_bounds)
 
     p = sub.add_parser("all", help=_COMMANDS_HELP[8][1])
+    _add_json_flag(p)
     p.set_defaults(func=_cmd_all)
+
+    p = sub.add_parser("bench", help=_COMMANDS_HELP[9][1])
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="use each benchmark's quick (CI smoke) parameter set",
+    )
+    p.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="run only these harness benchmarks (see `repro.cli bench --help`)",
+    )
+    p.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for BENCH_<name>.json files (default: current dir)",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("report", help=_COMMANDS_HELP[10][1])
+    p.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding BENCH_*.json files (default: current dir)",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_report)
 
     return parser
 

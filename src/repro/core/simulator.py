@@ -10,6 +10,7 @@ real executions rather than abstract ones.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ from repro.core.model import BCCModel
 from repro.core.randomness import PublicCoin
 from repro.core.transcript import RoundRecord, Transcript
 from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -65,10 +67,20 @@ class RunResult:
 
 
 class Simulator:
-    """Runs node algorithms on BCC instances under a fixed model."""
+    """Runs node algorithms on BCC instances under a fixed model.
 
-    def __init__(self, model: BCCModel):
+    Observability is opt-in and costs one ``None`` check per run when
+    disabled: pass ``metrics`` (a :class:`repro.obs.MetricsRegistry`) or
+    install one process-wide via :func:`repro.obs.use_registry` to record
+    per-round wall time, messages validated, bits broadcast, and the
+    early-stop round; pass ``trace`` (a :class:`repro.obs.RunTrace`) to
+    stream structured per-round JSONL events.
+    """
+
+    def __init__(self, model: BCCModel, metrics=None, trace=None):
         self._model = model
+        self._metrics = metrics
+        self._trace = trace
 
     @property
     def model(self) -> BCCModel:
@@ -110,6 +122,20 @@ class Simulator:
         the_coin = coin if coin is not None else PublicCoin()
         n = instance.n
 
+        # Resolve observability once per run; ``None`` means the disabled
+        # fast path (a single extra truthiness check per round).
+        metrics = self._metrics if self._metrics is not None else get_registry()
+        trace = self._trace
+        observing = metrics is not None or trace is not None
+        if trace is not None:
+            trace.emit(
+                "run_start",
+                n=n,
+                kt=instance.kt,
+                bandwidth=self._model.bandwidth,
+                rounds_budget=rounds,
+            )
+
         nodes: List[NodeAlgorithm] = []
         for v in range(n):
             node = factory()
@@ -120,10 +146,12 @@ class Simulator:
         history: List[Tuple[str, ...]] = []
 
         executed = 0
+        total_bits = 0
         done = all(node.finished() for node in nodes)
         for t in range(1, rounds + 1):
             if done:
                 break
+            round_start = time.perf_counter() if observing else 0.0
             messages = tuple(
                 self._model.validate_message(nodes[v].broadcast(t)) for v in range(n)
             )
@@ -138,6 +166,36 @@ class Simulator:
                 transcripts[v].append(RoundRecord(sent=messages[v], received=received))
             executed = t
             done = all(node.finished() for node in nodes)
+            if observing:
+                round_seconds = time.perf_counter() - round_start
+                round_bits = sum(len(m) for m in messages)
+                total_bits += round_bits
+                if metrics is not None:
+                    metrics.counter("simulator.rounds_executed").inc()
+                    metrics.counter("simulator.messages_validated").inc(n)
+                    metrics.counter("simulator.bits_broadcast").inc(round_bits)
+                    metrics.histogram("simulator.round_seconds").observe(round_seconds)
+                if trace is not None:
+                    trace.emit(
+                        "round",
+                        t=t,
+                        bits=round_bits,
+                        wall_seconds=round_seconds,
+                        all_finished=done,
+                    )
+
+        if metrics is not None:
+            metrics.counter("simulator.runs").inc()
+            if done and executed < rounds:
+                metrics.gauge("simulator.early_stop_round").set(executed)
+                metrics.counter("simulator.early_stops").inc()
+        if trace is not None:
+            trace.emit(
+                "run_end",
+                rounds_executed=executed,
+                all_finished=done,
+                total_bits=total_bits,
+            )
 
         outputs = tuple(nodes[v].output() for v in range(n))
         return RunResult(

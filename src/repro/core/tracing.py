@@ -55,14 +55,22 @@ def first_divergence(
     run_a: RunResult, run_b: RunResult
 ) -> Optional[Tuple[int, int]]:
     """The earliest (round, vertex) where the two broadcast histories
-    differ, or None if they are identical on the common prefix and of
-    equal length."""
+    differ, or None if they are truly identical.
+
+    Two sentinel vertex values mark shape mismatches: ``(t, -1)`` when
+    the runs have different lengths (first round past the common prefix)
+    and ``(1, -2)`` when they have different widths (``n`` mismatch --
+    vertices beyond ``min(n_a, n_b)`` exist in only one run, so the
+    histories differ from the first round onward and are never
+    "identical")."""
     rounds = min(run_a.rounds_executed, run_b.rounds_executed)
     n = min(run_a.instance.n, run_b.instance.n)
     for t in range(rounds):
         for v in range(n):
             if run_a.broadcast_history[t][v] != run_b.broadcast_history[t][v]:
                 return (t + 1, v)
+    if run_a.instance.n != run_b.instance.n:
+        return (1, -2)
     if run_a.rounds_executed != run_b.rounds_executed:
         return (rounds + 1, -1)
     return None
@@ -83,6 +91,13 @@ def render_diff(run_a: RunResult, run_b: RunResult, label_a: str = "A", label_b:
         lines.append("  histories identical")
     else:
         t, v = divergence
-        where = f"vertex {v}" if v >= 0 else "run lengths"
+        if v >= 0:
+            where = f"vertex {v}"
+        elif v == -1:
+            where = "run lengths"
+        else:
+            where = (
+                f"run widths (n = {run_a.instance.n} vs {run_b.instance.n})"
+            )
         lines.append(f"  first divergence: round {t}, {where}")
     return "\n".join(lines)

@@ -30,11 +30,13 @@ of its fooled crossed NO-instances).
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.indist.graph_builder import cross_cover
 from repro.instances.enumeration import CycleCover, enumerate_one_cycle_covers
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: A directed pair of edges eligible for a disconnecting crossing.
 DirectedPair = Tuple[Tuple[int, int], Tuple[int, int]]
@@ -74,6 +76,20 @@ def forced_error_of_assignment(
     covers_and_pairs: List[Tuple[CycleCover, List[DirectedPair]]],
 ) -> float:
     """Forced error of the best output rule for one broadcast assignment."""
+    return _forced_error_and_fooled(n, assignment, covers_and_pairs)[0]
+
+
+def _forced_error_and_fooled(
+    n: int,
+    assignment: Sequence[str],
+    covers_and_pairs: List[Tuple[CycleCover, List[DirectedPair]]],
+) -> Tuple[float, int]:
+    """(forced error, total fooled pairs) for one broadcast assignment.
+
+    The fooled-pair total falls out of the error computation for free;
+    keeping it visible lets the instrumented search count fooled
+    instances without a second pass over the pair lists.
+    """
     v1_count = len(covers_and_pairs)
     fooled_counts = []
     for _cover, pairs in covers_and_pairs:
@@ -91,28 +107,62 @@ def forced_error_of_assignment(
         else:
             yes_cost = 0.0
         error += min(per_yes_instance, yes_cost)
-    return error
+    return error, total_fooled
 
 
 def universal_bound_id_oblivious(
-    n: int, alphabet: Sequence[str] = ("", "0", "1")
+    n: int,
+    alphabet: Sequence[str] = ("", "0", "1"),
+    metrics: Optional[MetricsRegistry] = None,
 ) -> UniversalBoundReport:
     """Minimize forced error over every ID-oblivious 1-round algorithm.
 
     The class has |alphabet|^n members; n = 6 gives 729, n = 7 gives 2187
     -- all enumerated. The returned minimum is the universal lower bound
     for the class.
+
+    When ``metrics`` is given (or a registry is installed process-wide
+    via :func:`repro.obs.use_registry`), the search records enumeration
+    throughput (``exhaustive.assignments_enumerated`` and the
+    ``exhaustive.instances_per_sec`` gauge) and fooled-instance counts;
+    the hot loop itself is untouched, so the disabled path pays nothing.
     """
+    if metrics is None:
+        metrics = get_registry()
     covers_and_pairs = [
         (cover, disconnecting_pairs(cover)) for cover in enumerate_one_cycle_covers(n)
     ]
+    start = time.perf_counter() if metrics is not None else 0.0
     best = None
     best_assignment: Tuple[str, ...] = ()
-    for assignment in itertools.product(alphabet, repeat=n):
-        err = forced_error_of_assignment(n, assignment, covers_and_pairs)
-        if best is None or err < best:
-            best = err
-            best_assignment = assignment
+    if metrics is None:
+        for assignment in itertools.product(alphabet, repeat=n):
+            err = forced_error_of_assignment(n, assignment, covers_and_pairs)
+            if best is None or err < best:
+                best = err
+                best_assignment = assignment
+    else:
+        enumerated = 0
+        fooled_total = 0
+        for assignment in itertools.product(alphabet, repeat=n):
+            err, fooled = _forced_error_and_fooled(n, assignment, covers_and_pairs)
+            enumerated += 1
+            fooled_total += fooled
+            if best is None or err < best:
+                best = err
+                best_assignment = assignment
+        elapsed = time.perf_counter() - start
+        metrics.counter("exhaustive.searches").inc()
+        metrics.counter("exhaustive.covers_enumerated").inc(len(covers_and_pairs))
+        metrics.counter("exhaustive.disconnecting_pairs").inc(
+            sum(len(pairs) for _cover, pairs in covers_and_pairs)
+        )
+        metrics.counter("exhaustive.assignments_enumerated").inc(enumerated)
+        metrics.counter("exhaustive.fooled_pairs").inc(fooled_total)
+        metrics.histogram("exhaustive.search_seconds").observe(elapsed)
+        metrics.gauge("exhaustive.instances_per_sec").set(
+            enumerated / elapsed if elapsed > 0 else 0.0
+        )
     return UniversalBoundReport(
         n=n,
         class_size=len(alphabet) ** n,

@@ -1,0 +1,58 @@
+"""Observability: metrics, structured run traces, benchmark harness.
+
+Three small, dependency-free layers:
+
+* :mod:`repro.obs.metrics` -- a thread-safe Counter/Gauge/Histogram/Timer
+  registry with snapshot/merge/JSON export, installed process-wide (and
+  opt-in) via :func:`use_registry`;
+* :mod:`repro.obs.trace` -- a JSONL run-trace writer (one event per
+  line, run-id + seq + timestamp), the machine-readable counterpart to
+  the human tables in :mod:`repro.core.tracing`;
+* :mod:`repro.obs.bench` -- the :class:`BenchmarkHarness` that runs every
+  ``benchmarks/bench_*.py`` kernel under a fresh registry and writes
+  schema-versioned ``BENCH_<name>.json`` perf records
+  (:mod:`repro.obs.schema` documents and validates the format).
+"""
+
+from repro.obs.bench import (
+    BenchmarkHarness,
+    BenchmarkResult,
+    BenchmarkSpec,
+    bench_names,
+    load_bench_payloads,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+    use_registry,
+)
+from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench_payload
+from repro.obs.trace import TRACE_SCHEMA_VERSION, RunTrace, read_trace
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchmarkHarness",
+    "BenchmarkResult",
+    "BenchmarkSpec",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTrace",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "bench_names",
+    "get_registry",
+    "load_bench_payloads",
+    "merge_snapshots",
+    "read_trace",
+    "set_registry",
+    "use_registry",
+    "validate_bench_payload",
+]

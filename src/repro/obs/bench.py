@@ -1,0 +1,588 @@
+"""A machine-readable benchmark harness: every ``benchmarks/bench_*.py``
+experiment behind one runner.
+
+The pytest-benchmark scripts under ``benchmarks/`` are great for humans
+but leave no machine-readable record, so the repo had no perf trajectory
+to optimize against. :class:`BenchmarkHarness` closes that gap: it runs
+the same kernels the scripts time, under a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` installed process-wide (so
+every instrumented layer -- simulator rounds, exhaustive-search
+throughput, two-party simulation bits -- lands in the snapshot), and
+writes one schema-versioned ``BENCH_<name>.json`` per benchmark with the
+exact parameters, wall time, paper-predicted vs measured values, and the
+full metric snapshot. Future PRs diff these files to prove a hot path
+got faster.
+
+Each spec has a ``quick`` parameter set (CI smoke: seconds total) and a
+``full`` set (the scripts' seed parameters). All imports of experiment
+code happen inside the runner bodies so this module stays importable
+from anywhere (including ``repro.core``'s instrumentation) without
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench_payload
+
+__all__ = [
+    "BenchmarkHarness",
+    "BenchmarkResult",
+    "BenchmarkSpec",
+    "bench_names",
+    "load_bench_payloads",
+]
+
+#: (measured, predicted, ok)
+RunnerOutput = Tuple[Dict[str, Any], Dict[str, Any], bool]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One harness benchmark: a kernel plus its quick/full parameters."""
+
+    name: str
+    description: str
+    runner: Callable[[Dict[str, Any]], RunnerOutput]
+    quick_params: Dict[str, Any]
+    full_params: Dict[str, Any]
+
+    def params(self, quick: bool) -> Dict[str, Any]:
+        return dict(self.quick_params if quick else self.full_params)
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark execution, ready to serialize."""
+
+    name: str
+    description: str
+    quick: bool
+    params: Dict[str, Any]
+    wall_time_seconds: float
+    measured: Dict[str, Any]
+    predicted: Dict[str, Any]
+    ok: bool
+    metrics: Dict[str, Any]
+    created_unix: float = field(default_factory=time.time)
+    path: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "created_unix": self.created_unix,
+            "quick": self.quick,
+            "params": self.params,
+            "wall_time_seconds": self.wall_time_seconds,
+            "measured": self.measured,
+            "predicted": self.predicted,
+            "ok": self.ok,
+            "metrics": self.metrics,
+        }
+
+
+# ----------------------------------------------------------------------
+# runners (imports deferred: keeps repro.obs import-light and cycle-free)
+# ----------------------------------------------------------------------
+def _run_simulator(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.instances import one_cycle_instance
+
+    n, rounds = params["n"], params["rounds"]
+    result = Simulator(BCC1_KT0).run(one_cycle_instance(n, kt=0), ConstantAlgorithm, rounds)
+    measured = {
+        "rounds_executed": result.rounds_executed,
+        "total_bits_broadcast": result.total_bits_broadcast(),
+    }
+    predicted = {"rounds_executed": rounds, "total_bits_broadcast": n * rounds}
+    ok = (
+        measured["rounds_executed"] == rounds
+        and measured["total_bits_broadcast"] == n * rounds
+    )
+    return measured, predicted, ok
+
+
+def _run_crossing(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.crossing import check_lemma_3_4, cross
+    from repro.instances import one_cycle_instance
+
+    n, rounds = params["n"], params["rounds"]
+    inst = one_cycle_instance(n, kt=0)
+    e1, e2 = (0, 1), (n // 2, n // 2 + 1)
+    crossed = cross(inst, e1, e2)
+    premise, conclusion = check_lemma_3_4(
+        Simulator(BCC1_KT0), inst, crossed, ConstantAlgorithm, e1, e2, rounds
+    )
+    comps = sorted(len(c) for c in crossed.input_graph().connected_components())
+    measured = {
+        "premise": premise,
+        "indistinguishable": conclusion,
+        "split_sizes": comps,
+    }
+    predicted = {
+        "indistinguishable_given_premise": True,
+        "split_sizes": sorted([n // 2, n - n // 2]),
+    }
+    ok = bool((not premise or conclusion) and comps == predicted["split_sizes"])
+    return measured, predicted, ok
+
+
+def _run_kt0_star(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
+    from repro.lowerbounds import fool_algorithm, theorem_3_5_error_bound
+
+    n, rounds = params["n"], params["rounds"]
+    report = fool_algorithm(Simulator(BCC1_KT0), SilentAlgorithm, n, rounds)
+    floor = theorem_3_5_error_bound(n, rounds)
+    measured = {
+        "achieved_error": report.achieved_error,
+        "fooled_pairs": report.fooled_pairs,
+        "verified_pairs": report.indistinguishable_pairs,
+        "all_pairs_indistinguishable": report.all_pairs_indistinguishable,
+    }
+    predicted = {"error_floor": floor}
+    ok = bool(report.all_pairs_indistinguishable and report.achieved_error >= floor)
+    return measured, predicted, ok
+
+
+def _run_kt0_constant_error(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
+    from repro.lowerbounds import forced_error_of_algorithm
+
+    n, rounds = params["n"], params["rounds"]
+    report = forced_error_of_algorithm(Simulator(BCC1_KT0), SilentAlgorithm, n, rounds)
+    measured = {
+        "forced_error": report.forced_error,
+        "one_cycle_count": report.one_cycle_count,
+        "fooled_two_cycle_instances": report.fooled_two_cycle_instances,
+    }
+    predicted = {"forced_error": 0.5}
+    ok = abs(report.forced_error - 0.5) < 1e-9
+    return measured, predicted, ok
+
+
+def _run_exhaustive(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.lowerbounds import universal_bound_id_oblivious
+
+    n = params["n"]
+    alphabet = tuple(params["alphabet"])
+    report = universal_bound_id_oblivious(n, alphabet=alphabet)
+    measured = {
+        "class_size": report.class_size,
+        "minimum_forced_error": report.minimum_forced_error,
+    }
+    predicted = {
+        "class_size": len(alphabet) ** n,
+        "minimum_forced_error_positive": True,
+    }
+    ok = report.class_size == len(alphabet) ** n and report.minimum_forced_error > 0
+    return measured, predicted, ok
+
+
+def _run_v2_v1_ratio(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.analysis import fit_logarithmic
+    from repro.indist import predicted_v2_v1_ratio
+
+    ns = [10**k for k in range(1, params["max_exp"] + 1)]
+    ratios = [predicted_v2_v1_ratio(n) for n in ns]
+    fit = fit_logarithmic(ns, ratios)
+    measured = {"slope": fit.slope, "r_squared": fit.r_squared}
+    predicted = {"slope": 0.5}
+    ok = 0.4 < fit.slope < 0.55 and fit.r_squared > 0.99
+    return measured, predicted, ok
+
+
+def _run_partition_rank(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.partitions import bell_number, build_m_matrix, rank_exact
+
+    n = params["n"]
+    _parts, matrix = build_m_matrix(n)
+    rank = rank_exact(matrix)
+    measured = {"rank": rank}
+    predicted = {"bell_number": bell_number(n)}
+    return measured, predicted, rank == bell_number(n)
+
+
+def _run_reduction(params: Dict[str, Any]) -> RunnerOutput:
+    import random
+
+    from repro.partitions import random_perfect_matching
+    from repro.twoparty import build_two_partition_reduction
+
+    n, pairs, seed = params["n"], params["pairs"], params["seed"]
+    rng = random.Random(seed)
+    checked = agreements = 0
+    for _ in range(pairs):
+        pa = random_perfect_matching(n, rng)
+        pb = random_perfect_matching(n, rng)
+        red = build_two_partition_reduction(pa, pb)
+        checked += 1
+        if red.induced_partition_on_l() == pa.join(pb):
+            agreements += 1
+    measured = {"pairs_checked": checked, "join_agreements": agreements}
+    predicted = {"join_agreements": checked}
+    return measured, predicted, agreements == checked
+
+
+def _run_kt1_simulation(params: Dict[str, Any]) -> RunnerOutput:
+    import random
+
+    from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+    from repro.partitions import random_perfect_matching
+    from repro.twoparty import BCCSimulationProtocol, simulation_bits_per_round
+
+    n, seed = params["n"], params["seed"]
+    rng = random.Random(seed)
+    pa = random_perfect_matching(n, rng)
+    pb = random_perfect_matching(n, rng)
+    rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+    proto = BCCSimulationProtocol(
+        "two_partition", components_factory(2), rounds, mode="components"
+    )
+    result = proto.run(pa, pb)
+    predicted_bits = rounds * simulation_bits_per_round("two_partition", n)
+    measured = {
+        "bcc_rounds": rounds,
+        "total_bits": result.total_bits,
+        "join_correct": result.bob_output == pa.join(pb),
+    }
+    predicted = {"total_bits": predicted_bits}
+    ok = result.total_bits == predicted_bits and result.bob_output == pa.join(pb)
+    return measured, predicted, ok
+
+
+def _run_upper_bounds(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.algorithms import connectivity_factory, id_bit_width, neighbor_exchange_rounds
+    from repro.core import BCC1_KT0, BCC1_KT1, Simulator
+    from repro.instances import one_cycle_instance
+
+    n = params["n"]
+    r0 = Simulator(BCC1_KT0).run_until_done(
+        one_cycle_instance(n, kt=0), connectivity_factory(2), 10_000
+    )
+    r1 = Simulator(BCC1_KT1).run_until_done(
+        one_cycle_instance(n, kt=1), connectivity_factory(2), 10_000
+    )
+    bound0 = neighbor_exchange_rounds(0, 2, id_bit_width(4 * n - 1))
+    bound1 = neighbor_exchange_rounds(1, 2, id_bit_width(n - 1))
+    measured = {"kt0_rounds": r0.rounds_executed, "kt1_rounds": r1.rounds_executed}
+    predicted = {"kt0_round_budget": bound0, "kt1_round_budget": bound1}
+    ok = r0.rounds_executed <= bound0 and r1.rounds_executed <= bound1
+    return measured, predicted, ok
+
+
+def _run_mst(params: Dict[str, Any]) -> RunnerOutput:
+    import random
+
+    from repro.algorithms import boruvka_mst_factory, mst_bandwidth, mst_max_rounds
+    from repro.core import BCCInstance, BCCModel, Simulator
+    from repro.graphs import forest_weight, gnp_random_graph, kruskal, random_weights
+
+    n, seed = params["n"], params["seed"]
+    rng = random.Random(seed)
+    g = gnp_random_graph(n, 0.4, rng)
+    weights = {e: int(w) for e, w in random_weights(g, rng).items()}
+    inst = BCCInstance.kt1_from_graph(g)
+    sim = Simulator(BCCModel(bandwidth=mst_bandwidth(n), kt=1))
+    res = sim.run_until_done(inst, boruvka_mst_factory(weights), mst_max_rounds(n) + 2)
+    float_weights = {e: float(w) for e, w in weights.items()}
+    truth = kruskal(g, float_weights)
+    distributed = set(res.outputs[0])
+    measured = {
+        "rounds": res.rounds_executed,
+        "weight": forest_weight(distributed, float_weights),
+        "identical_to_kruskal": distributed == truth,
+    }
+    predicted = {
+        "round_budget": mst_max_rounds(n) + 2,
+        "weight": forest_weight(truth, float_weights),
+    }
+    ok = distributed == truth and res.rounds_executed <= mst_max_rounds(n) + 2
+    return measured, predicted, ok
+
+
+def _run_mutual_information(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.information import evaluate_protocol, information_lower_bound
+    from repro.partitions import log2_bell
+    from repro.twoparty import TrivialPartitionCompProtocol
+
+    n = params["n"]
+    report = evaluate_protocol(TrivialPartitionCompProtocol(n), n)
+    floor = information_lower_bound(n, report.error_rate)
+    measured = {
+        "error_rate": report.error_rate,
+        "information": report.information,
+        "input_entropy": report.input_entropy,
+    }
+    predicted = {"input_entropy": log2_bell(n), "information_floor": floor}
+    ok = (
+        abs(report.input_entropy - log2_bell(n)) < 1e-6
+        and report.information >= floor - 1e-9
+    )
+    return measured, predicted, ok
+
+
+def _run_sampling(params: Dict[str, Any]) -> RunnerOutput:
+    import random
+
+    from repro.information import estimate_protocol_information, evaluate_protocol
+    from repro.twoparty import TrivialPartitionCompProtocol
+
+    n, samples, seed = params["n"], params["samples"], params["seed"]
+    report = estimate_protocol_information(
+        TrivialPartitionCompProtocol(n), n, samples, random.Random(seed)
+    )
+    exact = evaluate_protocol(TrivialPartitionCompProtocol(n), n)
+    measured = {
+        "information_estimate": report.information_estimate,
+        "corrected_information": report.corrected_information,
+        "saturated": report.saturated,
+    }
+    predicted = {"information_exact": exact.information}
+    ok = abs(report.information_estimate - exact.information) < 0.3
+    return measured, predicted, ok
+
+
+def _run_indist_degrees(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.indist import measured_one_cycle_degree, one_cycle_degree
+    from repro.instances import enumerate_one_cycle_covers
+
+    n = params["n"]
+    cover = next(iter(enumerate_one_cycle_covers(n)))
+    measured_degree = measured_one_cycle_degree(cover)
+    measured = {"one_cycle_degree": measured_degree}
+    predicted = {"one_cycle_degree": one_cycle_degree(n)}
+    return measured, predicted, measured_degree == one_cycle_degree(n)
+
+
+def _run_ablations(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.crossing import cross, indistinguishable_runs
+    from repro.instances import one_cycle_instance
+
+    n, rounds = params["n"], params["rounds"]
+    inst = one_cycle_instance(n, kt=0)
+    e1, e2 = (0, 1), (n // 2 - 1, n // 2)
+    sim = Simulator(BCC1_KT0)
+
+    proper = cross(inst, e1, e2)
+    (v1, u1), (v2, u2) = e1, e2
+    edges = set(inst.input_edges)
+    edges.discard((min(v1, u1), max(v1, u1)))
+    edges.discard((min(v2, u2), max(v2, u2)))
+    edges.add((min(v1, u2), max(v1, u2)))
+    edges.add((min(v2, u1), max(v2, u1)))
+    naive = inst.replace(input_edges=edges)
+
+    run = sim.run(inst, ConstantAlgorithm, rounds)
+    run_proper = sim.run(proper, ConstantAlgorithm, rounds)
+    run_naive = sim.run(naive, ConstantAlgorithm, rounds)
+    proper_indist = indistinguishable_runs(sim, run, run_proper)
+    naive_indist = indistinguishable_runs(sim, run, run_naive)
+    measured = {
+        "proper_crossing_indistinguishable": proper_indist,
+        "naive_swap_indistinguishable": naive_indist,
+    }
+    predicted = {
+        "proper_crossing_indistinguishable": True,
+        "naive_swap_indistinguishable": False,
+    }
+    return measured, predicted, bool(proper_indist and not naive_indist)
+
+
+_SPECS: List[BenchmarkSpec] = [
+    BenchmarkSpec(
+        "simulator",
+        "core round engine: rounds executed and bits broadcast vs closed form",
+        _run_simulator,
+        {"n": 16, "rounds": 4},
+        {"n": 64, "rounds": 8},
+    ),
+    BenchmarkSpec(
+        "crossing",
+        "E1: Figure 1 crossing + Lemma 3.4 on live executions",
+        _run_crossing,
+        {"n": 12, "rounds": 2},
+        {"n": 32, "rounds": 8},
+    ),
+    BenchmarkSpec(
+        "kt0_star",
+        "E2: Theorem 3.5 star adversary vs the silent algorithm",
+        _run_kt0_star,
+        {"n": 15, "rounds": 1},
+        {"n": 30, "rounds": 3},
+    ),
+    BenchmarkSpec(
+        "kt0_constant_error",
+        "E5: Theorem 3.1 exact forced error of a symmetric algorithm",
+        _run_kt0_constant_error,
+        {"n": 6, "rounds": 2},
+        {"n": 6, "rounds": 3},
+    ),
+    BenchmarkSpec(
+        "exhaustive",
+        "E5+: min forced error over the full ID-oblivious 1-round class",
+        _run_exhaustive,
+        {"n": 6, "alphabet": ["0", "1"]},
+        {"n": 6, "alphabet": ["", "0", "1"]},
+    ),
+    BenchmarkSpec(
+        "v2_v1_ratio",
+        "E4: Lemma 3.9 |V2|/|V1| ~ (1/2) ln n fit",
+        _run_v2_v1_ratio,
+        {"max_exp": 4},
+        {"max_exp": 6},
+    ),
+    BenchmarkSpec(
+        "partition_rank",
+        "E6: rank(M_n) = B_n (Theorem 2.3), exact",
+        _run_partition_rank,
+        {"n": 4},
+        {"n": 5},
+    ),
+    BenchmarkSpec(
+        "reduction",
+        "E7: Theorem 4.3 join agreement on random TwoPartition reductions",
+        _run_reduction,
+        {"n": 6, "pairs": 10, "seed": 17},
+        {"n": 10, "pairs": 30, "seed": 17},
+    ),
+    BenchmarkSpec(
+        "kt1_simulation",
+        "E8: Section 4.3 Alice/Bob simulation bit accounting",
+        _run_kt1_simulation,
+        {"n": 6, "seed": 5},
+        {"n": 8, "seed": 5},
+    ),
+    BenchmarkSpec(
+        "upper_bounds",
+        "E10: measured NeighborExchange rounds vs closed-form budgets",
+        _run_upper_bounds,
+        {"n": 16},
+        {"n": 64},
+    ),
+    BenchmarkSpec(
+        "mst",
+        "E10+: broadcast Boruvka MST vs Kruskal ground truth",
+        _run_mst,
+        {"n": 10, "seed": 10},
+        {"n": 16, "seed": 16},
+    ),
+    BenchmarkSpec(
+        "mutual_information",
+        "E9: Theorem 4.5 exact information accounting",
+        _run_mutual_information,
+        {"n": 4},
+        {"n": 5},
+    ),
+    BenchmarkSpec(
+        "sampling",
+        "E9+: sampled information estimate vs exact",
+        _run_sampling,
+        {"n": 4, "samples": 500, "seed": 0},
+        {"n": 5, "samples": 3000, "seed": 0},
+    ),
+    BenchmarkSpec(
+        "indist_degrees",
+        "E3: Lemma 3.7 one-cycle degree, measured vs n(n-5)/2",
+        _run_indist_degrees,
+        {"n": 8},
+        {"n": 11},
+    ),
+    BenchmarkSpec(
+        "ablations",
+        "A1: port-preserving crossing vs naive edge swap",
+        _run_ablations,
+        {"n": 8, "rounds": 2},
+        {"n": 12, "rounds": 3},
+    ),
+]
+
+_SPEC_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def bench_names() -> List[str]:
+    """All harness benchmark names, in registry order."""
+    return [spec.name for spec in _SPECS]
+
+
+class BenchmarkHarness:
+    """Runs harness benchmarks and writes ``BENCH_<name>.json`` files.
+
+    Parameters
+    ----------
+    out_dir:
+        Where the JSON files land (created if missing). ``None`` disables
+        writing (results are only returned).
+    quick:
+        Use each spec's quick parameter set (CI smoke) instead of the
+        full seed parameters.
+    """
+
+    def __init__(self, out_dir: Optional[str] = ".", quick: bool = False):
+        self.out_dir = out_dir
+        self.quick = quick
+
+    def run_one(self, name: str) -> BenchmarkResult:
+        spec = _SPEC_BY_NAME.get(name)
+        if spec is None:
+            raise KeyError(
+                f"unknown benchmark {name!r}; known: {', '.join(bench_names())}"
+            )
+        params = spec.params(self.quick)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            start = time.perf_counter()
+            measured, predicted, ok = spec.runner(params)
+            wall = time.perf_counter() - start
+        result = BenchmarkResult(
+            name=spec.name,
+            description=spec.description,
+            quick=self.quick,
+            params=params,
+            wall_time_seconds=wall,
+            measured=measured,
+            predicted=predicted,
+            ok=bool(ok),
+            metrics=registry.snapshot(),
+        )
+        if self.out_dir is not None:
+            result.path = self._write(result)
+        return result
+
+    def run(self, names: Optional[Sequence[str]] = None) -> List[BenchmarkResult]:
+        return [self.run_one(name) for name in (names or bench_names())]
+
+    def _write(self, result: BenchmarkResult) -> str:
+        payload = result.to_payload()
+        problems = validate_bench_payload(payload)
+        if problems:  # a harness bug, not a user error -- fail loudly
+            raise ValueError(
+                f"BENCH_{result.name}.json failed its own schema: {problems}"
+            )
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, f"BENCH_{result.name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return path
+
+
+def load_bench_payloads(directory: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """Read every ``BENCH_*.json`` in a directory, sorted by name."""
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            path = os.path.join(directory, entry)
+            with open(path, "r", encoding="utf-8") as handle:
+                out.append((path, json.load(handle)))
+    return out

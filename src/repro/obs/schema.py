@@ -1,0 +1,119 @@
+"""The ``BENCH_<name>.json`` payload schema, with a validator.
+
+Schema version 1 (all keys required unless marked optional)::
+
+    {
+      "schema_version": 1,
+      "name": "crossing",                  # harness benchmark name
+      "description": "...",                # one line, human readable
+      "created_unix": 1754464000.1,        # wall-clock write time
+      "quick": false,                      # which parameter set ran
+      "params": {"n": 32, "rounds": 8},    # exact parameters used
+      "wall_time_seconds": 0.123,          # end-to-end harness timing
+      "measured": {...},                   # measured quantities
+      "predicted": {...},                  # paper-predicted counterparts
+      "ok": true,                          # measured respects predicted
+      "metrics": {                         # MetricsRegistry.snapshot()
+        "counters": {"simulator.rounds_executed": 10, ...},
+        "gauges": {...},
+        "histograms": {"simulator.round_seconds": {"count": ..}, ...}
+      }
+    }
+
+The validator is deliberately hand-rolled (no jsonschema dependency) and
+is shared by the unit tests, the CI smoke job, and ``repro.cli report``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+__all__ = ["BENCH_SCHEMA_VERSION", "validate_bench_payload"]
+
+#: Bump when BENCH_*.json changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+_NUMERIC = (int, float)
+
+_REQUIRED_FIELDS = {
+    "schema_version": int,
+    "name": str,
+    "description": str,
+    "created_unix": _NUMERIC,
+    "quick": bool,
+    "params": dict,
+    "wall_time_seconds": _NUMERIC,
+    "measured": dict,
+    "predicted": dict,
+    "ok": bool,
+    "metrics": dict,
+}
+
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean")
+
+
+def validate_bench_payload(payload: Mapping[str, Any]) -> List[str]:
+    """Return a list of schema violations (empty = valid).
+
+    Checks structure and types, not values: a failing benchmark with
+    ``ok: false`` is still a *valid* payload.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"payload is {type(payload).__name__}, expected object"]
+
+    for field, expected in _REQUIRED_FIELDS.items():
+        if field not in payload:
+            problems.append(f"missing required field {field!r}")
+            continue
+        value = payload[field]
+        # bool is an int subclass; schema_version must be a real int
+        if expected is int and isinstance(value, bool):
+            problems.append(f"field {field!r} must be an integer, got bool")
+        elif not isinstance(value, expected):
+            problems.append(
+                f"field {field!r} has type {type(value).__name__}"
+            )
+
+    if isinstance(payload.get("schema_version"), int) and not isinstance(
+        payload.get("schema_version"), bool
+    ):
+        if payload["schema_version"] > BENCH_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {payload['schema_version']} is newer than "
+                f"supported version {BENCH_SCHEMA_VERSION}"
+            )
+        elif payload["schema_version"] < 1:
+            problems.append("schema_version must be >= 1")
+
+    metrics = payload.get("metrics")
+    if isinstance(metrics, Mapping):
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                problems.append(f"metrics missing section {section!r}")
+            elif not isinstance(metrics[section], Mapping):
+                problems.append(f"metrics section {section!r} is not an object")
+        counters = metrics.get("counters")
+        if isinstance(counters, Mapping):
+            for name, value in counters.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    problems.append(f"counter {name!r} is not an integer")
+        gauges = metrics.get("gauges")
+        if isinstance(gauges, Mapping):
+            for name, value in gauges.items():
+                if isinstance(value, bool) or not isinstance(value, _NUMERIC):
+                    problems.append(f"gauge {name!r} is not numeric")
+        histograms = metrics.get("histograms")
+        if isinstance(histograms, Mapping):
+            for name, summary in histograms.items():
+                if not isinstance(summary, Mapping):
+                    problems.append(f"histogram {name!r} is not an object")
+                    continue
+                for field in _HISTOGRAM_FIELDS:
+                    value = summary.get(field)
+                    if isinstance(value, bool) or not isinstance(value, _NUMERIC):
+                        problems.append(
+                            f"histogram {name!r} field {field!r} is not numeric"
+                        )
+
+    return problems

@@ -1,0 +1,128 @@
+"""Structured JSONL run traces.
+
+:mod:`repro.core.tracing` renders executions for humans; this module is
+the machine-readable counterpart. A :class:`RunTrace` writes one JSON
+object per line -- a ``trace_start`` header carrying the schema version
+and run id, then arbitrary events (per-round simulator events, protocol
+turns, benchmark milestones), each stamped with a monotonically
+increasing sequence number and a wall-clock timestamp.
+
+Line format (schema version 1)::
+
+    {"run_id": "a1b2...", "seq": 0, "ts": 1754464000.123,
+     "event": "trace_start", "schema_version": 1}
+    {"run_id": "a1b2...", "seq": 1, "ts": ..., "event": "run_start",
+     "n": 12, "kt": 0, "bandwidth": 1, "rounds_budget": 4}
+    {"run_id": "a1b2...", "seq": 2, "ts": ..., "event": "round",
+     "t": 1, "bits": 12, "wall_seconds": 3.1e-05}
+    ...
+
+Traces are append-only and valid JSONL at every prefix, so a crashed run
+still leaves a parseable record.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+__all__ = ["TRACE_SCHEMA_VERSION", "RunTrace", "read_trace"]
+
+#: Bump when the line format changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+class RunTrace:
+    """A thread-safe JSONL event writer bound to one run id.
+
+    Parameters
+    ----------
+    sink:
+        A path (opened for append) or an already-open text stream
+        (ownership stays with the caller for streams: ``close()`` only
+        closes sinks this writer opened).
+    run_id:
+        Optional explicit id; defaults to a fresh UUID4 hex string.
+    """
+
+    def __init__(self, sink: Union[str, TextIO], run_id: Optional[str] = None):
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex
+        self._lock = threading.Lock()
+        self._seq = 0
+        if isinstance(sink, (str, bytes)):
+            self._stream: TextIO = open(sink, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sink
+            self._owns_stream = False
+        self._closed = False
+        self.emit("trace_start", schema_version=TRACE_SCHEMA_VERSION)
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event line; returns the record that was written."""
+        with self._lock:
+            if self._closed:
+                raise ValueError("trace is closed")
+            record: Dict[str, Any] = {
+                "run_id": self.run_id,
+                "seq": self._seq,
+                "ts": time.time(),
+                "event": event,
+            }
+            for key, value in fields.items():
+                record[key] = _jsonable(value)
+            self._seq += 1
+            self._stream.write(json.dumps(record, sort_keys=False) + "\n")
+            self._stream.flush()
+            return record
+
+    @property
+    def events_written(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._owns_stream:
+                self._stream.close()
+
+    def __enter__(self) -> "RunTrace":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a value to something json.dumps accepts (repr fallback)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def read_trace(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of event dicts."""
+    if isinstance(source, (str, bytes)):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    elif isinstance(source, io.StringIO):
+        text = source.getvalue()
+    else:
+        text = source.read()
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events

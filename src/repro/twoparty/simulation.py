@@ -33,6 +33,7 @@ from repro.core.knowledge import InitialKnowledge
 from repro.core.randomness import PublicCoin
 from repro.algorithms.bit_codec import pack_symbols, unpack_symbols
 from repro.errors import ProtocolError
+from repro.obs.metrics import get_registry
 from repro.partitions.set_partition import SetPartition
 from repro.twoparty.protocol import ALICE, BOB, TwoPartyProtocol, Turn
 from repro.twoparty.reductions import paper_id
@@ -124,6 +125,7 @@ class BCCSimulationProtocol(TwoPartyProtocol):
         bandwidth: int = 1,
         mode: str = "decision",
         coin: Optional[PublicCoin] = None,
+        metrics=None,
     ):
         if mode not in ("decision", "components"):
             raise ProtocolError(f"unknown mode {mode!r}")
@@ -133,6 +135,7 @@ class BCCSimulationProtocol(TwoPartyProtocol):
         self.bandwidth = bandwidth
         self.mode = mode
         self.coin = coin if coin is not None else PublicCoin()
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # protocol tree
@@ -149,10 +152,35 @@ class BCCSimulationProtocol(TwoPartyProtocol):
             t = k // 2 + 1  # the BCC round being simulated
             nodes, _outputs = self._replay(speaker, own_input, turns, upto_round=t - 1)
             symbols = [node.broadcast(t) for _vid, node in nodes]
-            return pack_symbols(symbols)
+            bits = pack_symbols(symbols)
+            self._record_turn(bits, simulated_round=t, closes_round=(k % 2 == 1), turns=turns)
+            return bits
         # final decision bits
         nodes, outputs = self._replay(speaker, own_input, turns, upto_round=self.rounds)
-        return "1" if all(out == YES for out in outputs) else "0"
+        bits = "1" if all(out == YES for out in outputs) else "0"
+        self._record_turn(bits, simulated_round=None, closes_round=False, turns=turns)
+        return bits
+
+    def _record_turn(
+        self,
+        bits: str,
+        simulated_round: Optional[int],
+        closes_round: bool,
+        turns: List[Turn],
+    ) -> None:
+        """Per-turn bit accounting (no-op unless a registry is active)."""
+        metrics = self._metrics if self._metrics is not None else get_registry()
+        if metrics is None:
+            return
+        metrics.counter("twoparty.turns").inc()
+        metrics.counter("twoparty.bits_sent").inc(len(bits))
+        metrics.histogram("twoparty.bits_per_turn").observe(len(bits))
+        if simulated_round is not None and closes_round:
+            # this turn completes BCC round ``simulated_round``: its cost
+            # is this message plus the other party's message for the round
+            metrics.counter("twoparty.simulated_rounds").inc()
+            round_bits = len(bits) + len(turns[-1].bits)
+            metrics.histogram("twoparty.bits_per_simulated_round").observe(round_bits)
 
     # ------------------------------------------------------------------
     # replay machinery
@@ -205,6 +233,12 @@ class BCCSimulationProtocol(TwoPartyProtocol):
             for vid, node in nodes:
                 received = {u: message_of[u] for u in all_ids if u != vid}
                 node.receive(t, received)
+        metrics = self._metrics if self._metrics is not None else get_registry()
+        if metrics is not None:
+            metrics.counter("twoparty.replays").inc()
+            metrics.counter("twoparty.replayed_node_rounds").inc(
+                upto_round * len(nodes)
+            )
         # outputs are only well-defined once the full simulation has run
         outputs = (
             [node.output() for _vid, node in nodes]

@@ -98,6 +98,43 @@ class TestDiff:
             assert t == 1
         assert "diff" in render_diff(a, b)
 
+    def test_width_mismatch_reported_not_identical(self):
+        """Regression: equal round counts but different n used to be
+        silently reported as identical (divergences at vertices >=
+        min(n_a, n_b) were ignored)."""
+        a = SIM.run(one_cycle_instance(6), ConstantAlgorithm, 2)
+        b = SIM.run(one_cycle_instance(8), ConstantAlgorithm, 2)
+        assert a.rounds_executed == b.rounds_executed  # common prefix agrees
+        assert first_divergence(a, b) == (1, -2)
+        assert "run widths" in render_diff(a, b)
+        assert "identical" not in render_diff(a, b)
+
+    def test_width_mismatch_even_with_zero_rounds(self):
+        a = SIM.run(one_cycle_instance(5), ConstantAlgorithm, 0)
+        b = SIM.run(one_cycle_instance(7), ConstantAlgorithm, 0)
+        assert first_divergence(a, b) == (1, -2)
+
+    def test_length_mismatch_still_reported(self):
+        a = SIM.run(one_cycle_instance(6), ConstantAlgorithm, 2)
+        b = SIM.run(one_cycle_instance(6), ConstantAlgorithm, 4)
+        assert first_divergence(a, b) == (3, -1)
+        assert "run lengths" in render_diff(a, b)
+
+    def test_content_divergence_beats_shape_sentinels(self):
+        from repro.core import FunctionalAlgorithm, YES
+
+        def id_broadcast():
+            return FunctionalAlgorithm(
+                broadcast=lambda self, t: str(self.knowledge.vertex_id % 2),
+                receive=lambda self, t, m: None,
+                output=lambda self: YES,
+            )
+
+        a = SIM.run(one_cycle_instance(6), id_broadcast, 1)
+        b = SIM.run(one_cycle_instance(8), ConstantAlgorithm, 1)
+        t, v = first_divergence(a, b)
+        assert t == 1 and v >= 0  # a real per-vertex divergence wins
+
 
 class TestSerialization:
     def test_round_trip_kt0(self):

@@ -1,0 +1,227 @@
+"""Tests for the metrics registry: counter/gauge/histogram/timer
+semantics, snapshot merge, JSON export, and the opt-in global registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("bits")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_same_name_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("contended")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("early_stop")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("round_seconds")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(6.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram_summary(self):
+        reg = MetricsRegistry()
+        summary = reg.histogram("never").summary()
+        assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_timer_observes_elapsed_seconds(self):
+        reg = MetricsRegistry()
+        with reg.timer("block_seconds"):
+            pass
+        summary = reg.histogram("block_seconds").summary()
+        assert summary["count"] == 1
+        assert 0 <= summary["sum"] < 1.0
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(2.0)
+        parsed = json.loads(reg.to_json())
+        assert parsed["counters"]["a"] == 3
+        assert parsed["gauges"]["b"] == 1.5
+        assert parsed["histograms"]["c"]["count"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        reg.counter("a").inc()
+        assert snap["counters"]["a"] == 1
+
+    def test_merge_adds_counters_and_widens_extremes(self):
+        a = MetricsRegistry()
+        a.counter("bits").inc(10)
+        a.histogram("t").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("bits").inc(5)
+        b.histogram("t").observe(9.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["bits"] == 15
+        assert merged["histograms"]["t"]["count"] == 2
+        assert merged["histograms"]["t"]["min"] == 1.0
+        assert merged["histograms"]["t"]["max"] == 9.0
+        assert merged["histograms"]["t"]["sum"] == pytest.approx(10.0)
+
+    def test_merge_is_associative_on_counters(self):
+        snaps = []
+        for k in range(3):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(k + 1)
+            snaps.append(reg.snapshot())
+        left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+        right = merge_snapshots(snaps[0], merge_snapshots(snaps[1], snaps[2]))
+        assert left["counters"] == right["counters"] == {"n": 6}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestGlobalRegistry:
+    def test_disabled_by_default(self):
+        assert get_registry() is None
+
+    def test_use_registry_scopes_installation(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+        assert get_registry() is None
+
+    def test_use_registry_restores_previous(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                assert get_registry() is inner
+            assert get_registry() is outer
+        assert get_registry() is None
+
+    def test_set_registry_returns_previous(self):
+        reg = MetricsRegistry()
+        assert set_registry(reg) is None
+        assert set_registry(None) is reg
+
+
+class TestInstrumentationIntegration:
+    def test_simulator_records_rounds_bits_and_timing(self):
+        from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+        from repro.instances import one_cycle_instance
+
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            result = Simulator(BCC1_KT0).run(
+                one_cycle_instance(8, kt=0), ConstantAlgorithm, 3
+            )
+        snap = reg.snapshot()
+        assert snap["counters"]["simulator.rounds_executed"] == result.rounds_executed == 3
+        assert snap["counters"]["simulator.bits_broadcast"] == result.total_bits_broadcast()
+        assert snap["counters"]["simulator.messages_validated"] == 8 * 3
+        assert snap["counters"]["simulator.runs"] == 1
+        assert snap["histograms"]["simulator.round_seconds"]["count"] == 3
+
+    def test_simulator_silent_when_disabled(self):
+        from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+        from repro.instances import one_cycle_instance
+
+        # no registry installed: run must not create one as a side effect
+        Simulator(BCC1_KT0).run(one_cycle_instance(6, kt=0), ConstantAlgorithm, 2)
+        assert get_registry() is None
+
+    def test_exhaustive_search_records_throughput(self):
+        from repro.lowerbounds import universal_bound_id_oblivious
+
+        reg = MetricsRegistry()
+        report = universal_bound_id_oblivious(6, alphabet=("0", "1"), metrics=reg)
+        snap = reg.snapshot()
+        assert snap["counters"]["exhaustive.assignments_enumerated"] == 2**6
+        assert snap["counters"]["exhaustive.searches"] == 1
+        assert snap["gauges"]["exhaustive.instances_per_sec"] > 0
+        assert snap["histograms"]["exhaustive.search_seconds"]["count"] == 1
+        assert report.class_size == 2**6
+
+    def test_exhaustive_result_identical_with_and_without_metrics(self):
+        from repro.lowerbounds import universal_bound_id_oblivious
+
+        plain = universal_bound_id_oblivious(6, alphabet=("0", "1"))
+        with use_registry(MetricsRegistry()):
+            observed = universal_bound_id_oblivious(6, alphabet=("0", "1"))
+        assert plain == observed
+
+    def test_twoparty_simulation_records_bits_per_round(self):
+        import random
+
+        from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
+        from repro.partitions import random_perfect_matching
+        from repro.twoparty import BCCSimulationProtocol, simulation_bits_per_round
+
+        n = 6
+        rng = random.Random(2)
+        pa, pb = random_perfect_matching(n, rng), random_perfect_matching(n, rng)
+        rounds = neighbor_exchange_rounds(1, 2, id_bit_width(3 * n))
+        reg = MetricsRegistry()
+        proto = BCCSimulationProtocol(
+            "two_partition", components_factory(2), rounds, mode="components", metrics=reg
+        )
+        proto.run(pa, pb)
+        snap = reg.snapshot()
+        assert snap["counters"]["twoparty.simulated_rounds"] == rounds
+        per_round = snap["histograms"]["twoparty.bits_per_simulated_round"]
+        assert per_round["count"] == rounds
+        assert per_round["mean"] == simulation_bits_per_round("two_partition", n)
+        assert snap["counters"]["twoparty.bits_sent"] == rounds * simulation_bits_per_round(
+            "two_partition", n
+        )

@@ -1,0 +1,96 @@
+"""Tests for the structured JSONL run-trace writer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA_VERSION, RunTrace, read_trace
+
+
+class TestRunTrace:
+    def test_header_line_carries_schema_and_run_id(self):
+        buf = io.StringIO()
+        trace = RunTrace(buf, run_id="abc123")
+        events = read_trace(io.StringIO(buf.getvalue()))
+        assert events[0]["event"] == "trace_start"
+        assert events[0]["schema_version"] == TRACE_SCHEMA_VERSION
+        assert events[0]["run_id"] == "abc123"
+        assert trace.run_id == "abc123"
+
+    def test_every_line_is_valid_json_with_increasing_seq(self):
+        buf = io.StringIO()
+        trace = RunTrace(buf)
+        trace.emit("round", t=1, bits=4)
+        trace.emit("round", t=2, bits=4)
+        trace.emit("run_end", rounds_executed=2)
+        lines = [line for line in buf.getvalue().splitlines() if line]
+        events = [json.loads(line) for line in lines]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert all(e["run_id"] == trace.run_id for e in events)
+        assert events[-1]["event"] == "run_end"
+
+    def test_fresh_run_ids_are_unique(self):
+        a = RunTrace(io.StringIO())
+        b = RunTrace(io.StringIO())
+        assert a.run_id != b.run_id
+
+    def test_non_json_values_coerced(self):
+        buf = io.StringIO()
+        RunTrace(buf).emit("weird", payload={1: {2, 3}})
+        record = read_trace(io.StringIO(buf.getvalue()))[-1]
+        assert isinstance(record["payload"]["1"], str)
+
+    def test_emit_after_close_rejected(self):
+        trace = RunTrace(io.StringIO())
+        trace.close()
+        with pytest.raises(ValueError):
+            trace.emit("late")
+
+    def test_file_sink_appends_and_reads_back(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+        events = read_trace(path)
+        assert len(events) == 4  # two headers + two rounds
+        assert len({e["run_id"] for e in events}) == 2
+
+
+class TestSimulatorTracing:
+    def test_simulator_emits_run_and_round_events(self):
+        from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+        from repro.instances import one_cycle_instance
+
+        buf = io.StringIO()
+        trace = RunTrace(buf)
+        sim = Simulator(BCC1_KT0, trace=trace)
+        result = sim.run(one_cycle_instance(6, kt=0), ConstantAlgorithm, 3)
+        events = read_trace(io.StringIO(buf.getvalue()))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "trace_start"
+        assert kinds[1] == "run_start"
+        assert kinds.count("round") == result.rounds_executed == 3
+        assert kinds[-1] == "run_end"
+        run_start = events[1]
+        assert run_start["n"] == 6 and run_start["kt"] == 0 and run_start["rounds_budget"] == 3
+        rounds = [e for e in events if e["event"] == "round"]
+        assert [e["t"] for e in rounds] == [1, 2, 3]
+        assert all(e["bits"] == 6 for e in rounds)  # ConstantAlgorithm: 1 bit/vertex
+        assert sum(e["bits"] for e in rounds) == result.total_bits_broadcast()
+        run_end = events[-1]
+        assert run_end["rounds_executed"] == 3
+        assert run_end["total_bits"] == result.total_bits_broadcast()
+
+    def test_trace_valid_jsonl_at_every_prefix(self):
+        from repro.core import BCC1_KT0, SilentAlgorithm, Simulator
+        from repro.instances import one_cycle_instance
+
+        buf = io.StringIO()
+        sim = Simulator(BCC1_KT0, trace=RunTrace(buf))
+        sim.run(one_cycle_instance(4, kt=0), SilentAlgorithm, 2)
+        lines = buf.getvalue().splitlines()
+        for k in range(1, len(lines) + 1):
+            for line in lines[:k]:
+                json.loads(line)  # must never raise

@@ -1,5 +1,7 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -58,3 +60,55 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestObservabilityFlags:
+    def test_crossing_json_emits_valid_json(self, capsys):
+        assert main(["crossing", "--n", "10", "--rounds", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["title"] == "Figure 1 / Lemma 3.4 (E1)"
+        assert payload["headers"][0] == "n"
+        assert payload["rows"][0][0] == 10
+        assert payload["rows"][0][3] is True  # premise, a real JSON bool
+
+    def test_star_json_emits_valid_json(self, capsys):
+        assert main(["star", "--n", "15", "--rounds", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert "Theorem 3.5" in payload["title"]
+
+    def test_ranks_json_rows_match_table_shape(self, capsys):
+        assert main(["ranks", "--max-n", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert len(payload["headers"]) == 4
+        assert all(len(row) == 4 for row in payload["rows"])
+
+    def test_crossing_trace_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "t.jsonl")
+        assert main(["crossing", "--n", "8", "--rounds", "2", "--trace", path]) == 0
+        events = read_trace(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "trace_start"
+        # Lemma 3.4 check runs the simulator on both instances
+        assert kinds.count("run_start") == 2
+        assert kinds.count("run_end") == 2
+        assert any(e["event"] == "round" for e in events)
+
+    def test_reduction_trace_records_turns(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "red.jsonl")
+        assert main(["reduction", "--n", "6", "--seed", "3", "--trace", path]) == 0
+        events = read_trace(path)
+        kinds = [e["event"] for e in events]
+        assert "protocol_start" in kinds and "protocol_end" in kinds
+        turns = [e for e in events if e["event"] == "turn"]
+        assert turns and all(e["bits"] >= 1 for e in turns)
+        end = [e for e in events if e["event"] == "protocol_end"][0]
+        assert end["correct"] is True
+
+    def test_list_mentions_bench_and_report(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench" in out and "report" in out

@@ -9,6 +9,9 @@
     python -m repro.cli reduction     --n 8  --seed 1
     python -m repro.cli information   --n 5  --eps 0.3
     python -m repro.cli upper-bounds  --n 32
+    python -m repro.cli exhaustive    --n 6 --checkpoint ck.json
+    python -m repro.cli sampling      --n 6 --samples 500
+    python -m repro.cli fault-sweep   --quick
     python -m repro.cli bench         --quick
     python -m repro.cli report
 
@@ -18,11 +21,22 @@ the mapping to the paper's lemmas and theorems. Observability:
 * every experiment subcommand takes ``--json`` (emit the table as one
   JSON object instead of ASCII);
 * the simulation-backed subcommands (crossing, star, forced-error,
-  reduction) take ``--trace FILE`` to append a structured JSONL run
-  trace (see `repro.obs.trace`);
+  reduction, fault-sweep) take ``--trace FILE`` to append a structured
+  JSONL run trace (see `repro.obs.trace`);
 * ``bench`` runs the machine-readable benchmark harness and writes
   schema-versioned ``BENCH_<name>.json`` files; ``report`` validates and
   summarizes them.
+
+Resilience (see `repro.resilience`): ``exhaustive`` and ``sampling``
+take ``--budget-seconds`` / work caps plus ``--checkpoint FILE`` and
+``--resume FILE``; SIGINT and SIGTERM flush a final checkpoint before
+exiting. ``fault-sweep`` measures correctness-vs-fault-rate degradation
+curves for the upper-bound algorithms.
+
+Exit codes: 0 success; 1 experiment-level failure (a FAIL row); 2 user
+error (bad arguments, invalid instance, unreadable checkpoint -- one
+line on stderr, never a traceback); 3 budget exhausted (partial results
+printed); 130 interrupted (after flushing any configured checkpoint).
 """
 
 from __future__ import annotations
@@ -316,6 +330,196 @@ def _cmd_upper_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _budget_from_args(args: argparse.Namespace, max_units: Optional[int]) -> object:
+    """A Budget from --budget-seconds / a work cap, or None when unlimited."""
+    seconds = getattr(args, "budget_seconds", None)
+    if seconds is None and max_units is None:
+        return None
+    from repro.resilience import Budget
+
+    return Budget(wall_seconds=seconds, max_units=max_units)
+
+
+def _interrupted(checkpoint: Optional[str]) -> int:
+    """One-line 130 exit after Ctrl-C / SIGTERM, naming the checkpoint."""
+    import os
+
+    if checkpoint and not os.path.exists(checkpoint):
+        checkpoint = None  # interrupted before the first flush
+    if checkpoint:
+        print(
+            f"interrupted: checkpoint written to {checkpoint} "
+            f"(continue with --resume {checkpoint})",
+            file=sys.stderr,
+        )
+    else:
+        print("interrupted", file=sys.stderr)
+    return 130
+
+
+def _budget_exhausted(exc: Exception) -> None:
+    """One-line budget notice on stderr (the partial table already printed)."""
+    path = getattr(exc, "checkpoint_path", None)
+    hint = f" (continue with --resume {path})" if path else ""
+    print(f"budget exhausted: {exc}{hint}", file=sys.stderr)
+
+
+def _cmd_exhaustive(args: argparse.Namespace) -> int:
+    from repro.errors import BudgetExceededError
+    from repro.lowerbounds.exhaustive import universal_bound_id_oblivious
+    from repro.resilience import graceful_interrupts
+
+    budget = _budget_from_args(args, args.max_assignments)
+
+    def _emit_report(report, note: str) -> None:
+        _emit(
+            args,
+            f"universal 1-round KT-0 bound at n={args.n} (exhaustive class search)",
+            ["n", "class size", "min forced error", "constant?", "worst assignment", "status"],
+            [
+                [
+                    report.n,
+                    report.class_size,
+                    report.minimum_forced_error,
+                    report.is_constant,
+                    "".join(c if c else "-" for c in report.worst_assignment),
+                    note,
+                ]
+            ],
+        )
+
+    try:
+        with graceful_interrupts():
+            report = universal_bound_id_oblivious(
+                args.n,
+                budget=budget,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+    except BudgetExceededError as exc:
+        if exc.partial is not None:
+            _emit_report(exc.partial, "partial (budget exhausted)")
+        _budget_exhausted(exc)
+        return 3
+    except KeyboardInterrupt:
+        return _interrupted(args.checkpoint)
+    _emit_report(report, "complete")
+    return 0
+
+
+def _cmd_sampling(args: argparse.Namespace) -> int:
+    from repro.errors import BudgetExceededError
+    from repro.information.sampling import estimate_protocol_information
+    from repro.resilience import graceful_interrupts
+    from repro.twoparty import LossyPartitionCompProtocol, TrivialPartitionCompProtocol
+
+    if args.eps > 0:
+        protocol = LossyPartitionCompProtocol(args.n, args.eps)
+    else:
+        protocol = TrivialPartitionCompProtocol(args.n)
+    budget = _budget_from_args(args, args.max_samples)
+    rng = random.Random(args.seed)
+
+    def _emit_report(report, note: str) -> None:
+        _emit(
+            args,
+            f"sampled information estimate at n={args.n} (Theorem 4.5 distribution)",
+            [
+                "n",
+                "samples",
+                "I estimate",
+                "corrected",
+                "H(P_A) true",
+                "saturated",
+                "error rate",
+                "status",
+            ],
+            [
+                [
+                    report.n,
+                    report.samples,
+                    report.information_estimate,
+                    report.corrected_information,
+                    report.true_input_entropy,
+                    report.saturated,
+                    report.error_rate_estimate,
+                    note,
+                ]
+            ],
+        )
+
+    try:
+        with graceful_interrupts():
+            report = estimate_protocol_information(
+                protocol,
+                args.n,
+                args.samples,
+                rng,
+                budget=budget,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+    except BudgetExceededError as exc:
+        if exc.partial is not None:
+            _emit_report(exc.partial, "partial (budget exhausted)")
+        _budget_exhausted(exc)
+        return 3
+    except KeyboardInterrupt:
+        return _interrupted(args.checkpoint)
+    _emit_report(report, "complete")
+    return 0
+
+
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience import fault_sweep, validate_fault_sweep_payload
+
+    if args.quick:
+        algorithms = ["neighbor_exchange", "flooding"]
+        kinds = list(args.kinds or ("bit_flip", "erasure", "crash"))
+        rates = [0.0, 0.1]
+        n = 6
+        trials = 4
+    else:
+        algorithms = list(args.algorithms)
+        kinds = list(args.kinds or ("bit_flip", "erasure", "crash"))
+        rates = [float(r) for r in args.rates]
+        n = args.n
+        trials = args.trials
+    trace = _open_trace(args)
+    try:
+        report = fault_sweep(
+            algorithms=algorithms,
+            kinds=kinds,
+            rates=rates,
+            n=n,
+            trials=trials,
+            seed=args.seed,
+            trace=trace,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    payload = report.as_payload()
+    problems = validate_fault_sweep_payload(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    _emit(
+        args,
+        f"fault-injection degradation sweep (n={n}, {trials} trials/point)",
+        ["algorithm", "fault kind", "rate", "trials", "correct", "correctness", "faults", "mean rounds"],
+        report.rows(),
+    )
+    if problems:
+        for problem in problems:
+            print(f"INVALID payload: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     from repro.lowerbounds import full_report
 
@@ -414,10 +618,21 @@ _COMMANDS_HELP = [
     ("reduction", "E7+E8: Figure 2 reduction + Section 4.3 simulation"),
     ("information", "E9: Theorem 4.5 information accounting"),
     ("upper-bounds", "E10: the upper-bound comparators"),
+    ("exhaustive", "universal 1-round KT-0 bound (budget/checkpoint/resume)"),
+    ("sampling", "sampled Theorem 4.5 information estimate (resumable)"),
+    ("fault-sweep", "correctness-vs-fault-rate degradation curves"),
     ("all", "one-pass summary of all three results"),
     ("bench", "run the machine-readable benchmark harness (BENCH_*.json)"),
     ("report", "validate + summarize existing BENCH_*.json files"),
 ]
+
+
+def _help(name: str) -> str:
+    """Help text for a subcommand, looked up by name (index-stable)."""
+    for candidate, text in _COMMANDS_HELP:
+        if candidate == name:
+            return text
+    raise KeyError(name)
 
 
 def _add_json_flag(p: argparse.ArgumentParser) -> None:
@@ -437,6 +652,28 @@ def _add_trace_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; exhaustion prints the partial result, exit 3",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="write atomic resumable checkpoints to FILE (flushed on Ctrl-C/SIGTERM)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume from a checkpoint previously written with --checkpoint",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -446,60 +683,134 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
 
-    p = sub.add_parser("crossing", help=_COMMANDS_HELP[0][1])
+    p = sub.add_parser("crossing", help=_help("crossing"))
     p.add_argument("--n", type=int, default=12)
     p.add_argument("--rounds", type=int, default=4)
     _add_json_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_crossing)
 
-    p = sub.add_parser("star", help=_COMMANDS_HELP[1][1])
+    p = sub.add_parser("star", help=_help("star"))
     p.add_argument("--n", type=int, default=30)
     p.add_argument("--rounds", type=int, default=3)
     _add_json_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_star)
 
-    p = sub.add_parser("forced-error", help=_COMMANDS_HELP[2][1])
+    p = sub.add_parser("forced-error", help=_help("forced-error"))
     p.add_argument("--n", type=int, default=6)
     p.add_argument("--rounds", type=int, default=2)
     _add_json_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_forced_error)
 
-    p = sub.add_parser("ratio", help=_COMMANDS_HELP[3][1])
+    p = sub.add_parser("ratio", help=_help("ratio"))
     p.add_argument("--max-exp", type=int, default=6)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_ratio)
 
-    p = sub.add_parser("ranks", help=_COMMANDS_HELP[4][1])
+    p = sub.add_parser("ranks", help=_help("ranks"))
     p.add_argument("--max-n", type=int, default=5)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_ranks)
 
-    p = sub.add_parser("reduction", help=_COMMANDS_HELP[5][1])
+    p = sub.add_parser("reduction", help=_help("reduction"))
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--seed", type=int, default=1)
     _add_json_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_reduction)
 
-    p = sub.add_parser("information", help=_COMMANDS_HELP[6][1])
+    p = sub.add_parser("information", help=_help("information"))
     p.add_argument("--n", type=int, default=5)
     p.add_argument("--eps", type=float, default=0.3)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_information)
 
-    p = sub.add_parser("upper-bounds", help=_COMMANDS_HELP[7][1])
+    p = sub.add_parser("upper-bounds", help=_help("upper-bounds"))
     p.add_argument("--n", type=int, default=32)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_upper_bounds)
 
-    p = sub.add_parser("all", help=_COMMANDS_HELP[8][1])
+    p = sub.add_parser("exhaustive", help=_help("exhaustive"))
+    p.add_argument("--n", type=int, default=6)
+    p.add_argument(
+        "--max-assignments",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop (budget exhausted, exit 3) after K assignments",
+    )
+    _add_resilience_flags(p)
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_exhaustive)
+
+    p = sub.add_parser("sampling", help=_help("sampling"))
+    p.add_argument("--n", type=int, default=6)
+    p.add_argument("--samples", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--eps",
+        type=float,
+        default=0.0,
+        help="use the lossy protocol with this target error (default: exact)",
+    )
+    p.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop (budget exhausted, exit 3) after K samples",
+    )
+    _add_resilience_flags(p)
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_sampling)
+
+    p = sub.add_parser("fault-sweep", help=_help("fault-sweep"))
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--trials", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--rates",
+        nargs="+",
+        default=["0.0", "0.01", "0.05", "0.1", "0.2"],
+        metavar="R",
+        help="fault rates to sweep",
+    )
+    p.add_argument(
+        "--kinds",
+        nargs="+",
+        default=None,
+        metavar="KIND",
+        help="fault kinds (bit_flip erasure crash; default: all)",
+    )
+    p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["neighbor_exchange", "flooding", "boruvka", "sketch"],
+        metavar="ALGO",
+        help="upper-bound algorithms to sweep",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke preset: n=6, 4 trials, rates 0.0/0.1, 2 fast algorithms",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the schema-versioned fault_sweep JSON payload to FILE",
+    )
+    _add_json_flag(p)
+    _add_trace_flag(p)
+    p.set_defaults(func=_cmd_fault_sweep)
+
+    p = sub.add_parser("all", help=_help("all"))
     _add_json_flag(p)
     p.set_defaults(func=_cmd_all)
 
-    p = sub.add_parser("bench", help=_COMMANDS_HELP[9][1])
+    p = sub.add_parser("bench", help=_help("bench"))
     p.add_argument(
         "--quick",
         action="store_true",
@@ -520,7 +831,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_flag(p)
     p.set_defaults(func=_cmd_bench)
 
-    p = sub.add_parser("report", help=_COMMANDS_HELP[10][1])
+    p = sub.add_parser("report", help=_help("report"))
     p.add_argument(
         "--dir",
         default=".",
@@ -533,9 +844,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and dispatch; never lets a traceback reach the terminal.
+
+    User errors (bad arguments, invalid instances, unreadable
+    checkpoints -- anything in the :class:`~repro.errors.ReproError`
+    taxonomy or a ``ValueError``/``OSError`` from user-supplied paths
+    and parameters) print one ``error: ...`` line on stderr and exit 2.
+    ``KeyboardInterrupt`` (Ctrl-C, or SIGTERM inside the resilient
+    subcommands) exits 130. Genuine bugs still raise: anything outside
+    those families is not swallowed.
+    """
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core.algorithm import AlgorithmFactory, NodeAlgorithm
 from repro.core.instance import BCCInstance
@@ -22,6 +22,9 @@ from repro.core.randomness import PublicCoin
 from repro.core.transcript import RoundRecord, Transcript
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # imported lazily to keep core free of resilience deps
+    from repro.resilience.faults import FaultEvent, FaultPlan
 
 
 @dataclass
@@ -42,7 +45,21 @@ class RunResult:
     broadcast_history:
         ``broadcast_history[t - 1][v]`` is the message vertex v broadcast in
         round t. This global view belongs to the simulator/analyst, never to
-        the nodes.
+        the nodes. Under fault injection this is the *on-channel* view: a
+        crashed vertex's entry is the empty broadcast from its crash round
+        onward, while delivery faults (bit flips, erasures) appear only in
+        the per-receiver transcripts -- exactly the information asymmetry
+        an adversarial channel creates.
+    fault_events:
+        The faults injected during this run (empty for clean runs), in
+        injection order. See :mod:`repro.resilience.faults`.
+    crashed_vertices:
+        Vertex indices crash-stopped at any point during the run.
+    failed_vertices:
+        Vertex indices whose node algorithm raised while processing
+        fault-corrupted input; such nodes fail-stop (silent forever,
+        output ``None``). Always empty for clean runs, where node
+        exceptions propagate as they did before fault injection existed.
     """
 
     instance: BCCInstance
@@ -51,6 +68,9 @@ class RunResult:
     rounds_executed: int
     broadcast_history: Tuple[Tuple[str, ...], ...]
     all_finished: bool = False
+    fault_events: Tuple["FaultEvent", ...] = ()
+    crashed_vertices: Tuple[int, ...] = ()
+    failed_vertices: Tuple[int, ...] = ()
 
     def sent_sequence(self, v: int) -> Tuple[str, ...]:
         """The message sequence vertex index ``v`` broadcast."""
@@ -75,12 +95,19 @@ class Simulator:
     per-round wall time, messages validated, bits broadcast, and the
     early-stop round; pass ``trace`` (a :class:`repro.obs.RunTrace`) to
     stream structured per-round JSONL events.
+
+    Fault injection is likewise opt-in and costs one ``None`` check per
+    round when disabled: pass ``faults`` (a
+    :class:`repro.resilience.FaultPlan`) here or per-run to execute under
+    a deterministic adversarial channel (bit flips, erasures, crash-stops
+    applied between broadcast and delivery).
     """
 
-    def __init__(self, model: BCCModel, metrics=None, trace=None):
+    def __init__(self, model: BCCModel, metrics=None, trace=None, faults: Optional["FaultPlan"] = None):
         self._model = model
         self._metrics = metrics
         self._trace = trace
+        self._faults = faults
 
     @property
     def model(self) -> BCCModel:
@@ -105,12 +132,19 @@ class Simulator:
         factory: AlgorithmFactory,
         rounds: int,
         coin: Optional[PublicCoin] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> RunResult:
         """Execute ``rounds`` synchronous rounds of the algorithm.
 
         Stops early after any round in which every vertex reports
         ``finished()``. The same ``coin`` object is handed to every vertex
         (the public-coin model); omit it for a fixed default seed.
+
+        ``faults`` (default: the plan given at construction, usually None)
+        runs the execution under a deterministic adversarial channel: the
+        plan is applied between broadcast and delivery each round, so
+        per-receiver views can diverge. With no plan the clean path is a
+        single ``None`` check per round.
         """
         if instance.kt != self._model.kt:
             raise SimulationError(
@@ -122,19 +156,37 @@ class Simulator:
         the_coin = coin if coin is not None else PublicCoin()
         n = instance.n
 
+        plan = faults if faults is not None else self._faults
+        fault_run = plan.begin_run(n) if plan is not None else None
+
         # Resolve observability once per run; ``None`` means the disabled
         # fast path (a single extra truthiness check per round).
         metrics = self._metrics if self._metrics is not None else get_registry()
         trace = self._trace
         observing = metrics is not None or trace is not None
         if trace is not None:
-            trace.emit(
-                "run_start",
-                n=n,
-                kt=instance.kt,
-                bandwidth=self._model.bandwidth,
-                rounds_budget=rounds,
-            )
+            if fault_run is not None:
+                trace.emit(
+                    "run_start",
+                    n=n,
+                    kt=instance.kt,
+                    bandwidth=self._model.bandwidth,
+                    rounds_budget=rounds,
+                    fault_seed=plan.seed,
+                    fault_rates={
+                        "bit_flip": plan.bit_flip_rate,
+                        "erasure": plan.erasure_rate,
+                        "crash": plan.crash_rate,
+                    },
+                )
+            else:
+                trace.emit(
+                    "run_start",
+                    n=n,
+                    kt=instance.kt,
+                    bandwidth=self._model.bandwidth,
+                    rounds_budget=rounds,
+                )
 
         nodes: List[NodeAlgorithm] = []
         for v in range(n):
@@ -147,42 +199,103 @@ class Simulator:
 
         executed = 0
         total_bits = 0
+        fault_cursor = 0
+        failed_nodes: set = set()
         done = all(node.finished() for node in nodes)
         for t in range(1, rounds + 1):
             if done:
                 break
             round_start = time.perf_counter() if observing else 0.0
-            messages = tuple(
-                self._model.validate_message(nodes[v].broadcast(t)) for v in range(n)
-            )
-            history.append(messages)
-            for v in range(n):
-                received: Dict[int, str] = {}
-                for u in range(n):
-                    if u == v:
+            if fault_run is None:
+                # The clean hot path: identical to the pre-resilience engine.
+                messages = tuple(
+                    self._model.validate_message(nodes[v].broadcast(t)) for v in range(n)
+                )
+                history.append(messages)
+                for v in range(n):
+                    received: Dict[int, str] = {}
+                    for u in range(n):
+                        if u == v:
+                            continue
+                        received[instance.port_to_peer(v, u)] = messages[u]
+                    nodes[v].receive(t, received)
+                    transcripts[v].append(RoundRecord(sent=messages[v], received=received))
+                executed = t
+                done = all(node.finished() for node in nodes)
+            else:
+                # Adversarial channel. A node choking on corrupted input is
+                # part of the degradation being measured, not a simulator
+                # bug: any exception a node raises while computing against
+                # faulty messages fail-stops that node (silent forever,
+                # output None) instead of killing the execution.
+                collected: List[str] = []
+                for v in range(n):
+                    if v in failed_nodes:
+                        collected.append("")
                         continue
-                    received[instance.port_to_peer(v, u)] = messages[u]
-                nodes[v].receive(t, received)
-                transcripts[v].append(RoundRecord(sent=messages[v], received=received))
-            executed = t
-            done = all(node.finished() for node in nodes)
+                    try:
+                        collected.append(
+                            self._model.validate_message(nodes[v].broadcast(t))
+                        )
+                    except Exception:
+                        failed_nodes.add(v)
+                        collected.append("")
+                # Sender-side faults (crash-stop) first, then per-delivery
+                # faults so port-level views can diverge.
+                messages = fault_run.filter_broadcasts(t, tuple(collected))
+                history.append(messages)
+                for v in range(n):
+                    received = {}
+                    for u in range(n):
+                        if u == v:
+                            continue
+                        received[instance.port_to_peer(v, u)] = (
+                            fault_run.filter_delivery(t, u, v, messages[u])
+                        )
+                    if v not in failed_nodes:
+                        try:
+                            nodes[v].receive(t, received)
+                        except Exception:
+                            failed_nodes.add(v)
+                    transcripts[v].append(RoundRecord(sent=messages[v], received=received))
+                executed = t
+                done = True
+                for v in range(n):
+                    if v in failed_nodes:
+                        continue  # a failed node makes no further progress
+                    try:
+                        if not nodes[v].finished():
+                            done = False
+                    except Exception:
+                        failed_nodes.add(v)
             if observing:
                 round_seconds = time.perf_counter() - round_start
                 round_bits = sum(len(m) for m in messages)
                 total_bits += round_bits
+                round_faults = 0
+                if fault_run is not None:
+                    round_faults = fault_run.faults_injected - fault_cursor
                 if metrics is not None:
                     metrics.counter("simulator.rounds_executed").inc()
                     metrics.counter("simulator.messages_validated").inc(n)
                     metrics.counter("simulator.bits_broadcast").inc(round_bits)
                     metrics.histogram("simulator.round_seconds").observe(round_seconds)
+                    if round_faults:
+                        metrics.counter("simulator.faults_injected").inc(round_faults)
                 if trace is not None:
+                    if fault_run is not None:
+                        for event in fault_run.events[fault_cursor:]:
+                            trace.emit("fault", **event.as_dict())
                     trace.emit(
                         "round",
                         t=t,
                         bits=round_bits,
                         wall_seconds=round_seconds,
                         all_finished=done,
+                        **({"faults": round_faults} if fault_run is not None else {}),
                     )
+                if fault_run is not None:
+                    fault_cursor = fault_run.faults_injected
 
         if metrics is not None:
             metrics.counter("simulator.runs").inc()
@@ -190,14 +303,38 @@ class Simulator:
                 metrics.gauge("simulator.early_stop_round").set(executed)
                 metrics.counter("simulator.early_stops").inc()
         if trace is not None:
-            trace.emit(
-                "run_end",
-                rounds_executed=executed,
-                all_finished=done,
-                total_bits=total_bits,
-            )
+            if fault_run is not None:
+                trace.emit(
+                    "run_end",
+                    rounds_executed=executed,
+                    all_finished=done,
+                    total_bits=total_bits,
+                    faults_injected=fault_run.faults_injected,
+                    crashed_vertices=fault_run.crashed_vertices,
+                    failed_vertices=tuple(sorted(failed_nodes)),
+                )
+            else:
+                trace.emit(
+                    "run_end",
+                    rounds_executed=executed,
+                    all_finished=done,
+                    total_bits=total_bits,
+                )
 
-        outputs = tuple(nodes[v].output() for v in range(n))
+        if fault_run is None:
+            outputs = tuple(nodes[v].output() for v in range(n))
+        else:
+            collected_out: List[Any] = []
+            for v in range(n):
+                if v in failed_nodes:
+                    collected_out.append(None)
+                    continue
+                try:
+                    collected_out.append(nodes[v].output())
+                except Exception:
+                    failed_nodes.add(v)
+                    collected_out.append(None)
+            outputs = tuple(collected_out)
         return RunResult(
             instance=instance,
             outputs=outputs,
@@ -205,6 +342,9 @@ class Simulator:
             rounds_executed=executed,
             broadcast_history=tuple(history),
             all_finished=done,
+            fault_events=tuple(fault_run.events) if fault_run is not None else (),
+            crashed_vertices=fault_run.crashed_vertices if fault_run is not None else (),
+            failed_vertices=tuple(sorted(failed_nodes)),
         )
 
     def run_until_done(

@@ -73,3 +73,40 @@ class ProtocolError(ReproError):
 
 class RankComputationError(ReproError):
     """An exact rank computation could not be completed or cross-checked."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is malformed or cannot be applied to this execution.
+
+    Examples: a fault rate outside [0, 1], a scheduled fault naming a
+    vertex index outside the instance, a fault kind the channel layer does
+    not implement, or a bit-flip directed at a silent (empty) broadcast
+    via an explicit schedule.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A cooperative run budget (wall clock or work units) was exhausted.
+
+    Long-running searches check their :class:`repro.resilience.Budget`
+    inside the inner loop and raise this instead of running forever. The
+    exception carries ``partial`` -- the best-so-far result object (e.g. a
+    partial :class:`~repro.lowerbounds.exhaustive.UniversalBoundReport`)
+    -- and ``checkpoint_path`` when a resumable checkpoint was flushed on
+    the way out, so callers can report progress and resume later.
+    """
+
+    def __init__(self, message: str, partial=None, checkpoint_path=None):
+        super().__init__(message)
+        self.partial = partial
+        self.checkpoint_path = checkpoint_path
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be written, read, or trusted.
+
+    Examples: the checkpoint path is missing or unreadable, the payload is
+    not valid JSON, the ``checkpoint_version`` is unsupported, or the
+    checkpoint describes a different computation (wrong kind, n, or
+    parameters) than the one being resumed.
+    """

@@ -22,8 +22,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import BudgetExceededError, CheckpointError
 from repro.information.entropy import (
     empirical_joint,
     entropy,
@@ -34,7 +35,12 @@ from repro.information.entropy import (
 from repro.partitions.bell import bell_number
 from repro.partitions.enumeration import random_partition
 from repro.partitions.set_partition import SetPartition
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpointer, read_checkpoint
 from repro.twoparty.protocol import TwoPartyProtocol
+
+#: Checkpoint ``kind`` tag for this estimator (see repro.resilience.checkpoint).
+SAMPLING_CHECKPOINT_KIND = "sampling"
 
 
 @dataclass(frozen=True)
@@ -62,26 +68,18 @@ class SampledInformationReport:
         return self.true_input_entropy > math.log2(max(2, self.samples))
 
 
-def estimate_protocol_information(
-    protocol: TwoPartyProtocol,
-    n: int,
-    samples: int,
-    rng: random.Random,
+def _report_from_joint(
+    n: int, samples: int, joint: Dict[Tuple[Any, Any], float], errors: int
 ) -> SampledInformationReport:
-    """Sample the Theorem 4.5 hard distribution and estimate I(P_A; Pi)."""
-    if samples < 2:
-        raise ValueError(f"need at least 2 samples, got {samples}")
-    pb = SetPartition.finest(n)
-    pairs = []
-    errors = 0
-    for _ in range(samples):
-        pa = random_partition(n, rng)
-        result = protocol.run(pa, pb)
-        pairs.append((pa, result.transcript_string()))
-        if result.bob_output != pa:
-            errors += 1
+    """Assemble the report from an empirical joint (keys may be relabeled).
 
-    joint = empirical_joint(pairs)
+    Every derived quantity -- entropies, mutual information, distinct
+    counts, Miller-Madow bias -- is invariant under injective relabeling
+    of the outcome keys, so the resilient path (which keys inputs by
+    their canonical string form to stay JSON-serializable) produces
+    numbers identical to the lean path (which keys by the partitions
+    themselves).
+    """
     info = mutual_information(joint)
     distinct_x = len(marginal_x(joint))
     distinct_y = len(marginal_y(joint))
@@ -100,3 +98,137 @@ def estimate_protocol_information(
         distinct_transcripts_seen=distinct_y,
         error_rate_estimate=errors / samples,
     )
+
+
+def _rng_state_to_json(state: Any) -> List[Any]:
+    """random.Random.getstate() -> JSON-safe nested lists (exact)."""
+    return [state[0], list(state[1]), state[2]]
+
+
+def _rng_state_from_json(data: Any) -> Tuple[Any, ...]:
+    """Inverse of :func:`_rng_state_to_json`."""
+    return (data[0], tuple(data[1]), data[2])
+
+
+def estimate_protocol_information(
+    protocol: TwoPartyProtocol,
+    n: int,
+    samples: int,
+    rng: random.Random,
+    budget: Optional[Budget] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 64,
+    checkpoint_seconds: float = 2.0,
+    resume: Optional[str] = None,
+) -> SampledInformationReport:
+    """Sample the Theorem 4.5 hard distribution and estimate I(P_A; Pi).
+
+    Resilience (all opt-in, mirroring
+    :func:`repro.lowerbounds.exhaustive.universal_bound_id_oblivious`):
+
+    * ``budget`` -- a :class:`repro.resilience.Budget` ticked once per
+      sample; exhaustion raises
+      :class:`~repro.errors.BudgetExceededError` carrying a partial
+      report over the samples drawn so far (``None`` below 2 samples).
+    * ``checkpoint_path`` -- atomic resumable JSON checkpoints (kind
+      ``"sampling"``) carrying the joint counts, the error count, and
+      the full ``random.Random`` state, so a resumed estimate consumes
+      exactly the random stream an uninterrupted one would.
+    * ``resume`` -- path to a previous checkpoint; validates (n,
+      samples) and restores counts + RNG state, so an interrupted +
+      resumed run is bit-identical to an uninterrupted resilient run
+      (and agrees with the lean path up to float summation order).
+    """
+    if samples < 2:
+        raise ValueError(f"need at least 2 samples, got {samples}")
+    pb = SetPartition.finest(n)
+    resilient = (
+        budget is not None or checkpoint_path is not None or resume is not None
+    )
+
+    if not resilient:
+        # The original lean loop: nothing per-iteration but the protocol.
+        pairs = []
+        errors = 0
+        for _ in range(samples):
+            pa = random_partition(n, rng)
+            result = protocol.run(pa, pb)
+            pairs.append((pa, result.transcript_string()))
+            if result.bob_output != pa:
+                errors += 1
+        return _report_from_joint(n, samples, empirical_joint(pairs), errors)
+
+    params = {"n": n, "samples": samples}
+    counts: Dict[Tuple[str, str], int] = {}
+    errors = 0
+    done = 0
+    if resume is not None:
+        payload = read_checkpoint(resume, kind=SAMPLING_CHECKPOINT_KIND, params=params)
+        state = payload["state"]
+        try:
+            done = int(state["samples_done"])
+            errors = int(state["errors"])
+            counts = {(str(x), str(y)): int(c) for x, y, c in state["counts"]}
+            rng.setstate(_rng_state_from_json(state["rng_state"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {resume!r} has malformed sampling state: {exc}"
+            ) from exc
+
+    checkpointer: Optional[Checkpointer] = None
+    if checkpoint_path is not None:
+        def _state() -> Dict[str, object]:
+            return {
+                "samples_done": done,
+                "errors": errors,
+                "counts": [[x, y, c] for (x, y), c in sorted(counts.items())],
+                "rng_state": _rng_state_to_json(rng.getstate()),
+            }
+
+        checkpointer = Checkpointer(
+            checkpoint_path,
+            SAMPLING_CHECKPOINT_KIND,
+            params,
+            _state,
+            every_units=checkpoint_every,
+            every_seconds=checkpoint_seconds,
+        )
+
+    def _joint(total: int) -> Dict[Tuple[str, str], float]:
+        # Sorted key order makes the float summation order -- and hence
+        # the report -- independent of when (or whether) the run was
+        # interrupted and resumed.
+        return {pair: c / total for pair, c in sorted(counts.items())}
+
+    def _partial() -> Optional[SampledInformationReport]:
+        if done < 2:
+            return None
+        return _report_from_joint(n, done, _joint(done), errors)
+
+    try:
+        while done < samples:
+            pa = random_partition(n, rng)
+            result = protocol.run(pa, pb)
+            key = (repr(pa), result.transcript_string())
+            counts[key] = counts.get(key, 0) + 1
+            if result.bob_output != pa:
+                errors += 1
+            done += 1
+            if checkpointer is not None:
+                checkpointer.maybe_write()
+            if budget is not None:
+                budget.tick(partial=None)
+    except BudgetExceededError as exc:
+        if checkpointer is not None:
+            checkpointer.flush()
+        raise BudgetExceededError(
+            str(exc), partial=_partial(), checkpoint_path=checkpoint_path
+        ) from exc
+    except KeyboardInterrupt:
+        if checkpointer is not None:
+            checkpointer.flush()
+        raise
+    if checkpointer is not None:
+        checkpointer.flush()
+
+    return _report_from_joint(n, samples, _joint(samples), errors)

@@ -34,9 +34,15 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import BudgetExceededError, CheckpointError
 from repro.indist.graph_builder import cross_cover
 from repro.instances.enumeration import CycleCover, enumerate_one_cycle_covers
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpointer, read_checkpoint
+
+#: Checkpoint ``kind`` tag for this search (see repro.resilience.checkpoint).
+EXHAUSTIVE_CHECKPOINT_KIND = "exhaustive"
 
 #: A directed pair of edges eligible for a disconnecting crossing.
 DirectedPair = Tuple[Tuple[int, int], Tuple[int, int]]
@@ -114,6 +120,11 @@ def universal_bound_id_oblivious(
     n: int,
     alphabet: Sequence[str] = ("", "0", "1"),
     metrics: Optional[MetricsRegistry] = None,
+    budget: Optional[Budget] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 256,
+    checkpoint_seconds: float = 2.0,
+    resume: Optional[str] = None,
 ) -> UniversalBoundReport:
     """Minimize forced error over every ID-oblivious 1-round algorithm.
 
@@ -125,44 +136,143 @@ def universal_bound_id_oblivious(
     via :func:`repro.obs.use_registry`), the search records enumeration
     throughput (``exhaustive.assignments_enumerated`` and the
     ``exhaustive.instances_per_sec`` gauge) and fooled-instance counts;
-    the hot loop itself is untouched, so the disabled path pays nothing.
+    the fully-disabled path keeps its original lean loop and pays nothing.
+
+    Resilience (all opt-in):
+
+    * ``budget`` -- a :class:`repro.resilience.Budget` ticked once per
+      assignment; exhaustion raises
+      :class:`~repro.errors.BudgetExceededError` carrying the best-so-far
+      partial :class:`UniversalBoundReport` (after flushing a final
+      checkpoint when one is configured).
+    * ``checkpoint_path`` -- write atomic, resumable JSON checkpoints
+      (kind ``"exhaustive"``) every ``checkpoint_every`` assignments /
+      ``checkpoint_seconds`` seconds. ``KeyboardInterrupt`` (SIGINT, or
+      SIGTERM under :func:`repro.resilience.graceful_interrupts`)
+      flushes a final checkpoint before propagating.
+    * ``resume`` -- path to a previous checkpoint; the search validates
+      the (n, alphabet) params and continues from the stored enumeration
+      index. Assignment order is deterministic, so an interrupted +
+      resumed search returns exactly the report of an uninterrupted one.
     """
     if metrics is None:
         metrics = get_registry()
     covers_and_pairs = [
         (cover, disconnecting_pairs(cover)) for cover in enumerate_one_cycle_covers(n)
     ]
-    start = time.perf_counter() if metrics is not None else 0.0
-    best = None
+    params = {"n": n, "alphabet": list(alphabet)}
+
+    start_index = 0
+    best: Optional[float] = None
     best_assignment: Tuple[str, ...] = ()
-    if metrics is None:
+    enumerated = 0
+    fooled_total = 0
+    if resume is not None:
+        payload = read_checkpoint(resume, kind=EXHAUSTIVE_CHECKPOINT_KIND, params=params)
+        state = payload["state"]
+        try:
+            start_index = int(state["next_index"])
+            best = None if state["best"] is None else float(state["best"])
+            best_assignment = tuple(state["best_assignment"])
+            enumerated = int(state["enumerated"])
+            fooled_total = int(state["fooled_total"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {resume!r} has malformed exhaustive state: {exc}"
+            ) from exc
+
+    resilient = budget is not None or checkpoint_path is not None
+    start = time.perf_counter() if (metrics is not None or resilient) else 0.0
+
+    if metrics is None and not resilient:
+        # The original lean loop: nothing per-iteration but the math.
         for assignment in itertools.product(alphabet, repeat=n):
             err = forced_error_of_assignment(n, assignment, covers_and_pairs)
             if best is None or err < best:
                 best = err
                 best_assignment = assignment
-    else:
-        enumerated = 0
-        fooled_total = 0
-        for assignment in itertools.product(alphabet, repeat=n):
+        return UniversalBoundReport(
+            n=n,
+            class_size=len(alphabet) ** n,
+            minimum_forced_error=best if best is not None else 0.0,
+            worst_assignment=best_assignment,
+        )
+
+    index = start_index
+    checkpointer: Optional[Checkpointer] = None
+    if checkpoint_path is not None:
+        def _state() -> Dict[str, object]:
+            return {
+                "next_index": index,
+                "best": best,
+                "best_assignment": list(best_assignment),
+                "enumerated": enumerated,
+                "fooled_total": fooled_total,
+            }
+
+        checkpointer = Checkpointer(
+            checkpoint_path,
+            EXHAUSTIVE_CHECKPOINT_KIND,
+            params,
+            _state,
+            every_units=checkpoint_every,
+            every_seconds=checkpoint_seconds,
+        )
+
+    def _partial() -> UniversalBoundReport:
+        return UniversalBoundReport(
+            n=n,
+            class_size=len(alphabet) ** n,
+            minimum_forced_error=best if best is not None else 0.0,
+            worst_assignment=best_assignment,
+        )
+
+    iterator = itertools.product(alphabet, repeat=n)
+    if start_index:
+        iterator = itertools.islice(iterator, start_index, None)
+    try:
+        for assignment in iterator:
             err, fooled = _forced_error_and_fooled(n, assignment, covers_and_pairs)
+            index += 1
             enumerated += 1
             fooled_total += fooled
             if best is None or err < best:
                 best = err
                 best_assignment = assignment
+            if checkpointer is not None:
+                checkpointer.maybe_write()
+            if budget is not None:
+                budget.tick(partial=None)
+    except BudgetExceededError as exc:
+        if checkpointer is not None:
+            checkpointer.flush()
+        raise BudgetExceededError(
+            str(exc), partial=_partial(), checkpoint_path=checkpoint_path
+        ) from exc
+    except KeyboardInterrupt:
+        if checkpointer is not None:
+            checkpointer.flush()
+        raise
+    if checkpointer is not None:
+        checkpointer.flush()
+
+    if metrics is not None:
         elapsed = time.perf_counter() - start
         metrics.counter("exhaustive.searches").inc()
         metrics.counter("exhaustive.covers_enumerated").inc(len(covers_and_pairs))
         metrics.counter("exhaustive.disconnecting_pairs").inc(
             sum(len(pairs) for _cover, pairs in covers_and_pairs)
         )
-        metrics.counter("exhaustive.assignments_enumerated").inc(enumerated)
+        metrics.counter("exhaustive.assignments_enumerated").inc(index - start_index)
         metrics.counter("exhaustive.fooled_pairs").inc(fooled_total)
         metrics.histogram("exhaustive.search_seconds").observe(elapsed)
         metrics.gauge("exhaustive.instances_per_sec").set(
-            enumerated / elapsed if elapsed > 0 else 0.0
+            (index - start_index) / elapsed if elapsed > 0 else 0.0
         )
+        if budget is not None:
+            remaining = budget.remaining_units()
+            if remaining is not None:
+                metrics.gauge("exhaustive.budget_remaining").set(remaining)
     return UniversalBoundReport(
         n=n,
         class_size=len(alphabet) ** n,

@@ -33,7 +33,12 @@ from repro.obs.metrics import (
     use_registry,
 )
 from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench_payload
-from repro.obs.trace import TRACE_SCHEMA_VERSION, RunTrace, read_trace
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    RunTrace,
+    read_trace,
+    validate_trace_events,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -55,4 +60,5 @@ __all__ = [
     "set_registry",
     "use_registry",
     "validate_bench_payload",
+    "validate_trace_events",
 ]

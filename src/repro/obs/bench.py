@@ -399,6 +399,64 @@ def _run_ablations(params: Dict[str, Any]) -> RunnerOutput:
     return measured, predicted, bool(proper_indist and not naive_indist)
 
 
+def _run_resilience(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.resilience import FaultPlan, fault_sweep, validate_fault_sweep_payload
+
+    n, trials, rate = params["n"], params["trials"], params["rate"]
+    report = fault_sweep(
+        algorithms=("neighbor_exchange", "flooding"),
+        kinds=("bit_flip", "erasure", "crash"),
+        rates=(0.0, rate),
+        n=n,
+        trials=trials,
+        seed=params["seed"],
+    )
+    payload = report.as_payload()
+    problems = validate_fault_sweep_payload(payload)
+    baseline_ok = all(
+        curve.points[0].correctness_rate == 1.0 for curve in report.curves
+    )
+    faults_at_rate = sum(curve.points[1].faults_injected for curve in report.curves)
+
+    # clean path vs zero-rate plan: the fault machinery must be invisible
+    from repro.algorithms import connectivity_factory
+    from repro.core import BCC1_KT1, Simulator
+    from repro.instances import one_cycle_instance
+
+    inst = one_cycle_instance(n, kt=1)
+    sim = Simulator(BCC1_KT1)
+    clean = sim.run(inst, connectivity_factory(max_degree=2), 2 * n)
+    zeroed = sim.run(
+        inst, connectivity_factory(max_degree=2), 2 * n, faults=FaultPlan(seed=0)
+    )
+    invisible = (
+        clean.outputs == zeroed.outputs
+        and clean.broadcast_history == zeroed.broadcast_history
+        and zeroed.fault_events == ()
+    )
+    measured = {
+        "curves": len(report.curves),
+        "baseline_correctness_one": baseline_ok,
+        "faults_injected_at_rate": faults_at_rate,
+        "payload_schema_problems": len(problems),
+        "zero_rate_plan_invisible": invisible,
+    }
+    predicted = {
+        "curves": 6,
+        "baseline_correctness_one": True,
+        "payload_schema_problems": 0,
+        "zero_rate_plan_invisible": True,
+    }
+    ok = (
+        len(report.curves) == 6
+        and baseline_ok
+        and not problems
+        and invisible
+        and faults_at_rate > 0
+    )
+    return measured, predicted, ok
+
+
 _SPECS: List[BenchmarkSpec] = [
     BenchmarkSpec(
         "simulator",
@@ -504,6 +562,13 @@ _SPECS: List[BenchmarkSpec] = [
         _run_ablations,
         {"n": 8, "rounds": 2},
         {"n": 12, "rounds": 3},
+    ),
+    BenchmarkSpec(
+        "resilience",
+        "R1: fault-sweep degradation curves + zero-rate invisibility",
+        _run_resilience,
+        {"n": 6, "trials": 3, "rate": 0.1, "seed": 0},
+        {"n": 8, "trials": 8, "rate": 0.1, "seed": 0},
     ),
 ]
 

@@ -7,33 +7,63 @@ and run id, then arbitrary events (per-round simulator events, protocol
 turns, benchmark milestones), each stamped with a monotonically
 increasing sequence number and a wall-clock timestamp.
 
-Line format (schema version 1)::
+Line format (schema version 2)::
 
     {"run_id": "a1b2...", "seq": 0, "ts": 1754464000.123,
-     "event": "trace_start", "schema_version": 1}
+     "event": "trace_start", "schema_version": 2}
     {"run_id": "a1b2...", "seq": 1, "ts": ..., "event": "run_start",
      "n": 12, "kt": 0, "bandwidth": 1, "rounds_budget": 4}
-    {"run_id": "a1b2...", "seq": 2, "ts": ..., "event": "round",
+    {"run_id": "a1b2...", "seq": 2, "ts": ..., "event": "fault",
+     "t": 1, "kind": "bit_flip", "vertex": 3, "receiver": 7,
+     "original": "0", "delivered": "1", "scheduled": false}
+    {"run_id": "a1b2...", "seq": 3, "ts": ..., "event": "round",
      "t": 1, "bits": 12, "wall_seconds": 3.1e-05}
     ...
 
-Traces are append-only and valid JSONL at every prefix, so a crashed run
-still leaves a parseable record.
+Schema history:
+
+* **v1** -- ``trace_start`` / ``run_start`` / ``round`` / ``run_end``
+  plus the protocol events (``protocol_start`` / ``turn`` /
+  ``protocol_end``) and free-form events.
+* **v2** -- adds the fault-injection surface: ``fault`` events (one per
+  injected fault, fields ``t``/``kind``/``vertex``/``receiver``/
+  ``original``/``delivered``/``scheduled``), an optional ``faults``
+  count on ``round`` events, fault metadata (``fault_seed``,
+  ``fault_rates``) on ``run_start``, and ``faults_injected`` /
+  ``crashed_vertices`` / ``failed_vertices`` on ``run_end``. v2 is a
+  strict superset: every v1 trace is a valid v2 trace, and
+  :func:`read_trace` parses both.
+
+Crash safety: every event is written as one line and flushed
+immediately (file sinks are opened line-buffered, and ``fsync=True``
+additionally forces each line to disk), so traces are valid JSONL at
+every *line* boundary. A hard kill can still tear the final line
+mid-write; :func:`read_trace` therefore skips a torn trailing line by
+default, while refusing corruption anywhere earlier in the file.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
 import threading
 import time
 import uuid
 from typing import Any, Dict, List, Optional, TextIO, Union
 
-__all__ = ["TRACE_SCHEMA_VERSION", "RunTrace", "read_trace"]
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "RunTrace",
+    "read_trace",
+    "validate_trace_events",
+]
 
 #: Bump when the line format changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+
+#: Oldest schema version read_trace / validate_trace_events still accept.
+OLDEST_SUPPORTED_TRACE_SCHEMA = 1
 
 
 class RunTrace:
@@ -42,23 +72,36 @@ class RunTrace:
     Parameters
     ----------
     sink:
-        A path (opened for append) or an already-open text stream
-        (ownership stays with the caller for streams: ``close()`` only
-        closes sinks this writer opened).
+        A path (opened for line-buffered append) or an already-open text
+        stream (ownership stays with the caller for streams: ``close()``
+        only closes sinks this writer opened).
     run_id:
         Optional explicit id; defaults to a fresh UUID4 hex string.
+    fsync:
+        When True and the sink is a real file, ``os.fsync`` after every
+        event: each line survives not just a process kill but a machine
+        crash. Off by default (flush-per-event already survives any
+        process-level failure).
     """
 
-    def __init__(self, sink: Union[str, TextIO], run_id: Optional[str] = None):
+    def __init__(
+        self,
+        sink: Union[str, TextIO],
+        run_id: Optional[str] = None,
+        fsync: bool = False,
+    ):
         self.run_id = run_id if run_id is not None else uuid.uuid4().hex
         self._lock = threading.Lock()
         self._seq = 0
         if isinstance(sink, (str, bytes)):
-            self._stream: TextIO = open(sink, "a", encoding="utf-8")
+            # Line-buffered append: the OS sees every event as soon as the
+            # line is complete, independent of the flush below.
+            self._stream: TextIO = open(sink, "a", encoding="utf-8", buffering=1)
             self._owns_stream = True
         else:
             self._stream = sink
             self._owns_stream = False
+        self._fsync = fsync
         self._closed = False
         self.emit("trace_start", schema_version=TRACE_SCHEMA_VERSION)
 
@@ -79,17 +122,31 @@ class RunTrace:
             self._seq += 1
             self._stream.write(json.dumps(record, sort_keys=False) + "\n")
             self._stream.flush()
+            if self._fsync:
+                try:
+                    os.fsync(self._stream.fileno())
+                except (OSError, AttributeError, io.UnsupportedOperation):
+                    pass  # in-memory sinks have no file descriptor
             return record
 
     @property
     def events_written(self) -> int:
         return self._seq
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Idempotent close; only closes streams this writer opened."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            try:
+                self._stream.flush()
+            except ValueError:  # caller already closed their stream
+                pass
             if self._owns_stream:
                 self._stream.close()
 
@@ -111,8 +168,18 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def read_trace(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace back into a list of event dicts."""
+def read_trace(
+    source: Union[str, TextIO], skip_torn_tail: bool = True
+) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of event dicts.
+
+    Traces are flushed line-by-line, so a process killed mid-``emit`` can
+    leave exactly one torn line -- the last one. With ``skip_torn_tail``
+    (the default) that trailing fragment is silently dropped; malformed
+    JSON anywhere *before* the final line still raises ``ValueError``,
+    because mid-file corruption means something worse than a kill
+    happened and silently continuing would hide it.
+    """
     if isinstance(source, (str, bytes)):
         with open(source, "r", encoding="utf-8") as handle:
             text = handle.read()
@@ -120,9 +187,89 @@ def read_trace(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
         text = source.getvalue()
     else:
         text = source.read()
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line]
     events = []
-    for line in text.splitlines():
-        line = line.strip()
-        if line:
+    for index, line in enumerate(lines):
+        try:
             events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if skip_torn_tail and index == len(lines) - 1:
+                break  # torn tail from a hard kill: drop it
+            raise ValueError(
+                f"trace line {index + 1} is not valid JSON ({exc}); only a "
+                f"torn final line is tolerated"
+            ) from exc
     return events
+
+
+#: Fault kinds trace v2 fault events may carry (mirrors
+#: repro.resilience.faults.FAULT_KINDS; duplicated as literals so obs
+#: stays import-independent of the resilience package).
+_TRACE_FAULT_KINDS = ("bit_flip", "erasure", "crash")
+
+_FAULT_EVENT_FIELDS = {
+    "t": int,
+    "kind": str,
+    "vertex": int,
+    "original": str,
+    "delivered": str,
+}
+
+
+def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
+    """Return a list of schema violations for a parsed trace (empty = valid).
+
+    Accepts schema versions 1 through :data:`TRACE_SCHEMA_VERSION`:
+    the envelope (run_id / seq / ts / event) is checked on every line,
+    v2 ``fault`` events are checked field-by-field, and ``fault`` events
+    inside a trace whose header declares schema version 1 are flagged
+    (v1 predates fault injection).
+    """
+    problems: List[str] = []
+    if not events:
+        return ["trace has no events"]
+    header = events[0]
+    if header.get("event") != "trace_start":
+        problems.append("first event is not trace_start")
+    version = header.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        problems.append("trace_start missing integer schema_version")
+        version = TRACE_SCHEMA_VERSION
+    elif version > TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    elif version < OLDEST_SUPPORTED_TRACE_SCHEMA:
+        problems.append(f"schema_version must be >= {OLDEST_SUPPORTED_TRACE_SCHEMA}")
+    for index, event in enumerate(events):
+        for field in ("run_id", "seq", "ts", "event"):
+            if field not in event:
+                problems.append(f"event {index} missing field {field!r}")
+        if event.get("event") == "fault":
+            if version < 2:
+                problems.append(
+                    f"event {index} is a fault event but the trace declares "
+                    f"schema version {version} (faults need version >= 2)"
+                )
+            for field, expected in _FAULT_EVENT_FIELDS.items():
+                value = event.get(field)
+                if isinstance(value, bool) or not isinstance(value, expected):
+                    problems.append(
+                        f"fault event {index} field {field!r} is not "
+                        f"{expected.__name__}"
+                    )
+            kind = event.get("kind")
+            if isinstance(kind, str) and kind not in _TRACE_FAULT_KINDS:
+                problems.append(
+                    f"fault event {index} has unknown kind {kind!r}"
+                )
+    by_run: Dict[str, List[int]] = {}
+    for event in events:
+        if isinstance(event.get("seq"), int) and isinstance(event.get("run_id"), str):
+            by_run.setdefault(event["run_id"], []).append(event["seq"])
+    for run_id, seqs in by_run.items():
+        if any(b <= a for a, b in zip(seqs, seqs[1:])):
+            problems.append(f"seq numbers not strictly increasing for run {run_id}")
+    return problems

@@ -19,7 +19,10 @@ several primes are taken, whose maximum lower-bounds the rational rank).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # import-free at runtime: linalg stays dependency-light
+    from repro.resilience.budget import Budget
 
 try:  # numpy accelerates the mod-p path; everything works without it
     import numpy as _np
@@ -32,8 +35,15 @@ Matrix = Sequence[Sequence[int]]
 DEFAULT_PRIMES = (1_000_003, 999_983, 2_147_483_647)
 
 
-def rank_bareiss(matrix: Matrix) -> int:
-    """Exact rational rank via fraction-free (Bareiss) elimination."""
+def rank_bareiss(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
+    """Exact rational rank via fraction-free (Bareiss) elimination.
+
+    ``budget`` (a :class:`repro.resilience.Budget`) is ticked once per
+    pivot column -- the natural unit of Bareiss work -- so runaway
+    big-integer eliminations can be bounded; exhaustion raises
+    :class:`~repro.errors.BudgetExceededError` (no partial: a half-done
+    elimination certifies nothing).
+    """
     a = [list(map(int, row)) for row in matrix]
     if not a or not a[0]:
         return 0
@@ -42,6 +52,8 @@ def rank_bareiss(matrix: Matrix) -> int:
     prev_pivot = 1
     pivot_row = 0
     for col in range(cols):
+        if budget is not None:
+            budget.tick()
         # find a pivot at or below pivot_row
         pivot = None
         for r in range(pivot_row, rows):
@@ -64,7 +76,9 @@ def rank_bareiss(matrix: Matrix) -> int:
     return rank
 
 
-def _rank_mod_p_python(matrix: Matrix, p: int) -> int:
+def _rank_mod_p_python(
+    matrix: Matrix, p: int, budget: Optional["Budget"] = None
+) -> int:
     a = [[int(x) % p for x in row] for row in matrix]
     if not a or not a[0]:
         return 0
@@ -72,6 +86,8 @@ def _rank_mod_p_python(matrix: Matrix, p: int) -> int:
     rank = 0
     pivot_row = 0
     for col in range(cols):
+        if budget is not None:
+            budget.tick()
         pivot = None
         for r in range(pivot_row, rows):
             if a[r][col] % p != 0:
@@ -94,12 +110,16 @@ def _rank_mod_p_python(matrix: Matrix, p: int) -> int:
     return rank
 
 
-def _rank_mod_p_numpy(matrix: Matrix, p: int) -> int:
+def _rank_mod_p_numpy(
+    matrix: Matrix, p: int, budget: Optional["Budget"] = None
+) -> int:
     a = _np.array(matrix, dtype=_np.int64) % p
     rows, cols = a.shape
     rank = 0
     pivot_row = 0
     for col in range(cols):
+        if budget is not None:
+            budget.tick()
         nz = _np.nonzero(a[pivot_row:, col])[0]
         if nz.size == 0:
             continue
@@ -122,19 +142,24 @@ def _rank_mod_p_numpy(matrix: Matrix, p: int) -> int:
     return rank
 
 
-def rank_mod_p(matrix: Matrix, p: int) -> int:
+def rank_mod_p(matrix: Matrix, p: int, budget: Optional["Budget"] = None) -> int:
     """Rank over GF(p). Always a lower bound on the rational rank.
 
     ``p`` must be prime and small enough that p^2 fits in int64 when the
     numpy path is used (all defaults qualify except the Mersenne prime,
-    which falls back to pure Python).
+    which falls back to pure Python). ``budget`` is ticked once per
+    pivot column (see :func:`rank_bareiss`).
     """
     if _np is not None and p * p < 2**62:
-        return _rank_mod_p_numpy(matrix, p)
-    return _rank_mod_p_python(matrix, p)
+        return _rank_mod_p_numpy(matrix, p, budget)
+    return _rank_mod_p_python(matrix, p, budget)
 
 
-def rank_exact(matrix: Matrix, primes: Sequence[int] = DEFAULT_PRIMES) -> int:
+def rank_exact(
+    matrix: Matrix,
+    primes: Sequence[int] = DEFAULT_PRIMES,
+    budget: Optional["Budget"] = None,
+) -> int:
     """Exact rational rank of an integer matrix.
 
     Full rank mod any prime certifies full rational rank (the determinant
@@ -147,12 +172,12 @@ def rank_exact(matrix: Matrix, primes: Sequence[int] = DEFAULT_PRIMES) -> int:
     if rows == 0:
         return 0
     dim = min(rows, len(matrix[0]))
-    first = rank_mod_p(matrix, primes[0])
+    first = rank_mod_p(matrix, primes[0], budget)
     if first == dim:
         return first
     if rows <= 220:
-        return rank_bareiss(matrix)
-    return max([first] + [rank_mod_p(matrix, p) for p in primes[1:]])
+        return rank_bareiss(matrix, budget)
+    return max([first] + [rank_mod_p(matrix, p, budget) for p in primes[1:]])
 
 
 def is_full_rank(matrix: Matrix, p: int = DEFAULT_PRIMES[0]) -> bool:

@@ -1,0 +1,69 @@
+"""Resilience: fault injection, run budgets, checkpoints, graceful exits.
+
+Four small layers that make the library's executions survivable:
+
+* :mod:`repro.resilience.faults` -- a seeded, deterministic
+  :class:`FaultPlan` (bit flips, erasures, crash-stops; per-round /
+  per-vertex schedules and rates) applied by the simulator between
+  broadcast and delivery;
+* :mod:`repro.resilience.budget` -- a cooperative :class:`Budget`
+  (wall-clock deadline + work-unit cap) checked in the long-running
+  search inner loops, raising
+  :class:`~repro.errors.BudgetExceededError` with a best-so-far partial;
+* :mod:`repro.resilience.checkpoint` -- atomic JSON checkpoints
+  (write-to-temp + ``os.replace``) with a versioned, kind-tagged
+  envelope, plus the cadenced :class:`Checkpointer`;
+* :mod:`repro.resilience.harness` -- the graceful-degradation harness:
+  correctness-vs-fault-rate curves for the upper-bound algorithms, with
+  a schema-versioned ``fault_sweep`` JSON payload and validator.
+
+:func:`graceful_interrupts` rounds it out: inside the context manager
+SIGTERM raises ``KeyboardInterrupt`` so the final-checkpoint path covers
+Ctrl-C and scheduler kills alike.
+"""
+
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultRun,
+    ScheduledFault,
+)
+from repro.resilience.harness import (
+    FAULT_SWEEP_SCHEMA_VERSION,
+    DegradationCurve,
+    DegradationPoint,
+    FaultSweepReport,
+    HARNESS_ALGORITHMS,
+    fault_sweep,
+    validate_fault_sweep_payload,
+)
+from repro.resilience.interrupt import graceful_interrupts
+
+__all__ = [
+    "Budget",
+    "CHECKPOINT_VERSION",
+    "Checkpointer",
+    "DegradationCurve",
+    "DegradationPoint",
+    "FAULT_KINDS",
+    "FAULT_SWEEP_SCHEMA_VERSION",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRun",
+    "FaultSweepReport",
+    "HARNESS_ALGORITHMS",
+    "ScheduledFault",
+    "fault_sweep",
+    "graceful_interrupts",
+    "read_checkpoint",
+    "validate_fault_sweep_payload",
+    "write_checkpoint",
+]

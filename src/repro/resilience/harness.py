@@ -1,0 +1,373 @@
+"""Graceful-degradation measurement: algorithms under faulty channels.
+
+The upper-bound algorithms in :mod:`repro.algorithms` are correct in the
+clean BCC model; this harness measures how *gracefully* each one fails as
+an adversarial channel (see :mod:`repro.resilience.faults`) corrupts,
+drops, or silences broadcasts. For each (algorithm, fault kind, fault
+rate) cell it runs seeded trials over a mixed YES/NO instance family
+(one-cycle vs two-cycle covers -- the paper's own hard inputs) and
+records the correctness rate, producing one degradation curve per
+(algorithm, kind) pair.
+
+The output is a schema-versioned JSON payload (``fault_sweep`` schema
+version 1) mirroring the ``BENCH_*.json`` conventions, with a hand-rolled
+validator shared by the unit tests, the CI smoke step, and the
+``fault-sweep`` CLI subcommand.
+
+Everything is deterministic under a fixed ``seed``: per-trial fault-plan
+seeds and instance choices are derived arithmetically (no ``hash()``,
+which is randomized across processes), so a sweep is reproducible
+evidence, not an anecdote.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithms import (
+    boruvka_connectivity_factory,
+    boruvka_max_rounds,
+    connectivity_factory,
+    full_adjacency_connectivity_factory,
+    id_bit_width,
+    mt16_connectivity_factory,
+    mt16_rounds,
+    neighbor_exchange_rounds,
+)
+from repro.core.algorithm import NO, YES, AlgorithmFactory
+from repro.core.decision import decision_of_run
+from repro.core.model import BCCModel
+from repro.core.simulator import Simulator
+from repro.errors import FaultInjectionError
+from repro.instances import one_cycle_instance, two_cycle_instance
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.resilience.faults import FAULT_KINDS, FaultPlan
+
+__all__ = [
+    "FAULT_SWEEP_SCHEMA_VERSION",
+    "DegradationCurve",
+    "DegradationPoint",
+    "FaultSweepReport",
+    "HARNESS_ALGORITHMS",
+    "fault_sweep",
+    "validate_fault_sweep_payload",
+]
+
+#: Bump when the fault-sweep JSON payload changes incompatibly.
+FAULT_SWEEP_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class _AlgorithmSpec:
+    """How to instantiate one harness algorithm at size n."""
+
+    name: str
+    kt: int
+
+    def model(self, n: int) -> BCCModel:
+        if self.name == "boruvka":
+            return BCCModel(bandwidth=id_bit_width(n - 1), kt=1)
+        return BCCModel(bandwidth=1, kt=self.kt)
+
+    def factory(self, n: int) -> AlgorithmFactory:
+        if self.name == "neighbor_exchange":
+            return connectivity_factory(max_degree=2)
+        if self.name == "flooding":
+            return full_adjacency_connectivity_factory()
+        if self.name == "boruvka":
+            return boruvka_connectivity_factory()
+        if self.name == "sketch":
+            return mt16_connectivity_factory(arboricity=2)
+        raise FaultInjectionError(f"unknown harness algorithm {self.name!r}")
+
+    def rounds(self, n: int) -> int:
+        if self.name == "neighbor_exchange":
+            return neighbor_exchange_rounds(1, 2, id_bit_width(n - 1))
+        if self.name == "flooding":
+            return n
+        if self.name == "boruvka":
+            return boruvka_max_rounds(n)
+        if self.name == "sketch":
+            return mt16_rounds(arboricity=2)
+        raise FaultInjectionError(f"unknown harness algorithm {self.name!r}")
+
+
+#: The algorithms the fault harness knows how to evaluate.
+HARNESS_ALGORITHMS: Dict[str, _AlgorithmSpec] = {
+    "neighbor_exchange": _AlgorithmSpec("neighbor_exchange", kt=1),
+    "flooding": _AlgorithmSpec("flooding", kt=1),
+    "boruvka": _AlgorithmSpec("boruvka", kt=1),
+    "sketch": _AlgorithmSpec("sketch", kt=1),
+}
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One (fault rate) cell of a degradation curve."""
+
+    rate: float
+    trials: int
+    correct: int
+    faults_injected: int
+    mean_rounds: float
+
+    @property
+    def correctness_rate(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "trials": self.trials,
+            "correct": self.correct,
+            "correctness_rate": self.correctness_rate,
+            "faults_injected": self.faults_injected,
+            "mean_rounds": self.mean_rounds,
+        }
+
+
+@dataclass(frozen=True)
+class DegradationCurve:
+    """Correctness rate vs fault rate for one (algorithm, fault kind)."""
+
+    algorithm: str
+    fault_kind: str
+    points: Tuple[DegradationPoint, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "fault_kind": self.fault_kind,
+            "points": [p.as_dict() for p in self.points],
+        }
+
+
+@dataclass(frozen=True)
+class FaultSweepReport:
+    """The full sweep: one curve per (algorithm, fault kind)."""
+
+    n: int
+    trials: int
+    seed: int
+    wall_time_seconds: float
+    curves: Tuple[DegradationCurve, ...]
+
+    def as_payload(self) -> Dict[str, Any]:
+        """The schema-versioned JSON payload (``fault_sweep`` schema v1)."""
+        return {
+            "schema_version": FAULT_SWEEP_SCHEMA_VERSION,
+            "kind": "fault_sweep",
+            "created_unix": time.time(),
+            "n": self.n,
+            "trials": self.trials,
+            "seed": self.seed,
+            "wall_time_seconds": self.wall_time_seconds,
+            "curves": [c.as_dict() for c in self.curves],
+        }
+
+    def rows(self) -> List[List[Any]]:
+        """Flat rows for the CLI table: one per (algorithm, kind, rate)."""
+        out = []
+        for curve in self.curves:
+            for p in curve.points:
+                out.append(
+                    [
+                        curve.algorithm,
+                        curve.fault_kind,
+                        p.rate,
+                        p.trials,
+                        p.correct,
+                        round(p.correctness_rate, 4),
+                        p.faults_injected,
+                        round(p.mean_rounds, 2),
+                    ]
+                )
+        return out
+
+
+def _trial_seed(seed: int, a_idx: int, k_idx: int, r_idx: int, trial: int) -> int:
+    """Deterministic per-trial seed; pure arithmetic (hash() is randomized)."""
+    return (
+        seed * 1_000_003 + a_idx * 99_991 + k_idx * 9_973 + r_idx * 1_009 + trial
+    ) % (2**31 - 1)
+
+
+def _trial_instance(n: int, kt: int, trial: int, trial_seed: int):
+    """Alternate YES (one-cycle) and NO (two-cycle) instances, seeded split."""
+    if trial % 2 == 0:
+        return one_cycle_instance(n, kt=kt), YES
+    split = 3 + (trial_seed % max(1, n - 5))  # split in [3, n-3]
+    return two_cycle_instance(n, split, kt=kt), NO
+
+
+def fault_sweep(
+    algorithms: Sequence[str] = ("neighbor_exchange", "flooding", "boruvka", "sketch"),
+    kinds: Sequence[str] = FAULT_KINDS,
+    rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2),
+    n: int = 8,
+    trials: int = 10,
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    trace=None,
+) -> FaultSweepReport:
+    """Run the full (algorithm x kind x rate) degradation sweep.
+
+    ``n`` must be >= 6 so both one-cycle and two-cycle (split >= 3)
+    instances exist. When ``metrics`` is given (or installed process-wide)
+    the sweep records ``resilience.trials_run`` and
+    ``resilience.faults_injected``; pass ``trace`` to stream the
+    underlying simulator runs (including schema-v2 ``fault`` events).
+    """
+    if n < 6:
+        raise FaultInjectionError(f"fault_sweep needs n >= 6, got {n}")
+    if trials < 1:
+        raise FaultInjectionError(f"trials must be >= 1, got {trials}")
+    for name in algorithms:
+        if name not in HARNESS_ALGORITHMS:
+            raise FaultInjectionError(
+                f"unknown algorithm {name!r}; known: {sorted(HARNESS_ALGORITHMS)}"
+            )
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {kind!r}; known: {FAULT_KINDS}"
+            )
+    if metrics is None:
+        metrics = get_registry()
+    start = time.perf_counter()
+    curves: List[DegradationCurve] = []
+    for a_idx, name in enumerate(algorithms):
+        spec = HARNESS_ALGORITHMS[name]
+        simulator = Simulator(spec.model(n), metrics=metrics, trace=trace)
+        factory = spec.factory(n)
+        rounds = spec.rounds(n)
+        for k_idx, kind in enumerate(kinds):
+            points: List[DegradationPoint] = []
+            for r_idx, rate in enumerate(rates):
+                correct = 0
+                faults = 0
+                rounds_total = 0
+                for trial in range(trials):
+                    tseed = _trial_seed(seed, a_idx, k_idx, r_idx, trial)
+                    instance, truth = _trial_instance(n, spec.kt, trial, tseed)
+                    plan = (
+                        FaultPlan.single_rate(kind, rate, seed=tseed)
+                        if rate > 0.0
+                        else None
+                    )
+                    result = simulator.run(instance, factory, rounds, faults=plan)
+                    faults += len(result.fault_events)
+                    rounds_total += result.rounds_executed
+                    if decision_of_run(result) == truth:
+                        correct += 1
+                points.append(
+                    DegradationPoint(
+                        rate=rate,
+                        trials=trials,
+                        correct=correct,
+                        faults_injected=faults,
+                        mean_rounds=rounds_total / trials,
+                    )
+                )
+                if metrics is not None:
+                    metrics.counter("resilience.trials_run").inc(trials)
+                    metrics.counter("resilience.faults_injected").inc(faults)
+            curves.append(DegradationCurve(name, kind, tuple(points)))
+    elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.histogram("resilience.sweep_seconds").observe(elapsed)
+    return FaultSweepReport(
+        n=n,
+        trials=trials,
+        seed=seed,
+        wall_time_seconds=elapsed,
+        curves=tuple(curves),
+    )
+
+
+_NUMERIC = (int, float)
+
+_REQUIRED_TOP = {
+    "schema_version": int,
+    "kind": str,
+    "created_unix": _NUMERIC,
+    "n": int,
+    "trials": int,
+    "seed": int,
+    "wall_time_seconds": _NUMERIC,
+    "curves": list,
+}
+
+_REQUIRED_POINT = {
+    "rate": _NUMERIC,
+    "trials": int,
+    "correct": int,
+    "correctness_rate": _NUMERIC,
+    "faults_injected": int,
+    "mean_rounds": _NUMERIC,
+}
+
+
+def validate_fault_sweep_payload(payload: Mapping[str, Any]) -> List[str]:
+    """Return a list of schema violations (empty = valid).
+
+    Structure and types only, in the style of
+    :func:`repro.obs.validate_bench_payload`: a sweep showing terrible
+    degradation is still a *valid* payload.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    for field, expected in _REQUIRED_TOP.items():
+        if field not in payload:
+            problems.append(f"missing required field {field!r}")
+            continue
+        value = payload[field]
+        if expected is int and isinstance(value, bool):
+            problems.append(f"field {field!r} must be an integer, got bool")
+        elif not isinstance(value, expected):
+            problems.append(f"field {field!r} has type {type(value).__name__}")
+    if payload.get("kind") not in (None, "fault_sweep"):
+        problems.append(f"kind is {payload.get('kind')!r}, expected 'fault_sweep'")
+    version = payload.get("schema_version")
+    if isinstance(version, int) and not isinstance(version, bool):
+        if version > FAULT_SWEEP_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {version} is newer than supported "
+                f"{FAULT_SWEEP_SCHEMA_VERSION}"
+            )
+        elif version < 1:
+            problems.append("schema_version must be >= 1")
+    curves = payload.get("curves")
+    if isinstance(curves, list):
+        if not curves:
+            problems.append("curves is empty")
+        for i, curve in enumerate(curves):
+            if not isinstance(curve, Mapping):
+                problems.append(f"curves[{i}] is not an object")
+                continue
+            if not isinstance(curve.get("algorithm"), str):
+                problems.append(f"curves[{i}].algorithm is not a string")
+            if curve.get("fault_kind") not in FAULT_KINDS:
+                problems.append(
+                    f"curves[{i}].fault_kind {curve.get('fault_kind')!r} "
+                    f"not in {FAULT_KINDS}"
+                )
+            points = curve.get("points")
+            if not isinstance(points, list) or not points:
+                problems.append(f"curves[{i}].points missing or empty")
+                continue
+            for j, point in enumerate(points):
+                if not isinstance(point, Mapping):
+                    problems.append(f"curves[{i}].points[{j}] is not an object")
+                    continue
+                for field, expected in _REQUIRED_POINT.items():
+                    value = point.get(field)
+                    if isinstance(value, bool) or not isinstance(value, expected):
+                        problems.append(
+                            f"curves[{i}].points[{j}].{field} is not "
+                            f"{'numeric' if expected is _NUMERIC else 'an integer'}"
+                        )
+    return problems

@@ -1,0 +1,42 @@
+"""Graceful SIGINT/SIGTERM handling for interruptible CLI runs.
+
+``KeyboardInterrupt`` already gives SIGINT a catchable shape; SIGTERM (the
+default ``kill``, and what CI runners and container orchestrators send on
+timeout) normally kills the process with no chance to flush a checkpoint.
+:func:`graceful_interrupts` maps SIGTERM onto ``KeyboardInterrupt`` for
+the duration of a ``with`` block, so one ``except KeyboardInterrupt``
+covers both "the user pressed Ctrl-C" and "the scheduler said wrap it up",
+and the search's final-checkpoint path runs either way.
+
+The previous handlers are restored on exit, including on exceptions, and
+the context manager degrades to a no-op off the main thread (Python only
+delivers signals to the main thread).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator
+
+__all__ = ["graceful_interrupts"]
+
+
+@contextlib.contextmanager
+def graceful_interrupts() -> Iterator[None]:
+    """Within the block, SIGTERM raises KeyboardInterrupt like SIGINT does."""
+    if threading.current_thread() is not threading.main_thread():
+        # Signals are main-thread only; nothing to install, nothing to break.
+        yield
+        return
+
+    def _raise_interrupt(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous = signal.getsignal(signal.SIGTERM)
+    signal.signal(signal.SIGTERM, _raise_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

@@ -94,3 +94,117 @@ class TestSimulatorTracing:
         for k in range(1, len(lines) + 1):
             for line in lines[:k]:
                 json.loads(line)  # must never raise
+
+
+class TestCrashSafety:
+    """A killed process can tear at most the final line; readers cope."""
+
+    def test_torn_tail_skipped_by_default(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+            trace.emit("round", t=2)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "x", "seq": 99, "ts": 1.0, "ev')  # kill -9 here
+        events = read_trace(path)
+        assert [e.get("t") for e in events[1:]] == [1, 2]
+
+    def test_torn_tail_rejected_when_strict(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        with pytest.raises(ValueError):
+            read_trace(path, skip_torn_tail=False)
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"run_id": "a", "seq": 0, "ts": 1.0, "event": "trace_start"}\n'
+            "GARBAGE NOT JSON\n"
+            '{"run_id": "a", "seq": 1, "ts": 2.0, "event": "round"}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError):
+            read_trace(str(path))
+
+    def test_fsync_sink_works_for_files_and_memory(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path, fsync=True) as trace:
+            trace.emit("round", t=1)
+        assert len(read_trace(path)) == 2
+        # in-memory sinks have no fd; fsync must degrade silently
+        buf = io.StringIO()
+        RunTrace(buf, fsync=True).emit("round", t=1)
+        assert len(read_trace(io.StringIO(buf.getvalue()))) == 2
+
+    def test_close_is_idempotent(self):
+        trace = RunTrace(io.StringIO())
+        trace.close()
+        trace.close()
+        assert trace.closed
+
+
+class TestSchemaCompatibility:
+    """v1 traces predate fault injection but must keep parsing."""
+
+    V1_TRACE = (
+        '{"run_id": "old", "seq": 0, "ts": 1.0, "event": "trace_start", "schema_version": 1}\n'
+        '{"run_id": "old", "seq": 1, "ts": 1.1, "event": "run_start", "n": 6, "kt": 0}\n'
+        '{"run_id": "old", "seq": 2, "ts": 1.2, "event": "round", "t": 1, "bits": 6}\n'
+        '{"run_id": "old", "seq": 3, "ts": 1.3, "event": "run_end", "rounds_executed": 1}\n'
+    )
+
+    def test_v1_trace_still_parses_and_validates(self):
+        from repro.obs import validate_trace_events
+
+        events = read_trace(io.StringIO(self.V1_TRACE))
+        assert len(events) == 4
+        assert validate_trace_events(events) == []
+
+    def test_fault_event_in_v1_trace_flagged(self):
+        from repro.obs import validate_trace_events
+
+        text = self.V1_TRACE + (
+            '{"run_id": "old", "seq": 4, "ts": 1.4, "event": "fault", "t": 1,'
+            ' "kind": "bit_flip", "vertex": 0, "receiver": 2,'
+            ' "original": "0", "delivered": "1"}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("schema version 1" in p for p in problems)
+
+    def test_newer_schema_version_flagged(self):
+        from repro.obs import validate_trace_events
+
+        text = (
+            '{"run_id": "new", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            f' "schema_version": {TRACE_SCHEMA_VERSION + 1}}}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("newer than supported" in p for p in problems)
+
+    def test_validator_flags_bad_fault_fields_and_seq(self):
+        from repro.obs import validate_trace_events
+
+        text = (
+            '{"run_id": "r", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            ' "schema_version": 2}\n'
+            '{"run_id": "r", "seq": 1, "ts": 1.1, "event": "fault", "t": "one",'
+            ' "kind": "gamma_ray", "vertex": 0, "original": "0", "delivered": "1"}\n'
+            '{"run_id": "r", "seq": 1, "ts": 1.2, "event": "round", "t": 1}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("'t' is not int" in p for p in problems)
+        assert any("unknown kind" in p for p in problems)
+        assert any("strictly increasing" in p for p in problems)
+
+    def test_validator_accepts_multi_run_appended_file(self, tmp_path):
+        from repro.obs import validate_trace_events
+
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+        assert validate_trace_events(read_trace(path)) == []

@@ -1,0 +1,30 @@
+"""Tests for the SIGTERM -> KeyboardInterrupt mapping."""
+
+import os
+import signal
+
+import pytest
+
+from repro.resilience import graceful_interrupts
+
+
+class TestGracefulInterrupts:
+    def test_sigterm_raises_keyboard_interrupt_inside_block(self):
+        with pytest.raises(KeyboardInterrupt):
+            with graceful_interrupts():
+                os.kill(os.getpid(), signal.SIGTERM)
+                signal.sigtimedwait([], 0.5)  # give the handler a beat
+                raise AssertionError("SIGTERM handler did not fire")
+
+    def test_previous_handler_restored_after_block(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with graceful_interrupts():
+                os.kill(os.getpid(), signal.SIGTERM)
+                signal.sigtimedwait([], 0.5)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_block_without_signal_is_a_no_op(self):
+        with graceful_interrupts():
+            total = sum(range(100))
+        assert total == 4950

@@ -1,0 +1,84 @@
+"""O1 -- the span profiler's own cost, on and off.
+
+The acceptance budget for `repro.obs.spans` is < 1% overhead on
+`Simulator.run` when **no recorder is installed** (the common case: every
+tier-1 test, every un-profiled experiment). This file times the engine
+three ways -- recorder off, recorder on, recorder on + trace mirroring --
+so the price of each observability layer is a recorded number rather
+than folklore, and asserts the recorded trees have the exact shape the
+simulator instrumentation promises (run -> round -> broadcast/deliver).
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+from repro.instances import one_cycle_instance
+from repro.obs import SpanRecorder, use_recorder
+
+SIM = Simulator(BCC1_KT0)
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_no_recorder(benchmark, n):
+    """Baseline: the engine with span profiling disabled (the hot path)."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+    result = benchmark(SIM.run, inst, ConstantAlgorithm, rounds)
+    assert result.rounds_executed == rounds
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_with_recorder(benchmark, n):
+    """The engine under an installed SpanRecorder (tree, no trace)."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+
+    def kernel():
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            result = SIM.run(inst, ConstantAlgorithm, rounds)
+        return result, recorder
+
+    result, recorder = benchmark(kernel)
+    roots = recorder.roots
+    assert result.rounds_executed == rounds
+    assert [r.name for r in roots] == ["simulator.run"]
+    run = roots[0]
+    round_spans = [c for c in run.children if c.name == "simulator.round"]
+    assert len(round_spans) == rounds
+    for rnd in round_spans:
+        assert [c.name for c in rnd.children] == [
+            "simulator.broadcast",
+            "simulator.deliver",
+        ]
+    # 1 run + rounds * (round + broadcast + deliver)
+    assert recorder.span_count() == 1 + 3 * rounds
+    print_table(
+        "O1: span tree shape under the recorder",
+        ["n", "rounds", "spans", "run cum ms", "run self ms"],
+        [
+            [
+                n,
+                rounds,
+                recorder.span_count(),
+                run.duration_seconds * 1e3,
+                run.self_seconds * 1e3,
+            ]
+        ],
+    )
+
+
+def test_recorder_attrs_deterministic(benchmark):
+    """Two identical runs produce identical tree shapes (timings aside)."""
+    inst = one_cycle_instance(16, kt=0)
+
+    def kernel():
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            SIM.run(inst, ConstantAlgorithm, 4)
+        return recorder
+
+    first = kernel()
+    second = benchmark(kernel)
+    assert [r.shape() for r in first.roots] == [r.shape() for r in second.roots]

@@ -12,8 +12,11 @@
     python -m repro.cli exhaustive    --n 6 --checkpoint ck.json
     python -m repro.cli sampling      --n 6 --samples 500
     python -m repro.cli fault-sweep   --quick
-    python -m repro.cli bench         --quick
+    python -m repro.cli bench         --quick --history
     python -m repro.cli report
+    python -m repro.cli spans         --bench exhaustive --quick
+    python -m repro.cli compare       --fail-on-regress
+    python -m repro.cli trace-validate run.jsonl --stats
 
 Each subcommand prints a paper-vs-measured table; see EXPERIMENTS.md for
 the mapping to the paper's lemmas and theorems. Observability:
@@ -22,10 +25,18 @@ the mapping to the paper's lemmas and theorems. Observability:
   JSON object instead of ASCII);
 * the simulation-backed subcommands (crossing, star, forced-error,
   reduction, fault-sweep) take ``--trace FILE`` to append a structured
-  JSONL run trace (see `repro.obs.trace`);
+  JSONL run trace (see `repro.obs.trace`); ``trace-validate`` checks one
+  (any schema version, ``--stats`` for per-run event counts);
 * ``bench`` runs the machine-readable benchmark harness and writes
-  schema-versioned ``BENCH_<name>.json`` files; ``report`` validates and
-  summarizes them.
+  schema-versioned ``BENCH_<name>.json`` files (``--history`` appends a
+  one-line record to ``BENCH_HISTORY.jsonl``); ``report`` validates and
+  summarizes them;
+* ``spans`` profiles one harness kernel with the hierarchical span
+  recorder (see `repro.obs.spans`): indented tree, self-time hotspots,
+  ``--out`` span-tree JSON, ``--trace`` v3 mirroring;
+* ``compare`` runs the median+MAD perf-regression detector over the
+  history (``--fail-on-regress`` for a CI gate, ``--dashboard`` to
+  regenerate ``docs/PERF.md``).
 
 Resilience (see `repro.resilience`): ``exhaustive`` and ``sampling``
 take ``--budget-seconds`` / work caps plus ``--checkpoint FILE`` and
@@ -533,6 +544,17 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _round_percentiles(metrics: dict) -> tuple:
+    """(p50 ms, p99 ms) of simulator.round_seconds, or ('-', '-')."""
+    summary = metrics.get("histograms", {}).get("simulator.round_seconds")
+    if not isinstance(summary, dict) or not summary.get("count"):
+        return "-", "-"
+    return (
+        round(summary.get("p50", summary.get("mean", 0.0)) * 1e3, 4),
+        round(summary.get("p99", summary.get("mean", 0.0)) * 1e3, 4),
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import BenchmarkHarness
 
@@ -541,6 +563,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     rows = []
     for r in results:
         counters = r.metrics.get("counters", {})
+        p50, p99 = _round_percentiles(r.metrics)
         rows.append(
             [
                 r.name,
@@ -548,15 +571,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 r.wall_time_seconds,
                 counters.get("simulator.rounds_executed", 0),
                 counters.get("simulator.bits_broadcast", 0),
+                p50,
+                p99,
                 r.path or "-",
             ]
         )
     _emit(
         args,
         f"benchmark harness ({'quick' if args.quick else 'full'} parameters)",
-        ["benchmark", "ok", "wall s", "sim rounds", "sim bits", "file"],
+        [
+            "benchmark",
+            "ok",
+            "wall s",
+            "sim rounds",
+            "sim bits",
+            "round p50 ms",
+            "round p99 ms",
+            "file",
+        ],
         rows,
     )
+    if args.history:
+        from repro.obs.regress import append_history, current_git_sha, history_record
+
+        record = history_record(results, quick=args.quick, git_sha=current_git_sha())
+        append_history(record, args.history)
+        if not getattr(args, "json", False):
+            print(
+                f"history: appended {len(record['entries'])} entries to {args.history}"
+            )
     failures = [r.name for r in results if not r.ok]
     if failures:
         print(f"FAIL: benchmarks not ok: {', '.join(failures)}", file=sys.stderr)
@@ -602,6 +645,169 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if invalid else 0
 
 
+def _cmd_spans(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import (
+        BenchmarkHarness,
+        SpanRecorder,
+        bench_names,
+        render_hotspots,
+        render_span_tree,
+        use_recorder,
+        validate_span_tree_payload,
+    )
+
+    if args.bench not in bench_names():
+        print(
+            f"error: unknown benchmark {args.bench!r}; known: "
+            f"{', '.join(bench_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    trace = _open_trace(args)
+    recorder = SpanRecorder(trace=trace)
+    harness = BenchmarkHarness(out_dir=None, quick=args.quick)
+    try:
+        with use_recorder(recorder):
+            result = harness.run_one(args.bench)
+    finally:
+        if trace is not None:
+            trace.close()
+    payload = recorder.tree_payload()
+    problems = validate_span_tree_payload(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "bench": args.bench,
+                    "quick": args.quick,
+                    "ok": result.ok,
+                    "wall_time_seconds": result.wall_time_seconds,
+                    "span_count": recorder.span_count(),
+                    "tree": payload,
+                },
+                sort_keys=False,
+            )
+        )
+    else:
+        mode = "quick" if args.quick else "full"
+        print(
+            f"span profile: {args.bench} ({mode} parameters, "
+            f"{recorder.span_count()} spans, "
+            f"wall {result.wall_time_seconds:.3f}s)"
+        )
+        print()
+        print(render_span_tree(payload, max_depth=args.max_depth))
+        print()
+        print(render_hotspots(payload, top=args.top))
+    for problem in problems:
+        print(f"INVALID span tree: {problem}", file=sys.stderr)
+    if problems or not result.ok:
+        return 1
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.regress import (
+        detect_regressions,
+        normalize_baseline,
+        read_history,
+        render_perf_dashboard,
+    )
+
+    history = read_history(args.history)
+    if not history:
+        print(f"error: no records in {args.history!r}", file=sys.stderr)
+        return 2
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = normalize_baseline(_json.load(handle))
+        newest = history[-1]
+        baseline = dict(baseline)
+        baseline["quick"] = newest.get("quick")  # force a comparable mode
+        findings = detect_regressions(
+            [baseline, newest], threshold=args.threshold, min_samples=1
+        )
+    else:
+        findings = detect_regressions(
+            history, threshold=args.threshold, min_samples=args.min_samples
+        )
+    _emit(
+        args,
+        f"perf comparison over {args.history} "
+        f"(threshold {args.threshold}x median + MAD gate)",
+        ["kernel", "baseline runs", "median ms", "MAD ms", "latest ms", "ratio", "status"],
+        [f.row() for f in findings],
+    )
+    if args.dashboard:
+        with open(args.dashboard, "w", encoding="utf-8") as handle:
+            handle.write(
+                render_perf_dashboard(
+                    history, threshold=args.threshold, min_samples=args.min_samples
+                )
+            )
+        if not getattr(args, "json", False):
+            print(f"dashboard: wrote {args.dashboard}")
+    regressed = [f.name for f in findings if f.regressed]
+    if regressed:
+        print(f"REGRESSED: {', '.join(regressed)}", file=sys.stderr)
+        if args.fail_on_regress:
+            return 1
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import read_trace, trace_stats, validate_trace_events
+
+    events = read_trace(args.file, schema_version=args.schema_version)
+    problems = validate_trace_events(events)
+    stats = trace_stats(events)
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "file": args.file,
+                    "events": len(events),
+                    "runs": len(stats),
+                    "problems": problems,
+                    "stats": stats,
+                },
+                sort_keys=False,
+            )
+        )
+    else:
+        verdict = "valid" if not problems else f"{len(problems)} problem(s)"
+        print(f"{args.file}: {len(events)} events, {len(stats)} run(s), {verdict}")
+        if args.stats:
+            rows = []
+            for run_id, entry in sorted(stats.items()):
+                by_event = " ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(entry["by_event"].items())
+                )
+                rows.append(
+                    [run_id, entry["schema_version"], entry["events"], by_event]
+                )
+            _emit(
+                args,
+                f"trace statistics for {args.file}",
+                ["run id", "schema", "events", "by event"],
+                rows,
+            )
+    for problem in problems:
+        print(f"INVALID {args.file}: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("available experiments:")
     for name, help_text in _COMMANDS_HELP:
@@ -624,6 +830,9 @@ _COMMANDS_HELP = [
     ("all", "one-pass summary of all three results"),
     ("bench", "run the machine-readable benchmark harness (BENCH_*.json)"),
     ("report", "validate + summarize existing BENCH_*.json files"),
+    ("spans", "profile a harness kernel: span tree + self-time hotspots"),
+    ("compare", "detect perf regressions against BENCH_HISTORY.jsonl"),
+    ("trace-validate", "validate a JSONL run trace (any schema version)"),
 ]
 
 
@@ -810,6 +1019,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_flag(p)
     p.set_defaults(func=_cmd_all)
 
+    from repro.obs.regress import DEFAULT_HISTORY_PATH
+
     p = sub.add_parser("bench", help=_help("bench"))
     p.add_argument(
         "--quick",
@@ -828,6 +1039,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         help="directory for BENCH_<name>.json files (default: current dir)",
     )
+    p.add_argument(
+        "--history",
+        nargs="?",
+        const=DEFAULT_HISTORY_PATH,
+        default=None,
+        metavar="FILE",
+        help=(
+            "append one history line (git SHA, timestamp, per-kernel wall "
+            f"times) to FILE (default: {DEFAULT_HISTORY_PATH})"
+        ),
+    )
     _add_json_flag(p)
     p.set_defaults(func=_cmd_bench)
 
@@ -839,6 +1061,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("spans", help=_help("spans"))
+    p.add_argument(
+        "--bench",
+        default="exhaustive",
+        metavar="NAME",
+        help="harness benchmark to profile (default: exhaustive)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the benchmark's quick (CI smoke) parameter set",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many hotspots (by self time) to print (default: 10)",
+    )
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="truncate the printed tree below depth D (0 = roots only)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the span-tree JSON payload to FILE",
+    )
+    _add_json_flag(p)
+    _add_trace_flag(p)
+    p.set_defaults(func=_cmd_spans)
+
+    p = sub.add_parser("compare", help=_help("compare"))
+    p.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY_PATH,
+        metavar="FILE",
+        help=f"history file written by bench --history (default: {DEFAULT_HISTORY_PATH})",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="REF.json",
+        default=None,
+        help=(
+            "compare the newest history record against this reference payload "
+            "instead of the history's own baseline window"
+        ),
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        metavar="X",
+        help="regression ratio gate: latest > X * baseline median (default: 1.25)",
+    )
+    p.add_argument(
+        "--min-samples",
+        type=int,
+        default=3,
+        metavar="K",
+        help="baseline points needed before a verdict (default: 3)",
+    )
+    p.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit 1 when any kernel regresses (default: warn only)",
+    )
+    p.add_argument(
+        "--dashboard",
+        metavar="FILE",
+        default=None,
+        help="write the markdown perf dashboard (sparklines) to FILE",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("trace-validate", help=_help("trace-validate"))
+    p.add_argument("file", help="JSONL run trace written with --trace")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print per-run event-type counts",
+    )
+    p.add_argument(
+        "--schema-version",
+        type=int,
+        default=None,
+        metavar="V",
+        help="only keep runs whose trace_start declares schema version V",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_trace_validate)
 
     return parser
 

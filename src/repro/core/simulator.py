@@ -22,6 +22,7 @@ from repro.core.randomness import PublicCoin
 from repro.core.transcript import RoundRecord, Transcript
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
+from repro.obs.spans import get_recorder
 
 if TYPE_CHECKING:  # imported lazily to keep core free of resilience deps
     from repro.resilience.faults import FaultEvent, FaultPlan
@@ -154,15 +155,52 @@ class Simulator:
         if rounds < 0:
             raise SimulationError(f"rounds must be >= 0, got {rounds}")
         the_coin = coin if coin is not None else PublicCoin()
-        n = instance.n
-
         plan = faults if faults is not None else self._faults
-        fault_run = plan.begin_run(n) if plan is not None else None
 
         # Resolve observability once per run; ``None`` means the disabled
-        # fast path (a single extra truthiness check per round).
+        # fast path (a single extra truthiness check per round). The span
+        # recorder follows the same discipline as the metrics registry
+        # and the fault hook: one module-level lookup per run, then only
+        # local ``is not None`` checks on the hot path.
         metrics = self._metrics if self._metrics is not None else get_registry()
         trace = self._trace
+        recorder = get_recorder()
+        if recorder is None:
+            return self._execute(instance, factory, rounds, the_coin, plan, metrics, trace, None)
+        run_span = recorder.start(
+            "simulator.run",
+            n=instance.n,
+            kt=instance.kt,
+            bandwidth=self._model.bandwidth,
+            rounds_budget=rounds,
+            faulted=plan is not None,
+        )
+        try:
+            result = self._execute(
+                instance, factory, rounds, the_coin, plan, metrics, trace, recorder
+            )
+            run_span.set_attr("rounds_executed", result.rounds_executed)
+            return result
+        finally:
+            # Lenient finish: on an exception mid-round this also closes
+            # any still-open round/broadcast/deliver descendants, so the
+            # next run's spans cannot nest under a stale parent.
+            recorder.finish(run_span)
+
+    def _execute(
+        self,
+        instance: BCCInstance,
+        factory: AlgorithmFactory,
+        rounds: int,
+        the_coin: PublicCoin,
+        plan: Optional["FaultPlan"],
+        metrics,
+        trace,
+        recorder,
+    ) -> RunResult:
+        """The round engine proper (observability already resolved)."""
+        n = instance.n
+        fault_run = plan.begin_run(n) if plan is not None else None
         observing = metrics is not None or trace is not None
         if trace is not None:
             if fault_run is not None:
@@ -206,12 +244,21 @@ class Simulator:
             if done:
                 break
             round_start = time.perf_counter() if observing else 0.0
+            round_span = (
+                recorder.start("simulator.round", t=t) if recorder is not None else None
+            )
             if fault_run is None:
-                # The clean hot path: identical to the pre-resilience engine.
+                # The clean hot path: identical to the pre-resilience engine
+                # behind local ``is not None`` checks.
+                if recorder is not None:
+                    phase_span = recorder.start("simulator.broadcast", t=t)
                 messages = tuple(
                     self._model.validate_message(nodes[v].broadcast(t)) for v in range(n)
                 )
                 history.append(messages)
+                if recorder is not None:
+                    recorder.finish(phase_span)
+                    phase_span = recorder.start("simulator.deliver", t=t)
                 for v in range(n):
                     received: Dict[int, str] = {}
                     for u in range(n):
@@ -220,6 +267,8 @@ class Simulator:
                         received[instance.port_to_peer(v, u)] = messages[u]
                     nodes[v].receive(t, received)
                     transcripts[v].append(RoundRecord(sent=messages[v], received=received))
+                if recorder is not None:
+                    recorder.finish(phase_span)
                 executed = t
                 done = all(node.finished() for node in nodes)
             else:
@@ -228,6 +277,8 @@ class Simulator:
                 # bug: any exception a node raises while computing against
                 # faulty messages fail-stops that node (silent forever,
                 # output None) instead of killing the execution.
+                if recorder is not None:
+                    phase_span = recorder.start("simulator.broadcast", t=t)
                 collected: List[str] = []
                 for v in range(n):
                     if v in failed_nodes:
@@ -244,6 +295,9 @@ class Simulator:
                 # faults so port-level views can diverge.
                 messages = fault_run.filter_broadcasts(t, tuple(collected))
                 history.append(messages)
+                if recorder is not None:
+                    recorder.finish(phase_span)
+                    phase_span = recorder.start("simulator.deliver", t=t)
                 for v in range(n):
                     received = {}
                     for u in range(n):
@@ -258,6 +312,8 @@ class Simulator:
                         except Exception:
                             failed_nodes.add(v)
                     transcripts[v].append(RoundRecord(sent=messages[v], received=received))
+                if recorder is not None:
+                    recorder.finish(phase_span)
                 executed = t
                 done = True
                 for v in range(n):
@@ -296,6 +352,8 @@ class Simulator:
                     )
                 if fault_run is not None:
                     fault_cursor = fault_run.faults_injected
+            if round_span is not None:
+                recorder.finish(round_span)
 
         if metrics is not None:
             metrics.counter("simulator.runs").inc()

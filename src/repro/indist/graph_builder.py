@@ -39,6 +39,7 @@ from repro.instances.enumeration import (
     enumerate_two_cycle_covers,
 )
 from repro.indist.matching import BipartiteGraph
+from repro.obs.spans import span
 
 UEdge = Tuple[int, int]
 
@@ -114,12 +115,13 @@ def build_combinatorial_graph(n: int) -> BipartiteGraph:
     one-cycle cover, so the right side is fully populated by construction;
     the tests verify it against the closed-form |V2| count).
     """
-    graph = BipartiteGraph()
-    for one in enumerate_one_cycle_covers(n):
-        graph.add_left(one)
-        for two in one_cycle_two_cycle_neighbors(one):
-            graph.add_edge(one, two)
-    return graph
+    with span("indist.build_graph", n=n, kind="combinatorial"):
+        graph = BipartiteGraph()
+        for one in enumerate_one_cycle_covers(n):
+            graph.add_left(one)
+            for two in one_cycle_two_cycle_neighbors(one):
+                graph.add_edge(one, two)
+        return graph
 
 
 def build_operational_graph(
@@ -138,15 +140,16 @@ def build_operational_graph(
     an active crossing; isolated two-cycle covers carry no constraint in
     the lower-bound argument.
     """
-    graph = BipartiteGraph()
-    for one in enumerate_one_cycle_covers(n):
-        graph.add_left(one)
-        instance = BCCInstance.kt0_from_graph(one.to_graph())
-        result = simulator.run(instance, factory, rounds, coin=coin)
-        act = active_edges(result, x, y)
-        for two in one_cycle_two_cycle_neighbors(one, act):
-            graph.add_edge(one, two)
-    return graph
+    with span("indist.build_graph", n=n, kind="operational", rounds=rounds):
+        graph = BipartiteGraph()
+        for one in enumerate_one_cycle_covers(n):
+            graph.add_left(one)
+            instance = BCCInstance.kt0_from_graph(one.to_graph())
+            result = simulator.run(instance, factory, rounds, coin=coin)
+            act = active_edges(result, x, y)
+            for two in one_cycle_two_cycle_neighbors(one, act):
+                graph.add_edge(one, two)
+        return graph
 
 
 def all_two_cycle_covers_present(graph: BipartiteGraph, n: int) -> bool:

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
 
+from repro.obs.spans import span
+
 INF = float("inf")
 
 
@@ -69,6 +71,16 @@ class BipartiteGraph:
 
 def hopcroft_karp(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
     """Maximum matching; returns a left-vertex -> right-vertex map."""
+    with span(
+        "indist.hopcroft_karp",
+        left=len(graph.left),
+        right=len(graph.right),
+        edges=graph.edge_count(),
+    ):
+        return _hopcroft_karp_impl(graph)
+
+
+def _hopcroft_karp_impl(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
     left = sorted(graph.left, key=repr)
     match_l: Dict[Hashable, Optional[Hashable]] = {v: None for v in left}
     match_r: Dict[Hashable, Optional[Hashable]] = {}

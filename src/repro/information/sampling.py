@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import BudgetExceededError, CheckpointError
+from repro.obs.spans import span
 from repro.information.entropy import (
     empirical_joint,
     entropy,
@@ -138,9 +139,38 @@ def estimate_protocol_information(
       samples) and restores counts + RNG state, so an interrupted +
       resumed run is bit-identical to an uninterrupted resilient run
       (and agrees with the lean path up to float summation order).
+
+    When a :class:`repro.obs.SpanRecorder` is installed the estimator
+    emits a ``sampling.estimate`` span with ``sampling.draw`` (protocol
+    runs) and ``sampling.reduce`` (plug-in estimation) children.
     """
     if samples < 2:
         raise ValueError(f"need at least 2 samples, got {samples}")
+    with span("sampling.estimate", n=n, samples=samples):
+        return _estimate_impl(
+            protocol,
+            n,
+            samples,
+            rng,
+            budget,
+            checkpoint_path,
+            checkpoint_every,
+            checkpoint_seconds,
+            resume,
+        )
+
+
+def _estimate_impl(
+    protocol: TwoPartyProtocol,
+    n: int,
+    samples: int,
+    rng: random.Random,
+    budget: Optional[Budget],
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    checkpoint_seconds: float,
+    resume: Optional[str],
+) -> SampledInformationReport:
     pb = SetPartition.finest(n)
     resilient = (
         budget is not None or checkpoint_path is not None or resume is not None
@@ -150,13 +180,15 @@ def estimate_protocol_information(
         # The original lean loop: nothing per-iteration but the protocol.
         pairs = []
         errors = 0
-        for _ in range(samples):
-            pa = random_partition(n, rng)
-            result = protocol.run(pa, pb)
-            pairs.append((pa, result.transcript_string()))
-            if result.bob_output != pa:
-                errors += 1
-        return _report_from_joint(n, samples, empirical_joint(pairs), errors)
+        with span("sampling.draw", resilient=False):
+            for _ in range(samples):
+                pa = random_partition(n, rng)
+                result = protocol.run(pa, pb)
+                pairs.append((pa, result.transcript_string()))
+                if result.bob_output != pa:
+                    errors += 1
+        with span("sampling.reduce"):
+            return _report_from_joint(n, samples, empirical_joint(pairs), errors)
 
     params = {"n": n, "samples": samples}
     counts: Dict[Tuple[str, str], int] = {}
@@ -205,30 +237,32 @@ def estimate_protocol_information(
             return None
         return _report_from_joint(n, done, _joint(done), errors)
 
-    try:
-        while done < samples:
-            pa = random_partition(n, rng)
-            result = protocol.run(pa, pb)
-            key = (repr(pa), result.transcript_string())
-            counts[key] = counts.get(key, 0) + 1
-            if result.bob_output != pa:
-                errors += 1
-            done += 1
+    with span("sampling.draw", resilient=True, start_index=done):
+        try:
+            while done < samples:
+                pa = random_partition(n, rng)
+                result = protocol.run(pa, pb)
+                key = (repr(pa), result.transcript_string())
+                counts[key] = counts.get(key, 0) + 1
+                if result.bob_output != pa:
+                    errors += 1
+                done += 1
+                if checkpointer is not None:
+                    checkpointer.maybe_write()
+                if budget is not None:
+                    budget.tick(partial=None)
+        except BudgetExceededError as exc:
             if checkpointer is not None:
-                checkpointer.maybe_write()
-            if budget is not None:
-                budget.tick(partial=None)
-    except BudgetExceededError as exc:
+                checkpointer.flush()
+            raise BudgetExceededError(
+                str(exc), partial=_partial(), checkpoint_path=checkpoint_path
+            ) from exc
+        except KeyboardInterrupt:
+            if checkpointer is not None:
+                checkpointer.flush()
+            raise
         if checkpointer is not None:
             checkpointer.flush()
-        raise BudgetExceededError(
-            str(exc), partial=_partial(), checkpoint_path=checkpoint_path
-        ) from exc
-    except KeyboardInterrupt:
-        if checkpointer is not None:
-            checkpointer.flush()
-        raise
-    if checkpointer is not None:
-        checkpointer.flush()
 
-    return _report_from_joint(n, samples, _joint(samples), errors)
+    with span("sampling.reduce"):
+        return _report_from_joint(n, samples, _joint(samples), errors)

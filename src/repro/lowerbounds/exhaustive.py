@@ -38,6 +38,7 @@ from repro.errors import BudgetExceededError, CheckpointError
 from repro.indist.graph_builder import cross_cover
 from repro.instances.enumeration import CycleCover, enumerate_one_cycle_covers
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.spans import span
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import Checkpointer, read_checkpoint
 
@@ -154,12 +155,43 @@ def universal_bound_id_oblivious(
       the (n, alphabet) params and continues from the stored enumeration
       index. Assignment order is deterministic, so an interrupted +
       resumed search returns exactly the report of an uninterrupted one.
+
+    When a :class:`repro.obs.SpanRecorder` is installed (via
+    :func:`repro.obs.use_recorder`), the search additionally emits an
+    ``exhaustive.search`` span with ``exhaustive.precompute_pairs`` and
+    ``exhaustive.enumerate`` children; with no recorder the only cost is
+    one module-level check per phase (never per assignment).
     """
+    with span("exhaustive.search", n=n, class_size=len(alphabet) ** n):
+        return _universal_bound_impl(
+            n,
+            alphabet,
+            metrics,
+            budget,
+            checkpoint_path,
+            checkpoint_every,
+            checkpoint_seconds,
+            resume,
+        )
+
+
+def _universal_bound_impl(
+    n: int,
+    alphabet: Sequence[str],
+    metrics: Optional[MetricsRegistry],
+    budget: Optional[Budget],
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    checkpoint_seconds: float,
+    resume: Optional[str],
+) -> UniversalBoundReport:
     if metrics is None:
         metrics = get_registry()
-    covers_and_pairs = [
-        (cover, disconnecting_pairs(cover)) for cover in enumerate_one_cycle_covers(n)
-    ]
+    with span("exhaustive.precompute_pairs"):
+        covers_and_pairs = [
+            (cover, disconnecting_pairs(cover))
+            for cover in enumerate_one_cycle_covers(n)
+        ]
     params = {"n": n, "alphabet": list(alphabet)}
 
     start_index = 0
@@ -186,11 +218,12 @@ def universal_bound_id_oblivious(
 
     if metrics is None and not resilient:
         # The original lean loop: nothing per-iteration but the math.
-        for assignment in itertools.product(alphabet, repeat=n):
-            err = forced_error_of_assignment(n, assignment, covers_and_pairs)
-            if best is None or err < best:
-                best = err
-                best_assignment = assignment
+        with span("exhaustive.enumerate", resilient=False):
+            for assignment in itertools.product(alphabet, repeat=n):
+                err = forced_error_of_assignment(n, assignment, covers_and_pairs)
+                if best is None or err < best:
+                    best = err
+                    best_assignment = assignment
         return UniversalBoundReport(
             n=n,
             class_size=len(alphabet) ** n,
@@ -230,31 +263,32 @@ def universal_bound_id_oblivious(
     iterator = itertools.product(alphabet, repeat=n)
     if start_index:
         iterator = itertools.islice(iterator, start_index, None)
-    try:
-        for assignment in iterator:
-            err, fooled = _forced_error_and_fooled(n, assignment, covers_and_pairs)
-            index += 1
-            enumerated += 1
-            fooled_total += fooled
-            if best is None or err < best:
-                best = err
-                best_assignment = assignment
+    with span("exhaustive.enumerate", resilient=resilient, start_index=start_index):
+        try:
+            for assignment in iterator:
+                err, fooled = _forced_error_and_fooled(n, assignment, covers_and_pairs)
+                index += 1
+                enumerated += 1
+                fooled_total += fooled
+                if best is None or err < best:
+                    best = err
+                    best_assignment = assignment
+                if checkpointer is not None:
+                    checkpointer.maybe_write()
+                if budget is not None:
+                    budget.tick(partial=None)
+        except BudgetExceededError as exc:
             if checkpointer is not None:
-                checkpointer.maybe_write()
-            if budget is not None:
-                budget.tick(partial=None)
-    except BudgetExceededError as exc:
+                checkpointer.flush()
+            raise BudgetExceededError(
+                str(exc), partial=_partial(), checkpoint_path=checkpoint_path
+            ) from exc
+        except KeyboardInterrupt:
+            if checkpointer is not None:
+                checkpointer.flush()
+            raise
         if checkpointer is not None:
             checkpointer.flush()
-        raise BudgetExceededError(
-            str(exc), partial=_partial(), checkpoint_path=checkpoint_path
-        ) from exc
-    except KeyboardInterrupt:
-        if checkpointer is not None:
-            checkpointer.flush()
-        raise
-    if checkpointer is not None:
-        checkpointer.flush()
 
     if metrics is not None:
         elapsed = time.perf_counter() - start

@@ -1,17 +1,26 @@
-"""Observability: metrics, structured run traces, benchmark harness.
+"""Observability: metrics, spans, structured run traces, benchmarks.
 
-Three small, dependency-free layers:
+Five small, dependency-free layers:
 
 * :mod:`repro.obs.metrics` -- a thread-safe Counter/Gauge/Histogram/Timer
-  registry with snapshot/merge/JSON export, installed process-wide (and
-  opt-in) via :func:`use_registry`;
+  registry (histograms carry p50/p90/p99 tail percentiles) with
+  snapshot/merge/JSON export, installed process-wide (and opt-in) via
+  :func:`use_registry`;
+* :mod:`repro.obs.spans` -- a hierarchical span profiler
+  (:class:`SpanRecorder`, the :func:`span` context manager/decorator)
+  answering *where* time goes: run -> round -> broadcast/deliver trees
+  with self-vs-cumulative attribution, exported as span-tree JSON and
+  as trace-v3 ``span_start``/``span_end`` events;
 * :mod:`repro.obs.trace` -- a JSONL run-trace writer (one event per
   line, run-id + seq + timestamp), the machine-readable counterpart to
   the human tables in :mod:`repro.core.tracing`;
 * :mod:`repro.obs.bench` -- the :class:`BenchmarkHarness` that runs every
   ``benchmarks/bench_*.py`` kernel under a fresh registry and writes
   schema-versioned ``BENCH_<name>.json`` perf records
-  (:mod:`repro.obs.schema` documents and validates the format).
+  (:mod:`repro.obs.schema` documents and validates the format);
+* :mod:`repro.obs.regress` -- the ``BENCH_HISTORY.jsonl`` history store
+  and the median+MAD perf-regression detector behind ``repro bench
+  --history``, ``repro compare``, and the generated ``docs/PERF.md``.
 """
 
 from repro.obs.bench import (
@@ -32,16 +41,46 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.regress import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA_VERSION,
+    RegressionFinding,
+    append_history,
+    current_git_sha,
+    detect_regressions,
+    history_record,
+    read_history,
+    render_perf_dashboard,
+    sparkline,
+    validate_history_record,
+)
 from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench_payload
+from repro.obs.spans import (
+    SPAN_TREE_SCHEMA_VERSION,
+    Span,
+    SpanRecorder,
+    aggregate_spans,
+    get_recorder,
+    render_hotspots,
+    render_span_tree,
+    set_recorder,
+    span,
+    use_recorder,
+    validate_span_tree_payload,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     RunTrace,
     read_trace,
+    trace_stats,
     validate_trace_events,
 )
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_SCHEMA_VERSION",
+    "SPAN_TREE_SCHEMA_VERSION",
     "BenchmarkHarness",
     "BenchmarkResult",
     "BenchmarkSpec",
@@ -49,16 +88,36 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RegressionFinding",
     "RunTrace",
+    "Span",
+    "SpanRecorder",
     "TRACE_SCHEMA_VERSION",
     "Timer",
+    "aggregate_spans",
+    "append_history",
     "bench_names",
+    "current_git_sha",
+    "detect_regressions",
+    "get_recorder",
     "get_registry",
+    "history_record",
     "load_bench_payloads",
     "merge_snapshots",
+    "read_history",
     "read_trace",
+    "render_hotspots",
+    "render_perf_dashboard",
+    "render_span_tree",
+    "set_recorder",
     "set_registry",
+    "span",
+    "sparkline",
+    "trace_stats",
+    "use_recorder",
     "use_registry",
     "validate_bench_payload",
+    "validate_history_record",
+    "validate_span_tree_payload",
     "validate_trace_events",
 ]

@@ -399,6 +399,48 @@ def _run_ablations(params: Dict[str, Any]) -> RunnerOutput:
     return measured, predicted, bool(proper_indist and not naive_indist)
 
 
+def _run_spans(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.instances import one_cycle_instance
+    from repro.obs.spans import SpanRecorder, use_recorder
+
+    n, rounds = params["n"], params["rounds"]
+    inst = one_cycle_instance(n, kt=0)
+    sim = Simulator(BCC1_KT0)
+    bare = sim.run(inst, ConstantAlgorithm, rounds)
+    recorder = SpanRecorder()
+    with use_recorder(recorder):
+        recorded = sim.run(inst, ConstantAlgorithm, rounds)
+    roots = recorder.roots
+    run = roots[0] if roots else None
+    round_spans = (
+        [c for c in run.children if c.name == "simulator.round"] if run else []
+    )
+    phase_shape_ok = bool(round_spans) and all(
+        [c.name for c in rnd.children]
+        == ["simulator.broadcast", "simulator.deliver"]
+        for rnd in round_spans
+    )
+    measured = {
+        "root_name": run.name if run else None,
+        "round_spans": len(round_spans),
+        "span_count": recorder.span_count(),
+        "phase_shape_ok": phase_shape_ok,
+        "results_identical": (
+            bare.broadcast_history == recorded.broadcast_history
+            and bare.outputs == recorded.outputs
+        ),
+    }
+    predicted = {
+        "root_name": "simulator.run",
+        "round_spans": rounds,
+        "span_count": 1 + 3 * rounds,
+        "phase_shape_ok": True,
+        "results_identical": True,
+    }
+    return measured, predicted, measured == predicted
+
+
 def _run_resilience(params: Dict[str, Any]) -> RunnerOutput:
     from repro.resilience import FaultPlan, fault_sweep, validate_fault_sweep_payload
 
@@ -569,6 +611,13 @@ _SPECS: List[BenchmarkSpec] = [
         _run_resilience,
         {"n": 6, "trials": 3, "rate": 0.1, "seed": 0},
         {"n": 8, "trials": 8, "rate": 0.1, "seed": 0},
+    ),
+    BenchmarkSpec(
+        "spans",
+        "P1: span profiler tree shape + result transparency under a recorder",
+        _run_spans,
+        {"n": 16, "rounds": 4},
+        {"n": 64, "rounds": 8},
     ),
 ]
 

@@ -28,10 +28,11 @@ be combined after parallel runs.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 __all__ = [
     "Counter",
@@ -87,22 +88,41 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of a value distribution: count/sum/min/max/mean.
+    """Streaming summary of a value distribution, with tail percentiles.
 
-    No buckets and no reservoir -- the quantities the experiments need
-    (totals and extremes of per-round timings and per-turn bit counts)
-    are all computable in O(1) space, which keeps ``observe`` cheap
-    enough for per-round call sites.
+    Count/sum/min/max/mean are maintained in O(1) space. For p50/p90/p99
+    the histogram additionally **retains the first** ``sample_cap``
+    **observations** (default :data:`DEFAULT_SAMPLE_CAP` = 4096), which
+    bounds memory at ~32 KiB per histogram; once the cap is reached,
+    later observations still update the streaming summary but are not
+    retained, so the reported percentiles describe the retained prefix.
+    The call sites that feed histograms (per-round timings, per-turn bit
+    counts, per-search wall times) observe well under the cap in every
+    configured experiment; the retained-count is visible as the
+    ``percentile_samples`` summary field so saturation is never silent.
+
+    Percentiles use the **nearest-rank** definition: p is the smallest
+    retained value with at least ``ceil(p/100 * n)`` retained values at
+    or below it. Histograms reconstructed purely by snapshot *merging*
+    carry no retained samples; their percentile fields fall back to the
+    merged mean (and ``percentile_samples`` reports 0).
     """
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_cap", "_lock")
 
-    def __init__(self, name: str):
+    #: Retained-sample cap bounding percentile memory (see class docs).
+    DEFAULT_SAMPLE_CAP = 4096
+
+    def __init__(self, name: str, sample_cap: Optional[int] = None):
+        if sample_cap is not None and sample_cap < 0:
+            raise ValueError(f"sample_cap must be >= 0, got {sample_cap}")
         self.name = name
         self._count = 0
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._samples: List[float] = []
+        self._cap = self.DEFAULT_SAMPLE_CAP if sample_cap is None else sample_cap
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -113,6 +133,8 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            if len(self._samples) < self._cap:
+                self._samples.append(value)
 
     @property
     def count(self) -> int:
@@ -126,6 +148,24 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples.
+
+        Falls back to the mean when no samples are retained (empty
+        histogram, or one rebuilt purely from snapshot merging).
+        """
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        with self._lock:
+            return self._percentile_locked(p)
+
+    def _percentile_locked(self, p: float) -> float:
+        if not self._samples:
+            return self._sum / self._count if self._count else 0.0
+        ordered = sorted(self._samples)
+        rank = math.ceil(p / 100.0 * len(ordered))  # nearest-rank, 1-based
+        return ordered[max(0, rank - 1)]
+
     def summary(self) -> Dict[str, float]:
         with self._lock:
             return {
@@ -134,24 +174,41 @@ class Histogram:
                 "min": self._min if self._min is not None else 0.0,
                 "max": self._max if self._max is not None else 0.0,
                 "mean": self._sum / self._count if self._count else 0.0,
+                "p50": self._percentile_locked(50),
+                "p90": self._percentile_locked(90),
+                "p99": self._percentile_locked(99),
+                "percentile_samples": len(self._samples),
             }
 
 
 class Timer:
-    """Context manager recording elapsed wall seconds into a histogram."""
+    """Context manager recording elapsed wall seconds into a histogram.
+
+    The elapsed time is recorded **even when the body raises** -- failed
+    runs must still show up in latency histograms, otherwise the tail a
+    crash sits in simply vanishes from the profile. The exception is
+    never suppressed. Exiting a timer that was never entered is a
+    programming error and raises ``RuntimeError`` (previously it would
+    have recorded a garbage ``perf_counter() - 0.0`` latency).
+    """
 
     __slots__ = ("_histogram", "_start")
 
     def __init__(self, histogram: Histogram):
         self._histogram = histogram
-        self._start = 0.0
+        self._start: Optional[float] = None
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info: Any) -> None:
-        self._histogram.observe(time.perf_counter() - self._start)
+    def __exit__(self, *exc_info: Any) -> bool:
+        if self._start is None:
+            raise RuntimeError("Timer exited without being entered")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self._histogram.observe(elapsed)
+        return False  # record on the exception path, but never swallow it
 
 
 class MetricsRegistry:
@@ -207,15 +264,60 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def _check_kind(self, name: str, kind: str) -> None:
+        """Reject a metric name already registered under another kind."""
+        with self._lock:
+            existing = None
+            if kind != "counter" and name in self._counters:
+                existing = "counter"
+            elif kind != "gauge" and name in self._gauges:
+                existing = "gauge"
+            elif kind != "histogram" and name in self._histograms:
+                existing = "histogram"
+        if existing is not None:
+            raise ValueError(
+                f"metric kind mismatch for {name!r}: snapshot says {kind}, "
+                f"registry already holds a {existing}"
+            )
+
     def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
         """Fold another registry's snapshot into this one (associative:
         counters/histogram-sums add, gauges last-write-wins, extremes
-        widen)."""
+        widen).
+
+        Raises ``ValueError`` when the snapshot disagrees with this
+        registry about a metric's *kind* (the same name appearing as,
+        say, a counter here and a histogram there), or when a snapshot
+        value has the wrong shape for its section -- silently folding
+        mismatched kinds would corrupt both series.
+
+        Merged histograms carry no retained percentile samples, so
+        their p50/p90/p99 fall back to the merged mean (see
+        :class:`Histogram`).
+        """
         for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(int(value))
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"metric kind mismatch for {name!r}: counter value is "
+                    f"{type(value).__name__}, expected int"
+                )
+            self._check_kind(name, "counter")
+            self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"metric kind mismatch for {name!r}: gauge value is "
+                    f"{type(value).__name__}, expected number"
+                )
+            self._check_kind(name, "gauge")
             self.gauge(name).set(value)
         for name, summary in snapshot.get("histograms", {}).items():
+            if not isinstance(summary, Mapping):
+                raise ValueError(
+                    f"metric kind mismatch for {name!r}: histogram summary is "
+                    f"{type(summary).__name__}, expected object"
+                )
+            self._check_kind(name, "histogram")
             hist = self.histogram(name)
             count = int(summary.get("count", 0))
             if count == 0:

@@ -51,6 +51,10 @@ _REQUIRED_FIELDS = {
 
 _HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean")
 
+#: Added by the percentile-capable Histogram; optional so payloads
+#: written before percentiles existed still validate as schema v1.
+_HISTOGRAM_OPTIONAL_FIELDS = ("p50", "p90", "p99", "percentile_samples")
+
 
 def validate_bench_payload(payload: Mapping[str, Any]) -> List[str]:
     """Return a list of schema violations (empty = valid).
@@ -110,6 +114,14 @@ def validate_bench_payload(payload: Mapping[str, Any]) -> List[str]:
                     problems.append(f"histogram {name!r} is not an object")
                     continue
                 for field in _HISTOGRAM_FIELDS:
+                    value = summary.get(field)
+                    if isinstance(value, bool) or not isinstance(value, _NUMERIC):
+                        problems.append(
+                            f"histogram {name!r} field {field!r} is not numeric"
+                        )
+                for field in _HISTOGRAM_OPTIONAL_FIELDS:
+                    if field not in summary:
+                        continue  # pre-percentile payloads stay valid
                     value = summary.get(field)
                     if isinstance(value, bool) or not isinstance(value, _NUMERIC):
                         problems.append(

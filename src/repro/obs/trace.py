@@ -33,6 +33,15 @@ Schema history:
   ``crashed_vertices`` / ``failed_vertices`` on ``run_end``. v2 is a
   strict superset: every v1 trace is a valid v2 trace, and
   :func:`read_trace` parses both.
+* **v3** -- adds the hierarchical span-profiling surface (see
+  :mod:`repro.obs.spans`): ``span_start`` events (``span_id``,
+  ``parent_id`` -- null for roots -- ``name``, ``attrs``) and
+  ``span_end`` events (``span_id``, ``name``, ``duration_seconds``,
+  ``self_seconds``), emitted by a
+  :class:`~repro.obs.spans.SpanRecorder` constructed with a trace, so
+  profiles interleave with round/fault events on one timeline. v3 is
+  again a strict superset: every v1 or v2 trace is a valid v3 trace,
+  and :func:`validate_trace_events` accepts all three.
 
 Crash safety: every event is written as one line and flushed
 immediately (file sinks are opened line-buffered, and ``fsync=True``
@@ -56,11 +65,12 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "RunTrace",
     "read_trace",
+    "trace_stats",
     "validate_trace_events",
 ]
 
 #: Bump when the line format changes incompatibly.
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
 #: Oldest schema version read_trace / validate_trace_events still accept.
 OLDEST_SUPPORTED_TRACE_SCHEMA = 1
@@ -169,7 +179,9 @@ def _jsonable(value: Any) -> Any:
 
 
 def read_trace(
-    source: Union[str, TextIO], skip_torn_tail: bool = True
+    source: Union[str, TextIO],
+    skip_torn_tail: bool = True,
+    schema_version: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Parse a JSONL trace back into a list of event dicts.
 
@@ -179,6 +191,12 @@ def read_trace(
     JSON anywhere *before* the final line still raises ``ValueError``,
     because mid-file corruption means something worse than a kill
     happened and silently continuing would hide it.
+
+    ``schema_version`` filters a mixed file (several writers appending
+    to one path over time) down to the runs whose ``trace_start``
+    header declares exactly that version; events belonging to a run
+    with no header in the file are dropped when the filter is active,
+    since their version cannot be established.
     """
     if isinstance(source, (str, bytes)):
         with open(source, "r", encoding="utf-8") as handle:
@@ -200,6 +218,15 @@ def read_trace(
                 f"trace line {index + 1} is not valid JSON ({exc}); only a "
                 f"torn final line is tolerated"
             ) from exc
+    if schema_version is not None:
+        versions: Dict[str, Any] = {}
+        for event in events:
+            if event.get("event") == "trace_start" and isinstance(
+                event.get("run_id"), str
+            ):
+                versions.setdefault(event["run_id"], event.get("schema_version"))
+        keep = {rid for rid, v in versions.items() if v == schema_version}
+        events = [e for e in events if e.get("run_id") in keep]
     return events
 
 
@@ -216,34 +243,60 @@ _FAULT_EVENT_FIELDS = {
     "delivered": str,
 }
 
+_SPAN_START_FIELDS = {
+    "span_id": int,
+    "name": str,
+}
+
+_SPAN_END_FIELDS = {
+    "span_id": int,
+    "name": str,
+}
+
 
 def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
     """Return a list of schema violations for a parsed trace (empty = valid).
 
     Accepts schema versions 1 through :data:`TRACE_SCHEMA_VERSION`:
     the envelope (run_id / seq / ts / event) is checked on every line,
-    v2 ``fault`` events are checked field-by-field, and ``fault`` events
+    v2 ``fault`` events are checked field-by-field, ``fault`` events
     inside a trace whose header declares schema version 1 are flagged
-    (v1 predates fault injection).
+    (v1 predates fault injection), and v3 ``span_start`` /
+    ``span_end`` events are likewise checked and flagged inside traces
+    declaring a version below 3 (which predate span profiling).
     """
     problems: List[str] = []
     if not events:
         return ["trace has no events"]
-    header = events[0]
-    if header.get("event") != "trace_start":
+    if events[0].get("event") != "trace_start":
         problems.append("first event is not trace_start")
-    version = header.get("schema_version")
-    if not isinstance(version, int) or isinstance(version, bool):
-        problems.append("trace_start missing integer schema_version")
-        version = TRACE_SCHEMA_VERSION
-    elif version > TRACE_SCHEMA_VERSION:
-        problems.append(
-            f"schema_version {version} is newer than supported "
-            f"{TRACE_SCHEMA_VERSION}"
-        )
-    elif version < OLDEST_SUPPORTED_TRACE_SCHEMA:
-        problems.append(f"schema_version must be >= {OLDEST_SUPPORTED_TRACE_SCHEMA}")
+    # Every appended run declares its own schema version in its own
+    # trace_start header, so a mixed v1/v2/v3 file is judged run by run
+    # rather than by whichever writer happened to come first.
+    versions_by_run: Dict[str, int] = {}
     for index, event in enumerate(events):
+        if event.get("event") != "trace_start":
+            continue
+        declared = event.get("schema_version")
+        if not isinstance(declared, int) or isinstance(declared, bool):
+            problems.append(
+                f"trace_start event {index} missing integer schema_version"
+            )
+            continue
+        if declared > TRACE_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {declared} is newer than supported "
+                f"{TRACE_SCHEMA_VERSION}"
+            )
+        elif declared < OLDEST_SUPPORTED_TRACE_SCHEMA:
+            problems.append(
+                f"schema_version must be >= {OLDEST_SUPPORTED_TRACE_SCHEMA}"
+            )
+        run_id = event.get("run_id")
+        if isinstance(run_id, str):
+            versions_by_run.setdefault(run_id, declared)
+    for index, event in enumerate(events):
+        version = versions_by_run.get(event.get("run_id"), TRACE_SCHEMA_VERSION)
         for field in ("run_id", "seq", "ts", "event"):
             if field not in event:
                 problems.append(f"event {index} missing field {field!r}")
@@ -265,6 +318,40 @@ def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
                 problems.append(
                     f"fault event {index} has unknown kind {kind!r}"
                 )
+        elif event.get("event") in ("span_start", "span_end"):
+            which = event["event"]
+            if version < 3:
+                problems.append(
+                    f"event {index} is a {which} event but the trace declares "
+                    f"schema version {version} (spans need version >= 3)"
+                )
+            fields = _SPAN_START_FIELDS if which == "span_start" else _SPAN_END_FIELDS
+            for field, expected in fields.items():
+                value = event.get(field)
+                if isinstance(value, bool) or not isinstance(value, expected):
+                    problems.append(
+                        f"{which} event {index} field {field!r} is not "
+                        f"{expected.__name__}"
+                    )
+            if which == "span_start":
+                parent = event.get("parent_id")
+                if parent is not None and (
+                    isinstance(parent, bool) or not isinstance(parent, int)
+                ):
+                    problems.append(
+                        f"span_start event {index} parent_id is neither null "
+                        f"nor int"
+                    )
+            else:
+                for field in ("duration_seconds", "self_seconds"):
+                    value = event.get(field)
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        problems.append(
+                            f"span_end event {index} field {field!r} is not "
+                            f"numeric"
+                        )
     by_run: Dict[str, List[int]] = {}
     for event in events:
         if isinstance(event.get("seq"), int) and isinstance(event.get("run_id"), str):
@@ -273,3 +360,27 @@ def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
         if any(b <= a for a, b in zip(seqs, seqs[1:])):
             problems.append(f"seq numbers not strictly increasing for run {run_id}")
     return problems
+
+
+def trace_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-run summary of a parsed trace: event-type counts and version.
+
+    Returns ``{run_id: {"schema_version": v_or_None, "events": total,
+    "by_event": {event_name: count}}}`` in first-seen run order --
+    the data behind ``repro trace-validate --stats``. Events without a
+    string ``run_id`` are collected under the pseudo run id ``"?"``.
+    """
+    stats: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        run_id = event.get("run_id")
+        key = run_id if isinstance(run_id, str) else "?"
+        entry = stats.setdefault(
+            key, {"schema_version": None, "events": 0, "by_event": {}}
+        )
+        entry["events"] += 1
+        name = event.get("event")
+        name = name if isinstance(name, str) else "?"
+        entry["by_event"][name] = entry["by_event"].get(name, 0) + 1
+        if name == "trace_start" and entry["schema_version"] is None:
+            entry["schema_version"] = event.get("schema_version")
+    return stats

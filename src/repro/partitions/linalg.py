@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from repro.obs.spans import span
+
 if TYPE_CHECKING:  # import-free at runtime: linalg stays dependency-light
     from repro.resilience.budget import Budget
 
@@ -35,6 +37,13 @@ Matrix = Sequence[Sequence[int]]
 DEFAULT_PRIMES = (1_000_003, 999_983, 2_147_483_647)
 
 
+def _shape(matrix: Matrix) -> tuple:
+    """(rows, cols) of a possibly-empty sequence-of-sequences matrix."""
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    return rows, cols
+
+
 def rank_bareiss(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
     """Exact rational rank via fraction-free (Bareiss) elimination.
 
@@ -44,6 +53,12 @@ def rank_bareiss(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
     :class:`~repro.errors.BudgetExceededError` (no partial: a half-done
     elimination certifies nothing).
     """
+    rows_, cols_ = _shape(matrix)
+    with span("partitions.rank_bareiss", rows=rows_, cols=cols_, engine="bareiss"):
+        return _rank_bareiss_impl(matrix, budget)
+
+
+def _rank_bareiss_impl(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
     a = [list(map(int, row)) for row in matrix]
     if not a or not a[0]:
         return 0
@@ -150,9 +165,13 @@ def rank_mod_p(matrix: Matrix, p: int, budget: Optional["Budget"] = None) -> int
     which falls back to pure Python). ``budget`` is ticked once per
     pivot column (see :func:`rank_bareiss`).
     """
-    if _np is not None and p * p < 2**62:
-        return _rank_mod_p_numpy(matrix, p, budget)
-    return _rank_mod_p_python(matrix, p, budget)
+    use_numpy = _np is not None and p * p < 2**62
+    rows_, cols_ = _shape(matrix)
+    engine = "numpy" if use_numpy else "python"
+    with span("partitions.rank_mod_p", rows=rows_, cols=cols_, p=p, engine=engine):
+        if use_numpy:
+            return _rank_mod_p_numpy(matrix, p, budget)
+        return _rank_mod_p_python(matrix, p, budget)
 
 
 def rank_exact(
@@ -172,12 +191,13 @@ def rank_exact(
     if rows == 0:
         return 0
     dim = min(rows, len(matrix[0]))
-    first = rank_mod_p(matrix, primes[0], budget)
-    if first == dim:
-        return first
-    if rows <= 220:
-        return rank_bareiss(matrix, budget)
-    return max([first] + [rank_mod_p(matrix, p, budget) for p in primes[1:]])
+    with span("partitions.rank_exact", rows=rows, cols=len(matrix[0])):
+        first = rank_mod_p(matrix, primes[0], budget)
+        if first == dim:
+            return first
+        if rows <= 220:
+            return rank_bareiss(matrix, budget)
+        return max([first] + [rank_mod_p(matrix, p, budget) for p in primes[1:]])
 
 
 def is_full_rank(matrix: Matrix, p: int = DEFAULT_PRIMES[0]) -> bool:

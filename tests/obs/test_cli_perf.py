@@ -1,0 +1,217 @@
+"""Exit-code and payload contracts for the perf-oriented CLI surface:
+``repro spans``, ``repro compare`` (the CI perf gate), ``repro
+trace-validate``, and ``repro bench --history``."""
+
+import json
+
+from repro.cli import main
+from repro.obs import (
+    RunTrace,
+    append_history,
+    history_record,
+    read_history,
+    validate_span_tree_payload,
+)
+
+
+class _Result:
+    def __init__(self, name, seconds, ok=True):
+        self.name = name
+        self.wall_time_seconds = seconds
+        self.ok = ok
+
+
+def _write_history(path, series):
+    """series: list of {kernel: seconds} dicts, appended in order."""
+    for i, entries in enumerate(series):
+        record = history_record(
+            [_Result(name, seconds) for name, seconds in entries.items()],
+            quick=True,
+            git_sha="deadbeef",
+            ts=float(i),
+        )
+        append_history(record, path)
+
+
+class TestSpansCommand:
+    def test_quick_json_payload(self, capsys):
+        assert main(["spans", "--bench", "exhaustive", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["bench"] == "exhaustive"
+        assert payload["quick"] is True
+        assert payload["ok"] is True
+        assert payload["span_count"] >= 3
+        assert validate_span_tree_payload(payload["tree"]) == []
+        names = [root["name"] for root in payload["tree"]["roots"]]
+        assert "exhaustive.search" in names
+
+    def test_text_output_and_out_file(self, tmp_path, capsys):
+        out = str(tmp_path / "spans.json")
+        code = main(["spans", "--bench", "exhaustive", "--quick", "--out", out])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "exhaustive.search" in text
+        assert "exhaustive.enumerate" in text  # tree and hotspots both render
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert validate_span_tree_payload(payload) == []
+
+    def test_max_depth_truncates_tree(self, capsys):
+        assert main(["spans", "--bench", "exhaustive", "--quick",
+                     "--max-depth", "0", "--top", "1"]) == 0
+        text = capsys.readouterr().out
+        # depth-0 tree shows only the root span; children are hidden
+        tree_section = text.split("hotspot")[0]
+        assert "exhaustive.search" in tree_section
+        assert "precompute_pairs" not in tree_section
+
+    def test_unknown_bench_exits_two(self, capsys):
+        assert main(["spans", "--bench", "nope", "--quick"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+
+class TestCompareGate:
+    def test_identical_history_exits_zero_even_with_gate(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        _write_history(path, [{"kernel": 0.01}] * 6)
+        assert main(["compare", "--history", path, "--fail-on-regress"]) == 0
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "REGRESSED" not in captured.err
+
+    def test_synthetic_2x_slowdown_fails_gate(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        _write_history(path, [{"kernel": 0.01}] * 5 + [{"kernel": 0.02}])
+        assert main(["compare", "--history", path, "--fail-on-regress"]) == 1
+        assert "REGRESSED: kernel" in capsys.readouterr().err
+
+    def test_slowdown_without_gate_warns_but_exits_zero(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        _write_history(path, [{"kernel": 0.01}] * 5 + [{"kernel": 0.02}])
+        assert main(["compare", "--history", path]) == 0
+        assert "REGRESSED: kernel" in capsys.readouterr().err
+
+    def test_missing_history_file_exits_two(self, tmp_path, capsys):
+        path = str(tmp_path / "absent.jsonl")
+        assert main(["compare", "--history", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_history_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["compare", "--history", str(path)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_dashboard_written(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        dash = str(tmp_path / "PERF.md")
+        _write_history(path, [{"kernel": 0.01}] * 5)
+        assert main(["compare", "--history", path, "--dashboard", dash]) == 0
+        with open(dash, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert "| kernel |" in text
+        assert "deadbeef"[:12] in text
+        assert "dashboard: wrote" in capsys.readouterr().out
+
+    def test_baseline_file_comparison(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        _write_history(path, [{"kernel": 0.02}])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"kernel": 0.01}))
+        code = main(["compare", "--history", path,
+                     "--baseline", str(baseline), "--fail-on-regress"])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().err
+
+    def test_json_mode_emits_rows(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        _write_history(path, [{"kernel": 0.01}] * 4)
+        assert main(["compare", "--history", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["headers"][0] == "kernel"
+        assert payload["rows"][0][0] == "kernel"
+        assert payload["rows"][0][-1] == "ok"
+
+
+class TestTraceValidateCommand:
+    def test_valid_trace_with_stats(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path, run_id="r1") as trace:
+            trace.emit("round", t=1)
+            trace.emit("round", t=2)
+        assert main(["trace-validate", path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "r1" in out
+        assert "round=2" in out
+
+    def test_invalid_trace_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"run_id": "old", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            ' "schema_version": 1}\n'
+            '{"run_id": "old", "seq": 1, "ts": 1.1, "event": "span_start",'
+            ' "span_id": 0, "parent_id": null, "name": "x"}\n'
+        )
+        assert main(["trace-validate", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "problem(s)" in captured.out
+        assert "INVALID" in captured.err
+
+    def test_schema_version_filter_flag(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"run_id": "old", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            ' "schema_version": 1}\n'
+            '{"run_id": "old", "seq": 1, "ts": 1.1, "event": "round", "t": 1}\n'
+        )
+        assert main(["trace-validate", str(path), "--schema-version", "1"]) == 0
+        assert "2 events, 1 run(s), valid" in capsys.readouterr().out
+        assert main(["trace-validate", str(path), "--schema-version", "3",
+                     "--json"]) == 1  # no v3 runs -> empty trace is a problem
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["events"] == 0
+
+    def test_json_shape(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path) as trace:
+            trace.emit("round", t=1)
+        assert main(["trace-validate", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["problems"] == []
+        assert payload["runs"] == 1
+        assert payload["events"] == 2
+
+
+class TestBenchHistoryFlag:
+    def test_bench_appends_history_record(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        hist = str(tmp_path / "hist.jsonl")
+        code = main(["bench", "--quick", "--only", "simulator", "crossing",
+                     "--out-dir", out, "--history", hist])
+        assert code == 0
+        assert "history: appended 2 entries" in capsys.readouterr().out
+        records = read_history(hist)
+        assert len(records) == 1
+        assert set(records[0]["entries"]) == {"simulator", "crossing"}
+        assert records[0]["quick"] is True
+
+    def test_bench_without_flag_writes_no_history(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["bench", "--quick", "--only", "crossing",
+                     "--out-dir", out]) == 0
+        assert "history:" not in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_HISTORY.jsonl").exists()
+
+    def test_bench_table_has_percentile_columns(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["bench", "--quick", "--only", "simulator", "--json",
+                     "--out-dir", out]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert "round p50 ms" in payload["headers"]
+        assert "round p99 ms" in payload["headers"]
+        row = payload["rows"][0]
+        p50 = row[payload["headers"].index("round p50 ms")]
+        p99 = row[payload["headers"].index("round p99 ms")]
+        assert isinstance(p50, float) and isinstance(p99, float)
+        assert p99 >= p50 >= 0.0

@@ -72,7 +72,17 @@ class TestGaugeAndHistogram:
     def test_empty_histogram_summary(self):
         reg = MetricsRegistry()
         summary = reg.histogram("never").summary()
-        assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        assert summary == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+            "percentile_samples": 0,
+        }
 
     def test_timer_observes_elapsed_seconds(self):
         reg = MetricsRegistry()
@@ -225,3 +235,136 @@ class TestInstrumentationIntegration:
         assert snap["counters"]["twoparty.bits_sent"] == rounds * simulation_bits_per_round(
             "two_partition", n
         )
+
+
+class TestHistogramPercentiles:
+    def test_nearest_rank_definition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0  # ceil(0.50*100) = rank 50
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(1) == 1.0
+        summary = h.summary()
+        assert summary["p50"] == 50.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+        assert summary["percentile_samples"] == 100
+
+    def test_percentile_bounds_checked(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("x")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_sample_cap_bounds_retention(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("capped", sample_cap=10)
+        for v in range(100):
+            h.observe(float(v))
+        summary = h.summary()
+        assert summary["count"] == 100  # streaming stats see everything
+        assert summary["percentile_samples"] == 10  # retention is capped
+        assert summary["max"] == 99.0
+        # percentiles describe the retained prefix 0..9
+        assert summary["p99"] == 9.0
+
+    def test_negative_cap_rejected(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("bad", sample_cap=-1)
+
+    def test_merged_histogram_falls_back_to_mean(self):
+        a = MetricsRegistry()
+        a.histogram("t").observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("t").observe(3.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        t = merged["histograms"]["t"]
+        assert t["percentile_samples"] == 0
+        assert t["p50"] == t["p99"] == pytest.approx(2.0)  # the merged mean
+
+
+class TestTimerExceptionPath:
+    def test_timer_records_when_body_raises(self):
+        """Regression test: failed runs must still land in the histogram."""
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("crashy_seconds"):
+                raise RuntimeError("boom")
+        summary = reg.histogram("crashy_seconds").summary()
+        assert summary["count"] == 1
+        assert summary["sum"] >= 0.0
+
+    def test_timer_never_swallows_the_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(KeyError):
+            with reg.timer("x_seconds"):
+                raise KeyError("original")
+
+    def test_exit_without_enter_raises(self):
+        from repro.obs.metrics import Histogram, Timer
+
+        timer = Timer(Histogram("h"))
+        with pytest.raises(RuntimeError):
+            timer.__exit__(None, None, None)
+        assert Timer(Histogram("h2"))._start is None
+
+
+class TestMergeEdgeCases:
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_with_empty_snapshot_is_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.histogram("h").observe(1.5)
+        snap = reg.snapshot()
+        merged = merge_snapshots(snap, {"counters": {}, "gauges": {}, "histograms": {}})
+        assert merged["counters"] == snap["counters"]
+        assert merged["histograms"]["h"]["count"] == 1
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(1.5)
+
+    def test_merge_preserves_count_and_sum(self):
+        snaps = []
+        total = 0.0
+        count = 0
+        for k in range(4):
+            reg = MetricsRegistry()
+            for i in range(k + 1):
+                reg.histogram("h").observe(float(i))
+                total += float(i)
+                count += 1
+            snaps.append(reg.snapshot())
+        merged = merge_snapshots(*snaps)
+        assert merged["histograms"]["h"]["count"] == count
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(total)
+
+    def test_mismatched_kinds_raise(self):
+        target = MetricsRegistry()
+        target.counter("name").inc()
+        clash = MetricsRegistry()
+        clash.histogram("name").observe(1.0)
+        with pytest.raises(ValueError, match="kind mismatch"):
+            target.merge_snapshot(clash.snapshot())
+        other = MetricsRegistry()
+        other.gauge("name").set(2.0)
+        with pytest.raises(ValueError, match="kind mismatch"):
+            target.merge_snapshot(other.snapshot())
+
+    def test_wrong_value_shapes_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.merge_snapshot({"counters": {"c": "three"}})
+        with pytest.raises(ValueError):
+            reg.merge_snapshot({"gauges": {"g": "high"}})
+        with pytest.raises(ValueError):
+            reg.merge_snapshot({"histograms": {"h": 4.0}})

@@ -1,0 +1,191 @@
+"""Tests for the bench history store and the median+MAD regression
+detector behind ``repro bench --history`` / ``repro compare``."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    detect_regressions,
+    history_record,
+    read_history,
+    render_perf_dashboard,
+    sparkline,
+    validate_history_record,
+)
+from repro.obs.regress import normalize_baseline
+
+
+class _Result:
+    """Duck-typed stand-in for BenchmarkResult."""
+
+    def __init__(self, name, seconds, ok=True):
+        self.name = name
+        self.wall_time_seconds = seconds
+        self.ok = ok
+
+
+def _record(entries, quick=True, ts=0.0, sha="abc123"):
+    return history_record(
+        [_Result(name, seconds) for name, seconds in entries.items()],
+        quick=quick,
+        git_sha=sha,
+        ts=ts,
+    )
+
+
+class TestHistoryStore:
+    def test_record_shape_and_validation(self):
+        record = _record({"simulator": 0.01, "crossing": 0.02})
+        assert record["schema_version"] == HISTORY_SCHEMA_VERSION
+        assert record["git_sha"] == "abc123"
+        assert record["entries"]["simulator"] == {
+            "wall_time_seconds": 0.01,
+            "ok": True,
+        }
+        assert validate_history_record(record) == []
+
+    def test_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        first = _record({"simulator": 0.01}, ts=1.0)
+        second = _record({"simulator": 0.02}, ts=2.0)
+        append_history(first, path)
+        append_history(second, path)
+        records = read_history(path)
+        assert records == [first, second]
+
+    def test_append_rejects_invalid_record(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        with pytest.raises(ValueError):
+            append_history({"schema_version": "nope"}, path)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(_record({"simulator": 0.01}), path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "ts":')  # torn mid-write
+        assert len(read_history(path)) == 1
+        with pytest.raises(ValueError):
+            read_history(path, skip_torn_tail=False)
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps(_record({"simulator": 0.01})) + "\n")
+        with pytest.raises(ValueError):
+            read_history(path)
+
+    def test_validator_flags_bad_entries(self):
+        record = _record({"simulator": 0.01})
+        record["entries"]["simulator"]["wall_time_seconds"] = "fast"
+        record["entries"]["simulator"].pop("ok")
+        problems = validate_history_record(record)
+        assert any("wall_time_seconds" in p for p in problems)
+        assert any("ok" in p for p in problems)
+        newer = _record({"simulator": 0.01})
+        newer["schema_version"] = HISTORY_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_history_record(newer))
+
+
+class TestDetector:
+    def _history(self, series, latest, quick=True):
+        records = [
+            _record({"kernel": value}, quick=quick, ts=float(i))
+            for i, value in enumerate(series)
+        ]
+        records.append(_record({"kernel": latest}, quick=quick, ts=99.0))
+        return records
+
+    def test_identical_history_is_ok(self):
+        findings = detect_regressions(self._history([0.01] * 5, 0.01))
+        assert [f.status for f in findings] == ["ok"]
+        assert not findings[0].regressed
+
+    def test_synthetic_2x_slowdown_regresses(self):
+        findings = detect_regressions(self._history([0.01] * 5, 0.02))
+        assert findings[0].status == "regressed"
+        assert findings[0].ratio == pytest.approx(2.0)
+
+    def test_improvement_detected(self):
+        findings = detect_regressions(self._history([0.01] * 5, 0.004))
+        assert findings[0].status == "improved"
+
+    def test_min_sample_guard(self):
+        findings = detect_regressions(self._history([0.01, 0.01], 0.05))
+        assert findings[0].status == "insufficient"  # never "regressed"
+
+    def test_new_kernel_flagged_not_regressed(self):
+        history = [_record({"old": 0.01}, ts=0.0), _record({"fresh": 0.01}, ts=1.0)]
+        findings = detect_regressions(history)
+        assert [f.status for f in findings] == ["new"]
+
+    def test_quick_and_full_never_compared(self):
+        records = [_record({"kernel": 0.01}, quick=True, ts=float(i)) for i in range(5)]
+        records.append(_record({"kernel": 0.05}, quick=False, ts=99.0))
+        findings = detect_regressions(records)
+        assert findings[0].status == "new"  # no full-mode baseline exists
+
+    def test_mad_gate_absorbs_noisy_kernels(self):
+        # baseline swings 10..30ms (median 20, MAD 10); 26ms trips the
+        # 1.25x ratio but sits inside median + 3*MAD, so: not a regression
+        series = [0.010, 0.030, 0.020, 0.010, 0.030]
+        findings = detect_regressions(self._history(series, 0.026))
+        assert findings[0].status == "ok"
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            detect_regressions(self._history([0.01] * 5, 0.01), threshold=1.0)
+
+    def test_empty_history(self):
+        assert detect_regressions([]) == []
+
+    def test_window_limits_baseline(self):
+        # old fast records fall outside the window; recent slow ones rule
+        series = [0.001] * 10 + [0.02] * 5
+        findings = detect_regressions(self._history(series, 0.021), window=5)
+        assert findings[0].status == "ok"
+        assert findings[0].baseline_samples == 5
+
+
+class TestDashboardAndBaseline:
+    def test_sparkline_scales_to_range(self):
+        line = sparkline([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_dashboard_renders_rows_and_verdicts(self):
+        records = [
+            _record({"simulator": 0.01, "crossing": 0.02}, ts=float(i))
+            for i in range(4)
+        ]
+        records.append(_record({"simulator": 0.05, "crossing": 0.02}, ts=99.0))
+        text = render_perf_dashboard(records)
+        assert "| simulator |" in text and "| crossing |" in text
+        assert "regressed" in text
+        assert "abc123"[:12] in text
+
+    def test_dashboard_empty_history(self):
+        assert "No history" in render_perf_dashboard([])
+
+    def test_normalize_baseline_accepts_three_shapes(self):
+        flat = normalize_baseline({"simulator": 0.01})
+        assert flat["entries"]["simulator"]["wall_time_seconds"] == 0.01
+        wrapped = normalize_baseline(
+            {"entries": {"simulator": {"wall_time_seconds": 0.01, "ok": True}}}
+        )
+        assert validate_history_record(wrapped) == []
+        full = normalize_baseline(_record({"simulator": 0.01}))
+        assert validate_history_record(full) == []
+
+    def test_normalize_baseline_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            normalize_baseline([1, 2, 3])
+        with pytest.raises(ValueError):
+            normalize_baseline({"simulator": "fast"})
+        with pytest.raises(ValueError):
+            normalize_baseline({})

@@ -208,3 +208,118 @@ class TestSchemaCompatibility:
         with RunTrace(path) as trace:
             trace.emit("round", t=1)
         assert validate_trace_events(read_trace(path)) == []
+
+
+class TestSchemaV3SpansAndStats:
+    """Trace-v3: span events, the schema_version read filter, trace_stats."""
+
+    def _v3_with_spans(self):
+        buf = io.StringIO()
+        from repro.obs import SpanRecorder, use_recorder
+        from repro.obs.spans import span
+
+        trace = RunTrace(buf)
+        rec = SpanRecorder(trace=trace)
+        with use_recorder(rec):
+            with span("outer", n=2):
+                with span("inner"):
+                    pass
+        trace.close()
+        return buf.getvalue()
+
+    def test_v3_span_trace_validates(self):
+        from repro.obs import validate_trace_events
+
+        events = read_trace(io.StringIO(self._v3_with_spans()))
+        assert validate_trace_events(events) == []
+        kinds = [e["event"] for e in events]
+        assert kinds.count("span_start") == 2
+        assert kinds.count("span_end") == 2
+
+    def test_span_event_in_v2_trace_flagged(self):
+        from repro.obs import validate_trace_events
+
+        text = (
+            '{"run_id": "r", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            ' "schema_version": 2}\n'
+            '{"run_id": "r", "seq": 1, "ts": 1.1, "event": "span_start",'
+            ' "span_id": 0, "parent_id": null, "name": "outer"}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("schema version 2" in p for p in problems)
+
+    def test_validator_flags_malformed_span_events(self):
+        from repro.obs import validate_trace_events
+
+        text = (
+            '{"run_id": "r", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            f' "schema_version": {TRACE_SCHEMA_VERSION}}}\n'
+            '{"run_id": "r", "seq": 1, "ts": 1.1, "event": "span_start",'
+            ' "span_id": "zero", "parent_id": "none", "name": 7}\n'
+            '{"run_id": "r", "seq": 2, "ts": 1.2, "event": "span_end",'
+            ' "span_id": 0, "name": "outer", "duration_seconds": "fast"}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("span_id" in p for p in problems)
+        assert any("parent_id" in p for p in problems)
+        assert any("name" in p for p in problems)
+        assert any("duration_seconds" in p for p in problems)
+
+    def test_v1_v2_v3_all_validate_side_by_side(self):
+        from repro.obs import validate_trace_events
+
+        v1 = TestSchemaCompatibility.V1_TRACE
+        v2 = (
+            '{"run_id": "mid", "seq": 0, "ts": 2.0, "event": "trace_start",'
+            ' "schema_version": 2}\n'
+            '{"run_id": "mid", "seq": 1, "ts": 2.1, "event": "fault", "t": 1,'
+            ' "kind": "bit_flip", "vertex": 0, "receiver": 2,'
+            ' "original": "0", "delivered": "1"}\n'
+        )
+        combined = v1 + v2 + self._v3_with_spans()
+        events = read_trace(io.StringIO(combined))
+        assert validate_trace_events(events) == []
+        versions = {
+            e["run_id"]: e["schema_version"]
+            for e in events
+            if e["event"] == "trace_start"
+        }
+        assert sorted(versions.values())[:2] == [1, 2]
+
+    def test_read_trace_schema_version_filter(self):
+        v1 = TestSchemaCompatibility.V1_TRACE
+        headerless = '{"run_id": "lost", "seq": 0, "ts": 3.0, "event": "round", "t": 1}\n'
+        combined = v1 + headerless + self._v3_with_spans()
+        latest = read_trace(
+            io.StringIO(combined), schema_version=TRACE_SCHEMA_VERSION
+        )
+        assert latest  # the v3 run survives
+        assert all(e["run_id"] != "old" for e in latest)
+        assert all(e["run_id"] != "lost" for e in latest)  # headerless dropped
+        old = read_trace(io.StringIO(combined), schema_version=1)
+        assert {e["run_id"] for e in old} == {"old"}
+        nobody = read_trace(io.StringIO(combined), schema_version=99)
+        assert nobody == []
+
+    def test_trace_stats_counts_per_run(self):
+        from repro.obs import trace_stats
+
+        v1 = TestSchemaCompatibility.V1_TRACE
+        headerless = '{"seq": 0, "ts": 3.0, "event": "round", "t": 1}\n'
+        events = read_trace(io.StringIO(v1 + headerless))
+        stats = trace_stats(events)
+        assert stats["old"]["schema_version"] == 1
+        assert stats["old"]["events"] == 4
+        assert stats["old"]["by_event"] == {
+            "trace_start": 1,
+            "run_start": 1,
+            "round": 1,
+            "run_end": 1,
+        }
+        assert stats["?"]["schema_version"] is None
+        assert stats["?"]["by_event"] == {"round": 1}
+
+    def test_trace_stats_empty(self):
+        from repro.obs import trace_stats
+
+        assert trace_stats([]) == {}

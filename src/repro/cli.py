@@ -406,6 +406,8 @@ def _cmd_exhaustive(args: argparse.Namespace) -> int:
                 budget=budget,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                workers=_resolved_workers(args),
+                vectorize=args.vectorize,
             )
     except BudgetExceededError as exc:
         if exc.partial is not None:
@@ -469,6 +471,7 @@ def _cmd_sampling(args: argparse.Namespace) -> int:
                 budget=budget,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                workers=_resolved_workers(args),
             )
     except BudgetExceededError as exc:
         if exc.partial is not None:
@@ -508,6 +511,7 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
             trials=trials,
             seed=args.seed,
             trace=trace,
+            workers=_resolved_workers(args),
         )
     finally:
         if trace is not None:
@@ -558,7 +562,8 @@ def _round_percentiles(metrics: dict) -> tuple:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import BenchmarkHarness
 
-    harness = BenchmarkHarness(out_dir=args.out_dir, quick=args.quick)
+    workers = _resolved_workers(args)
+    harness = BenchmarkHarness(out_dir=args.out_dir, quick=args.quick, workers=workers)
     results = harness.run(args.only or None)
     rows = []
     for r in results:
@@ -594,7 +599,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.history:
         from repro.obs.regress import append_history, current_git_sha, history_record
 
-        record = history_record(results, quick=args.quick, git_sha=current_git_sha())
+        record = history_record(
+            results, quick=args.quick, git_sha=current_git_sha(), workers=workers
+        )
         append_history(record, args.history)
         if not getattr(args, "json", False):
             print(
@@ -732,6 +739,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         newest = history[-1]
         baseline = dict(baseline)
         baseline["quick"] = newest.get("quick")  # force a comparable mode
+        baseline["workers"] = newest.get("workers", 1)  # never cross worker counts
         findings = detect_regressions(
             [baseline, newest], threshold=args.threshold, min_samples=1
         )
@@ -861,6 +869,26 @@ def _add_trace_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan the work out over N processes (deterministic: the result "
+            "is identical for every N; 0 = one per CPU, default: 1)"
+        ),
+    )
+
+
+def _resolved_workers(args: argparse.Namespace) -> int:
+    """The effective --workers value (0 -> one per CPU)."""
+    from repro.parallel import resolve_workers
+
+    return resolve_workers(getattr(args, "workers", 1))
+
+
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--budget-seconds",
@@ -950,6 +978,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="stop (budget exhausted, exit 3) after K assignments",
     )
+    p.add_argument(
+        "--vectorize",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "use the numpy block-scoring kernel (default: auto -- on when "
+            "--workers > 1 and numpy is available; degrades cleanly without numpy)"
+        ),
+    )
+    _add_workers_flag(p)
     _add_resilience_flags(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_exhaustive)
@@ -971,6 +1009,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="stop (budget exhausted, exit 3) after K samples",
     )
+    _add_workers_flag(p)
     _add_resilience_flags(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_sampling)
@@ -1011,6 +1050,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the schema-versioned fault_sweep JSON payload to FILE",
     )
+    _add_workers_flag(p)
     _add_json_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_fault_sweep)
@@ -1050,6 +1090,7 @@ def build_parser() -> argparse.ArgumentParser:
             f"times) to FILE (default: {DEFAULT_HISTORY_PATH})"
         ),
     )
+    _add_workers_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_bench)
 

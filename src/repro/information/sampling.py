@@ -19,6 +19,7 @@ Two standard caveats are surfaced rather than hidden:
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass
@@ -33,6 +34,9 @@ from repro.information.entropy import (
     marginal_y,
     mutual_information,
 )
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.merge import merge_counts
+from repro.parallel.shard import ShardPlan, split_budget
 from repro.partitions.bell import bell_number
 from repro.partitions.enumeration import random_partition
 from repro.partitions.set_partition import SetPartition
@@ -42,6 +46,9 @@ from repro.twoparty.protocol import TwoPartyProtocol
 
 #: Checkpoint ``kind`` tag for this estimator (see repro.resilience.checkpoint).
 SAMPLING_CHECKPOINT_KIND = "sampling"
+
+#: Checkpoint ``kind`` tag for the sharded (``workers > 1``) estimator.
+SAMPLING_SHARDED_CHECKPOINT_KIND = "sampling.sharded"
 
 
 @dataclass(frozen=True)
@@ -121,8 +128,23 @@ def estimate_protocol_information(
     checkpoint_every: int = 64,
     checkpoint_seconds: float = 2.0,
     resume: Optional[str] = None,
+    workers: int = 1,
 ) -> SampledInformationReport:
     """Sample the Theorem 4.5 hard distribution and estimate I(P_A; Pi).
+
+    ``workers > 1`` fans the protocol runs out over a deterministic
+    :class:`repro.parallel.ShardPlan`: the parent pre-draws **all** N
+    inputs from ``rng`` (consuming exactly the random stream the serial
+    loop would, so the caller's RNG ends in the identical state), shards
+    the drawn list, and merges the per-shard joint counts key-wise. The
+    merged report is bit-identical to the serial *resilient* path for
+    every worker count (both sum the joint in sorted key order; the lean
+    serial path differs only in float summation order, as documented on
+    its checkpoint semantics). Sharded checkpoints use kind
+    ``"sampling.sharded"`` and embed a digest of the drawn inputs, so a
+    resume must pass a fresh ``rng`` seeded identically to the original
+    run -- a mismatched seed fails checkpoint validation instead of
+    silently estimating a different distribution.
 
     Resilience (all opt-in, mirroring
     :func:`repro.lowerbounds.exhaustive.universal_bound_id_oblivious`):
@@ -146,7 +168,22 @@ def estimate_protocol_information(
     """
     if samples < 2:
         raise ValueError(f"need at least 2 samples, got {samples}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     with span("sampling.estimate", n=n, samples=samples):
+        if workers > 1:
+            return _estimate_sharded(
+                protocol,
+                n,
+                samples,
+                rng,
+                budget,
+                checkpoint_path,
+                checkpoint_every,
+                checkpoint_seconds,
+                resume,
+                workers,
+            )
         return _estimate_impl(
             protocol,
             n,
@@ -263,6 +300,202 @@ def _estimate_impl(
             raise
         if checkpointer is not None:
             checkpointer.flush()
+
+    with span("sampling.reduce"):
+        return _report_from_joint(n, samples, _joint(samples), errors)
+
+
+# ----------------------------------------------------------------------
+# sharded estimation
+# ----------------------------------------------------------------------
+def _sampling_shard_worker(payload: Tuple) -> Dict[str, object]:
+    """Run the protocol on one contiguous slice of the drawn inputs.
+
+    ``payload`` is ``(protocol, n, inputs, start, shard_budget)``.
+    Module-level (picklable); returns JSON-ready sorted count triples so
+    the pooled path ships plain lists across the pipe. The budget is
+    ticked once per sample, exactly like the serial loop; a budget that
+    trips on the slice's final sample still reports a completed slice.
+    """
+    protocol, n, inputs, start, shard_budget = payload
+    if shard_budget is not None:
+        exhausted_before_start = shard_budget.max_units == 0 or (
+            shard_budget.wall_seconds is not None
+            and shard_budget.wall_seconds <= 0
+        )
+        if exhausted_before_start:
+            return {
+                "counts": [],
+                "errors": 0,
+                "done": 0,
+                "exhausted": bool(inputs),
+            }
+    budget = None if shard_budget is None else shard_budget.to_budget()
+    pb = SetPartition.finest(n)
+    counts: Dict[Tuple[str, str], int] = {}
+    errors = 0
+    done = 0
+    exhausted = False
+    with span("sampling.scan_shard", start=start, size=len(inputs)):
+        try:
+            for pa in inputs:
+                result = protocol.run(pa, pb)
+                key = (repr(pa), result.transcript_string())
+                counts[key] = counts.get(key, 0) + 1
+                if result.bob_output != pa:
+                    errors += 1
+                done += 1
+                if budget is not None:
+                    budget.tick()
+        except BudgetExceededError:
+            exhausted = done < len(inputs)
+    return {
+        "counts": [[x, y, c] for (x, y), c in sorted(counts.items())],
+        "errors": errors,
+        "done": done,
+        "exhausted": exhausted,
+    }
+
+
+def _estimate_sharded(
+    protocol: TwoPartyProtocol,
+    n: int,
+    samples: int,
+    rng: random.Random,
+    budget: Optional[Budget],
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    checkpoint_seconds: float,
+    resume: Optional[str],
+    workers: int,
+) -> SampledInformationReport:
+    """Fan the N protocol runs out over a :class:`ShardPlan`.
+
+    The parent draws all inputs up front (one ``sampling.draw_inputs``
+    span), so randomness lives entirely parent-side and every shard is a
+    deterministic pure function of its slice. Per-shard joint counts
+    merge key-wise (:func:`repro.parallel.merge_counts`); the final
+    joint is summed in sorted key order, which makes the report
+    independent of worker count and completion order and bit-identical
+    to the serial resilient path.
+    """
+    with span("sampling.draw_inputs", samples=samples):
+        inputs = [random_partition(n, rng) for _ in range(samples)]
+    digest = hashlib.sha256(
+        "\n".join(repr(pa) for pa in inputs).encode("utf-8")
+    ).hexdigest()
+    params = {"n": n, "samples": samples, "inputs_sha256": digest}
+
+    counts: Dict[Tuple[str, str], int] = {}
+    errors = 0
+    done = 0
+    if resume is not None:
+        payload = read_checkpoint(
+            resume, kind=SAMPLING_SHARDED_CHECKPOINT_KIND, params=params
+        )
+        state = payload["state"]
+        try:
+            plan = ShardPlan.from_starts(
+                samples, [int(s) for s in state["shard_starts"]]
+            )
+            positions = [int(p) for p in state["positions"]]
+            counts = {(str(x), str(y)): int(c) for x, y, c in state["counts"]}
+            errors = int(state["errors"])
+            done = int(state["done"])
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise CheckpointError(
+                f"checkpoint {resume!r} has malformed sharded sampling "
+                f"state: {exc}"
+            ) from exc
+        if len(positions) != plan.num_shards:
+            raise CheckpointError(
+                f"checkpoint {resume!r} shard vectors disagree with its plan"
+            )
+    else:
+        plan = ShardPlan.for_workers(samples, workers)
+        positions = [shard.start for shard in plan.shards()]
+    shards = plan.shards()
+
+    checkpointer: Optional[Checkpointer] = None
+    if checkpoint_path is not None:
+        def _state() -> Dict[str, object]:
+            return {
+                "shard_starts": list(plan.starts),
+                "positions": list(positions),
+                "counts": [[x, y, c] for (x, y), c in sorted(counts.items())],
+                "errors": errors,
+                "done": done,
+            }
+
+        checkpointer = Checkpointer(
+            checkpoint_path,
+            SAMPLING_SHARDED_CHECKPOINT_KIND,
+            params,
+            _state,
+            every_units=checkpoint_every,
+            every_seconds=checkpoint_seconds,
+        )
+
+    pending = [i for i in range(plan.num_shards) if positions[i] < shards[i].stop]
+    sizes = [shards[i].stop - positions[i] for i in pending]
+    shard_budgets = split_budget(budget, sizes)
+    payloads = [
+        (protocol, n, inputs[positions[i]:shards[i].stop], positions[i], sb)
+        for i, sb in zip(pending, shard_budgets)
+    ]
+
+    ran = 0
+    exhausted = False
+
+    def _on_result(payload_index: int, result: Dict[str, object]) -> None:
+        nonlocal ran, errors, done, exhausted
+        shard_index = pending[payload_index]
+        merge_counts(
+            counts,
+            {(str(x), str(y)): int(c) for x, y, c in result["counts"]},
+        )
+        errors += int(result["errors"])
+        delta = int(result["done"])
+        positions[shard_index] += delta
+        done += delta
+        ran += delta
+        if result["exhausted"]:
+            exhausted = True
+        if checkpointer is not None:
+            checkpointer.maybe_write(units=delta)
+
+    executor = ParallelExecutor(workers=workers)
+    try:
+        executor.map(_sampling_shard_worker, payloads, on_result=_on_result)
+    except KeyboardInterrupt:
+        if checkpointer is not None:
+            checkpointer.flush()
+        raise
+    if checkpointer is not None:
+        checkpointer.flush()
+
+    def _joint(total: int) -> Dict[Tuple[str, str], float]:
+        return {pair: c / total for pair, c in sorted(counts.items())}
+
+    def _partial() -> Optional[SampledInformationReport]:
+        if done < 2:
+            return None
+        return _report_from_joint(n, done, _joint(done), errors)
+
+    budget_message = f"budget exhausted during sharded sampling (n={n})"
+    if budget is not None and ran:
+        try:
+            # Tick the parent budget by the consumed units so "budget ==
+            # exact sample count" raises, exactly as the serial
+            # per-sample loop does.
+            budget.tick(units=ran)
+        except BudgetExceededError as exc:
+            budget_message = str(exc)
+            exhausted = True
+    if exhausted:
+        raise BudgetExceededError(
+            budget_message, partial=_partial(), checkpoint_path=checkpoint_path
+        )
 
     with span("sampling.reduce"):
         return _report_from_joint(n, samples, _joint(samples), errors)

@@ -3,6 +3,9 @@
 from repro.lowerbounds.adversary import FoolingPair, adversary_defeats, find_fooling_pairs
 from repro.lowerbounds.exhaustive import (
     UniversalBoundReport,
+    assignment_at,
+    clear_pair_cache,
+    covers_and_pairs_for,
     disconnecting_pairs,
     forced_error_of_assignment,
     universal_bound_id_oblivious,
@@ -50,6 +53,9 @@ __all__ = [
     "KT1RankBound",
     "UniversalBoundReport",
     "WeightedInput",
+    "assignment_at",
+    "clear_pair_cache",
+    "covers_and_pairs_for",
     "disconnecting_pairs",
     "forced_error_of_assignment",
     "universal_bound_id_oblivious",

@@ -32,18 +32,26 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import BudgetExceededError, CheckpointError
 from repro.indist.graph_builder import cross_cover
 from repro.instances.enumeration import CycleCover, enumerate_one_cycle_covers
+from repro.lowerbounds.vectorized import HAVE_NUMPY, scan_assignments
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.spans import span
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.merge import MIN_KEYED, merge_min_keyed
+from repro.parallel.shard import ShardPlan, split_budget
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import Checkpointer, read_checkpoint
 
 #: Checkpoint ``kind`` tag for this search (see repro.resilience.checkpoint).
 EXHAUSTIVE_CHECKPOINT_KIND = "exhaustive"
+
+#: Checkpoint ``kind`` tag for the sharded (``workers``/vectorized) search.
+EXHAUSTIVE_SHARDED_CHECKPOINT_KIND = "exhaustive.sharded"
 
 #: A directed pair of edges eligible for a disconnecting crossing.
 DirectedPair = Tuple[Tuple[int, int], Tuple[int, int]]
@@ -61,6 +69,88 @@ def disconnecting_pairs(cover: CycleCover) -> List[DirectedPair]:
         if crossed is not None and crossed.num_cycles == 2:
             out.append((e1, e2))
     return out
+
+
+@lru_cache(maxsize=None)
+def _precompute_pairs_cached(
+    n: int,
+) -> Tuple[Tuple[CycleCover, Tuple[DirectedPair, ...]], ...]:
+    """The (cover, disconnecting pairs) table for size ``n``, computed once.
+
+    The body -- and therefore the ``exhaustive.precompute_pairs`` span --
+    only runs on a cache miss: repeated universal-bound calls at the same
+    ``n`` skip the precompute entirely.
+    """
+    with span("exhaustive.precompute_pairs"):
+        return tuple(
+            (cover, tuple(disconnecting_pairs(cover)))
+            for cover in enumerate_one_cycle_covers(n)
+        )
+
+
+def covers_and_pairs_for(
+    n: int, metrics: Optional[MetricsRegistry] = None
+) -> Tuple[Tuple[CycleCover, Tuple[DirectedPair, ...]], ...]:
+    """Memoized pair table; counts cache hits on the metrics registry.
+
+    Every repeated call at the same ``n`` increments the
+    ``exhaustive.pair_cache_hits`` counter (when a registry is given or
+    installed process-wide) and costs one dict lookup instead of the
+    full :func:`disconnecting_pairs` enumeration.
+    """
+    if metrics is None:
+        metrics = get_registry()
+    hits_before = _precompute_pairs_cached.cache_info().hits
+    table = _precompute_pairs_cached(n)
+    if metrics is not None and _precompute_pairs_cached.cache_info().hits > hits_before:
+        metrics.counter("exhaustive.pair_cache_hits").inc()
+    return table
+
+
+def clear_pair_cache() -> None:
+    """Drop the memoized pair tables (tests that assert the precompute span)."""
+    _precompute_pairs_cached.cache_clear()
+
+
+def assignment_at(alphabet: Sequence[str], n: int, index: int) -> Tuple[str, ...]:
+    """The ``index``-th assignment in ``itertools.product`` order.
+
+    ``itertools.product(alphabet, repeat=n)`` enumerates base-``|alphabet|``
+    counters most-significant-digit first; this inverts that bijection so
+    sharded scans can report winners by global index alone.
+    """
+    base = len(alphabet)
+    out = [alphabet[0]] * n
+    for j in range(n - 1, -1, -1):
+        index, digit = divmod(index, base)
+        out[j] = alphabet[digit]
+    return tuple(out)
+
+
+def _iter_assignments(
+    alphabet: Sequence[str], n: int, start: int, stop: int
+) -> Iterator[Tuple[str, ...]]:
+    """Assignments for global indices ``[start, stop)``, odometer-style.
+
+    Equivalent to ``islice(product(alphabet, repeat=n), start, stop)``
+    but O(n) to position at ``start`` instead of O(start), which is what
+    lets a shard (or a resume) begin mid-space without replaying the
+    prefix.
+    """
+    if start >= stop:
+        return
+    base = len(alphabet)
+    digits = [0] * n
+    index = start
+    for j in range(n - 1, -1, -1):
+        index, digits[j] = divmod(index, base)
+    for _ in range(stop - start):
+        yield tuple(alphabet[d] for d in digits)
+        for j in range(n - 1, -1, -1):
+            digits[j] += 1
+            if digits[j] < base:
+                break
+            digits[j] = 0
 
 
 @dataclass(frozen=True)
@@ -126,12 +216,28 @@ def universal_bound_id_oblivious(
     checkpoint_every: int = 256,
     checkpoint_seconds: float = 2.0,
     resume: Optional[str] = None,
+    workers: int = 1,
+    vectorize: Optional[bool] = None,
 ) -> UniversalBoundReport:
     """Minimize forced error over every ID-oblivious 1-round algorithm.
 
     The class has |alphabet|^n members; n = 6 gives 729, n = 7 gives 2187
     -- all enumerated. The returned minimum is the universal lower bound
     for the class.
+
+    ``workers`` fans the enumeration out over a deterministic
+    :class:`repro.parallel.ShardPlan` (``workers=1``, the default, keeps
+    the original in-process loop byte-for-byte). ``vectorize`` selects
+    the numpy block-scoring kernel
+    (:mod:`repro.lowerbounds.vectorized`); ``None`` auto-enables it when
+    ``workers > 1`` and numpy is importable, and a ``True`` without
+    numpy degrades cleanly to the pure-python scanner. Both paths
+    produce the exact report of the serial search -- same minimum, same
+    winning assignment, same tie-breaks -- for every worker count.
+    Sharded runs checkpoint under kind ``"exhaustive.sharded"`` (one
+    atomic file holding the whole per-shard progress vector) and resume
+    only from checkpoints of that kind; serial and sharded checkpoints
+    are intentionally not interchangeable.
 
     When ``metrics`` is given (or a registry is installed process-wide
     via :func:`repro.obs.use_registry`), the search records enumeration
@@ -162,7 +268,27 @@ def universal_bound_id_oblivious(
     ``exhaustive.enumerate`` children; with no recorder the only cost is
     one module-level check per phase (never per assignment).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    use_vectorize = (
+        (workers > 1 and HAVE_NUMPY)
+        if vectorize is None
+        else bool(vectorize) and HAVE_NUMPY
+    )
     with span("exhaustive.search", n=n, class_size=len(alphabet) ** n):
+        if workers > 1 or use_vectorize:
+            return _universal_bound_sharded(
+                n,
+                alphabet,
+                metrics,
+                budget,
+                checkpoint_path,
+                checkpoint_every,
+                checkpoint_seconds,
+                resume,
+                workers,
+                use_vectorize,
+            )
         return _universal_bound_impl(
             n,
             alphabet,
@@ -187,11 +313,7 @@ def _universal_bound_impl(
 ) -> UniversalBoundReport:
     if metrics is None:
         metrics = get_registry()
-    with span("exhaustive.precompute_pairs"):
-        covers_and_pairs = [
-            (cover, disconnecting_pairs(cover))
-            for cover in enumerate_one_cycle_covers(n)
-        ]
+    covers_and_pairs = covers_and_pairs_for(n, metrics)
     params = {"n": n, "alphabet": list(alphabet)}
 
     start_index = 0
@@ -214,7 +336,11 @@ def _universal_bound_impl(
             ) from exc
 
     resilient = budget is not None or checkpoint_path is not None
-    start = time.perf_counter() if (metrics is not None or resilient) else 0.0
+    # Unconditional: the timestamp is cheap, and taking it only when a
+    # consumer happens to be installed made ``elapsed`` silently garbage
+    # the moment a new reader was added (see the regression test in
+    # tests/lowerbounds/test_exhaustive_timing.py).
+    start = time.perf_counter()
 
     if metrics is None and not resilient:
         # The original lean loop: nothing per-iteration but the math.
@@ -313,3 +439,266 @@ def _universal_bound_impl(
         minimum_forced_error=best if best is not None else 0.0,
         worst_assignment=best_assignment,
     )
+
+
+# ----------------------------------------------------------------------
+# sharded / vectorized search
+# ----------------------------------------------------------------------
+def _scan_shard_python(
+    n: int,
+    alphabet: Sequence[str],
+    covers_and_pairs: Sequence[Tuple[object, Sequence[DirectedPair]]],
+    start: int,
+    stop: int,
+    budget: Optional[Budget],
+) -> Tuple[Optional[Tuple[float, int]], int, int, int, bool]:
+    """Pure-python scan of global indices ``[start, stop)``.
+
+    Same return shape as :func:`repro.lowerbounds.vectorized
+    .scan_assignments`: ``(best, next_index, enumerated, fooled_total,
+    exhausted)`` with the serial loop's strict-first tie-break and
+    per-assignment budget ticks. ``exhausted`` is True only when the
+    budget tripped with work still remaining (a budget that raises on the
+    shard's very last assignment still yields a completed shard).
+    """
+    best: Optional[Tuple[float, int]] = None
+    pos = start
+    enumerated = 0
+    fooled_total = 0
+    try:
+        for assignment in _iter_assignments(alphabet, n, start, stop):
+            err, fooled = _forced_error_and_fooled(n, assignment, covers_and_pairs)
+            pos += 1
+            enumerated += 1
+            fooled_total += fooled
+            if best is None or err < best[0]:
+                best = (err, pos - 1)
+            if budget is not None:
+                budget.tick()
+    except BudgetExceededError:
+        return best, pos, enumerated, fooled_total, pos < stop
+    return best, pos, enumerated, fooled_total, False
+
+
+def _exhaustive_shard_worker(payload: Tuple) -> Dict[str, object]:
+    """Score one shard of the assignment space (module-level: picklable).
+
+    ``payload`` is ``(n, alphabet, start, stop, covers_and_pairs,
+    shard_budget, vectorize)``. Returns a JSON-ready dict so the pooled
+    path ships nothing fancier than lists and ints across the pipe.
+    """
+    n, alphabet, start, stop, table, shard_budget, vectorize = payload
+    budget: Optional[Budget] = None
+    if shard_budget is not None:
+        exhausted_before_start = shard_budget.max_units == 0 or (
+            shard_budget.wall_seconds is not None
+            and shard_budget.wall_seconds <= 0
+        )
+        if exhausted_before_start:
+            return {
+                "best": None,
+                "next_index": start,
+                "enumerated": 0,
+                "fooled": 0,
+                "exhausted": start < stop,
+            }
+        budget = shard_budget.to_budget()
+    if vectorize and HAVE_NUMPY:
+        with span("exhaustive.scan_vectorized", start=start, stop=stop):
+            best, pos, enumerated, fooled, exhausted = scan_assignments(
+                n, alphabet, table, start, stop, budget=budget
+            )
+    else:
+        with span("exhaustive.scan_python", start=start, stop=stop):
+            best, pos, enumerated, fooled, exhausted = _scan_shard_python(
+                n, alphabet, table, start, stop, budget
+            )
+    return {
+        "best": None if best is None else [float(best[0]), int(best[1])],
+        "next_index": int(pos),
+        "enumerated": int(enumerated),
+        "fooled": int(fooled),
+        "exhausted": bool(exhausted),
+    }
+
+
+def _universal_bound_sharded(
+    n: int,
+    alphabet: Sequence[str],
+    metrics: Optional[MetricsRegistry],
+    budget: Optional[Budget],
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    checkpoint_seconds: float,
+    resume: Optional[str],
+    workers: int,
+    vectorize: bool,
+) -> UniversalBoundReport:
+    """Fan the enumeration out over a :class:`ShardPlan` and min-merge.
+
+    Determinism: shards are contiguous index ranges, every shard reports
+    ``(error, global_index)``, and the fold is :data:`MIN_KEYED` (lowest
+    index wins ties), so the final report is a pure function of
+    ``(n, alphabet)`` -- independent of worker count, vectorization, and
+    completion order, and equal to the serial search's report.
+
+    The checkpoint (kind ``"exhaustive.sharded"``) stores the plan's
+    shard starts plus the per-shard progress vector in one atomic file;
+    a resume rebuilds the same plan (even under a different ``workers``)
+    and re-dispatches only the incomplete shards from their stored
+    positions.
+    """
+    if metrics is None:
+        metrics = get_registry()
+    alphabet = tuple(alphabet)
+    total = len(alphabet) ** n
+    table = covers_and_pairs_for(n, metrics)
+    # Workers only score pairs; covers themselves stay parent-side so the
+    # pickled payload is just index tuples.
+    wire_table = tuple((None, pairs) for _cover, pairs in table)
+    params = {"n": n, "alphabet": list(alphabet)}
+    start_time = time.perf_counter()
+
+    if resume is not None:
+        payload = read_checkpoint(
+            resume, kind=EXHAUSTIVE_SHARDED_CHECKPOINT_KIND, params=params
+        )
+        state = payload["state"]
+        try:
+            plan = ShardPlan.from_starts(
+                total, [int(s) for s in state["shard_starts"]]
+            )
+            positions = [int(p) for p in state["positions"]]
+            bests: List[Optional[Tuple[float, int]]] = [
+                None if b is None else (float(b[0]), int(b[1]))
+                for b in state["bests"]
+            ]
+            enumerated = int(state["enumerated"])
+            fooled_total = int(state["fooled_total"])
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise CheckpointError(
+                f"checkpoint {resume!r} has malformed sharded exhaustive "
+                f"state: {exc}"
+            ) from exc
+        if len(positions) != plan.num_shards or len(bests) != plan.num_shards:
+            raise CheckpointError(
+                f"checkpoint {resume!r} shard vectors disagree with its plan"
+            )
+    else:
+        plan = ShardPlan.for_workers(total, workers)
+        positions = [shard.start for shard in plan.shards()]
+        bests = [None] * plan.num_shards
+        enumerated = 0
+        fooled_total = 0
+    shards = plan.shards()
+
+    checkpointer: Optional[Checkpointer] = None
+    if checkpoint_path is not None:
+        def _state() -> Dict[str, object]:
+            return {
+                "shard_starts": list(plan.starts),
+                "positions": list(positions),
+                "bests": [
+                    None if b is None else [b[0], b[1]] for b in bests
+                ],
+                "enumerated": enumerated,
+                "fooled_total": fooled_total,
+            }
+
+        checkpointer = Checkpointer(
+            checkpoint_path,
+            EXHAUSTIVE_SHARDED_CHECKPOINT_KIND,
+            params,
+            _state,
+            every_units=checkpoint_every,
+            every_seconds=checkpoint_seconds,
+        )
+
+    pending = [i for i in range(plan.num_shards) if positions[i] < shards[i].stop]
+    sizes = [shards[i].stop - positions[i] for i in pending]
+    shard_budgets = split_budget(budget, sizes)
+    payloads = [
+        (n, alphabet, positions[i], shards[i].stop, wire_table, sb, bool(vectorize))
+        for i, sb in zip(pending, shard_budgets)
+    ]
+
+    ran = 0
+    exhausted = False
+
+    def _on_result(payload_index: int, result: Dict[str, object]) -> None:
+        nonlocal ran, enumerated, fooled_total, exhausted
+        shard_index = pending[payload_index]
+        raw_best = result["best"]
+        if raw_best is not None:
+            bests[shard_index] = merge_min_keyed(
+                bests[shard_index], (float(raw_best[0]), int(raw_best[1]))
+            )
+        positions[shard_index] = int(result["next_index"])
+        done = int(result["enumerated"])
+        ran += done
+        enumerated += done
+        fooled_total += int(result["fooled"])
+        if result["exhausted"]:
+            exhausted = True
+        if checkpointer is not None:
+            checkpointer.maybe_write(units=done)
+
+    executor = ParallelExecutor(workers=workers, metrics=metrics)
+    try:
+        executor.map(_exhaustive_shard_worker, payloads, on_result=_on_result)
+    except KeyboardInterrupt:
+        if checkpointer is not None:
+            checkpointer.flush()
+        raise
+    if checkpointer is not None:
+        checkpointer.flush()
+
+    def _report() -> UniversalBoundReport:
+        best = MIN_KEYED.fold(bests)
+        if best is None:
+            return UniversalBoundReport(
+                n=n,
+                class_size=total,
+                minimum_forced_error=0.0,
+                worst_assignment=(),
+            )
+        return UniversalBoundReport(
+            n=n,
+            class_size=total,
+            minimum_forced_error=best[0],
+            worst_assignment=assignment_at(alphabet, n, best[1]),
+        )
+
+    budget_message = f"budget exhausted during sharded exhaustive search (n={n})"
+    if budget is not None and ran:
+        try:
+            # Replicate the serial path's accounting on the *parent*
+            # budget: ticking the units the shards consumed raises at
+            # exactly the point the serial per-assignment loop would.
+            budget.tick(units=ran)
+        except BudgetExceededError as exc:
+            budget_message = str(exc)
+            exhausted = True
+    if exhausted:
+        raise BudgetExceededError(
+            budget_message, partial=_report(), checkpoint_path=checkpoint_path
+        )
+
+    if metrics is not None:
+        elapsed = time.perf_counter() - start_time
+        metrics.counter("exhaustive.searches").inc()
+        metrics.counter("exhaustive.covers_enumerated").inc(len(table))
+        metrics.counter("exhaustive.disconnecting_pairs").inc(
+            sum(len(pairs) for _cover, pairs in table)
+        )
+        metrics.counter("exhaustive.assignments_enumerated").inc(ran)
+        metrics.counter("exhaustive.fooled_pairs").inc(fooled_total)
+        metrics.histogram("exhaustive.search_seconds").observe(elapsed)
+        metrics.gauge("exhaustive.instances_per_sec").set(
+            ran / elapsed if elapsed > 0 else 0.0
+        )
+        if budget is not None:
+            remaining = budget.remaining_units()
+            if remaining is not None:
+                metrics.gauge("exhaustive.budget_remaining").set(remaining)
+    return _report()

@@ -52,6 +52,10 @@ class BenchmarkSpec:
     runner: Callable[[Dict[str, Any]], RunnerOutput]
     quick_params: Dict[str, Any]
     full_params: Dict[str, Any]
+    #: Whether the runner honors a ``workers`` parameter (injected by the
+    #: harness from ``BenchmarkHarness(workers=...)``). Specs without it
+    #: always run serially regardless of the harness setting.
+    supports_workers: bool = False
 
     def params(self, quick: bool) -> Dict[str, Any]:
         return dict(self.quick_params if quick else self.full_params)
@@ -175,7 +179,8 @@ def _run_exhaustive(params: Dict[str, Any]) -> RunnerOutput:
 
     n = params["n"]
     alphabet = tuple(params["alphabet"])
-    report = universal_bound_id_oblivious(n, alphabet=alphabet)
+    workers = int(params.get("workers", 1))
+    report = universal_bound_id_oblivious(n, alphabet=alphabet, workers=workers)
     measured = {
         "class_size": report.class_size,
         "minimum_forced_error": report.minimum_forced_error,
@@ -338,8 +343,10 @@ def _run_sampling(params: Dict[str, Any]) -> RunnerOutput:
     from repro.twoparty import TrivialPartitionCompProtocol
 
     n, samples, seed = params["n"], params["samples"], params["seed"]
+    workers = int(params.get("workers", 1))
     report = estimate_protocol_information(
-        TrivialPartitionCompProtocol(n), n, samples, random.Random(seed)
+        TrivialPartitionCompProtocol(n), n, samples, random.Random(seed),
+        workers=workers,
     )
     exact = evaluate_protocol(TrivialPartitionCompProtocol(n), n)
     measured = {
@@ -445,6 +452,7 @@ def _run_resilience(params: Dict[str, Any]) -> RunnerOutput:
     from repro.resilience import FaultPlan, fault_sweep, validate_fault_sweep_payload
 
     n, trials, rate = params["n"], params["trials"], params["rate"]
+    workers = int(params.get("workers", 1))
     report = fault_sweep(
         algorithms=("neighbor_exchange", "flooding"),
         kinds=("bit_flip", "erasure", "crash"),
@@ -452,6 +460,7 @@ def _run_resilience(params: Dict[str, Any]) -> RunnerOutput:
         n=n,
         trials=trials,
         seed=params["seed"],
+        workers=workers,
     )
     payload = report.as_payload()
     problems = validate_fault_sweep_payload(payload)
@@ -499,6 +508,59 @@ def _run_resilience(params: Dict[str, Any]) -> RunnerOutput:
     return measured, predicted, ok
 
 
+def _run_parallel(params: Dict[str, Any]) -> RunnerOutput:
+    """P2: the ``repro.parallel`` layer -- correctness first, speed second.
+
+    Times the serial python scan, the fanned-out scan (``workers``
+    processes), and -- when numpy is present -- the vectorized kernel,
+    all on the same exhaustive-search instance, and checks the three
+    reports are identical. ``ok`` is the identity check plus schema
+    validity only: speedups are *recorded* but never gate (single-core
+    CI runners make fan-out speedups meaningless; the honest number is
+    still worth tracking).
+    """
+    from repro.lowerbounds import clear_pair_cache, universal_bound_id_oblivious
+    from repro.lowerbounds.vectorized import HAVE_NUMPY
+
+    n = params["n"]
+    alphabet = tuple(params["alphabet"])
+    workers = int(params.get("workers", 4))
+
+    def _timed(w: int, vectorize: bool):
+        start = time.perf_counter()
+        report = universal_bound_id_oblivious(
+            n, alphabet=alphabet, workers=w, vectorize=vectorize
+        )
+        return report, time.perf_counter() - start
+
+    clear_pair_cache()
+    serial, serial_s = _timed(1, False)
+    fanned, fanout_s = _timed(workers, False)
+    identical = (
+        fanned.minimum_forced_error == serial.minimum_forced_error
+        and fanned.worst_assignment == serial.worst_assignment
+        and fanned.class_size == serial.class_size
+    )
+    measured: Dict[str, Any] = {
+        "serial_seconds": serial_s,
+        "fanout_seconds": fanout_s,
+        "fanout_workers": workers,
+        "fanout_speedup": serial_s / fanout_s if fanout_s > 0 else None,
+        "have_numpy": HAVE_NUMPY,
+    }
+    if HAVE_NUMPY:
+        vec, vec_s = _timed(1, True)
+        identical = identical and (
+            vec.minimum_forced_error == serial.minimum_forced_error
+            and vec.worst_assignment == serial.worst_assignment
+        )
+        measured["vectorized_seconds"] = vec_s
+        measured["vectorized_speedup"] = serial_s / vec_s if vec_s > 0 else None
+    measured["reports_identical"] = identical
+    predicted = {"reports_identical": True}
+    return measured, predicted, identical
+
+
 _SPECS: List[BenchmarkSpec] = [
     BenchmarkSpec(
         "simulator",
@@ -534,6 +596,7 @@ _SPECS: List[BenchmarkSpec] = [
         _run_exhaustive,
         {"n": 6, "alphabet": ["0", "1"]},
         {"n": 6, "alphabet": ["", "0", "1"]},
+        supports_workers=True,
     ),
     BenchmarkSpec(
         "v2_v1_ratio",
@@ -590,6 +653,7 @@ _SPECS: List[BenchmarkSpec] = [
         _run_sampling,
         {"n": 4, "samples": 500, "seed": 0},
         {"n": 5, "samples": 3000, "seed": 0},
+        supports_workers=True,
     ),
     BenchmarkSpec(
         "indist_degrees",
@@ -611,6 +675,7 @@ _SPECS: List[BenchmarkSpec] = [
         _run_resilience,
         {"n": 6, "trials": 3, "rate": 0.1, "seed": 0},
         {"n": 8, "trials": 8, "rate": 0.1, "seed": 0},
+        supports_workers=True,
     ),
     BenchmarkSpec(
         "spans",
@@ -618,6 +683,13 @@ _SPECS: List[BenchmarkSpec] = [
         _run_spans,
         {"n": 16, "rounds": 4},
         {"n": 64, "rounds": 8},
+    ),
+    BenchmarkSpec(
+        "parallel",
+        "P2: serial vs fan-out vs vectorized exhaustive scan, identity-gated",
+        _run_parallel,
+        {"n": 4, "alphabet": ["0", "1", "2"], "workers": 4},
+        {"n": 6, "alphabet": ["0", "1", "2"], "workers": 4},
     ),
 ]
 
@@ -640,11 +712,26 @@ class BenchmarkHarness:
     quick:
         Use each spec's quick parameter set (CI smoke) instead of the
         full seed parameters.
+    workers:
+        Worker processes for specs whose kernels support fan-out
+        (``supports_workers=True``): injected into their params as
+        ``workers`` so the recorded ``BENCH_<name>.json`` shows exactly
+        what ran. Serial specs ignore it. History records carry the
+        value too (:func:`repro.obs.regress.history_record`), so the
+        regression detector never compares across worker counts.
     """
 
-    def __init__(self, out_dir: Optional[str] = ".", quick: bool = False):
+    def __init__(
+        self,
+        out_dir: Optional[str] = ".",
+        quick: bool = False,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.out_dir = out_dir
         self.quick = quick
+        self.workers = int(workers)
 
     def run_one(self, name: str) -> BenchmarkResult:
         spec = _SPEC_BY_NAME.get(name)
@@ -653,6 +740,8 @@ class BenchmarkHarness:
                 f"unknown benchmark {name!r}; known: {', '.join(bench_names())}"
             )
         params = spec.params(self.quick)
+        if spec.supports_workers:
+            params["workers"] = self.workers
         registry = MetricsRegistry()
         with use_registry(registry):
             start = time.perf_counter()

@@ -24,9 +24,13 @@ soft (warn-only) gate so noisy shared runners cannot block merges.
 History line format (schema version 1)::
 
     {"schema_version": 1, "ts": 1754464000.1, "git_sha": "61ddd73...",
-     "quick": true,
+     "quick": true, "workers": 1,
      "entries": {"simulator": {"wall_time_seconds": 0.004, "ok": true},
                  ...}}
+
+``workers`` (optional; absent = 1 on records written before the
+parallel layer) is the harness fan-out the run used; baselines are
+partitioned on it exactly like ``quick``.
 """
 
 from __future__ import annotations
@@ -86,17 +90,22 @@ def history_record(
     quick: bool,
     git_sha: Optional[str] = None,
     ts: Optional[float] = None,
+    workers: int = 1,
 ) -> Dict[str, Any]:
     """One appendable history line from a list of BenchmarkResults.
 
     ``results`` is anything with ``name`` / ``wall_time_seconds`` /
     ``ok`` attributes (duck-typed so tests can feed stubs).
+    ``workers`` records the harness fan-out the run used; the detector
+    partitions baselines on it (a 4-worker wall time is not comparable
+    to a serial one).
     """
     return {
         "schema_version": HISTORY_SCHEMA_VERSION,
         "ts": time.time() if ts is None else ts,
         "git_sha": git_sha,
         "quick": bool(quick),
+        "workers": int(workers),
         "entries": {
             r.name: {
                 "wall_time_seconds": float(r.wall_time_seconds),
@@ -162,6 +171,11 @@ def validate_history_record(record: Mapping[str, Any]) -> List[str]:
         problems.append("git_sha is neither null nor a string")
     if not isinstance(record.get("quick"), bool):
         problems.append("missing boolean quick")
+    workers = record.get("workers", 1)  # absent in schema-v1 lines: serial
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        problems.append("workers is not an integer")
+    elif workers < 1:
+        problems.append("workers must be >= 1")
     entries = record.get("entries")
     if not isinstance(entries, Mapping):
         return problems + ["entries is not an object"]
@@ -231,8 +245,11 @@ def detect_regressions(
     """Compare the newest history record against the earlier baseline.
 
     Baseline = the last ``window`` records before the newest whose
-    ``quick`` flag matches the newest's (quick and full runs are never
-    compared against each other). Per kernel, with ``m`` = baseline
+    ``quick`` flag **and** ``workers`` count match the newest's (quick
+    and full runs are never compared against each other, nor are runs
+    at different fan-outs -- a 4-worker wall time beating a serial
+    median is speedup, not baseline; records predating the ``workers``
+    field count as serial). Per kernel, with ``m`` = baseline
     median and ``d`` = baseline MAD (median absolute deviation)::
 
         regressed   iff  latest > threshold * m  and  latest > m + MAD_K * d
@@ -249,7 +266,12 @@ def detect_regressions(
         return []
     newest = history[-1]
     quick = newest.get("quick")
-    baseline = [r for r in history[:-1] if r.get("quick") == quick][-window:]
+    workers = newest.get("workers", 1)
+    baseline = [
+        r
+        for r in history[:-1]
+        if r.get("quick") == quick and r.get("workers", 1) == workers
+    ][-window:]
     findings: List[RegressionFinding] = []
     for name, entry in sorted(newest.get("entries", {}).items()):
         if not isinstance(entry, Mapping):

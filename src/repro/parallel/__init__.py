@@ -1,0 +1,53 @@
+"""repro.parallel -- deterministic sharded execution for the hot loops.
+
+The package has three layers, each usable on its own:
+
+* :mod:`repro.parallel.shard` -- pure-data :class:`ShardPlan` objects
+  that cut an index range into contiguous, balanced, seed-annotated
+  shards, plus :func:`split_budget` for cooperative budget propagation.
+* :mod:`repro.parallel.merge` -- the order-invariant :class:`Monoid`
+  merges every fan-out reduces with (min-keyed, count-sum, max, concat).
+* :mod:`repro.parallel.executor` -- :class:`ParallelExecutor`, the
+  process-pool map/reduce engine with a bit-identical in-process serial
+  path at ``workers=1``, span stitching, and metrics.
+
+Determinism contract: for every entry point threaded through this
+package, the final report is a pure function of the problem inputs --
+independent of worker count, completion order, and scheduling.
+"""
+
+from repro.parallel.executor import ParallelExecutor, default_workers, resolve_workers
+from repro.parallel.merge import (
+    MAX_INT,
+    MIN_KEYED,
+    Monoid,
+    SUM_COUNTS,
+    merge_concat,
+    merge_counts,
+    merge_min_keyed,
+)
+from repro.parallel.shard import (
+    Shard,
+    ShardBudget,
+    ShardPlan,
+    derive_seed,
+    split_budget,
+)
+
+__all__ = [
+    "MAX_INT",
+    "MIN_KEYED",
+    "Monoid",
+    "ParallelExecutor",
+    "SUM_COUNTS",
+    "Shard",
+    "ShardBudget",
+    "ShardPlan",
+    "default_workers",
+    "derive_seed",
+    "merge_concat",
+    "merge_counts",
+    "merge_min_keyed",
+    "resolve_workers",
+    "split_budget",
+]

@@ -1,0 +1,115 @@
+"""Order-invariant monoid merges for sharded results.
+
+Every fan-out in :mod:`repro.parallel` reduces shard results with an
+associative, commutative-where-it-matters merge, so the answer is
+independent of worker scheduling:
+
+* :data:`MIN_KEYED` -- the exhaustive search's ``(error, index)``
+  min-merge: ties break toward the **lowest enumeration index**, which is
+  exactly what the serial loop's strict ``<`` update produces.
+* :func:`merge_counts` -- the sampled-information joint-histogram sum.
+* :data:`MAX_INT` -- the multi-prime rank certificate's max-merge.
+* :func:`merge_concat` -- ordered concatenation for sweep curves (shard
+  results are concatenated in *shard index* order by the callers, making
+  the result independent of completion order).
+
+:class:`Monoid` is the tiny algebraic wrapper the executor-side reducers
+share; the associativity/commutativity property tests live in
+``tests/parallel/test_merge.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "MAX_INT",
+    "MIN_KEYED",
+    "Monoid",
+    "SUM_COUNTS",
+    "merge_concat",
+    "merge_counts",
+    "merge_min_keyed",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative merge with an identity element.
+
+    ``identity`` is a zero-argument factory (mutable identities like
+    ``{}`` must be fresh per fold); ``combine`` folds two values into
+    one. :meth:`fold` reduces any iterable, tolerating ``None`` entries
+    (skipped shards) transparently.
+    """
+
+    identity: Callable[[], Any]
+    combine: Callable[[Any, Any], Any]
+
+    def fold(self, values: Iterable[Any]) -> Any:
+        acc = self.identity()
+        for value in values:
+            if value is None:
+                continue
+            acc = self.combine(acc, value)
+        return acc
+
+
+# ----------------------------------------------------------------------
+# min-merge keyed by (score, enumeration index)
+# ----------------------------------------------------------------------
+def merge_min_keyed(
+    a: Optional[Tuple[Any, ...]], b: Optional[Tuple[Any, ...]]
+) -> Optional[Tuple[Any, ...]]:
+    """Min of two ``(score, index, ...)`` tuples; ``None`` = no candidate.
+
+    Comparing the tuples directly makes the earliest index win ties,
+    matching the serial loop's first-strict-improvement rule regardless
+    of the order shards complete in.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a[:2] <= b[:2] else b
+
+
+MIN_KEYED = Monoid(identity=lambda: None, combine=merge_min_keyed)
+
+
+# ----------------------------------------------------------------------
+# joint-histogram sum
+# ----------------------------------------------------------------------
+def merge_counts(a: Dict[Any, int], b: Dict[Any, int]) -> Dict[Any, int]:
+    """Key-wise integer sum of two count dictionaries (``a`` is mutated)."""
+    for key, count in b.items():
+        a[key] = a.get(key, 0) + count
+    return a
+
+
+SUM_COUNTS = Monoid(identity=dict, combine=merge_counts)
+
+
+# ----------------------------------------------------------------------
+# max-merge
+# ----------------------------------------------------------------------
+MAX_INT = Monoid(identity=lambda: 0, combine=max)
+
+
+# ----------------------------------------------------------------------
+# ordered concatenation
+# ----------------------------------------------------------------------
+def merge_concat(parts: Sequence[Optional[Sequence[T]]]) -> List[T]:
+    """Concatenate shard slices **in shard order**, skipping ``None``.
+
+    The caller indexes ``parts`` by shard, so completion order cannot
+    leak into the result.
+    """
+    out: List[T] = []
+    for part in parts:
+        if part is not None:
+            out.extend(part)
+    return out

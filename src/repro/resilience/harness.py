@@ -202,6 +202,74 @@ def _trial_instance(n: int, kt: int, trial: int, trial_seed: int):
     return two_cycle_instance(n, split, kt=kt), NO
 
 
+def _sweep_cell(
+    simulator: Simulator,
+    factory: AlgorithmFactory,
+    rounds: int,
+    n: int,
+    kt: int,
+    kind: str,
+    rate: float,
+    trials: int,
+    seed: int,
+    a_idx: int,
+    k_idx: int,
+    r_idx: int,
+) -> Tuple[int, int, int]:
+    """One (algorithm, kind, rate) cell: ``(correct, faults, rounds_total)``.
+
+    Pure given its arguments: every per-trial seed is derived
+    arithmetically from the cell coordinates, so the serial loop and the
+    sharded fan-out compute identical cells.
+    """
+    correct = 0
+    faults = 0
+    rounds_total = 0
+    for trial in range(trials):
+        tseed = _trial_seed(seed, a_idx, k_idx, r_idx, trial)
+        instance, truth = _trial_instance(n, kt, trial, tseed)
+        plan = (
+            FaultPlan.single_rate(kind, rate, seed=tseed)
+            if rate > 0.0
+            else None
+        )
+        result = simulator.run(instance, factory, rounds, faults=plan)
+        faults += len(result.fault_events)
+        rounds_total += result.rounds_executed
+        if decision_of_run(result) == truth:
+            correct += 1
+    return correct, faults, rounds_total
+
+
+def _fault_cell_worker(payload: Tuple) -> Dict[str, int]:
+    """Run one sweep cell in a worker process (module-level: picklable).
+
+    ``payload`` is ``(name, a_idx, kind, k_idx, rate, r_idx, n, trials,
+    seed)``. The worker builds its own Simulator/factory (cheap; cells
+    are pure functions of their coordinates), records no parent-side
+    metrics (the parent increments the per-cell counters itself, in cell
+    order, so metric totals match the serial sweep's).
+    """
+    name, a_idx, kind, k_idx, rate, r_idx, n, trials, seed = payload
+    spec = HARNESS_ALGORITHMS[name]
+    simulator = Simulator(spec.model(n), metrics=None, trace=None)
+    correct, faults, rounds_total = _sweep_cell(
+        simulator,
+        spec.factory(n),
+        spec.rounds(n),
+        n,
+        spec.kt,
+        kind,
+        rate,
+        trials,
+        seed,
+        a_idx,
+        k_idx,
+        r_idx,
+    )
+    return {"correct": correct, "faults": faults, "rounds_total": rounds_total}
+
+
 def fault_sweep(
     algorithms: Sequence[str] = ("neighbor_exchange", "flooding", "boruvka", "sketch"),
     kinds: Sequence[str] = FAULT_KINDS,
@@ -211,6 +279,7 @@ def fault_sweep(
     seed: int = 0,
     metrics: Optional[MetricsRegistry] = None,
     trace=None,
+    workers: int = 1,
 ) -> FaultSweepReport:
     """Run the full (algorithm x kind x rate) degradation sweep.
 
@@ -219,11 +288,21 @@ def fault_sweep(
     the sweep records ``resilience.trials_run`` and
     ``resilience.faults_injected``; pass ``trace`` to stream the
     underlying simulator runs (including schema-v2 ``fault`` events).
+
+    ``workers > 1`` runs the (algorithm, kind, rate) cells concurrently;
+    every cell is a pure function of its coordinates (per-trial seeds
+    are derived arithmetically), so the curves -- and the per-cell
+    metric totals, which the parent increments in cell order -- are
+    identical to the serial sweep's for every worker count, with one
+    caveat: a ``trace`` stream is inherently ordered, so tracing forces
+    the serial path regardless of ``workers``.
     """
     if n < 6:
         raise FaultInjectionError(f"fault_sweep needs n >= 6, got {n}")
     if trials < 1:
         raise FaultInjectionError(f"trials must be >= 1, got {trials}")
+    if workers < 1:
+        raise FaultInjectionError(f"workers must be >= 1, got {workers}")
     for name in algorithms:
         if name not in HARNESS_ALGORITHMS:
             raise FaultInjectionError(
@@ -237,6 +316,37 @@ def fault_sweep(
     if metrics is None:
         metrics = get_registry()
     start = time.perf_counter()
+    if workers > 1 and trace is None:
+        curves = _sweep_cells_parallel(
+            algorithms, kinds, rates, n, trials, seed, metrics, workers
+        )
+    else:
+        curves = _sweep_cells_serial(
+            algorithms, kinds, rates, n, trials, seed, metrics, trace
+        )
+    elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.histogram("resilience.sweep_seconds").observe(elapsed)
+    return FaultSweepReport(
+        n=n,
+        trials=trials,
+        seed=seed,
+        wall_time_seconds=elapsed,
+        curves=tuple(curves),
+    )
+
+
+def _sweep_cells_serial(
+    algorithms: Sequence[str],
+    kinds: Sequence[str],
+    rates: Sequence[float],
+    n: int,
+    trials: int,
+    seed: int,
+    metrics: Optional[MetricsRegistry],
+    trace,
+) -> List[DegradationCurve]:
+    """The original nested sweep loop (one Simulator per algorithm)."""
     curves: List[DegradationCurve] = []
     for a_idx, name in enumerate(algorithms):
         spec = HARNESS_ALGORITHMS[name]
@@ -246,22 +356,20 @@ def fault_sweep(
         for k_idx, kind in enumerate(kinds):
             points: List[DegradationPoint] = []
             for r_idx, rate in enumerate(rates):
-                correct = 0
-                faults = 0
-                rounds_total = 0
-                for trial in range(trials):
-                    tseed = _trial_seed(seed, a_idx, k_idx, r_idx, trial)
-                    instance, truth = _trial_instance(n, spec.kt, trial, tseed)
-                    plan = (
-                        FaultPlan.single_rate(kind, rate, seed=tseed)
-                        if rate > 0.0
-                        else None
-                    )
-                    result = simulator.run(instance, factory, rounds, faults=plan)
-                    faults += len(result.fault_events)
-                    rounds_total += result.rounds_executed
-                    if decision_of_run(result) == truth:
-                        correct += 1
+                correct, faults, rounds_total = _sweep_cell(
+                    simulator,
+                    factory,
+                    rounds,
+                    n,
+                    spec.kt,
+                    kind,
+                    rate,
+                    trials,
+                    seed,
+                    a_idx,
+                    k_idx,
+                    r_idx,
+                )
                 points.append(
                     DegradationPoint(
                         rate=rate,
@@ -275,16 +383,60 @@ def fault_sweep(
                     metrics.counter("resilience.trials_run").inc(trials)
                     metrics.counter("resilience.faults_injected").inc(faults)
             curves.append(DegradationCurve(name, kind, tuple(points)))
-    elapsed = time.perf_counter() - start
-    if metrics is not None:
-        metrics.histogram("resilience.sweep_seconds").observe(elapsed)
-    return FaultSweepReport(
-        n=n,
-        trials=trials,
-        seed=seed,
-        wall_time_seconds=elapsed,
-        curves=tuple(curves),
+    return curves
+
+
+def _sweep_cells_parallel(
+    algorithms: Sequence[str],
+    kinds: Sequence[str],
+    rates: Sequence[float],
+    n: int,
+    trials: int,
+    seed: int,
+    metrics: Optional[MetricsRegistry],
+    workers: int,
+) -> List[DegradationCurve]:
+    """Fan the flattened (algorithm, kind, rate) cells over a worker pool.
+
+    Cells are dispatched and reassembled in ``(a_idx, k_idx, r_idx)``
+    order; the per-cell metric counters are incremented parent-side in
+    that same order, so totals match the serial sweep exactly.
+    """
+    from repro.parallel.executor import ParallelExecutor
+
+    payloads = [
+        (name, a_idx, kind, k_idx, rate, r_idx, n, trials, seed)
+        for a_idx, name in enumerate(algorithms)
+        for k_idx, kind in enumerate(kinds)
+        for r_idx, rate in enumerate(rates)
+    ]
+    executor = ParallelExecutor(workers=workers, metrics=metrics)
+    results = executor.map(
+        _fault_cell_worker, payloads, span_name="resilience.sweep_map"
     )
+    curves: List[DegradationCurve] = []
+    cursor = 0
+    for name in algorithms:
+        for kind in kinds:
+            points: List[DegradationPoint] = []
+            for rate in rates:
+                cell = results[cursor]
+                cursor += 1
+                faults = int(cell["faults"])
+                points.append(
+                    DegradationPoint(
+                        rate=rate,
+                        trials=trials,
+                        correct=int(cell["correct"]),
+                        faults_injected=faults,
+                        mean_rounds=int(cell["rounds_total"]) / trials,
+                    )
+                )
+                if metrics is not None:
+                    metrics.counter("resilience.trials_run").inc(trials)
+                    metrics.counter("resilience.faults_injected").inc(faults)
+            curves.append(DegradationCurve(name, kind, tuple(points)))
+    return curves
 
 
 _NUMERIC = (int, float)

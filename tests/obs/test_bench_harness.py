@@ -207,3 +207,35 @@ class TestCliIntegration:
         from repro.cli import main
 
         assert main(["report", "--dir", str(tmp_path)]) == 1
+
+
+class TestWorkersInjection:
+    """The harness injects its ``workers`` into supporting specs only."""
+
+    def test_supporting_spec_gets_the_workers_param(self):
+        harness = BenchmarkHarness(out_dir=None, quick=True, workers=2)
+        result = harness.run_one("exhaustive")
+        assert result.params["workers"] == 2
+        assert result.ok
+
+    def test_non_supporting_spec_untouched(self):
+        harness = BenchmarkHarness(out_dir=None, quick=True, workers=2)
+        result = harness.run_one("crossing")
+        assert "workers" not in result.params
+
+    def test_default_is_serial(self):
+        result = BenchmarkHarness(out_dir=None, quick=True).run_one("exhaustive")
+        assert result.params["workers"] == 1
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_workers_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BenchmarkHarness(out_dir=None, workers=bad)
+
+    def test_parallel_spec_reports_speedups_and_identity(self):
+        result = BenchmarkHarness(out_dir=None, quick=True).run_one("parallel")
+        assert result.ok  # ok gates on report identity, never on speed
+        assert result.measured["reports_identical"] is True
+        assert result.measured["serial_seconds"] > 0.0
+        assert result.measured["fanout_seconds"] > 0.0
+        assert result.predicted["reports_identical"] is True

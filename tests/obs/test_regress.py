@@ -27,12 +27,13 @@ class _Result:
         self.ok = ok
 
 
-def _record(entries, quick=True, ts=0.0, sha="abc123"):
+def _record(entries, quick=True, ts=0.0, sha="abc123", workers=1):
     return history_record(
         [_Result(name, seconds) for name, seconds in entries.items()],
         quick=quick,
         git_sha=sha,
         ts=ts,
+        workers=workers,
     )
 
 
@@ -89,6 +90,19 @@ class TestHistoryStore:
         newer["schema_version"] = HISTORY_SCHEMA_VERSION + 1
         assert any("newer" in p for p in validate_history_record(newer))
 
+    def test_workers_field_recorded_and_validated(self):
+        record = _record({"simulator": 0.01}, workers=4)
+        assert record["workers"] == 4
+        assert validate_history_record(record) == []
+        # absent workers = a pre-parallel record, still valid (implies 1)
+        legacy = _record({"simulator": 0.01})
+        legacy.pop("workers")
+        assert validate_history_record(legacy) == []
+        for bad in (0, -1, True, "two", 1.5):
+            broken = _record({"simulator": 0.01})
+            broken["workers"] = bad
+            assert any("workers" in p for p in validate_history_record(broken))
+
 
 class TestDetector:
     def _history(self, series, latest, quick=True):
@@ -127,6 +141,35 @@ class TestDetector:
         records.append(_record({"kernel": 0.05}, quick=False, ts=99.0))
         findings = detect_regressions(records)
         assert findings[0].status == "new"  # no full-mode baseline exists
+
+    def test_worker_counts_never_compared(self):
+        # a 4-worker run against a serial history: speedup, not baseline
+        records = [
+            _record({"kernel": 0.04}, ts=float(i), workers=1) for i in range(5)
+        ]
+        records.append(_record({"kernel": 0.01}, ts=99.0, workers=4))
+        findings = detect_regressions(records)
+        assert findings[0].status == "new"  # no 4-worker baseline exists
+        # and a same-workers baseline behaves exactly as before
+        records.extend(
+            _record({"kernel": 0.01}, ts=100.0 + i, workers=4) for i in range(4)
+        )
+        records.append(_record({"kernel": 0.05}, ts=200.0, workers=4))
+        findings = detect_regressions(records)
+        assert findings[0].status == "regressed"
+        assert findings[0].baseline_samples == 5  # only the workers=4 records
+
+    def test_legacy_records_count_as_serial(self):
+        # pre-parallel lines (no workers key) partition with workers=1
+        legacy = []
+        for i in range(4):
+            record = _record({"kernel": 0.01}, ts=float(i))
+            record.pop("workers")
+            legacy.append(record)
+        legacy.append(_record({"kernel": 0.01}, ts=99.0, workers=1))
+        findings = detect_regressions(legacy)
+        assert findings[0].status == "ok"
+        assert findings[0].baseline_samples == 4
 
     def test_mad_gate_absorbs_noisy_kernels(self):
         # baseline swings 10..30ms (median 20, MAD 10); 26ms trips the

@@ -272,8 +272,12 @@ class TestInstrumentedKernels:
         assert bare.outputs == recorded.outputs
 
     def test_exhaustive_emits_search_phases(self):
-        from repro.lowerbounds.exhaustive import universal_bound_id_oblivious
+        from repro.lowerbounds.exhaustive import (
+            clear_pair_cache,
+            universal_bound_id_oblivious,
+        )
 
+        clear_pair_cache()  # the precompute span only fires on a cold cache
         rec = SpanRecorder()
         with use_recorder(rec):
             universal_bound_id_oblivious(5, alphabet=("0", "1"))
@@ -321,8 +325,13 @@ class TestInstrumentedKernels:
     def test_same_seed_same_shape(self):
         """Determinism: tree shape is a function of the computation only."""
         from repro.information.sampling import estimate_protocol_information
-        from repro.lowerbounds.exhaustive import universal_bound_id_oblivious
+        from repro.lowerbounds.exhaustive import (
+            covers_and_pairs_for,
+            universal_bound_id_oblivious,
+        )
         from repro.twoparty import TrivialPartitionCompProtocol
+
+        covers_and_pairs_for(5)  # warm the pair cache: identical shape per run
 
         def profile():
             rec = SpanRecorder()

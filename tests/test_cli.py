@@ -112,3 +112,62 @@ class TestObservabilityFlags:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "bench" in out and "report" in out
+
+
+class TestWorkersFlag:
+    """``--workers`` fans out without changing any paper-facing number."""
+
+    def test_exhaustive_workers_identical_to_serial(self, capsys):
+        assert main(["exhaustive", "--n", "4", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out.strip())
+        assert main(["exhaustive", "--n", "4", "--workers", "2",
+                     "--no-vectorize", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out.strip())
+        assert parallel == serial
+
+    def test_exhaustive_workers_auto(self, capsys):
+        # 0 = one process per CPU; still the same deterministic report
+        assert main(["exhaustive", "--n", "4", "--workers", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["rows"][0][-1] == "complete"
+
+    def test_exhaustive_vectorize_flag_identical(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["exhaustive", "--n", "4", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out.strip())
+        assert main(["exhaustive", "--n", "4", "--vectorize", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out.strip()) == serial
+
+    def test_sampling_workers_identical_across_counts(self, capsys):
+        # every workers>1 count shards the same plan: identical output
+        outs = []
+        for w in ("2", "4"):
+            assert main(["sampling", "--n", "4", "--samples", "40",
+                         "--workers", w, "--json"]) == 0
+            outs.append(json.loads(capsys.readouterr().out.strip()))
+        assert outs[0] == outs[1]
+        assert outs[0]["rows"][0][-1] == "complete"
+
+    def test_fault_sweep_workers_identical_to_serial(self, capsys):
+        base = ["fault-sweep", "--n", "6", "--trials", "2",
+                "--rates", "0.0", "0.2", "--kinds", "crash",
+                "--algorithms", "neighbor_exchange", "--json"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out.strip())
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out.strip())
+        assert parallel == serial  # curves are rate-deterministic
+
+    def test_negative_workers_exits_two(self, capsys):
+        assert main(["exhaustive", "--n", "3", "--workers", "-2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_workers_lands_in_history_record(self, tmp_path, capsys):
+        from repro.obs import read_history
+
+        out = str(tmp_path / "results")
+        hist = str(tmp_path / "hist.jsonl")
+        assert main(["bench", "--quick", "--only", "crossing", "--workers", "2",
+                     "--out-dir", out, "--history", hist]) == 0
+        (record,) = read_history(hist)
+        assert record["workers"] == 2

@@ -36,7 +36,10 @@ the mapping to the paper's lemmas and theorems. Observability:
   ``--out`` span-tree JSON, ``--trace`` v3 mirroring;
 * ``compare`` runs the median+MAD perf-regression detector over the
   history (``--fail-on-regress`` for a CI gate, ``--dashboard`` to
-  regenerate ``docs/PERF.md``).
+  regenerate ``docs/PERF.md``);
+* ``ranks`` and ``bench`` take ``--kernel {auto,packed,reference}`` to
+  pick the compute engines (see `repro.kernels`); every mode produces
+  identical results, only the wall time differs.
 
 Resilience (see `repro.resilience`): ``exhaustive`` and ``sampling``
 take ``--budget-seconds`` / work caps plus ``--checkpoint FILE`` and
@@ -195,11 +198,15 @@ def _cmd_ranks(args: argparse.Namespace) -> int:
         perfect_matching_count,
     )
 
+    workers = _resolved_workers(args)
+    kernel = getattr(args, "kernel", "auto")
     rows = []
     for n in range(1, args.max_n + 1):
-        rows.append(["M", n, m_matrix_rank(n), bell_number(n)])
+        rank = m_matrix_rank(n, workers=workers, kernel=kernel)
+        rows.append(["M", n, rank, bell_number(n)])
     for n in range(2, args.max_n + 3, 2):
-        rows.append(["E", n, e_matrix_rank(n), perfect_matching_count(n)])
+        rank = e_matrix_rank(n, workers=workers, kernel=kernel)
+        rows.append(["E", n, rank, perfect_matching_count(n)])
     _emit(
         args,
         "Theorem 2.3 / Lemma 4.1 exact ranks (E6)",
@@ -563,7 +570,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import BenchmarkHarness
 
     workers = _resolved_workers(args)
-    harness = BenchmarkHarness(out_dir=args.out_dir, quick=args.quick, workers=workers)
+    kernel = getattr(args, "kernel", "auto")
+    harness = BenchmarkHarness(
+        out_dir=args.out_dir, quick=args.quick, workers=workers, kernel=kernel
+    )
     results = harness.run(args.only or None)
     rows = []
     for r in results:
@@ -600,7 +610,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.obs.regress import append_history, current_git_sha, history_record
 
         record = history_record(
-            results, quick=args.quick, git_sha=current_git_sha(), workers=workers
+            results,
+            quick=args.quick,
+            git_sha=current_git_sha(),
+            workers=workers,
+            kernel=kernel,
         )
         append_history(record, args.history)
         if not getattr(args, "json", False):
@@ -740,6 +754,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         baseline = dict(baseline)
         baseline["quick"] = newest.get("quick")  # force a comparable mode
         baseline["workers"] = newest.get("workers", 1)  # never cross worker counts
+        baseline["kernel"] = newest.get("kernel", "auto")  # nor kernel modes
         findings = detect_regressions(
             [baseline, newest], threshold=args.threshold, min_samples=1
         )
@@ -889,6 +904,21 @@ def _resolved_workers(args: argparse.Namespace) -> int:
     return resolve_workers(getattr(args, "workers", 1))
 
 
+def _add_kernel_flag(p: argparse.ArgumentParser) -> None:
+    from repro.kernels import KERNEL_MODES
+
+    p.add_argument(
+        "--kernel",
+        choices=KERNEL_MODES,
+        default="auto",
+        help=(
+            "compute-kernel mode: 'packed' uses the bitset/batched engines "
+            "of repro.kernels, 'reference' the pure-python originals, "
+            "'auto' (default) prefers packed; results are identical"
+        ),
+    )
+
+
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--budget-seconds",
@@ -948,6 +978,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ranks", help=_help("ranks"))
     p.add_argument("--max-n", type=int, default=5)
+    _add_workers_flag(p)
+    _add_kernel_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_ranks)
 
@@ -1091,6 +1123,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_workers_flag(p)
+    _add_kernel_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_bench)
 

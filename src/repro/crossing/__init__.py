@@ -21,6 +21,7 @@ from repro.crossing.indistinguishability import (
     distinguishing_vertices,
     indistinguishable_runs,
     lemma_3_4_premise_holds,
+    operational_indistinguishability_graph,
     vertex_states,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "largest_active_pair",
     "largest_label_class",
     "lemma_3_4_premise_holds",
+    "operational_indistinguishability_graph",
     "vertex_states",
 ]

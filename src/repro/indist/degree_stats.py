@@ -131,7 +131,7 @@ def lemma_3_9_table(ns: List[int]) -> List[Tuple[int, int, int, float, float]]:
 
 def hall_expansion_curve(graph: BipartiteGraph, sizes: List[int], rng) -> List[Tuple[int, float]]:
     """Measured min |N(S)| / |S| over sampled S of each size (Lemma 3.8)."""
-    left = sorted(graph.left, key=repr)
+    left = sorted(graph.iter_left(), key=repr)
     rows = []
     for size in sizes:
         if size > len(left):

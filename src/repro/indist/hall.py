@@ -11,6 +11,15 @@ times and apply ordinary Hall / maximum matching -- is implemented here
 directly: :func:`k_matching` builds the cloned graph and runs
 Hopcroft-Karp, so when the Hall condition holds the returned k-matching
 saturates L, and when it fails the deficiency is reported.
+
+Engine note (PR 5): under ``kernel="packed"`` (the ``auto`` default)
+the clones are never materialized -- the bitset engine
+(:func:`repro.kernels.bitset_matching.k_matching_bitset`) runs on
+``k * |L|`` *virtual* left nodes that share one adjacency mask per
+original vertex. ``kernel="reference"`` keeps the explicit
+:func:`cloned_graph` construction. Both produce maximum k-matchings of
+identical size (the quantity every downstream Hall/saturation check
+consumes).
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from itertools import combinations
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.indist.matching import BipartiteGraph, hopcroft_karp
+from repro.kernels import k_matching_bitset, resolve_kernel
 
 
 def cloned_graph(graph: BipartiteGraph, k: int) -> BipartiteGraph:
@@ -27,48 +37,53 @@ def cloned_graph(graph: BipartiteGraph, k: int) -> BipartiteGraph:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     cloned = BipartiteGraph()
-    for v in graph.left:
+    for v in graph.iter_left():
         for i in range(k):
             cloned.add_left((v, i))
-            for r in graph.neighbors(v):
+            for r in graph.iter_neighbors(v):
                 cloned.add_edge((v, i), r)
-    for r in graph.right:
+    for r in graph.iter_right():
         cloned.add_right(r)
     return cloned
 
 
-def k_matching(graph: BipartiteGraph, k: int) -> Dict[Hashable, Tuple[Hashable, ...]]:
+def k_matching(
+    graph: BipartiteGraph, k: int, kernel: str = "auto"
+) -> Dict[Hashable, Tuple[Hashable, ...]]:
     """A maximum k-matching, as a map left vertex -> assigned right vertices.
 
     Only left vertices that received all k partners appear in the result
     (partial stars are discarded, matching the paper's definition in which
-    every star has exactly k leaves).
+    every star has exactly k leaves). ``kernel`` picks the engine; see
+    the module docstring.
     """
-    matching = hopcroft_karp(cloned_graph(graph, k))
+    if resolve_kernel(kernel) == "packed":
+        return k_matching_bitset(graph, k)
+    matching = hopcroft_karp(cloned_graph(graph, k), kernel="reference")
     stars: Dict[Hashable, List[Hashable]] = {}
     for (v, _i), r in matching.items():
         stars.setdefault(v, []).append(r)
     return {v: tuple(sorted(rs, key=repr)) for v, rs in stars.items() if len(rs) == k}
 
 
-def k_matching_size(graph: BipartiteGraph, k: int) -> int:
+def k_matching_size(graph: BipartiteGraph, k: int, kernel: str = "auto") -> int:
     """The size (number of k-stars) of a maximum k-matching."""
-    return len(k_matching(graph, k))
+    return len(k_matching(graph, k, kernel=kernel))
 
 
-def saturates(graph: BipartiteGraph, k: int) -> bool:
+def saturates(graph: BipartiteGraph, k: int, kernel: str = "auto") -> bool:
     """True iff a k-matching of size |L| exists."""
-    return k_matching_size(graph, k) == len(graph.left)
+    return k_matching_size(graph, k, kernel=kernel) == graph.left_count()
 
 
-def max_saturating_k(graph: BipartiteGraph) -> int:
+def max_saturating_k(graph: BipartiteGraph, kernel: str = "auto") -> int:
     """The largest k with a k-matching of size |L| (0 if even k=1 fails)."""
-    if not graph.left:
+    if not graph.left_count():
         return 0
     k = 0
-    while saturates(graph, k + 1):
+    while saturates(graph, k + 1, kernel=kernel):
         k += 1
-        if k > len(graph.right):
+        if k > graph.right_count():
             break
     return k
 
@@ -89,7 +104,7 @@ def hall_condition_violations(
 
 def all_subsets_satisfy_hall(graph: BipartiteGraph, k: int) -> bool:
     """Exhaustive Hall check; only feasible for small |L| (<= ~18)."""
-    left = sorted(graph.left, key=repr)
+    left = sorted(graph.iter_left(), key=repr)
     if len(left) > 20:
         raise ValueError(f"exhaustive Hall check infeasible for |L|={len(left)}")
     for size in range(1, len(left) + 1):
@@ -112,7 +127,7 @@ def sampled_hall_check(
     hypothesis is about all subsets and large instance spaces force
     sampling; the exhaustive check covers small cases in the tests.
     """
-    left = sorted(graph.left, key=repr)
+    left = sorted(graph.iter_left(), key=repr)
     if not left:
         return []
     cap = max_subset if max_subset is not None else len(left)
@@ -131,7 +146,7 @@ def is_valid_k_matching(
     for v, rights in stars.items():
         if len(rights) != k or len(set(rights)) != k:
             return False
-        nbrs = graph.neighbors(v)
+        nbrs = graph.iter_neighbors(v)
         for r in rights:
             if r not in nbrs or r in used:
                 return False

@@ -4,16 +4,39 @@ The polygamous-Hall machinery (Theorem 2.1) reduces k-matchings to ordinary
 bipartite matchings on a graph with k clones of every left vertex; this
 module supplies the matching engine. Left and right vertices are arbitrary
 hashable objects.
+
+Two engines sit behind :func:`hopcroft_karp`:
+
+* ``reference`` -- the original dict-of-set implementation below,
+  operating directly on hashable vertices;
+* ``packed`` (the ``auto`` default) -- the integer-indexed bitset
+  engine of :mod:`repro.kernels.bitset_matching`, which compiles the
+  graph once and walks big-int adjacency masks.
+
+Both always return a *valid maximum* matching of identical size; the
+specific edges may differ between engines (maximum matchings are not
+unique, and no caller in this repo depends on which one is found --
+pinned by ``tests/kernels/test_bitset_matching.py``).
+
+The copying accessors (``left``/``right``/``neighbors``) hand external
+callers defensive copies, as before. Hot loops -- both engines, plus
+Hall-condition checks -- use the non-copying ``iter_*`` /
+``left_count``-style paths added in PR 5 so that a BFS visit no longer
+allocates a fresh set per vertex.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set
 
+from repro.kernels import hopcroft_karp_bitset, resolve_kernel
 from repro.obs.spans import span
 
 INF = float("inf")
+
+#: Shared empty neighborhood for vertices with no edges (never mutated).
+_EMPTY: frozenset = frozenset()
 
 
 class BipartiteGraph:
@@ -40,14 +63,37 @@ class BipartiteGraph:
 
     @property
     def left(self) -> Set[Hashable]:
+        """A defensive *copy* of the left vertex set (external callers)."""
         return set(self._left)
 
     @property
     def right(self) -> Set[Hashable]:
+        """A defensive *copy* of the right vertex set (external callers)."""
         return set(self._right)
 
     def neighbors(self, left: Hashable) -> Set[Hashable]:
+        """A defensive *copy* of N(left) (external callers)."""
         return set(self._adj.get(left, set()))
+
+    # -- non-copying paths (hot loops; do NOT mutate what they yield) --
+
+    def iter_left(self) -> Iterator[Hashable]:
+        """Iterate left vertices without copying the set."""
+        return iter(self._left)
+
+    def iter_right(self) -> Iterator[Hashable]:
+        """Iterate right vertices without copying the set."""
+        return iter(self._right)
+
+    def iter_neighbors(self, left: Hashable) -> Iterable[Hashable]:
+        """N(left) by reference -- no copy. Treat as read-only."""
+        return self._adj.get(left, _EMPTY)
+
+    def left_count(self) -> int:
+        return len(self._left)
+
+    def right_count(self) -> int:
+        return len(self._right)
 
     def neighborhood(self, subset: Iterable[Hashable]) -> Set[Hashable]:
         """N(S) for a set of left vertices."""
@@ -69,19 +115,32 @@ class BipartiteGraph:
         )
 
 
-def hopcroft_karp(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
-    """Maximum matching; returns a left-vertex -> right-vertex map."""
+def hopcroft_karp(
+    graph: BipartiteGraph, kernel: str = "auto"
+) -> Dict[Hashable, Hashable]:
+    """Maximum matching; returns a left-vertex -> right-vertex map.
+
+    ``kernel`` selects the engine: ``packed`` (the ``auto`` default)
+    compiles the graph to the integer bitset engine of
+    :mod:`repro.kernels.bitset_matching`; ``reference`` keeps the
+    original dict-of-set implementation. Both return valid maximum
+    matchings of identical size.
+    """
+    engine = resolve_kernel(kernel)
     with span(
         "indist.hopcroft_karp",
-        left=len(graph.left),
-        right=len(graph.right),
+        left=graph.left_count(),
+        right=graph.right_count(),
         edges=graph.edge_count(),
+        engine=engine,
     ):
+        if engine == "packed":
+            return hopcroft_karp_bitset(graph)
         return _hopcroft_karp_impl(graph)
 
 
 def _hopcroft_karp_impl(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
-    left = sorted(graph.left, key=repr)
+    left = sorted(graph.iter_left(), key=repr)
     match_l: Dict[Hashable, Optional[Hashable]] = {v: None for v in left}
     match_r: Dict[Hashable, Optional[Hashable]] = {}
 
@@ -97,7 +156,7 @@ def _hopcroft_karp_impl(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
         found = False
         while queue:
             v = queue.popleft()
-            for r in graph.neighbors(v):
+            for r in graph.iter_neighbors(v):
                 nxt = match_r.get(r)
                 if nxt is None:
                     found = True
@@ -109,7 +168,7 @@ def _hopcroft_karp_impl(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
 
     def dfs(v: Hashable) -> bool:
         dist = bfs.dist  # type: ignore[attr-defined]
-        for r in graph.neighbors(v):
+        for r in graph.iter_neighbors(v):
             nxt = match_r.get(r)
             if nxt is None or (dist.get(nxt, INF) == dist[v] + 1 and dfs(nxt)):
                 match_l[v] = r
@@ -125,9 +184,9 @@ def _hopcroft_karp_impl(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
     return {v: r for v, r in match_l.items() if r is not None}
 
 
-def maximum_matching_size(graph: BipartiteGraph) -> int:
-    """Size of a maximum matching."""
-    return len(hopcroft_karp(graph))
+def maximum_matching_size(graph: BipartiteGraph, kernel: str = "auto") -> int:
+    """Size of a maximum matching (identical under every kernel)."""
+    return len(hopcroft_karp(graph, kernel=kernel))
 
 
 def is_valid_matching(graph: BipartiteGraph, matching: Mapping[Hashable, Hashable]) -> bool:
@@ -135,4 +194,4 @@ def is_valid_matching(graph: BipartiteGraph, matching: Mapping[Hashable, Hashabl
     rights = list(matching.values())
     if len(set(rights)) != len(rights):
         return False
-    return all(r in graph.neighbors(v) for v, r in matching.items())
+    return all(r in graph.iter_neighbors(v) for v, r in matching.items())

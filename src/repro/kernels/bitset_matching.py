@@ -1,0 +1,154 @@
+"""Integer-indexed Hopcroft-Karp on big-int adjacency masks.
+
+The reference matcher (:mod:`repro.indist.matching`) runs directly on
+hashable vertex objects with dict-of-set adjacency, and its inner loops
+historically called ``graph.neighbors(v)`` -- which returns a *fresh
+set copy* -- once per BFS/DFS visit. This kernel compiles the graph
+down once: left vertices become contiguous ints (sorted by ``repr``,
+the reference's own canonical order), right vertices become bit
+positions, and each left vertex's neighborhood becomes one Python big
+integer. The BFS/DFS phases then walk bits (``m & -m`` /
+``bit_length``) over int arrays -- no hashing, no copies, no dicts.
+
+The k-clone construction of Theorem 2.1 (polygamous Hall) gets a
+dedicated path: instead of materializing ``k`` copies of every left
+vertex *and its edge set* (the reference ``cloned_graph``), the engine
+runs on ``k * |L|`` virtual left nodes whose adjacency lookup is
+``masks[node // k]`` -- one shared mask per original vertex, zero
+cloning cost.
+
+Contract (pinned by ``tests/kernels/test_bitset_matching.py``): the
+returned matching is always a *valid maximum* matching -- identical in
+size to the reference's on every graph -- but the specific edges may
+differ (maximum matchings are not unique; neither engine promises a
+particular one). For k-matchings the engine-invariant quantities are
+the *saturation verdicts*: a k-matching saturating L exists iff the
+cloned graph's maximum matching has size ``k * |L|``, which both
+engines compute exactly, so ``saturates`` / ``max_saturating_k`` agree
+everywhere. In *deficient* cases the number of complete k-stars is an
+artifact of which maximum matching the search happens to find (e.g.
+two left vertices sharing two rights at k=2: one full star or two
+half-stars, both maximum), so star counts may legitimately differ
+between engines there -- the tests pin validity, saturation equality,
+and the count on graphs where it is forced, not raw count equality.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["compile_bipartite", "hopcroft_karp_bitset", "k_matching_bitset"]
+
+_INF = float("inf")
+
+
+def compile_bipartite(graph) -> Tuple[List[Hashable], List[Hashable], List[int]]:
+    """Compile a BipartiteGraph to ``(lefts, rights, masks)``.
+
+    ``lefts`` and ``rights`` are sorted by ``repr`` (the reference
+    engine's canonical order); ``masks[i]`` has bit ``j`` set iff
+    ``(lefts[i], rights[j])`` is an edge.
+    """
+    lefts = sorted(graph.iter_left(), key=repr)
+    rights = sorted(graph.iter_right(), key=repr)
+    right_id = {r: j for j, r in enumerate(rights)}
+    masks: List[int] = []
+    for v in lefts:
+        word = 0
+        for r in graph.iter_neighbors(v):
+            word |= 1 << right_id[r]
+        masks.append(word)
+    return lefts, rights, masks
+
+
+def _hk_core(masks: List[int], num_rights: int, multiplicity: int = 1) -> List[int]:
+    """Hopcroft-Karp over ``len(masks) * multiplicity`` virtual left nodes.
+
+    Node ``v``'s adjacency is ``masks[v // multiplicity]`` -- clones
+    share one mask. Returns ``match_l`` (right index or -1 per node).
+    """
+    num_left = len(masks) * multiplicity
+    match_l = [-1] * num_left
+    match_r = [-1] * num_rights
+    dist: List[float] = [0.0] * num_left
+
+    def bfs() -> bool:
+        queue: deque = deque()
+        for v in range(num_left):
+            if match_l[v] < 0:
+                dist[v] = 0
+                queue.append(v)
+            else:
+                dist[v] = _INF
+        found = False
+        while queue:
+            v = queue.popleft()
+            m = masks[v // multiplicity] if multiplicity > 1 else masks[v]
+            d = dist[v] + 1
+            while m:
+                low = m & -m
+                m ^= low
+                w = match_r[low.bit_length() - 1]
+                if w < 0:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = d
+                    queue.append(w)
+        return found
+
+    def dfs(v: int) -> bool:
+        m = masks[v // multiplicity] if multiplicity > 1 else masks[v]
+        d = dist[v] + 1
+        while m:
+            low = m & -m
+            m ^= low
+            r = low.bit_length() - 1
+            w = match_r[r]
+            if w < 0 or (dist[w] == d and dfs(w)):
+                match_l[v] = r
+                match_r[r] = v
+                return True
+        dist[v] = _INF
+        return False
+
+    while bfs():
+        for v in range(num_left):
+            if match_l[v] < 0:
+                dfs(v)
+    return match_l
+
+
+def hopcroft_karp_bitset(graph) -> Dict[Hashable, Hashable]:
+    """Maximum matching as a left-vertex -> right-vertex map.
+
+    Same signature and same (maximum) size as the reference
+    ``hopcroft_karp``; the compiled int engine does the work.
+    """
+    lefts, rights, masks = compile_bipartite(graph)
+    if not lefts or not rights:
+        return {}
+    match_l = _hk_core(masks, len(rights))
+    return {lefts[i]: rights[r] for i, r in enumerate(match_l) if r >= 0}
+
+
+def k_matching_bitset(graph, k: int) -> Dict[Hashable, Tuple[Hashable, ...]]:
+    """Maximum k-matching via shared-mask virtual clones (Theorem 2.1).
+
+    Mirrors ``repro.indist.hall.k_matching``'s output contract: only
+    left vertices that received all ``k`` partners appear, each mapped
+    to its ``k`` distinct right vertices sorted by ``repr``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    lefts, rights, masks = compile_bipartite(graph)
+    if not lefts or not rights:
+        return {}
+    match_l = _hk_core(masks, len(rights), multiplicity=k)
+    stars: Dict[Hashable, List[Hashable]] = {}
+    for node, r in enumerate(match_l):
+        if r >= 0:
+            stars.setdefault(lefts[node // k], []).append(rights[r])
+    return {
+        v: tuple(sorted(rs, key=repr)) for v, rs in stars.items() if len(rs) == k
+    }

@@ -1,0 +1,89 @@
+"""GF(2) rank via word-packed bitset elimination.
+
+The reference engine (:func:`repro.partitions.linalg._rank_mod_p_python`
+at ``p = 2``) eliminates entry by entry: each pivot costs
+O(rows x cols) Python-level multiply-subtract-mod operations. This
+kernel packs every row into one Python big integer (bit ``c`` = column
+``c``), so eliminating a row under a pivot is a *single* word-parallel
+XOR -- CPython XORs 30-bit limbs in C, giving an honest factor of tens
+on wide matrices while staying dependency-free.
+
+Bit-identical contract: over GF(2) the rank and the per-column pivot
+structure are mathematically determined, and the column loop here
+mirrors the reference exactly -- the :class:`~repro.resilience.Budget`
+is ticked once per pivot column *before* the pivot search, and the loop
+breaks as soon as ``rows`` pivots are found -- so tick counts,
+exhaustion boundaries, and (of course) the returned rank are equal to
+the reference's on every input.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # runtime-import-free, like partitions.linalg
+    from repro.resilience.budget import Budget
+
+Matrix = Sequence[Sequence[int]]
+
+__all__ = ["pack_rows", "rank_gf2", "rank_gf2_packed"]
+
+
+def pack_rows(matrix: Matrix) -> List[int]:
+    """Pack a matrix's rows mod 2 into big integers (bit c = column c)."""
+    packed: List[int] = []
+    for row in matrix:
+        word = 0
+        for c, x in enumerate(row):
+            if int(x) & 1:
+                word |= 1 << c
+        packed.append(word)
+    return packed
+
+
+def rank_gf2_packed(
+    rows: List[int], cols: int, budget: Optional["Budget"] = None
+) -> int:
+    """Rank over GF(2) of already-packed rows (destructive on ``rows``).
+
+    ``budget`` is ticked once per pivot column, exactly like the
+    reference elimination (see :func:`repro.partitions.linalg.rank_mod_p`).
+    """
+    nrows = len(rows)
+    if nrows == 0 or cols == 0:
+        return 0
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        if budget is not None:
+            budget.tick()
+        bit = 1 << col
+        pivot = None
+        for r in range(pivot_row, nrows):
+            if rows[r] & bit:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        rows[pivot_row], rows[pivot] = rows[pivot], rows[pivot_row]
+        word = rows[pivot_row]
+        for r in range(pivot_row + 1, nrows):
+            if rows[r] & bit:
+                rows[r] ^= word
+        pivot_row += 1
+        rank += 1
+        if pivot_row == nrows:
+            break
+    return rank
+
+
+def rank_gf2(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
+    """Rank of an integer matrix over GF(2) (entries taken mod 2).
+
+    Equal to ``rank_mod_p(matrix, 2)`` on every input -- the tests pin
+    exact equality over exhaustive small-matrix spaces and on the
+    paper's M_n / E_n matrices -- while running word-parallel.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    return rank_gf2_packed(pack_rows(matrix), cols, budget)

@@ -32,7 +32,9 @@ from repro.lowerbounds.kt1_infotheory import (
 from repro.lowerbounds.kt1_rank import (
     KT1RankBound,
     connectivity_round_bound,
+    connectivity_round_bound_certified,
     multicycle_round_bound,
+    multicycle_round_bound_certified,
     omega_log_constant,
     round_bound_table,
 )
@@ -62,6 +64,7 @@ __all__ = [
     "adversary_defeats",
     "components_round_bound",
     "connectivity_round_bound",
+    "connectivity_round_bound_certified",
     "find_fooling_pairs",
     "fool_algorithm",
     "forced_error_curve",
@@ -72,6 +75,7 @@ __all__ = [
     "measure_bcc_algorithm_information",
     "minimum_rounds_for_error",
     "multicycle_round_bound",
+    "multicycle_round_bound_certified",
     "omega_log_constant",
     "round_bound_table",
     "star_distribution",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -56,6 +57,11 @@ class BenchmarkSpec:
     #: harness from ``BenchmarkHarness(workers=...)``). Specs without it
     #: always run serially regardless of the harness setting.
     supports_workers: bool = False
+    #: Whether the runner honors a ``kernel`` parameter (injected by the
+    #: harness from ``BenchmarkHarness(kernel=...)``; one of
+    #: ``repro.kernels.KERNEL_MODES``). Specs without it always use each
+    #: layer's default engine.
+    supports_kernel: bool = False
 
     def params(self, quick: bool) -> Dict[str, Any]:
         return dict(self.quick_params if quick else self.full_params)
@@ -210,8 +216,9 @@ def _run_partition_rank(params: Dict[str, Any]) -> RunnerOutput:
     from repro.partitions import bell_number, build_m_matrix, rank_exact
 
     n = params["n"]
+    kernel = str(params.get("kernel", "auto"))
     _parts, matrix = build_m_matrix(n)
-    rank = rank_exact(matrix)
+    rank = rank_exact(matrix, kernel=kernel)
     measured = {"rank": rank}
     predicted = {"bell_number": bell_number(n)}
     return measured, predicted, rank == bell_number(n)
@@ -561,6 +568,105 @@ def _run_parallel(params: Dict[str, Any]) -> RunnerOutput:
     return measured, predicted, identical
 
 
+def _run_kernels(params: Dict[str, Any]) -> RunnerOutput:
+    """P3: packed/batched kernels vs their references, identity-gated.
+
+    Times the three kernel families of :mod:`repro.kernels` -- GF(2)
+    rank, batched mod-p rank, batched graph construction + bitset
+    matching -- against the pure-python reference engines, on the same
+    inputs, and gates ``ok`` purely on result identity: equal ranks,
+    element-for-element equal indistinguishability graphs, equal
+    maximum-matching size. Speedups are *recorded* but never gate
+    (machine-dependent; docs/EXPERIMENTS.md quotes the measured
+    trajectory on the container this repo benches on).
+    """
+    from repro.indist.graph_builder import build_combinatorial_graph
+    from repro.indist.matching import hopcroft_karp
+    from repro.partitions import build_m_matrix
+    from repro.partitions.linalg import DEFAULT_PRIMES, rank_mod_p
+
+    rank_n = params["rank_n"]
+    graph_n = params["graph_n"]
+    dense_size = params["dense_size"]
+    kernel = str(params.get("kernel", "auto"))
+    _parts, matrix = build_m_matrix(rank_n)
+    p = DEFAULT_PRIMES[0]
+    # the M_n matrices are sparse (few partitions intersect); the packed
+    # engines' headline wins appear on dense rows, so the spec also times
+    # a seeded dense random matrix at the declared size
+    rng = random.Random(dense_size)
+    dense2 = [
+        [rng.randrange(2) for _ in range(dense_size)] for _ in range(dense_size)
+    ]
+    densep = [
+        [rng.randrange(p) for _ in range(dense_size)] for _ in range(dense_size)
+    ]
+
+    def timed(fn):
+        start = time.perf_counter()
+        out = fn()
+        return out, time.perf_counter() - start
+
+    gf2_ref, gf2_ref_s = timed(lambda: rank_mod_p(dense2, 2, kernel="reference"))
+    gf2_fast, gf2_fast_s = timed(lambda: rank_mod_p(dense2, 2, kernel=kernel))
+    modp_ref, modp_ref_s = timed(lambda: rank_mod_p(densep, p, kernel="reference"))
+    modp_fast, modp_fast_s = timed(lambda: rank_mod_p(densep, p, kernel=kernel))
+    m_ref, m_ref_s = timed(lambda: rank_mod_p(matrix, p, kernel="reference"))
+    m_fast, m_fast_s = timed(lambda: rank_mod_p(matrix, p, kernel=kernel))
+    graph_ref, graph_ref_s = timed(
+        lambda: build_combinatorial_graph(graph_n, kernel="reference")
+    )
+    graph_fast, graph_fast_s = timed(
+        lambda: build_combinatorial_graph(graph_n, kernel=kernel)
+    )
+    graphs_equal = (
+        graph_fast.left == graph_ref.left
+        and graph_fast.right == graph_ref.right
+        and all(
+            graph_fast.neighbors(v) == graph_ref.neighbors(v)
+            for v in graph_ref.iter_left()
+        )
+    )
+    match_ref, match_ref_s = timed(lambda: hopcroft_karp(graph_ref, kernel="reference"))
+    match_fast, match_fast_s = timed(lambda: hopcroft_karp(graph_fast, kernel=kernel))
+
+    def speedup(ref_s: float, fast_s: float):
+        return ref_s / fast_s if fast_s > 0 else None
+
+    identical = bool(
+        gf2_ref == gf2_fast
+        and modp_ref == modp_fast
+        and m_ref == m_fast
+        and graphs_equal
+        and len(match_ref) == len(match_fast)
+    )
+    measured = {
+        "gf2_rank": gf2_fast,
+        "gf2_reference_seconds": gf2_ref_s,
+        "gf2_kernel_seconds": gf2_fast_s,
+        "gf2_speedup": speedup(gf2_ref_s, gf2_fast_s),
+        "modp_rank": modp_fast,
+        "modp_reference_seconds": modp_ref_s,
+        "modp_kernel_seconds": modp_fast_s,
+        "modp_speedup": speedup(modp_ref_s, modp_fast_s),
+        "m_matrix_rank": m_fast,
+        "m_matrix_reference_seconds": m_ref_s,
+        "m_matrix_kernel_seconds": m_fast_s,
+        "m_matrix_speedup": speedup(m_ref_s, m_fast_s),
+        "graph_reference_seconds": graph_ref_s,
+        "graph_kernel_seconds": graph_fast_s,
+        "graph_speedup": speedup(graph_ref_s, graph_fast_s),
+        "graphs_equal": graphs_equal,
+        "matching_size": len(match_fast),
+        "matching_reference_seconds": match_ref_s,
+        "matching_kernel_seconds": match_fast_s,
+        "matching_speedup": speedup(match_ref_s, match_fast_s),
+        "results_identical": identical,
+    }
+    predicted = {"results_identical": True}
+    return measured, predicted, identical
+
+
 _SPECS: List[BenchmarkSpec] = [
     BenchmarkSpec(
         "simulator",
@@ -611,6 +717,7 @@ _SPECS: List[BenchmarkSpec] = [
         _run_partition_rank,
         {"n": 4},
         {"n": 5},
+        supports_kernel=True,
     ),
     BenchmarkSpec(
         "reduction",
@@ -691,6 +798,14 @@ _SPECS: List[BenchmarkSpec] = [
         {"n": 4, "alphabet": ["0", "1", "2"], "workers": 4},
         {"n": 6, "alphabet": ["0", "1", "2"], "workers": 4},
     ),
+    BenchmarkSpec(
+        "kernels",
+        "P3: packed/batched kernels vs reference engines, identity-gated",
+        _run_kernels,
+        {"rank_n": 4, "graph_n": 6, "dense_size": 60},
+        {"rank_n": 5, "graph_n": 7, "dense_size": 250},
+        supports_kernel=True,
+    ),
 ]
 
 _SPEC_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
@@ -719,6 +834,12 @@ class BenchmarkHarness:
         what ran. Serial specs ignore it. History records carry the
         value too (:func:`repro.obs.regress.history_record`), so the
         regression detector never compares across worker counts.
+    kernel:
+        Compute-kernel mode (one of :data:`repro.kernels.KERNEL_MODES`)
+        for specs with ``supports_kernel=True``: injected into their
+        params as ``kernel``. History records carry it exactly like
+        ``workers`` -- a packed-engine wall time is not comparable to a
+        reference-engine one.
     """
 
     def __init__(
@@ -726,12 +847,17 @@ class BenchmarkHarness:
         out_dir: Optional[str] = ".",
         quick: bool = False,
         workers: int = 1,
+        kernel: str = "auto",
     ):
+        from repro.kernels import resolve_kernel
+
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        resolve_kernel(kernel)  # raises ValueError on unknown modes
         self.out_dir = out_dir
         self.quick = quick
         self.workers = int(workers)
+        self.kernel = str(kernel)
 
     def run_one(self, name: str) -> BenchmarkResult:
         spec = _SPEC_BY_NAME.get(name)
@@ -742,6 +868,8 @@ class BenchmarkHarness:
         params = spec.params(self.quick)
         if spec.supports_workers:
             params["workers"] = self.workers
+        if spec.supports_kernel:
+            params["kernel"] = self.kernel
         registry = MetricsRegistry()
         with use_registry(registry):
             start = time.perf_counter()

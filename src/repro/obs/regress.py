@@ -24,13 +24,17 @@ soft (warn-only) gate so noisy shared runners cannot block merges.
 History line format (schema version 1)::
 
     {"schema_version": 1, "ts": 1754464000.1, "git_sha": "61ddd73...",
-     "quick": true, "workers": 1,
+     "quick": true, "workers": 1, "kernel": "auto",
      "entries": {"simulator": {"wall_time_seconds": 0.004, "ok": true},
                  ...}}
 
 ``workers`` (optional; absent = 1 on records written before the
 parallel layer) is the harness fan-out the run used; baselines are
-partitioned on it exactly like ``quick``.
+partitioned on it exactly like ``quick``. ``kernel`` (optional; absent
+= "auto" on records written before the kernels layer) is the
+compute-kernel mode (:data:`repro.kernels.KERNEL_MODES`) and partitions
+baselines the same way -- a packed-engine wall time is speedup relative
+to a reference-engine median, not a baseline for it.
 """
 
 from __future__ import annotations
@@ -91,6 +95,7 @@ def history_record(
     git_sha: Optional[str] = None,
     ts: Optional[float] = None,
     workers: int = 1,
+    kernel: str = "auto",
 ) -> Dict[str, Any]:
     """One appendable history line from a list of BenchmarkResults.
 
@@ -98,7 +103,8 @@ def history_record(
     ``ok`` attributes (duck-typed so tests can feed stubs).
     ``workers`` records the harness fan-out the run used; the detector
     partitions baselines on it (a 4-worker wall time is not comparable
-    to a serial one).
+    to a serial one). ``kernel`` records the compute-kernel mode and
+    partitions baselines identically.
     """
     return {
         "schema_version": HISTORY_SCHEMA_VERSION,
@@ -106,6 +112,7 @@ def history_record(
         "git_sha": git_sha,
         "quick": bool(quick),
         "workers": int(workers),
+        "kernel": str(kernel),
         "entries": {
             r.name: {
                 "wall_time_seconds": float(r.wall_time_seconds),
@@ -176,6 +183,9 @@ def validate_history_record(record: Mapping[str, Any]) -> List[str]:
         problems.append("workers is not an integer")
     elif workers < 1:
         problems.append("workers must be >= 1")
+    kernel = record.get("kernel", "auto")  # absent pre-kernels: auto
+    if not isinstance(kernel, str) or not kernel:
+        problems.append("kernel is not a non-empty string")
     entries = record.get("entries")
     if not isinstance(entries, Mapping):
         return problems + ["entries is not an object"]
@@ -245,12 +255,14 @@ def detect_regressions(
     """Compare the newest history record against the earlier baseline.
 
     Baseline = the last ``window`` records before the newest whose
-    ``quick`` flag **and** ``workers`` count match the newest's (quick
-    and full runs are never compared against each other, nor are runs
-    at different fan-outs -- a 4-worker wall time beating a serial
-    median is speedup, not baseline; records predating the ``workers``
-    field count as serial). Per kernel, with ``m`` = baseline
-    median and ``d`` = baseline MAD (median absolute deviation)::
+    ``quick`` flag, ``workers`` count **and** ``kernel`` mode match the
+    newest's (quick and full runs are never compared against each
+    other, nor are runs at different fan-outs or under different
+    compute engines -- a packed-kernel wall time beating a
+    reference-engine median is speedup, not baseline; records predating
+    the ``workers``/``kernel`` fields count as serial/auto). Per
+    benchmark, with ``m`` = baseline median and ``d`` = baseline MAD
+    (median absolute deviation)::
 
         regressed   iff  latest > threshold * m  and  latest > m + MAD_K * d
         improved    iff  latest < m / threshold
@@ -267,10 +279,13 @@ def detect_regressions(
     newest = history[-1]
     quick = newest.get("quick")
     workers = newest.get("workers", 1)
+    kernel = newest.get("kernel", "auto")
     baseline = [
         r
         for r in history[:-1]
-        if r.get("quick") == quick and r.get("workers", 1) == workers
+        if r.get("quick") == quick
+        and r.get("workers", 1) == workers
+        and r.get("kernel", "auto") == kernel
     ][-window:]
     findings: List[RegressionFinding] = []
     for name, entry in sorted(newest.get("entries", {}).items()):

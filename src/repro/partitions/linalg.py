@@ -10,26 +10,35 @@ provided and cross-checked in the tests:
 * :func:`rank_mod_p` -- Gaussian elimination over GF(p). For any prime p,
   rank_p(A) <= rank_Q(A); therefore a *full* mod-p rank certifies full
   rational rank, which is exactly the direction Theorem 2.3 / Lemma 4.1
-  need. numpy accelerates the elimination when available.
+  need. (Mod-2 full rank would certify too, and the word-packed GF(2)
+  kernel is the fastest engine here -- but M_n and E_n are *far* from
+  full rank mod 2: rank_2(M_4) = 8 of 15, rank_2(E_6) = 4 of 15 -- so
+  the default prime list stays large.)
 
 :func:`rank_exact` combines them: full mod-p rank short-circuits with a
 certificate; otherwise Bareiss settles the exact value (or mod-p ranks at
 several primes are taken, whose maximum lower-bounds the rational rank).
+
+Every entry point takes ``kernel`` (``auto`` | ``packed`` |
+``reference``, see :mod:`repro.kernels`). ``packed`` dispatches
+``rank_mod_p`` to the word-packed GF(2) bitset engine at ``p = 2`` and
+to the batched numpy int64 engine at overflow-safe odd primes, falling
+back silently to the pure-python reference otherwise. All engines are
+bit-identical: the rank over a fixed field is mathematically
+determined, and each engine ticks the :class:`~repro.resilience.Budget`
+once per pivot column under the same pivot structure, so checkpoint /
+resume boundaries and span trees are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from repro.kernels import batched_modp_supported, rank_gf2, rank_mod_p_batched, resolve_kernel
 from repro.obs.spans import span
 
 if TYPE_CHECKING:  # import-free at runtime: linalg stays dependency-light
     from repro.resilience.budget import Budget
-
-try:  # numpy accelerates the mod-p path; everything works without it
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is installed in CI
-    _np = None
 
 Matrix = Sequence[Sequence[int]]
 
@@ -125,67 +134,58 @@ def _rank_mod_p_python(
     return rank
 
 
-def _rank_mod_p_numpy(
-    matrix: Matrix, p: int, budget: Optional["Budget"] = None
+def _modp_engine(p: int, kernel: str) -> str:
+    """The engine name a (p, kernel) combination dispatches to."""
+    if resolve_kernel(kernel) == "reference":
+        return "python"
+    if p == 2:
+        return "gf2-packed"
+    if batched_modp_supported(p):
+        return "numpy-batched"
+    return "python"
+
+
+def rank_mod_p(
+    matrix: Matrix,
+    p: int,
+    budget: Optional["Budget"] = None,
+    kernel: str = "auto",
 ) -> int:
-    a = _np.array(matrix, dtype=_np.int64) % p
-    rows, cols = a.shape
-    rank = 0
-    pivot_row = 0
-    for col in range(cols):
-        if budget is not None:
-            budget.tick()
-        nz = _np.nonzero(a[pivot_row:, col])[0]
-        if nz.size == 0:
-            continue
-        pivot = pivot_row + int(nz[0])
-        if pivot != pivot_row:
-            a[[pivot_row, pivot]] = a[[pivot, pivot_row]]
-        inv = pow(int(a[pivot_row, col]), p - 2, p)
-        a[pivot_row] = (a[pivot_row] * inv) % p
-        below = a[pivot_row + 1 :, col]
-        mask = below != 0
-        if mask.any():
-            factors = below[mask][:, None]
-            a[pivot_row + 1 :][mask] = (
-                a[pivot_row + 1 :][mask] - factors * a[pivot_row][None, :]
-            ) % p
-        pivot_row += 1
-        rank += 1
-        if pivot_row == rows:
-            break
-    return rank
-
-
-def rank_mod_p(matrix: Matrix, p: int, budget: Optional["Budget"] = None) -> int:
     """Rank over GF(p). Always a lower bound on the rational rank.
 
-    ``p`` must be prime and small enough that p^2 fits in int64 when the
-    numpy path is used (all defaults qualify except the Mersenne prime,
-    which falls back to pure Python). ``budget`` is ticked once per
-    pivot column (see :func:`rank_bareiss`).
+    ``kernel`` selects the engine (see :mod:`repro.kernels`): packed
+    mode runs the word-packed bitset elimination at ``p = 2`` and the
+    batched numpy int64 elimination at odd primes whose ``(p-1)^2``
+    fits int64 (every default prime qualifies, including the Mersenne
+    prime ``2^31 - 1`` -- pinned by the overflow regression tests);
+    anything else, or ``kernel="reference"``, runs the pure-python
+    reference. All engines return the same rank and tick ``budget``
+    once per pivot column (see :func:`rank_bareiss`).
     """
-    use_numpy = _np is not None and p * p < 2**62
+    engine = _modp_engine(p, kernel)
     rows_, cols_ = _shape(matrix)
-    engine = "numpy" if use_numpy else "python"
     with span("partitions.rank_mod_p", rows=rows_, cols=cols_, p=p, engine=engine):
-        if use_numpy:
-            return _rank_mod_p_numpy(matrix, p, budget)
+        if engine == "gf2-packed":
+            return rank_gf2(matrix, budget)
+        if engine == "numpy-batched":
+            return rank_mod_p_batched(matrix, p, budget)
         return _rank_mod_p_python(matrix, p, budget)
 
 
 def _rank_prime_worker(payload: tuple) -> dict:
     """One prime's elimination for :func:`rank_multi_prime` (picklable).
 
-    ``payload`` is ``(matrix, p, shard_budget)``; returns
+    ``payload`` is ``(matrix, p, shard_budget, kernel)``; returns
     ``{"rank", "units", "exhausted"}`` where ``units`` is the number of
     pivot columns the shard's budget actually ticked (the parent
     re-ticks them on its own budget, keeping aggregate accounting equal
-    to the serial per-column loop).
+    to the serial per-column loop). ``kernel`` rides along so each
+    shard picks up the fast engines (the rank is engine-independent,
+    so the merge stays order- and worker-count-invariant).
     """
     from repro.errors import BudgetExceededError
 
-    matrix, p, shard_budget = payload
+    matrix, p, shard_budget, kernel = payload
     budget = None
     if shard_budget is not None:
         exhausted_before_start = shard_budget.max_units == 0 or (
@@ -196,7 +196,7 @@ def _rank_prime_worker(payload: tuple) -> dict:
             return {"rank": 0, "units": 0, "exhausted": True}
         budget = shard_budget.to_budget()
     try:
-        rank = rank_mod_p(matrix, p, budget)
+        rank = rank_mod_p(matrix, p, budget, kernel=kernel)
     except BudgetExceededError:
         return {
             "rank": 0,
@@ -215,6 +215,7 @@ def rank_multi_prime(
     primes: Sequence[int] = DEFAULT_PRIMES,
     budget: Optional["Budget"] = None,
     workers: int = 1,
+    kernel: str = "auto",
 ) -> int:
     """Max of the mod-p ranks over ``primes`` -- a certified lower bound.
 
@@ -238,7 +239,7 @@ def rank_multi_prime(
     if not primes or rows_ == 0 or cols_ == 0:
         return 0
     if workers <= 1 or len(primes) <= 1:
-        return max(rank_mod_p(matrix, p, budget) for p in primes)
+        return max(rank_mod_p(matrix, p, budget, kernel=kernel) for p in primes)
 
     from repro.errors import BudgetExceededError
     from repro.parallel.executor import ParallelExecutor
@@ -266,7 +267,7 @@ def rank_multi_prime(
             ShardBudget(max_units=per_shard, wall_seconds=wall)
             for _ in primes
         ]
-    payloads = [(wire, p, sb) for p, sb in zip(primes, shard_budgets)]
+    payloads = [(wire, p, sb, kernel) for p, sb in zip(primes, shard_budgets)]
     with span(
         "partitions.rank_multi_prime",
         rows=rows_,
@@ -294,6 +295,7 @@ def rank_exact(
     primes: Sequence[int] = DEFAULT_PRIMES,
     budget: Optional["Budget"] = None,
     workers: int = 1,
+    kernel: str = "auto",
 ) -> int:
     """Exact rational rank of an integer matrix.
 
@@ -304,27 +306,35 @@ def rank_exact(
     every listed prime divides the relevant determinantal minors.
     ``workers`` parallelizes only that multi-prime fallback (via
     :func:`rank_multi_prime`); the certificate and Bareiss branches are
-    inherently serial and unchanged.
+    inherently serial and unchanged. ``kernel`` selects the mod-p
+    engines (see :func:`rank_mod_p`); the chain, the budget tick
+    boundaries, and the returned value are identical under every
+    kernel.
     """
     rows = len(matrix)
     if rows == 0:
         return 0
     dim = min(rows, len(matrix[0]))
     with span("partitions.rank_exact", rows=rows, cols=len(matrix[0])):
-        first = rank_mod_p(matrix, primes[0], budget)
+        first = rank_mod_p(matrix, primes[0], budget, kernel=kernel)
         if first == dim:
             return first
         if rows <= 220:
             return rank_bareiss(matrix, budget)
         return max(
-            first, rank_multi_prime(matrix, primes[1:], budget, workers=workers)
+            first,
+            rank_multi_prime(
+                matrix, primes[1:], budget, workers=workers, kernel=kernel
+            ),
         )
 
 
-def is_full_rank(matrix: Matrix, p: int = DEFAULT_PRIMES[0]) -> bool:
+def is_full_rank(
+    matrix: Matrix, p: int = DEFAULT_PRIMES[0], kernel: str = "auto"
+) -> bool:
     """Certificate of full rational rank via a single mod-p elimination."""
     rows = len(matrix)
     if rows == 0:
         return True
     dim = min(rows, len(matrix[0]))
-    return rank_mod_p(matrix, p) == dim
+    return rank_mod_p(matrix, p, kernel=kernel) == dim

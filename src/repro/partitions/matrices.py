@@ -46,28 +46,33 @@ def build_e_matrix(n: int) -> Tuple[List[SetPartition], List[List[int]]]:
     return matchings, partition_matrix(matchings)
 
 
-def m_matrix_rank(n: int) -> int:
-    """rank(M_n), computed exactly; Theorem 2.3 predicts B_n."""
+def m_matrix_rank(n: int, workers: int = 1, kernel: str = "auto") -> int:
+    """rank(M_n), computed exactly; Theorem 2.3 predicts B_n.
+
+    ``workers`` fans the multi-prime confirmation out (PR 4);
+    ``kernel`` picks the rank engine (``repro.kernels``) -- every mode
+    returns the same value.
+    """
     _, matrix = build_m_matrix(n)
-    return rank_exact(matrix)
+    return rank_exact(matrix, workers=workers, kernel=kernel)
 
 
-def e_matrix_rank(n: int) -> int:
+def e_matrix_rank(n: int, workers: int = 1, kernel: str = "auto") -> int:
     """rank(E_n), computed exactly; Lemma 4.1 predicts n!/(2^{n/2}(n/2)!)."""
     _, matrix = build_e_matrix(n)
-    return rank_exact(matrix)
+    return rank_exact(matrix, workers=workers, kernel=kernel)
 
 
-def m_matrix_is_full_rank(n: int) -> bool:
+def m_matrix_is_full_rank(n: int, kernel: str = "auto") -> bool:
     """One-prime certificate that M_n is non-singular."""
     _, matrix = build_m_matrix(n)
-    return is_full_rank(matrix)
+    return is_full_rank(matrix, kernel=kernel)
 
 
-def e_matrix_is_full_rank(n: int) -> bool:
+def e_matrix_is_full_rank(n: int, kernel: str = "auto") -> bool:
     """One-prime certificate that E_n is non-singular."""
     _, matrix = build_e_matrix(n)
-    return is_full_rank(matrix)
+    return is_full_rank(matrix, kernel=kernel)
 
 
 def partition_cc_lower_bound(n: int) -> float:

@@ -19,9 +19,16 @@ from typing import Callable, Iterable, List, Sequence, Tuple
 from repro.partitions.linalg import rank_exact
 
 
-def rank_lower_bound(matrix: Sequence[Sequence[int]]) -> float:
-    """log2 rank(M_f): a lower bound on deterministic communication."""
-    r = rank_exact(matrix)
+def rank_lower_bound(
+    matrix: Sequence[Sequence[int]], workers: int = 1, kernel: str = "auto"
+) -> float:
+    """log2 rank(M_f): a lower bound on deterministic communication.
+
+    ``workers`` / ``kernel`` are forwarded to
+    :func:`repro.partitions.linalg.rank_exact`; the bound is identical
+    under every combination.
+    """
+    r = rank_exact(matrix, workers=workers, kernel=kernel)
     return math.log2(r) if r > 0 else 0.0
 
 

@@ -1,0 +1,24 @@
+"""The kernel-mode vocabulary shared by every consumer."""
+
+import pytest
+
+from repro.kernels import KERNEL_MODES, resolve_kernel
+
+
+class TestResolveKernel:
+    def test_modes(self):
+        assert KERNEL_MODES == ("auto", "packed", "reference")
+
+    def test_auto_prefers_packed(self):
+        assert resolve_kernel("auto") == "packed"
+
+    def test_packed(self):
+        assert resolve_kernel("packed") == "packed"
+
+    def test_reference(self):
+        assert resolve_kernel("reference") == "reference"
+
+    @pytest.mark.parametrize("bad", ["", "fast", "numpy", "AUTO", None])
+    def test_unknown_raises(self, bad):
+        with pytest.raises(ValueError):
+            resolve_kernel(bad)

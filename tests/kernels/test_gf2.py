@@ -1,0 +1,102 @@
+"""Word-packed GF(2) elimination == the reference rank mod 2, everywhere."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError
+from repro.kernels import pack_rows, rank_gf2
+from repro.kernels.gf2 import rank_gf2_packed
+from repro.partitions import build_e_matrix, build_m_matrix, rank_mod_p
+from repro.resilience import Budget
+
+
+def _reference_rank2(matrix):
+    return rank_mod_p(matrix, 2, kernel="reference")
+
+
+class TestPackRows:
+    def test_bits_are_columns(self):
+        assert pack_rows([[1, 0, 1], [0, 1, 0]]) == [0b101, 0b010]
+
+    def test_entries_taken_mod_2(self):
+        assert pack_rows([[2, 3, -1]]) == [0b110]
+
+    def test_empty(self):
+        assert pack_rows([]) == []
+
+
+class TestRankGF2Exhaustive:
+    def test_all_2x3_binary_matrices(self):
+        for flat in product((0, 1), repeat=6):
+            matrix = [list(flat[:3]), list(flat[3:])]
+            assert rank_gf2(matrix) == _reference_rank2(matrix)
+
+    def test_all_3x3_binary_matrices(self):
+        for flat in product((0, 1), repeat=9):
+            matrix = [list(flat[0:3]), list(flat[3:6]), list(flat[6:9])]
+            assert rank_gf2(matrix) == _reference_rank2(matrix)
+
+
+class TestRankGF2PaperMatrices:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_m_matrix(self, n):
+        _parts, matrix = build_m_matrix(n)
+        assert rank_gf2(matrix) == _reference_rank2(matrix)
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_e_matrix(self, n):
+        _matchings, matrix = build_e_matrix(n)
+        assert rank_gf2(matrix) == _reference_rank2(matrix)
+
+    def test_m4_is_not_full_rank_mod_2(self):
+        # rank collapse over GF(2) is exactly why rank_exact certifies
+        # with odd primes; pin the collapse so nobody "optimizes" it away.
+        _parts, matrix = build_m_matrix(4)
+        assert rank_gf2(matrix) == 8
+        assert len(matrix) == 15
+
+
+class TestBudgetParity:
+    def test_tick_counts_match_reference(self):
+        _parts, matrix = build_m_matrix(3)
+        b_fast, b_ref = Budget(max_units=10_000), Budget(max_units=10_000)
+        assert rank_gf2(matrix, b_fast) == rank_mod_p(
+            matrix, 2, b_ref, kernel="reference"
+        )
+        assert b_fast.units_done == b_ref.units_done
+
+    def test_exhaustion_boundary_matches_reference(self):
+        _parts, matrix = build_m_matrix(3)
+        probe = Budget(max_units=10_000)
+        rank_gf2(matrix, probe)
+        cutoff = probe.units_done - 1
+        assert cutoff >= 1
+        with pytest.raises(BudgetExceededError):
+            rank_gf2(matrix, Budget(max_units=cutoff))
+        with pytest.raises(BudgetExceededError):
+            rank_mod_p(matrix, 2, Budget(max_units=cutoff), kernel="reference")
+
+
+class TestPackedEntryPoint:
+    def test_empty_rows_or_cols(self):
+        assert rank_gf2_packed([], 5) == 0
+        assert rank_gf2_packed([0b1], 0) == 0
+
+    def test_destructive_on_rows_but_correct(self):
+        rows = pack_rows([[1, 1], [1, 1]])
+        assert rank_gf2_packed(rows, 2) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=-5, max_value=5), min_size=4, max_size=4),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_hypothesis_packed_equals_reference(matrix):
+    assert rank_gf2(matrix) == _reference_rank2(matrix)

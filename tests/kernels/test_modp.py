@@ -1,0 +1,159 @@
+"""Batched mod-p elimination: identity with the reference and int64 safety."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError
+from repro.kernels import HAVE_NUMPY, batched_modp_supported, rank_mod_p_batched
+from repro.partitions import (
+    DEFAULT_PRIMES,
+    build_m_matrix,
+    rank_bareiss,
+    rank_exact,
+    rank_mod_p,
+    rank_multi_prime,
+)
+from repro.resilience import Budget
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+
+#: The Mersenne prime 2^31 - 1 -- the largest default prime and the
+#: worst case the int64 reduction must survive: (p-1)^2 = 2^62 - 2^33 + 4.
+MERSENNE = 2_147_483_647
+
+
+class TestSupportBound:
+    def test_all_default_primes_supported_iff_numpy(self):
+        for p in DEFAULT_PRIMES:
+            assert batched_modp_supported(p) == HAVE_NUMPY
+
+    def test_mersenne_is_a_default_prime(self):
+        assert MERSENNE in DEFAULT_PRIMES
+
+    def test_oversized_prime_unsupported(self):
+        # (p-1)^2 alone overflows int64 once p - 1 > ~3.04e9
+        assert not batched_modp_supported(2**32 + 15)
+
+    @needs_numpy
+    def test_batched_raises_on_unsupported_prime(self):
+        with pytest.raises(RuntimeError):
+            rank_mod_p_batched([[1]], 2**32 + 15)
+
+
+@needs_numpy
+class TestOverflowSafetyAtMersenne:
+    """Max-residue matrices at p = 2^31 - 1: every intermediate is extremal."""
+
+    def test_all_max_residue_rank_one(self):
+        p = MERSENNE
+        matrix = [[p - 1] * 4 for _ in range(4)]
+        assert rank_mod_p_batched(matrix, p) == 1
+        assert rank_mod_p(matrix, p, kernel="reference") == 1
+        assert rank_bareiss(matrix) == 1
+
+    def test_max_residue_diagonal_full_rank(self):
+        p = MERSENNE
+        matrix = [[p - 1 if i == j else 0 for j in range(3)] for i in range(3)]
+        assert rank_mod_p_batched(matrix, p) == 3
+        assert rank_mod_p(matrix, p, kernel="reference") == 3
+        assert rank_bareiss(matrix) == 3
+
+    def test_adversarial_update_hits_p_minus_1_squared(self):
+        # eliminating row 2 computes 0 - (p-1) * inv(p-1)*(p-1) terms:
+        # the raw outer-product intermediate is exactly -(p-1)^2.
+        p = MERSENNE
+        matrix = [[p - 1, p - 1], [p - 1, 0]]
+        # det = -(p-1)^2 = -(p^2 - 2p + 1) == -1 (mod p): full rank both ways
+        assert rank_mod_p_batched(matrix, p) == 2
+        assert rank_mod_p(matrix, p, kernel="reference") == 2
+        assert rank_bareiss(matrix) == 2
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize("p", DEFAULT_PRIMES)
+    def test_m3_matrix_all_engines(self, p):
+        _parts, matrix = build_m_matrix(3)
+        ref = rank_mod_p(matrix, p, kernel="reference")
+        assert rank_mod_p(matrix, p, kernel="packed") == ref
+        assert rank_mod_p(matrix, p, kernel="auto") == ref
+        if batched_modp_supported(p) and p != 2:
+            assert rank_mod_p_batched(matrix, p) == ref
+
+    def test_empty_matrix(self):
+        for p in DEFAULT_PRIMES:
+            assert rank_mod_p([], p, kernel="packed") == 0
+
+
+@needs_numpy
+class TestBudgetParity:
+    def test_tick_counts_match_reference(self):
+        _parts, matrix = build_m_matrix(3)
+        p = DEFAULT_PRIMES[0]
+        b_fast, b_ref = Budget(max_units=10_000), Budget(max_units=10_000)
+        assert rank_mod_p_batched(matrix, p, b_fast) == rank_mod_p(
+            matrix, p, b_ref, kernel="reference"
+        )
+        assert b_fast.units_done == b_ref.units_done
+
+    def test_exhaustion_boundary_matches_reference(self):
+        _parts, matrix = build_m_matrix(3)
+        p = DEFAULT_PRIMES[0]
+        probe = Budget(max_units=10_000)
+        rank_mod_p_batched(matrix, p, probe)
+        cutoff = probe.units_done - 1
+        assert cutoff >= 1
+        with pytest.raises(BudgetExceededError):
+            rank_mod_p_batched(matrix, p, Budget(max_units=cutoff))
+        with pytest.raises(BudgetExceededError):
+            rank_mod_p(matrix, p, Budget(max_units=cutoff), kernel="reference")
+
+
+class TestWorkersTimesKernels:
+    """The PR 4 contract extended: any workers x any kernel, same number."""
+
+    def test_rank_exact_packed_workers_equals_serial_reference(self):
+        _parts, matrix = build_m_matrix(4)
+        serial_ref = rank_exact(matrix, workers=1, kernel="reference")
+        assert rank_exact(matrix, workers=2, kernel="packed") == serial_ref
+        assert rank_exact(matrix, workers=2, kernel="reference") == serial_ref
+        assert rank_exact(matrix, workers=1, kernel="packed") == serial_ref
+
+    def test_rank_multi_prime_packed_workers_equals_serial_reference(self):
+        _parts, matrix = build_m_matrix(3)
+        serial_ref = rank_multi_prime(matrix, workers=1, kernel="reference")
+        assert rank_multi_prime(matrix, workers=2, kernel="packed") == serial_ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=3, max_size=3),
+        min_size=1,
+        max_size=5,
+    ),
+    st.sampled_from(DEFAULT_PRIMES),
+)
+def test_hypothesis_packed_equals_reference(matrix, p):
+    assert rank_mod_p(matrix, p, kernel="packed") == rank_mod_p(
+        matrix, p, kernel="reference"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.sampled_from([0, 1, MERSENNE - 1, MERSENNE - 2]),
+            min_size=3,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_hypothesis_max_residue_entries_at_mersenne(matrix):
+    """Entries at the top of the residue range never corrupt the batch."""
+    assert rank_mod_p(matrix, MERSENNE, kernel="packed") == rank_mod_p(
+        matrix, MERSENNE, kernel="reference"
+    )

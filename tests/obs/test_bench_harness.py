@@ -239,3 +239,42 @@ class TestWorkersInjection:
         assert result.measured["serial_seconds"] > 0.0
         assert result.measured["fanout_seconds"] > 0.0
         assert result.predicted["reports_identical"] is True
+
+
+class TestKernelInjection:
+    """The harness injects its ``kernel`` into supporting specs only."""
+
+    def test_supporting_spec_gets_the_kernel_param(self):
+        harness = BenchmarkHarness(out_dir=None, quick=True, kernel="reference")
+        result = harness.run_one("partition_rank")
+        assert result.params["kernel"] == "reference"
+        assert result.ok
+
+    def test_non_supporting_spec_untouched(self):
+        harness = BenchmarkHarness(out_dir=None, quick=True, kernel="packed")
+        result = harness.run_one("crossing")
+        assert "kernel" not in result.params
+
+    def test_default_is_auto(self):
+        result = BenchmarkHarness(out_dir=None, quick=True).run_one("partition_rank")
+        assert result.params["kernel"] == "auto"
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkHarness(out_dir=None, kernel="fast")
+
+    def test_kernels_spec_identity_gated(self):
+        result = BenchmarkHarness(out_dir=None, quick=True).run_one("kernels")
+        assert result.ok  # ok gates on identity, never on speed
+        assert result.measured["results_identical"] is True
+        assert result.measured["graphs_equal"] is True
+        assert result.measured["gf2_reference_seconds"] > 0.0
+        assert result.measured["gf2_kernel_seconds"] > 0.0
+        assert result.predicted["results_identical"] is True
+
+    def test_kernels_spec_reference_mode_still_ok(self):
+        # forcing kernel=reference compares reference to itself: identical
+        harness = BenchmarkHarness(out_dir=None, quick=True, kernel="reference")
+        result = harness.run_one("kernels")
+        assert result.ok
+        assert result.params["kernel"] == "reference"

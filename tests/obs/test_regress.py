@@ -232,3 +232,54 @@ class TestDashboardAndBaseline:
             normalize_baseline({"simulator": "fast"})
         with pytest.raises(ValueError):
             normalize_baseline({})
+
+
+class TestKernelField:
+    """The ``kernel`` history field partitions baselines like ``workers``."""
+
+    def test_kernel_field_recorded_and_validated(self):
+        record = history_record(
+            [_Result("simulator", 0.01)], quick=True, ts=0.0, kernel="packed"
+        )
+        assert record["kernel"] == "packed"
+        assert validate_history_record(record) == []
+        # absent kernel = a pre-kernels record, still valid (implies auto)
+        legacy = _record({"simulator": 0.01})
+        legacy.pop("kernel", None)
+        assert validate_history_record(legacy) == []
+        for bad in ("", 1, None):
+            broken = _record({"simulator": 0.01})
+            broken["kernel"] = bad
+            assert any("kernel" in p for p in validate_history_record(broken))
+
+    def _kernel_record(self, value, ts, kernel):
+        return history_record(
+            [_Result("kernel", value)], quick=True, ts=ts, kernel=kernel
+        )
+
+    def test_kernel_modes_never_compared(self):
+        # a packed run against a reference-mode history: speedup, not baseline
+        records = [
+            self._kernel_record(0.04, float(i), "reference") for i in range(5)
+        ]
+        records.append(self._kernel_record(0.01, 99.0, "packed"))
+        findings = detect_regressions(records)
+        assert findings[0].status == "new"  # no packed baseline exists
+        # and a same-kernel baseline behaves exactly as before
+        records.extend(
+            self._kernel_record(0.01, 100.0 + i, "packed") for i in range(4)
+        )
+        records.append(self._kernel_record(0.05, 200.0, "packed"))
+        findings = detect_regressions(records)
+        assert findings[0].status == "regressed"
+        assert findings[0].baseline_samples == 5  # only the packed records
+
+    def test_legacy_records_count_as_auto(self):
+        legacy = []
+        for i in range(4):
+            rec = self._kernel_record(0.01, float(i), "auto")
+            rec.pop("kernel")
+            legacy.append(rec)
+        legacy.append(self._kernel_record(0.01, 99.0, "auto"))
+        findings = detect_regressions(legacy)
+        assert findings[0].status == "ok"

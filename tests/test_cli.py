@@ -171,3 +171,52 @@ class TestWorkersFlag:
                      "--out-dir", out, "--history", hist]) == 0
         (record,) = read_history(hist)
         assert record["workers"] == 2
+
+
+class TestKernelFlag:
+    """``--kernel`` switches engines without changing any paper-facing number."""
+
+    def test_ranks_packed_identical_to_reference(self, capsys):
+        assert main(["ranks", "--max-n", "4", "--kernel", "reference",
+                     "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out.strip())
+        assert main(["ranks", "--max-n", "4", "--kernel", "packed",
+                     "--json"]) == 0
+        packed = json.loads(capsys.readouterr().out.strip())
+        assert packed == reference
+
+    def test_ranks_kernel_with_workers_identical(self, capsys):
+        assert main(["ranks", "--max-n", "4", "--json"]) == 0
+        default = json.loads(capsys.readouterr().out.strip())
+        assert main(["ranks", "--max-n", "4", "--workers", "2",
+                     "--kernel", "packed", "--json"]) == 0
+        fanned = json.loads(capsys.readouterr().out.strip())
+        assert fanned == default
+
+    def test_unknown_kernel_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["ranks", "--max-n", "3", "--kernel", "fast"])
+        assert exc.value.code == 2
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_bench_kernel_lands_in_history_record(self, tmp_path, capsys):
+        from repro.obs import read_history
+
+        out = str(tmp_path / "results")
+        hist = str(tmp_path / "hist.jsonl")
+        assert main(["bench", "--quick", "--only", "kernels",
+                     "--kernel", "reference", "--out-dir", out,
+                     "--history", hist]) == 0
+        (record,) = read_history(hist)
+        assert record["kernel"] == "reference"
+        assert record["workers"] == 1
+
+    def test_bench_kernels_spec_ok_under_packed(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["bench", "--quick", "--only", "kernels",
+                     "--kernel", "packed", "--out-dir", out]) == 0
+        payload = json.loads(
+            (tmp_path / "results" / "BENCH_kernels.json").read_text()
+        )
+        assert payload["ok"] is True
+        assert payload["measured"]["results_identical"] is True

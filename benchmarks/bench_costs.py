@@ -1,0 +1,85 @@
+"""P4 -- the cost ledger's own cost, on and off.
+
+The acceptance budget for `repro.costs` is < 1% overhead on
+`Simulator.run` when **no ledger is installed** (the common case: every
+tier-1 test, every un-audited experiment -- the disabled path is a
+single `None` check per round). This file times the engine both ways so
+the price of cost accounting is a recorded number rather than folklore,
+asserts the enabled path produces exactly the summary the simulator
+contract promises, and pins the measured totals to the closed forms the
+conformance suite checks symbolically.
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+from repro.costs import CostLedger, check_spec, get_spec, use_ledger
+from repro.instances import one_cycle_instance
+
+SIM = Simulator(BCC1_KT0)
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_no_ledger(benchmark, n):
+    """Baseline: the engine with cost accounting disabled (the hot path)."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+    result = benchmark(SIM.run, inst, ConstantAlgorithm, rounds)
+    assert result.rounds_executed == rounds
+    assert result.cost_summary is None  # clean runs stay ledger-free
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_with_ledger(benchmark, n):
+    """The engine under an installed CostLedger (per-vertex attribution)."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+
+    def kernel():
+        ledger = CostLedger()
+        with use_ledger(ledger):
+            result = SIM.run(inst, ConstantAlgorithm, rounds)
+        return result, ledger
+
+    result, ledger = benchmark(kernel)
+    assert result.rounds_executed == rounds
+    assert ledger.total_bits() == n * rounds
+    assert ledger.rounds() == rounds
+    summary = result.cost_summary
+    assert summary is not None
+    assert summary["total_bits"] == ledger.total_bits()
+    assert len(summary["per_vertex"]) == n
+    assert all(entry["bits"] == rounds for entry in summary["per_vertex"])
+    print_table(
+        "P4: ledger attribution under the engine",
+        ["n", "rounds", "total bits", "ledger rounds", "per-vertex bits"],
+        [[n, rounds, ledger.total_bits(), ledger.rounds(), rounds]],
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["constant_cycle", "neighbor_exchange_kt1", "two_partition_simulation"]
+)
+def test_conformance_specs(benchmark, name):
+    """Measured cost == symbolic prediction, timed end to end per spec."""
+    spec = get_spec(name)
+    result = benchmark(check_spec, spec, True)
+    assert result.ok, result.problems
+    assert result.measured_bits == result.predicted_bits
+    assert result.measured_rounds == result.predicted_rounds
+
+
+def test_ledger_deterministic(benchmark):
+    """Two identical runs ledger identical cells (bits are not wall time)."""
+    inst = one_cycle_instance(16, kt=0)
+
+    def kernel():
+        ledger = CostLedger()
+        with use_ledger(ledger):
+            SIM.run(inst, ConstantAlgorithm, 4)
+        return ledger
+
+    first = kernel()
+    second = benchmark(kernel)
+    assert first.summary() == second.summary()

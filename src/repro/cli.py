@@ -16,6 +16,7 @@
     python -m repro.cli report
     python -m repro.cli spans         --bench exhaustive --quick
     python -m repro.cli compare       --fail-on-regress
+    python -m repro.cli cost-check    --quick
     python -m repro.cli trace-validate run.jsonl --stats
 
 Each subcommand prints a paper-vs-measured table; see EXPERIMENTS.md for
@@ -36,7 +37,13 @@ the mapping to the paper's lemmas and theorems. Observability:
   ``--out`` span-tree JSON, ``--trace`` v3 mirroring;
 * ``compare`` runs the median+MAD perf-regression detector over the
   history (``--fail-on-regress`` for a CI gate, ``--dashboard`` to
-  regenerate ``docs/PERF.md``);
+  regenerate ``docs/PERF.md``) and prints warn-only communication-cost
+  changes from the history's bits columns;
+* ``cost-check`` runs the symbolic cost-conformance suite (see
+  `repro.costs`): every bundled spec's protocol executes under a
+  ``CostLedger`` and the measured bits/rounds are compared against the
+  closed forms at the run's n (exit 1 on any mismatch); ``report
+  --per-vertex`` breaks a payload's ledger down by vertex;
 * ``ranks`` and ``bench`` take ``--kernel {auto,packed,reference}`` to
   pick the compute engines (see `repro.kernels`); every mode produces
   identical results, only the wall time differs.
@@ -642,6 +649,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if problems:
             invalid.append((path, problems))
         counters = payload.get("metrics", {}).get("counters", {})
+        costs = payload.get("costs", {})
         rows.append(
             [
                 payload.get("name", "?"),
@@ -651,15 +659,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 payload.get("wall_time_seconds", "?"),
                 counters.get("simulator.rounds_executed", 0),
                 counters.get("simulator.bits_broadcast", 0),
+                costs.get("total_bits", "-") if isinstance(costs, dict) else "-",
                 "valid" if not problems else f"{len(problems)} problem(s)",
             ]
         )
     _emit(
         args,
         f"benchmark history in {args.dir} ({len(payloads)} files)",
-        ["benchmark", "schema", "quick", "ok", "wall s", "sim rounds", "sim bits", "schema check"],
+        [
+            "benchmark",
+            "schema",
+            "quick",
+            "ok",
+            "wall s",
+            "sim rounds",
+            "sim bits",
+            "ledger bits",
+            "schema check",
+        ],
         rows,
     )
+    if getattr(args, "per_vertex", False):
+        vertex_rows = []
+        for _path, payload in payloads:
+            costs = payload.get("costs")
+            if not isinstance(costs, dict):
+                continue
+            for entry in costs.get("per_vertex", []) or []:
+                if not isinstance(entry, dict):
+                    continue
+                vertex_rows.append(
+                    [
+                        payload.get("name", "?"),
+                        entry.get("vertex", "?"),
+                        entry.get("bits", "?"),
+                        entry.get("silent_rounds", "?"),
+                    ]
+                )
+        if vertex_rows:
+            _emit(
+                args,
+                f"per-vertex communication cost in {args.dir}",
+                ["benchmark", "vertex", "bits sent", "silent rounds"],
+                vertex_rows,
+            )
+        elif not getattr(args, "json", False):
+            print(
+                "per-vertex: no payload carries a costs section "
+                "(re-run `repro bench` to record ledgers)"
+            )
     for path, problems in invalid:
         for problem in problems:
             print(f"INVALID {path}: {problem}", file=sys.stderr)
@@ -778,12 +826,66 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             )
         if not getattr(args, "json", False):
             print(f"dashboard: wrote {args.dashboard}")
+    # Communication-cost changes are warn-only by design: bits are
+    # deterministic per (quick, workers, kernel), so a change is real --
+    # but an intentional protocol change legitimately moves the number,
+    # and the reviewer (not the gate) decides whether it was meant.
+    cost_changed = [f for f in findings if f.cost_changed]
+    if cost_changed:
+        _emit(
+            args,
+            "communication-cost changes (warn-only; deterministic per mode)",
+            ["kernel", "bits", "baseline bits", "status"],
+            [f.cost_row() for f in cost_changed],
+        )
+        print(
+            f"COST CHANGED: {', '.join(f.name for f in cost_changed)}",
+            file=sys.stderr,
+        )
     regressed = [f.name for f in findings if f.regressed]
     if regressed:
         print(f"REGRESSED: {', '.join(regressed)}", file=sys.stderr)
         if args.fail_on_regress:
             return 1
     return 0
+
+
+def _cmd_cost_check(args: argparse.Namespace) -> int:
+    from repro.costs import HAVE_SYMPY, check_all, spec_names
+
+    names = args.only or None
+    if names:
+        unknown = [n for n in names if n not in spec_names()]
+        if unknown:
+            print(
+                f"error: unknown cost spec(s) {', '.join(unknown)}; known: "
+                f"{', '.join(spec_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    results = check_all(quick=args.quick, names=names)
+    backend = "sympy cross-check on" if HAVE_SYMPY else "exact backend only"
+    _emit(
+        args,
+        f"cost conformance ({'quick' if args.quick else 'full'} parameters, "
+        f"{backend})",
+        [
+            "spec",
+            "kind",
+            "rounds",
+            "vs spec",
+            "bits",
+            "vs spec",
+            "backend",
+            "verdict",
+        ],
+        [r.row() for r in results],
+    )
+    bad = [r for r in results if not r.ok]
+    for r in bad:
+        for problem in r.problems:
+            print(f"MISMATCH {r.name}: {problem}", file=sys.stderr)
+    return 1 if bad else 0
 
 
 def _cmd_trace_validate(args: argparse.Namespace) -> int:
@@ -855,6 +957,7 @@ _COMMANDS_HELP = [
     ("report", "validate + summarize existing BENCH_*.json files"),
     ("spans", "profile a harness kernel: span tree + self-time hotspots"),
     ("compare", "detect perf regressions against BENCH_HISTORY.jsonl"),
+    ("cost-check", "check measured bits/rounds against the symbolic cost specs"),
     ("trace-validate", "validate a JSONL run trace (any schema version)"),
 ]
 
@@ -1133,6 +1236,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         help="directory holding BENCH_*.json files (default: current dir)",
     )
+    p.add_argument(
+        "--per-vertex",
+        action="store_true",
+        dest="per_vertex",
+        help=(
+            "also print each payload's per-vertex ledger: bits sent and "
+            "silent rounds per vertex (from the optional costs section)"
+        ),
+    )
     _add_json_flag(p)
     p.set_defaults(func=_cmd_report)
 
@@ -1215,6 +1327,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(p)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("cost-check", help=_help("cost-check"))
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="use each spec's quick (CI smoke) parameter set",
+    )
+    p.add_argument(
+        "--only",
+        nargs="+",
+        metavar="SPEC",
+        default=None,
+        help="check only these specs (default: every bundled spec)",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_cost_check)
 
     p = sub.add_parser("trace-validate", help=_help("trace-validate"))
     p.add_argument("file", help="JSONL run trace written with --trace")

@@ -76,6 +76,17 @@ def message_to_char(message: str) -> str:
     return SILENT_CHAR if message == SILENT else message
 
 
+def message_bits(message: str) -> int:
+    """Channel cost of one broadcast, in bits.
+
+    Silence costs 0 whether it appears in its on-channel form (the empty
+    string) or its rendered form (the ⊥ glyph) -- a crashed vertex's
+    forced silences must never be charged the width of the character
+    used to *display* them.
+    """
+    return 0 if message == SILENT or message == SILENT_CHAR else len(message)
+
+
 #: The canonical model in which all of the paper's lower bounds are stated.
 BCC1_KT0 = BCCModel(bandwidth=1, kt=0)
 BCC1_KT1 = BCCModel(bandwidth=1, kt=1)

@@ -20,6 +20,7 @@ from repro.core.knowledge import InitialKnowledge
 from repro.core.model import BCCModel
 from repro.core.randomness import PublicCoin
 from repro.core.transcript import RoundRecord, Transcript
+from repro.costs.ledger import get_ledger, run_cost_summary
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
 from repro.obs.spans import get_recorder
@@ -61,6 +62,12 @@ class RunResult:
         fault-corrupted input; such nodes fail-stop (silent forever,
         output ``None``). Always empty for clean runs, where node
         exceptions propagate as they did before fault injection existed.
+    cost_summary:
+        Per-run communication-cost record (total bits, rounds, and a
+        per-vertex bits/silent-rounds breakdown -- see
+        :func:`repro.costs.ledger.run_cost_summary`), populated only
+        when a :class:`~repro.costs.ledger.CostLedger` was active for
+        the run; ``None`` otherwise, keeping the disabled path free.
     """
 
     instance: BCCInstance
@@ -72,6 +79,7 @@ class RunResult:
     fault_events: Tuple["FaultEvent", ...] = ()
     crashed_vertices: Tuple[int, ...] = ()
     failed_vertices: Tuple[int, ...] = ()
+    cost_summary: Optional[Dict[str, Any]] = None
 
     def sent_sequence(self, v: int) -> Tuple[str, ...]:
         """The message sequence vertex index ``v`` broadcast."""
@@ -102,13 +110,28 @@ class Simulator:
     :class:`repro.resilience.FaultPlan`) here or per-run to execute under
     a deterministic adversarial channel (bit flips, erasures, crash-stops
     applied between broadcast and delivery).
+
+    Cost accounting follows the same contract: pass ``costs`` (a
+    :class:`repro.costs.CostLedger`) or install one process-wide via
+    :func:`repro.costs.use_ledger` to attribute every broadcast to its
+    (vertex, round, phase) cell and to populate
+    ``RunResult.cost_summary`` (mirrored as the trace-v4
+    ``cost_summary`` event when a trace is active).
     """
 
-    def __init__(self, model: BCCModel, metrics=None, trace=None, faults: Optional["FaultPlan"] = None):
+    def __init__(
+        self,
+        model: BCCModel,
+        metrics=None,
+        trace=None,
+        faults: Optional["FaultPlan"] = None,
+        costs=None,
+    ):
         self._model = model
         self._metrics = metrics
         self._trace = trace
         self._faults = faults
+        self._costs = costs
 
     @property
     def model(self) -> BCCModel:
@@ -164,9 +187,12 @@ class Simulator:
         # local ``is not None`` checks on the hot path.
         metrics = self._metrics if self._metrics is not None else get_registry()
         trace = self._trace
+        ledger = self._costs if self._costs is not None else get_ledger()
         recorder = get_recorder()
         if recorder is None:
-            return self._execute(instance, factory, rounds, the_coin, plan, metrics, trace, None)
+            return self._execute(
+                instance, factory, rounds, the_coin, plan, metrics, trace, None, ledger
+            )
         run_span = recorder.start(
             "simulator.run",
             n=instance.n,
@@ -177,7 +203,7 @@ class Simulator:
         )
         try:
             result = self._execute(
-                instance, factory, rounds, the_coin, plan, metrics, trace, recorder
+                instance, factory, rounds, the_coin, plan, metrics, trace, recorder, ledger
             )
             run_span.set_attr("rounds_executed", result.rounds_executed)
             return result
@@ -197,6 +223,7 @@ class Simulator:
         metrics,
         trace,
         recorder,
+        ledger,
     ) -> RunResult:
         """The round engine proper (observability already resolved)."""
         n = instance.n
@@ -324,6 +351,8 @@ class Simulator:
                             done = False
                     except Exception:
                         failed_nodes.add(v)
+            if ledger is not None:
+                ledger.record_round(t, messages)
             if observing:
                 round_seconds = time.perf_counter() - round_start
                 round_bits = sum(len(m) for m in messages)
@@ -355,12 +384,17 @@ class Simulator:
             if round_span is not None:
                 recorder.finish(round_span)
 
+        cost_summary = (
+            run_cost_summary(transcripts, executed) if ledger is not None else None
+        )
         if metrics is not None:
             metrics.counter("simulator.runs").inc()
             if done and executed < rounds:
                 metrics.gauge("simulator.early_stop_round").set(executed)
                 metrics.counter("simulator.early_stops").inc()
         if trace is not None:
+            if cost_summary is not None:
+                trace.emit("cost_summary", **cost_summary)
             if fault_run is not None:
                 trace.emit(
                     "run_end",
@@ -403,6 +437,7 @@ class Simulator:
             fault_events=tuple(fault_run.events) if fault_run is not None else (),
             crashed_vertices=fault_run.crashed_vertices if fault_run is not None else (),
             failed_vertices=tuple(sorted(failed_nodes)),
+            cost_summary=cost_summary,
         )
 
     def run_until_done(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
-from repro.core.model import SILENT_CHAR, message_to_char
+from repro.core.model import SILENT, SILENT_CHAR, message_bits, message_to_char
 
 
 @dataclass(frozen=True)
@@ -79,12 +79,27 @@ class Transcript:
         return tuple(r.comparable() for r in self._records[:t])
 
     def bits_sent(self) -> int:
-        """Total number of bits this vertex broadcast (silence counts 0)."""
-        return sum(len(r.sent) for r in self._records)
+        """Total number of bits this vertex broadcast.
+
+        Silence counts 0 in **both** encodings -- the on-channel empty
+        string and the rendered ⊥ glyph -- so a transcript rebuilt from a
+        rendered form (replay tooling, fault reports) agrees with the
+        live one, and a crashed vertex's forced silences never inflate
+        the total by the display width of ⊥.
+        """
+        return sum(message_bits(r.sent) for r in self._records)
+
+    def silence_count(self) -> int:
+        """Rounds in which this vertex broadcast nothing (the paper's ⊥)."""
+        return sum(
+            1 for r in self._records if r.sent == SILENT or r.sent == SILENT_CHAR
+        )
 
     def bits_received(self) -> int:
         """Total number of bits received across all ports and rounds."""
-        return sum(sum(len(m) for m in r.received.values()) for r in self._records)
+        return sum(
+            sum(message_bits(m) for m in r.received.values()) for r in self._records
+        )
 
     def __len__(self) -> int:
         return len(self._records)

@@ -1,0 +1,71 @@
+"""Communication-cost observability: ledger, calculus, conformance.
+
+Three layers, mirroring the structure of :mod:`repro.obs`:
+
+* :mod:`repro.costs.ledger` -- a thread-safe :class:`CostLedger`
+  accumulating measured bits per (vertex, round, phase), opt-in via
+  :func:`use_ledger` with the same one-``None``-check disabled path as
+  the metrics registry; the per-run view is ``RunResult.cost_summary``
+  and the trace-v4 ``cost_summary`` event;
+* :mod:`repro.costs.calculus` -- closed-form round/bit expressions in
+  symbols (n, t, ...), evaluated exactly by a dependency-free tree walk
+  and cross-checked through sympy when it is importable
+  (:data:`HAVE_SYMPY`); results are identical either way;
+* :mod:`repro.costs.specs` / :mod:`repro.costs.conformance` -- the
+  bundled per-protocol cost declarations and the checker that
+  substitutes finite n into each one and asserts the measured ledger
+  matches (or, for Omega floors, clears) the prediction. Exposed as
+  ``repro cost-check`` and ``tests/costs/``.
+"""
+
+from repro.costs.calculus import (
+    HAVE_SYMPY,
+    Expr,
+    bits_width,
+    ceil,
+    dfact,
+    evaluate,
+    floor,
+    log2,
+    symbols,
+    sympy_cross_check,
+)
+from repro.costs.conformance import ConformanceResult, check_all, check_spec
+from repro.costs.ledger import (
+    DEFAULT_PHASE,
+    CostLedger,
+    get_ledger,
+    message_cost_bits,
+    run_cost_summary,
+    set_ledger,
+    use_ledger,
+)
+from repro.costs.specs import CostSpec, MeasuredCost, get_spec, spec_names, specs
+
+__all__ = [
+    "DEFAULT_PHASE",
+    "HAVE_SYMPY",
+    "ConformanceResult",
+    "CostLedger",
+    "CostSpec",
+    "Expr",
+    "MeasuredCost",
+    "bits_width",
+    "ceil",
+    "check_all",
+    "check_spec",
+    "dfact",
+    "evaluate",
+    "floor",
+    "get_ledger",
+    "get_spec",
+    "log2",
+    "message_cost_bits",
+    "run_cost_summary",
+    "set_ledger",
+    "spec_names",
+    "specs",
+    "symbols",
+    "sympy_cross_check",
+    "use_ledger",
+]

@@ -1,0 +1,252 @@
+"""The per-(vertex, round, phase) communication-bit ledger.
+
+:class:`repro.core.simulator.Simulator` already measures total bits per
+round; the ledger keeps the *ledger-grade* version of that number: every
+broadcast attributed to the vertex that sent it, the round it was sent
+in, and the phase of the pipeline it belongs to (``broadcast`` for BCC
+rounds, ``simulate``/``decision`` for the two-party Section 4.3
+simulation). That attribution is what the symbolic cost calculus checks
+against -- a closed form like ``2nW`` is a statement about *who* sends
+*how much* *when*, not just a grand total.
+
+The contract mirrors :mod:`repro.obs.metrics` exactly: a ledger is
+**opt-in**, installed process-wide with :func:`use_ledger` (or passed to
+``Simulator(costs=...)``), resolved once per run, and the disabled path
+costs a single ``is not None`` check per round. Silence is first-class:
+a silent broadcast (the paper's ⊥, encoded as the empty string) counts
+**0 bits** and one silent round for its vertex -- and the rendered form
+``"⊥"`` is likewise 0 bits, so a ledger fed from a rendered transcript
+(replay tooling, fault reports) can never inflate a crashed vertex's
+spend by the width of the silence glyph.
+
+The module is dependency-free of ``repro.core`` so the simulator can
+import it without cycles; :func:`run_cost_summary` therefore duck-types
+its transcripts (anything with ``bits_sent()`` / ``silence_count()``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_PHASE",
+    "CostLedger",
+    "get_ledger",
+    "message_cost_bits",
+    "run_cost_summary",
+    "set_ledger",
+    "use_ledger",
+]
+
+#: The phase the simulator's own broadcasts are charged to.
+DEFAULT_PHASE = "broadcast"
+
+#: Zero-cost encodings of silence: the on-channel empty broadcast and
+#: its rendered ⊥ form (mirrors repro.core.model.SILENT / SILENT_CHAR;
+#: duplicated as literals so this module stays core-import-free).
+_SILENT_FORMS = ("", "⊥")
+
+Vertex = Union[int, str]
+
+
+def message_cost_bits(message: str) -> int:
+    """Channel cost of one broadcast: silence (raw or rendered ⊥) is 0."""
+    return 0 if message in _SILENT_FORMS else len(message)
+
+
+class CostLedger:
+    """Thread-safe accumulator of measured bits per (vertex, round, phase).
+
+    Like a :class:`~repro.obs.metrics.MetricsRegistry`, an installed
+    ledger accumulates across every run executed while it is active --
+    the per-run view lives on ``RunResult.cost_summary`` (see
+    :func:`run_cost_summary`).
+    """
+
+    __slots__ = ("_lock", "_bits", "_silences")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (vertex, round, phase) -> accumulated bits
+        self._bits: Dict[Tuple[Vertex, int, str], int] = {}
+        #: vertex -> silent broadcasts observed
+        self._silences: Dict[Vertex, int] = {}
+
+    # -- recording ------------------------------------------------------
+    def record(
+        self, vertex: Vertex, round_index: int, message: str, phase: str = DEFAULT_PHASE
+    ) -> None:
+        """Charge one broadcast message to (vertex, round, phase)."""
+        bits = message_cost_bits(message)
+        with self._lock:
+            if bits:
+                key = (vertex, round_index, phase)
+                self._bits[key] = self._bits.get(key, 0) + bits
+            else:
+                self._silences[vertex] = self._silences.get(vertex, 0) + 1
+                # a silent round still creates the (vertex, round) cell so
+                # per-round/per-vertex breakdowns show 0, not absence
+                self._bits.setdefault((vertex, round_index, phase), 0)
+
+    def record_bits(
+        self, vertex: Vertex, round_index: int, bits: int, phase: str = DEFAULT_PHASE
+    ) -> None:
+        """Charge a raw bit count (for callers that never go silent,
+        e.g. two-party protocol turns)."""
+        if bits < 0:
+            raise ValueError(f"cannot record {bits} bits (negative)")
+        with self._lock:
+            key = (vertex, round_index, phase)
+            self._bits[key] = self._bits.get(key, 0) + bits
+
+    def record_round(
+        self, round_index: int, messages: Sequence[str], phase: str = DEFAULT_PHASE
+    ) -> None:
+        """Charge one simulator round: ``messages[v]`` is vertex v's
+        broadcast (the simulator's hot-path entry point)."""
+        for vertex, message in enumerate(messages):
+            self.record(vertex, round_index, message, phase)
+
+    # -- aggregation ----------------------------------------------------
+    def total_bits(self) -> int:
+        with self._lock:
+            return sum(self._bits.values())
+
+    def rounds(self) -> int:
+        """The highest round index charged (0 for an empty ledger)."""
+        with self._lock:
+            return max((key[1] for key in self._bits), default=0)
+
+    def bits_by_vertex(self) -> Dict[Vertex, int]:
+        out: Dict[Vertex, int] = {}
+        with self._lock:
+            for (vertex, _t, _phase), bits in self._bits.items():
+                out[vertex] = out.get(vertex, 0) + bits
+        return out
+
+    def bits_by_round(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        with self._lock:
+            for (_vertex, t, _phase), bits in self._bits.items():
+                out[t] = out.get(t, 0) + bits
+        return out
+
+    def bits_by_phase(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        with self._lock:
+            for (_vertex, _t, phase), bits in self._bits.items():
+                out[phase] = out.get(phase, 0) + bits
+        return out
+
+    def silence_by_vertex(self) -> Dict[Vertex, int]:
+        with self._lock:
+            return dict(self._silences)
+
+    # -- export ---------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-ready summary: totals plus per-vertex / per-phase rows.
+
+        Vertices are rendered as strings (simulator indices and party
+        names like ``"alice"`` share one namespace in JSON).
+        """
+        per_vertex = self.bits_by_vertex()
+        silences = self.silence_by_vertex()
+        return {
+            "total_bits": self.total_bits(),
+            "rounds": self.rounds(),
+            "per_vertex": [
+                {
+                    "vertex": str(vertex),
+                    "bits": per_vertex.get(vertex, 0),
+                    "silent_rounds": silences.get(vertex, 0),
+                }
+                for vertex in sorted(
+                    set(per_vertex) | set(silences), key=lambda v: (isinstance(v, str), v)
+                )
+            ],
+            "per_phase": {
+                phase: bits for phase, bits in sorted(self.bits_by_phase().items())
+            },
+        }
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's cells into this one (associative)."""
+        with other._lock:
+            bits = dict(other._bits)
+            silences = dict(other._silences)
+        with self._lock:
+            for key, value in bits.items():
+                self._bits[key] = self._bits.get(key, 0) + value
+            for vertex, count in silences.items():
+                self._silences[vertex] = self._silences.get(vertex, 0) + count
+
+    def reset(self) -> None:
+        with self._lock:
+            self._bits.clear()
+            self._silences.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bits)
+
+
+def run_cost_summary(transcripts: Sequence[Any], rounds_executed: int) -> Dict[str, Any]:
+    """The per-run cost summary attached to ``RunResult.cost_summary``
+    and emitted as the trace-v4 ``cost_summary`` event.
+
+    ``transcripts`` is anything with ``bits_sent()`` and
+    ``silence_count()`` (duck-typed to keep this module free of
+    ``repro.core`` imports).
+    """
+    per_vertex: List[Dict[str, Any]] = []
+    total = 0
+    for vertex, transcript in enumerate(transcripts):
+        bits = transcript.bits_sent()
+        total += bits
+        per_vertex.append(
+            {
+                "vertex": str(vertex),
+                "bits": bits,
+                "silent_rounds": transcript.silence_count(),
+            }
+        )
+    return {"total_bits": total, "rounds": rounds_executed, "per_vertex": per_vertex}
+
+
+# ----------------------------------------------------------------------
+# the process-wide opt-in ledger (same contract as metrics.get_registry)
+# ----------------------------------------------------------------------
+_active_ledger: Optional[CostLedger] = None
+_active_lock = threading.Lock()
+
+
+def get_ledger() -> Optional[CostLedger]:
+    """The installed ledger, or None when cost accounting is off.
+
+    Instrumented call sites hold the result in a local and guard every
+    recording with ``if ledger is not None`` -- the entire disabled-path
+    cost.
+    """
+    return _active_ledger
+
+
+def set_ledger(ledger: Optional[CostLedger]) -> Optional[CostLedger]:
+    """Install (or, with None, remove) the process-wide ledger; returns
+    the previous one so callers can restore it."""
+    global _active_ledger
+    with _active_lock:
+        previous = _active_ledger
+        _active_ledger = ledger
+    return previous
+
+
+@contextmanager
+def use_ledger(ledger: Optional[CostLedger]) -> Iterator[Optional[CostLedger]]:
+    """Scoped :func:`set_ledger`: install for the block, then restore."""
+    previous = set_ledger(ledger)
+    try:
+        yield ledger
+    finally:
+        set_ledger(previous)

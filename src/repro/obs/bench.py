@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.costs.ledger import CostLedger, use_ledger
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench_payload
 
@@ -80,11 +81,16 @@ class BenchmarkResult:
     predicted: Dict[str, Any]
     ok: bool
     metrics: Dict[str, Any]
+    #: ``CostLedger.summary()`` for the harness run -- total bits, rounds,
+    #: and the per-vertex / per-phase breakdowns. Deterministic given
+    #: (quick, workers, kernel), which is what makes the bits column in
+    #: BENCH_HISTORY.jsonl a change-detector rather than a noise source.
+    costs: Dict[str, Any] = field(default_factory=dict)
     created_unix: float = field(default_factory=time.time)
     path: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema_version": BENCH_SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
@@ -97,6 +103,9 @@ class BenchmarkResult:
             "ok": self.ok,
             "metrics": self.metrics,
         }
+        if self.costs:
+            payload["costs"] = self.costs
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -667,6 +676,55 @@ def _run_kernels(params: Dict[str, Any]) -> RunnerOutput:
     return measured, predicted, identical
 
 
+def _run_costs(params: Dict[str, Any]) -> RunnerOutput:
+    import statistics
+
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.costs import check_all
+    from repro.costs.ledger import set_ledger
+    from repro.instances import one_cycle_instance
+
+    results = check_all(quick=params["quick_specs"])
+    mismatches = [r.name for r in results if not r.ok]
+
+    # Non-gating overhead probe: the disabled path is a single None check
+    # per round, and the enabled path one dict update per vertex-round.
+    # Medians land on the dashboard but never flip ``ok`` -- wall time on
+    # shared CI is too noisy to gate on.
+    n, rounds, repeats = params["n"], params["rounds"], params["repeats"]
+    inst = one_cycle_instance(n, kt=0)
+    sim = Simulator(BCC1_KT0)
+    previous = set_ledger(None)  # the harness ledger must not taint the probe
+    try:
+        disabled: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            sim.run(inst, ConstantAlgorithm, rounds)
+            disabled.append(time.perf_counter() - start)
+        enabled: List[float] = []
+        for _ in range(repeats):
+            ledger = CostLedger()
+            with use_ledger(ledger):
+                start = time.perf_counter()
+                sim.run(inst, ConstantAlgorithm, rounds)
+                enabled.append(time.perf_counter() - start)
+    finally:
+        set_ledger(previous)
+    measured = {
+        "specs_checked": len(results),
+        "mismatches": mismatches,
+        "sympy_checked": all(r.sympy_checked for r in results),
+        "per_spec": {
+            r.name: {"rounds": r.measured_rounds, "bits": r.measured_bits}
+            for r in results
+        },
+        "disabled_median_seconds": statistics.median(disabled),
+        "enabled_median_seconds": statistics.median(enabled),
+    }
+    predicted = {"mismatches": []}
+    return measured, predicted, not mismatches
+
+
 _SPECS: List[BenchmarkSpec] = [
     BenchmarkSpec(
         "simulator",
@@ -806,6 +864,13 @@ _SPECS: List[BenchmarkSpec] = [
         {"rank_n": 5, "graph_n": 7, "dense_size": 250},
         supports_kernel=True,
     ),
+    BenchmarkSpec(
+        "costs",
+        "P4: symbolic cost conformance + ledger on/off overhead probe",
+        _run_costs,
+        {"quick_specs": True, "n": 16, "rounds": 4, "repeats": 3},
+        {"quick_specs": False, "n": 64, "rounds": 8, "repeats": 5},
+    ),
 ]
 
 _SPEC_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
@@ -871,7 +936,8 @@ class BenchmarkHarness:
         if spec.supports_kernel:
             params["kernel"] = self.kernel
         registry = MetricsRegistry()
-        with use_registry(registry):
+        ledger = CostLedger()
+        with use_registry(registry), use_ledger(ledger):
             start = time.perf_counter()
             measured, predicted, ok = spec.runner(params)
             wall = time.perf_counter() - start
@@ -885,6 +951,7 @@ class BenchmarkHarness:
             predicted=predicted,
             ok=bool(ok),
             metrics=registry.snapshot(),
+            costs=ledger.summary(),
         )
         if self.out_dir is not None:
             result.path = self._write(result)

@@ -25,7 +25,8 @@ History line format (schema version 1)::
 
     {"schema_version": 1, "ts": 1754464000.1, "git_sha": "61ddd73...",
      "quick": true, "workers": 1, "kernel": "auto",
-     "entries": {"simulator": {"wall_time_seconds": 0.004, "ok": true},
+     "entries": {"simulator": {"wall_time_seconds": 0.004, "ok": true,
+                               "bits": 64, "rounds": 4},
                  ...}}
 
 ``workers`` (optional; absent = 1 on records written before the
@@ -35,6 +36,15 @@ partitioned on it exactly like ``quick``. ``kernel`` (optional; absent
 compute-kernel mode (:data:`repro.kernels.KERNEL_MODES`) and partitions
 baselines the same way -- a packed-engine wall time is speedup relative
 to a reference-engine median, not a baseline for it.
+
+``bits`` / ``rounds`` (optional; absent on records written before the
+cost ledger) are the :class:`~repro.costs.CostLedger` totals of the
+harness run. Unlike wall time they are **deterministic** given the
+(quick, workers, kernel) tuple, so the cost comparison is not a
+median-and-MAD detector but a change detector: any difference from the
+most recent same-tuple baseline is flagged (warn-only in CI -- an
+intentional protocol change legitimately moves the number, and the
+history line is the paper trail).
 """
 
 from __future__ import annotations
@@ -104,8 +114,26 @@ def history_record(
     ``workers`` records the harness fan-out the run used; the detector
     partitions baselines on it (a 4-worker wall time is not comparable
     to a serial one). ``kernel`` records the compute-kernel mode and
-    partitions baselines identically.
+    partitions baselines identically. Results carrying a ``costs``
+    mapping (a :meth:`~repro.costs.CostLedger.summary`) contribute
+    ``bits`` / ``rounds`` columns; stubs without one write wall-time
+    entries exactly as before.
     """
+    entries: Dict[str, Any] = {}
+    for r in results:
+        entry: Dict[str, Any] = {
+            "wall_time_seconds": float(r.wall_time_seconds),
+            "ok": bool(r.ok),
+        }
+        costs = getattr(r, "costs", None)
+        if isinstance(costs, Mapping):
+            bits = costs.get("total_bits")
+            rounds = costs.get("rounds")
+            if isinstance(bits, int) and not isinstance(bits, bool):
+                entry["bits"] = bits
+            if isinstance(rounds, int) and not isinstance(rounds, bool):
+                entry["rounds"] = rounds
+        entries[r.name] = entry
     return {
         "schema_version": HISTORY_SCHEMA_VERSION,
         "ts": time.time() if ts is None else ts,
@@ -113,13 +141,7 @@ def history_record(
         "quick": bool(quick),
         "workers": int(workers),
         "kernel": str(kernel),
-        "entries": {
-            r.name: {
-                "wall_time_seconds": float(r.wall_time_seconds),
-                "ok": bool(r.ok),
-            }
-            for r in results
-        },
+        "entries": entries,
     }
 
 
@@ -198,6 +220,14 @@ def validate_history_record(record: Mapping[str, Any]) -> List[str]:
             problems.append(f"entry {name!r} wall_time_seconds is not numeric")
         if not isinstance(entry.get("ok"), bool):
             problems.append(f"entry {name!r} missing boolean ok")
+        for cost_field in ("bits", "rounds"):  # optional, pre-ledger lines omit
+            if cost_field not in entry:
+                continue
+            value = entry[cost_field]
+            if isinstance(value, bool) or not isinstance(value, int):
+                problems.append(f"entry {name!r} {cost_field} is not an integer")
+            elif value < 0:
+                problems.append(f"entry {name!r} {cost_field} is negative")
     return problems
 
 
@@ -215,10 +245,31 @@ class RegressionFinding:
     baseline_mad: Optional[float]
     ratio: Optional[float]  # latest / median
     status: str  # "ok" | "regressed" | "improved" | "insufficient" | "new"
+    #: Communication-cost columns (trailing defaults keep the positional
+    #: seven-field construction older callers/tests use working). Bits
+    #: are deterministic per (quick, workers, kernel), so the verdict is
+    #: equality against the most recent same-tuple baseline value, not a
+    #: statistical gate.
+    latest_bits: Optional[int] = None
+    baseline_bits: Optional[int] = None
+    cost_status: str = "n/a"  # "n/a" | "new" | "same" | "changed"
 
     @property
     def regressed(self) -> bool:
         return self.status == "regressed"
+
+    @property
+    def cost_changed(self) -> bool:
+        return self.cost_status == "changed"
+
+    def cost_row(self) -> List[Any]:
+        """A table row for the warn-only cost comparison."""
+        return [
+            self.name,
+            "-" if self.latest_bits is None else self.latest_bits,
+            "-" if self.baseline_bits is None else self.baseline_bits,
+            self.cost_status.upper() if self.cost_changed else self.cost_status,
+        ]
 
     def row(self) -> List[Any]:
         """A table row for the CLI (ms, not seconds)."""
@@ -295,10 +346,24 @@ def detect_regressions(
         if isinstance(latest, bool) or not isinstance(latest, _NUMERIC):
             continue
         latest = float(latest)
+        latest_bits, baseline_bits, cost_status = _cost_verdict(
+            entry, baseline, name
+        )
         series = _series(baseline, name)
         if not series:
             findings.append(
-                RegressionFinding(name, latest, 0, None, None, None, "new")
+                RegressionFinding(
+                    name,
+                    latest,
+                    0,
+                    None,
+                    None,
+                    None,
+                    "new",
+                    latest_bits=latest_bits,
+                    baseline_bits=baseline_bits,
+                    cost_status=cost_status,
+                )
             )
             continue
         median = statistics.median(series)
@@ -313,9 +378,47 @@ def detect_regressions(
         else:
             status = "ok"
         findings.append(
-            RegressionFinding(name, latest, len(series), median, mad, ratio, status)
+            RegressionFinding(
+                name,
+                latest,
+                len(series),
+                median,
+                mad,
+                ratio,
+                status,
+                latest_bits=latest_bits,
+                baseline_bits=baseline_bits,
+                cost_status=cost_status,
+            )
         )
     return findings
+
+
+def _cost_verdict(
+    entry: Mapping[str, Any],
+    baseline: Sequence[Mapping[str, Any]],
+    name: str,
+) -> Tuple[Optional[int], Optional[int], str]:
+    """(latest_bits, baseline_bits, cost_status) for one benchmark.
+
+    Bits are deterministic per (quick, workers, kernel) tuple, so the
+    comparison is equality against the **most recent** baseline record
+    that carries a bits value -- no median, no threshold. ``n/a`` when
+    the newest entry has no bits (pre-ledger stub or cost-free kernel),
+    ``new`` when no baseline record carries one.
+    """
+    latest_bits = entry.get("bits")
+    if isinstance(latest_bits, bool) or not isinstance(latest_bits, int):
+        return None, None, "n/a"
+    for record in reversed(baseline):
+        candidate = record.get("entries", {}).get(name)
+        if not isinstance(candidate, Mapping):
+            continue
+        bits = candidate.get("bits")
+        if isinstance(bits, bool) or not isinstance(bits, int):
+            continue
+        return latest_bits, bits, ("same" if bits == latest_bits else "changed")
+    return latest_bits, None, "new"
 
 
 # ----------------------------------------------------------------------
@@ -401,6 +504,42 @@ def render_perf_dashboard(
         f"latest > median + {MAD_K:g} MAD, over a baseline window of "
         f"same-mode records (min {min_samples} samples)."
     )
+    cost_rows = []
+    for name in names:
+        finding = findings.get(name)
+        if finding is None or finding.latest_bits is None:
+            continue
+        entry = newest.get("entries", {}).get(name)
+        rounds = entry.get("rounds") if isinstance(entry, Mapping) else None
+        cost_rows.append(
+            "| {name} | {bits} | {rounds} | {baseline} | {status} |".format(
+                name=name,
+                bits=finding.latest_bits,
+                rounds="-" if rounds is None else rounds,
+                baseline="-" if finding.baseline_bits is None else finding.baseline_bits,
+                status=finding.cost_status,
+            )
+        )
+    if cost_rows:
+        lines.append("")
+        lines.append("## Communication cost")
+        lines.append("")
+        lines.append(
+            "Measured `CostLedger` totals per harness run. Bits are"
+        )
+        lines.append(
+            "deterministic given the (quick, workers, kernel) tuple, so any"
+        )
+        lines.append(
+            "`changed` verdict is a real protocol-cost change, not noise"
+        )
+        lines.append(
+            "(warn-only: an intentional change legitimately moves the number)."
+        )
+        lines.append("")
+        lines.append("| kernel | bits | rounds | baseline bits | status |")
+        lines.append("|---|---:|---:|---:|---|")
+        lines.extend(cost_rows)
     return "\n".join(lines) + "\n"
 
 

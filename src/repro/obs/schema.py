@@ -17,8 +17,17 @@ Schema version 1 (all keys required unless marked optional)::
         "counters": {"simulator.rounds_executed": 10, ...},
         "gauges": {...},
         "histograms": {"simulator.round_seconds": {"count": ..}, ...}
+      },
+      "costs": {                           # optional: CostLedger.summary()
+        "total_bits": 120,                 # measured communication, in bits
+        "rounds": 15,                      # highest ledgered round index
+        "per_vertex": [{"vertex": "0", "bits": 15, "silent_rounds": 0}, ...],
+        "per_phase": {"broadcast": 120}
       }
     }
+
+The ``costs`` section is optional -- payloads written before the cost
+ledger existed (or by harnesses that ran without one) still validate.
 
 The validator is deliberately hand-rolled (no jsonschema dependency) and
 is shared by the unit tests, the CI smoke job, and ``repro.cli report``.
@@ -127,5 +136,49 @@ def validate_bench_payload(payload: Mapping[str, Any]) -> List[str]:
                         problems.append(
                             f"histogram {name!r} field {field!r} is not numeric"
                         )
+
+    if "costs" in payload:
+        costs = payload["costs"]
+        if not isinstance(costs, Mapping):
+            problems.append("costs section is not an object")
+        else:
+            for field in ("total_bits", "rounds"):
+                value = costs.get(field)
+                if isinstance(value, bool) or not isinstance(value, int):
+                    problems.append(f"costs field {field!r} is not an integer")
+            per_vertex = costs.get("per_vertex")
+            if per_vertex is not None:
+                if not isinstance(per_vertex, list):
+                    problems.append("costs field 'per_vertex' is not a list")
+                else:
+                    for slot, entry in enumerate(per_vertex):
+                        if not isinstance(entry, Mapping):
+                            problems.append(
+                                f"costs per_vertex[{slot}] is not an object"
+                            )
+                            continue
+                        if not isinstance(entry.get("vertex"), str):
+                            problems.append(
+                                f"costs per_vertex[{slot}] vertex is not str"
+                            )
+                        for field in ("bits", "silent_rounds"):
+                            value = entry.get(field)
+                            if isinstance(value, bool) or not isinstance(
+                                value, int
+                            ):
+                                problems.append(
+                                    f"costs per_vertex[{slot}] field "
+                                    f"{field!r} is not int"
+                                )
+            per_phase = costs.get("per_phase")
+            if per_phase is not None:
+                if not isinstance(per_phase, Mapping):
+                    problems.append("costs field 'per_phase' is not an object")
+                else:
+                    for phase, value in per_phase.items():
+                        if isinstance(value, bool) or not isinstance(value, int):
+                            problems.append(
+                                f"costs per_phase[{phase!r}] is not an integer"
+                            )
 
     return problems

@@ -42,6 +42,15 @@ Schema history:
   profiles interleave with round/fault events on one timeline. v3 is
   again a strict superset: every v1 or v2 trace is a valid v3 trace,
   and :func:`validate_trace_events` accepts all three.
+* **v4** -- adds the communication-cost surface (see
+  :mod:`repro.costs`): one ``cost_summary`` event per run with an
+  active :class:`~repro.costs.CostLedger` (fields ``total_bits``,
+  ``rounds``, and ``per_vertex`` -- a list of
+  ``{"vertex", "bits", "silent_rounds"}`` records), emitted just
+  before ``run_end`` so the per-run ledger rides the same timeline
+  as the rounds it accounts for. v4 is a strict superset: every
+  v1--v3 trace is a valid v4 trace, and cost_summary events inside
+  traces declaring a version below 4 are flagged.
 
 Crash safety: every event is written as one line and flushed
 immediately (file sinks are opened line-buffered, and ``fsync=True``
@@ -70,7 +79,7 @@ __all__ = [
 ]
 
 #: Bump when the line format changes incompatibly.
-TRACE_SCHEMA_VERSION = 3
+TRACE_SCHEMA_VERSION = 4
 
 #: Oldest schema version read_trace / validate_trace_events still accept.
 OLDEST_SUPPORTED_TRACE_SCHEMA = 1
@@ -253,6 +262,11 @@ _SPAN_END_FIELDS = {
     "name": str,
 }
 
+_COST_SUMMARY_FIELDS = {
+    "total_bits": int,
+    "rounds": int,
+}
+
 
 def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
     """Return a list of schema violations for a parsed trace (empty = valid).
@@ -261,9 +275,12 @@ def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
     the envelope (run_id / seq / ts / event) is checked on every line,
     v2 ``fault`` events are checked field-by-field, ``fault`` events
     inside a trace whose header declares schema version 1 are flagged
-    (v1 predates fault injection), and v3 ``span_start`` /
-    ``span_end`` events are likewise checked and flagged inside traces
-    declaring a version below 3 (which predate span profiling).
+    (v1 predates fault injection), v3 ``span_start`` / ``span_end``
+    events are likewise checked and flagged inside traces declaring a
+    version below 3 (which predate span profiling), and v4
+    ``cost_summary`` events are checked (integer ``total_bits`` /
+    ``rounds``, a well-formed ``per_vertex`` list) and flagged inside
+    traces declaring a version below 4 (which predate cost accounting).
     """
     problems: List[str] = []
     if not events:
@@ -352,6 +369,45 @@ def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
                             f"span_end event {index} field {field!r} is not "
                             f"numeric"
                         )
+        elif event.get("event") == "cost_summary":
+            if version < 4:
+                problems.append(
+                    f"event {index} is a cost_summary event but the trace "
+                    f"declares schema version {version} (cost summaries need "
+                    f"version >= 4)"
+                )
+            for field, expected in _COST_SUMMARY_FIELDS.items():
+                value = event.get(field)
+                if isinstance(value, bool) or not isinstance(value, expected):
+                    problems.append(
+                        f"cost_summary event {index} field {field!r} is not "
+                        f"{expected.__name__}"
+                    )
+            per_vertex = event.get("per_vertex")
+            if not isinstance(per_vertex, list):
+                problems.append(
+                    f"cost_summary event {index} per_vertex is not a list"
+                )
+            else:
+                for slot, entry in enumerate(per_vertex):
+                    if not isinstance(entry, dict):
+                        problems.append(
+                            f"cost_summary event {index} per_vertex[{slot}] "
+                            f"is not an object"
+                        )
+                        continue
+                    if not isinstance(entry.get("vertex"), str):
+                        problems.append(
+                            f"cost_summary event {index} per_vertex[{slot}] "
+                            f"vertex is not str"
+                        )
+                    for field in ("bits", "silent_rounds"):
+                        value = entry.get(field)
+                        if isinstance(value, bool) or not isinstance(value, int):
+                            problems.append(
+                                f"cost_summary event {index} per_vertex"
+                                f"[{slot}] field {field!r} is not int"
+                            )
     by_run: Dict[str, List[int]] = {}
     for event in events:
         if isinstance(event.get("seq"), int) and isinstance(event.get("run_id"), str):

@@ -32,6 +32,7 @@ from repro.core.algorithm import NO, YES, AlgorithmFactory, NodeAlgorithm
 from repro.core.knowledge import InitialKnowledge
 from repro.core.randomness import PublicCoin
 from repro.algorithms.bit_codec import pack_symbols, unpack_symbols
+from repro.costs.ledger import get_ledger
 from repro.errors import ProtocolError
 from repro.obs.metrics import get_registry
 from repro.partitions.set_partition import SetPartition
@@ -153,22 +154,36 @@ class BCCSimulationProtocol(TwoPartyProtocol):
             nodes, _outputs = self._replay(speaker, own_input, turns, upto_round=t - 1)
             symbols = [node.broadcast(t) for _vid, node in nodes]
             bits = pack_symbols(symbols)
-            self._record_turn(bits, simulated_round=t, closes_round=(k % 2 == 1), turns=turns)
+            self._record_turn(
+                speaker, bits, simulated_round=t, closes_round=(k % 2 == 1), turns=turns
+            )
             return bits
         # final decision bits
         nodes, outputs = self._replay(speaker, own_input, turns, upto_round=self.rounds)
         bits = "1" if all(out == YES for out in outputs) else "0"
-        self._record_turn(bits, simulated_round=None, closes_round=False, turns=turns)
+        self._record_turn(speaker, bits, simulated_round=None, closes_round=False, turns=turns)
         return bits
 
     def _record_turn(
         self,
+        speaker: str,
         bits: str,
         simulated_round: Optional[int],
         closes_round: bool,
         turns: List[Turn],
     ) -> None:
-        """Per-turn bit accounting (no-op unless a registry is active)."""
+        """Per-turn bit accounting (no-op unless a registry/ledger is active)."""
+        ledger = get_ledger()
+        if ledger is not None:
+            # Ledger vertices are the two parties; the "round" is the BCC
+            # round this turn simulates (0 for the decision exchange), and
+            # the phase separates simulation traffic from decision bits.
+            ledger.record_bits(
+                speaker,
+                simulated_round if simulated_round is not None else 0,
+                len(bits),
+                phase="simulate" if simulated_round is not None else "decision",
+            )
         metrics = self._metrics if self._metrics is not None else get_registry()
         if metrics is None:
             return

@@ -29,6 +29,7 @@ GOLDEN_KEYS = {
     "predicted",
     "ok",
     "metrics",
+    "costs",  # the run's CostLedger summary (PR 6); optional in the schema
 }
 
 

@@ -283,3 +283,109 @@ class TestKernelField:
         legacy.append(self._kernel_record(0.01, 99.0, "auto"))
         findings = detect_regressions(legacy)
         assert findings[0].status == "ok"
+
+
+class _CostResult(_Result):
+    """A result that also carries a ledger cost summary."""
+
+    def __init__(self, name, seconds, bits, rounds=None, ok=True):
+        super().__init__(name, seconds, ok=ok)
+        costs = {"total_bits": bits}
+        if rounds is not None:
+            costs["rounds"] = rounds
+        self.costs = costs
+
+
+def _cost_record(entries, quick=True, ts=0.0, workers=1):
+    return history_record(
+        [
+            _CostResult(name, seconds, bits, rounds)
+            for name, (seconds, bits, rounds) in entries.items()
+        ],
+        quick=quick,
+        git_sha="abc123",
+        ts=ts,
+        workers=workers,
+    )
+
+
+class TestCostColumns:
+    """The communication-cost change detector riding the perf history."""
+
+    def test_history_record_carries_bits_and_rounds(self):
+        record = _cost_record({"kernel": (0.01, 48, 6)})
+        entry = record["entries"]["kernel"]
+        assert entry["bits"] == 48
+        assert entry["rounds"] == 6
+        assert validate_history_record(record) == []
+
+    def test_costless_results_emit_no_cost_fields(self):
+        record = _record({"kernel": 0.01})
+        entry = record["entries"]["kernel"]
+        assert "bits" not in entry and "rounds" not in entry
+        assert validate_history_record(record) == []
+
+    def test_validator_rejects_bad_cost_fields(self):
+        record = _cost_record({"kernel": (0.01, 48, 6)})
+        record["entries"]["kernel"]["bits"] = -1
+        assert any("bits" in p for p in validate_history_record(record))
+        record["entries"]["kernel"]["bits"] = "lots"
+        assert any("bits" in p for p in validate_history_record(record))
+        record = _cost_record({"kernel": (0.01, 48, 6)})
+        record["entries"]["kernel"]["rounds"] = -2
+        assert any("rounds" in p for p in validate_history_record(record))
+
+    def _cost_history(self, series_bits, latest_bits):
+        records = [
+            _cost_record({"kernel": (0.01, bits, 4)}, ts=float(i))
+            for i, bits in enumerate(series_bits)
+        ]
+        records.append(_cost_record({"kernel": (0.01, latest_bits, 4)}, ts=99.0))
+        return records
+
+    def test_same_bits_status_same(self):
+        findings = detect_regressions(self._cost_history([48] * 5, 48))
+        (finding,) = findings
+        assert finding.cost_status == "same"
+        assert finding.latest_bits == 48 and finding.baseline_bits == 48
+        assert not finding.cost_changed
+
+    def test_changed_bits_flagged_even_when_time_is_fine(self):
+        findings = detect_regressions(self._cost_history([48] * 5, 56))
+        (finding,) = findings
+        assert finding.cost_status == "changed"
+        assert finding.cost_changed
+        assert not finding.regressed  # wall time did not move
+        assert finding.cost_row() == ["kernel", 56, 48, "CHANGED"]
+
+    def test_no_cost_history_status_new(self):
+        records = [_record({"kernel": 0.01}, ts=float(i)) for i in range(5)]
+        records.append(_cost_record({"kernel": (0.01, 48, 4)}, ts=99.0))
+        (finding,) = detect_regressions(records)
+        assert finding.cost_status == "new"
+        assert finding.latest_bits == 48 and finding.baseline_bits is None
+
+    def test_costless_latest_status_na(self):
+        findings = detect_regressions(
+            [_record({"kernel": 0.01}, ts=float(i)) for i in range(6)]
+        )
+        (finding,) = findings
+        assert finding.cost_status == "n/a"
+        assert finding.latest_bits is None
+        assert not finding.cost_changed
+
+    def test_baseline_is_most_recent_record_with_bits(self):
+        records = self._cost_history([48, 48, 56], 56)
+        # A costless record in between must not reset the comparison.
+        records.insert(3, _record({"kernel": 0.01}, ts=50.0))
+        (finding,) = detect_regressions(records)
+        assert finding.baseline_bits == 56
+        assert finding.cost_status == "same"
+
+    def test_dashboard_gains_cost_section_only_with_bits(self):
+        dashboard = render_perf_dashboard(self._cost_history([48] * 5, 56))
+        assert "## Communication cost" in dashboard
+        assert "| changed |" in dashboard
+        assert "| 56 | 4 | 48 |" in dashboard
+        costless = [_record({"kernel": 0.01}, ts=float(i)) for i in range(6)]
+        assert "Communication cost" not in render_perf_dashboard(costless)

@@ -323,3 +323,109 @@ class TestSchemaV3SpansAndStats:
         from repro.obs import trace_stats
 
         assert trace_stats([]) == {}
+
+
+class TestSchemaV4CostSummary:
+    """Trace-v4: the cost_summary event the ledger-instrumented runs emit."""
+
+    def _v4_with_costs(self, n=4, rounds=2):
+        from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+        from repro.costs import CostLedger, use_ledger
+        from repro.instances import one_cycle_instance
+
+        buf = io.StringIO()
+        trace = RunTrace(buf)
+        with use_ledger(CostLedger()):
+            Simulator(BCC1_KT0, trace=trace).run(
+                one_cycle_instance(n, kt=0), ConstantAlgorithm, rounds
+            )
+        trace.close()
+        return buf.getvalue()
+
+    def test_v4_cost_summary_emitted_and_validates(self):
+        from repro.obs import validate_trace_events
+
+        events = read_trace(io.StringIO(self._v4_with_costs(n=4, rounds=2)))
+        assert validate_trace_events(events) == []
+        kinds = [e["event"] for e in events]
+        assert kinds.count("cost_summary") == 1
+        # The summary lands after the rounds, just before run_end.
+        assert kinds.index("cost_summary") == kinds.index("run_end") - 1
+        summary = next(e for e in events if e["event"] == "cost_summary")
+        assert summary["total_bits"] == 8 and summary["rounds"] == 2
+        assert len(summary["per_vertex"]) == 4
+        assert all(
+            isinstance(v["vertex"], str) and v["bits"] == 2
+            for v in summary["per_vertex"]
+        )
+
+    def test_no_ledger_means_no_cost_summary_event(self):
+        from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+        from repro.instances import one_cycle_instance
+
+        buf = io.StringIO()
+        Simulator(BCC1_KT0, trace=RunTrace(buf)).run(
+            one_cycle_instance(4, kt=0), ConstantAlgorithm, 2
+        )
+        kinds = [e["event"] for e in read_trace(io.StringIO(buf.getvalue()))]
+        assert "cost_summary" not in kinds
+
+    def test_cost_summary_in_v3_trace_flagged(self):
+        from repro.obs import validate_trace_events
+
+        text = (
+            '{"run_id": "r", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            ' "schema_version": 3}\n'
+            '{"run_id": "r", "seq": 1, "ts": 1.1, "event": "cost_summary",'
+            ' "total_bits": 8, "rounds": 2, "per_vertex": []}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("schema version 3" in p for p in problems)
+
+    def test_validator_flags_malformed_cost_summary(self):
+        from repro.obs import validate_trace_events
+
+        text = (
+            '{"run_id": "r", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            f' "schema_version": {TRACE_SCHEMA_VERSION}}}\n'
+            '{"run_id": "r", "seq": 1, "ts": 1.1, "event": "cost_summary",'
+            ' "total_bits": "eight", "rounds": 2.5,'
+            ' "per_vertex": [{"vertex": 0, "bits": "two", "silent_rounds": -1.5}]}\n'
+        )
+        problems = validate_trace_events(read_trace(io.StringIO(text)))
+        assert any("total_bits" in p for p in problems)
+        assert any("rounds" in p for p in problems)
+        assert any("per_vertex" in p or "vertex" in p for p in problems)
+
+    def test_torn_tail_on_v4_trace(self, tmp_path):
+        path = tmp_path / "v4.jsonl"
+        path.write_text(self._v4_with_costs(n=4, rounds=2), encoding="utf-8")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "r", "seq": 99, "event": "cost_summ')
+        events = read_trace(str(path))  # torn tail skipped by default
+        assert [e["event"] for e in events].count("cost_summary") == 1
+        with pytest.raises(ValueError):
+            read_trace(str(path), skip_torn_tail=False)
+
+    def test_read_trace_filter_splits_v3_and_v4_runs(self):
+        # A hand-written v3 run: the live writer now stamps v4 headers,
+        # so a mixed-version file has to come from an older producer.
+        v3 = (
+            '{"run_id": "spanrun", "seq": 0, "ts": 1.0, "event": "trace_start",'
+            ' "schema_version": 3}\n'
+            '{"run_id": "spanrun", "seq": 1, "ts": 1.1, "event": "span_start",'
+            ' "span_id": 0, "parent_id": null, "name": "outer", "attrs": {}}\n'
+            '{"run_id": "spanrun", "seq": 2, "ts": 1.2, "event": "span_end",'
+            ' "span_id": 0, "name": "outer", "duration_seconds": 0.1}\n'
+        )
+        v4 = self._v4_with_costs(n=4, rounds=2)
+        combined = v3 + v4
+        latest = read_trace(io.StringIO(combined), schema_version=4)
+        assert latest
+        headers = [e for e in latest if e["event"] == "trace_start"]
+        assert headers and all(e["schema_version"] == 4 for e in headers)
+        assert any(e["event"] == "cost_summary" for e in latest)
+        assert not any(e["event"] == "span_start" for e in latest)
+        spans_only = read_trace(io.StringIO(combined), schema_version=3)
+        assert any(e["event"] == "span_start" for e in spans_only)
+        assert not any(e["event"] == "cost_summary" for e in spans_only)

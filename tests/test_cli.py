@@ -220,3 +220,64 @@ class TestKernelFlag:
         )
         assert payload["ok"] is True
         assert payload["measured"]["results_identical"] is True
+
+
+class TestCostCheck:
+    """``repro cost-check``: measured bits/rounds vs the symbolic specs."""
+
+    def test_quick_check_passes(self, capsys):
+        assert main(["cost-check", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "constant_cycle" in out
+        assert "two_partition_simulation" in out
+        assert "MISMATCH" not in out
+
+    def test_only_filter_and_json(self, capsys):
+        assert main(["cost-check", "--quick", "--only",
+                     "neighbor_exchange_kt1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        (row,) = payload["rows"]
+        name, kind, rounds, vs_rounds, bits, vs_bits, _backend, verdict = row
+        assert name == "neighbor_exchange_kt1"
+        assert verdict == "ok"
+        assert vs_rounds == f"== {rounds}" and vs_bits == f"== {bits}"
+
+    def test_unknown_spec_exits_two(self, capsys):
+        assert main(["cost-check", "--only", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "constant_cycle" in err  # the known names are listed
+
+    def test_floor_specs_included(self, capsys):
+        assert main(["cost-check", "--quick", "--only",
+                     "omega_total_bits_kt1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        (row,) = payload["rows"]
+        name, kind, _rounds, _vs_rounds, bits, vs_bits, _backend, verdict = row
+        assert name == "omega_total_bits_kt1"
+        assert kind == "floor" and verdict == "ok"
+        assert vs_bits.startswith(">=")
+
+
+class TestReportPerVertex:
+    """``repro report --per-vertex``: the ledger's per-vertex attribution."""
+
+    def _bench(self, tmp_path):
+        out = str(tmp_path / "results")
+        assert main(["bench", "--quick", "--only", "simulator",
+                     "--out-dir", out]) == 0
+        return out
+
+    def test_report_shows_ledger_bits_column(self, tmp_path, capsys):
+        out = self._bench(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--dir", out]) == 0
+        assert "ledger bits" in capsys.readouterr().out
+
+    def test_per_vertex_table_rendered(self, tmp_path, capsys):
+        out = self._bench(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--dir", out, "--per-vertex"]) == 0
+        report = capsys.readouterr().out
+        assert "bits sent" in report
+        assert "silent rounds" in report

@@ -18,6 +18,10 @@
     python -m repro.cli compare       --fail-on-regress
     python -m repro.cli cost-check    --quick
     python -m repro.cli trace-validate run.jsonl --stats
+    python -m repro.cli record run    --session s.jsonl --algorithm flooding --n 8
+    python -m repro.cli replay s.jsonl --verify
+    python -m repro.cli rewind s.jsonl --to 3 --walk 2
+    python -m repro.cli report --session s.jsonl
 
 Each subcommand prints a paper-vs-measured table; see EXPERIMENTS.md for
 the mapping to the paper's lemmas and theorems. Observability:
@@ -54,10 +58,22 @@ take ``--budget-seconds`` / work caps plus ``--checkpoint FILE`` and
 exiting. ``fault-sweep`` measures correctness-vs-fault-rate degradation
 curves for the upper-bound algorithms.
 
+Record/replay (see `repro.replay`): ``record`` executes any of the
+engines (a simulator run -- optionally under ``--bit-flip-rate`` /
+``--crash-at`` faults and ``--max-delay`` / ``--duplicate-rate`` /
+``--reorder`` adversarial delivery -- or exhaustive / sampling / ranks /
+fault-sweep) while writing a step-addressable session log; ``replay``
+re-executes it and diffs every step, ``rewind`` navigates and branches
+counterfactuals, and ``report --session`` summarizes one (rounds,
+faults, per-edge delivery anomalies, cost parity).
+
 Exit codes: 0 success; 1 experiment-level failure (a FAIL row); 2 user
 error (bad arguments, invalid instance, unreadable checkpoint -- one
 line on stderr, never a traceback); 3 budget exhausted (partial results
-printed); 130 interrupted (after flushing any configured checkpoint).
+printed); 4 replay divergence (the recorded session and the live
+re-execution disagree -- first divergence on stderr or in the report);
+130 interrupted (after flushing any configured checkpoint and sealing
+any open session log).
 """
 
 from __future__ import annotations
@@ -636,6 +652,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if getattr(args, "session", None):
+        return _report_session(args)
     from repro.obs import load_bench_payloads, validate_bench_payload
 
     payloads = load_bench_payloads(args.dir)
@@ -933,6 +951,275 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _parse_crash_at(specs) -> list:
+    """``--crash-at V:T`` occurrences -> ScheduledFault dicts."""
+    scheduled = []
+    for spec in specs or ():
+        try:
+            vertex, round_index = spec.split(":", 1)
+            scheduled.append(
+                {
+                    "round_index": int(round_index),
+                    "kind": "crash",
+                    "vertex": int(vertex),
+                }
+            )
+        except ValueError:
+            raise ValueError(
+                f"--crash-at expects VERTEX:ROUND (e.g. 3:2), got {spec!r}"
+            ) from None
+    return scheduled
+
+
+def _record_params(args: argparse.Namespace) -> dict:
+    """The session ``params`` header for ``repro record`` -- everything
+    the chosen engine needs to re-execute deterministically."""
+    kind = args.kind
+    if kind == "run":
+        params = {"algorithm": args.algorithm, "n": args.n}
+        if args.instance != "one_cycle":
+            params["instance"] = args.instance
+        if args.split is not None:
+            params["split"] = args.split
+        if args.rounds is not None:
+            params["rounds"] = args.rounds
+        if args.coin_seed is not None:
+            params["coin_seed"] = args.coin_seed
+        faults = {}
+        if args.bit_flip_rate:
+            faults["bit_flip_rate"] = args.bit_flip_rate
+        if args.erasure_rate:
+            faults["erasure_rate"] = args.erasure_rate
+        if args.crash_rate:
+            faults["crash_rate"] = args.crash_rate
+        scheduled = _parse_crash_at(args.crash_at)
+        if scheduled:
+            faults["scheduled"] = scheduled
+        if faults:
+            faults["seed"] = args.fault_seed
+            if args.max_crashes is not None:
+                faults["max_crashes"] = args.max_crashes
+            params["faults"] = faults
+        network = {}
+        if args.max_delay:
+            network["max_delay"] = args.max_delay
+        if args.duplicate_rate:
+            network["duplicate_rate"] = args.duplicate_rate
+        if args.reorder:
+            network["reorder"] = True
+        if network:
+            network["seed"] = args.net_seed
+            params["network"] = network
+        return params
+    if kind == "exhaustive":
+        return {"n": args.n, "workers": _resolved_workers(args)}
+    if kind == "sampling":
+        return {
+            "n": args.n,
+            "eps": args.eps,
+            "samples": args.samples,
+            "seed": args.seed,
+            "workers": _resolved_workers(args),
+        }
+    if kind == "ranks":
+        return {
+            "ns": [int(n) for n in args.ns],
+            "kernel": args.kernel,
+            "workers": _resolved_workers(args),
+        }
+    # fault-sweep
+    return {
+        "algorithms": list(args.algorithms),
+        "kinds": list(args.kinds or ("bit_flip", "erasure", "crash")),
+        "rates": [float(r) for r in args.rates],
+        "n": args.n,
+        "trials": args.trials,
+        "seed": args.seed,
+        "workers": _resolved_workers(args),
+    }
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.replay import record_session
+    from repro.resilience import graceful_interrupts
+
+    params = _record_params(args)
+    with graceful_interrupts():
+        payload, store = record_session(args.kind, params, args.session)
+    if args.kind == "run":
+        outcome = (
+            f"decision={payload['decision']} "
+            f"rounds={payload['rounds_executed']} bits={payload['total_bits']} "
+            f"faults={payload['faults_injected']} "
+            f"anomalies={payload['delivery_anomalies']}"
+        )
+    else:
+        outcome = f"{len(payload)} result fields"
+    _emit(
+        args,
+        f"recorded session -> {args.session}",
+        ["kind", "steps", "sealed", "outcome"],
+        [[args.kind, store.steps_recorded, True, outcome]],
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.replay import replay_session
+
+    report = replay_session(args.file)
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {
+                    "file": args.file,
+                    "run_id": report.run_id,
+                    "kind": report.kind,
+                    "matched": report.matched,
+                    "partial": report.partial,
+                    "steps_compared": report.steps_compared,
+                    "divergence": (
+                        None
+                        if report.divergence is None
+                        else {
+                            "location": report.divergence.location,
+                            "field": report.divergence.field,
+                            "recorded": report.divergence.recorded,
+                            "replayed": report.divergence.replayed,
+                        }
+                    ),
+                },
+                sort_keys=False,
+                default=str,
+            )
+        )
+    elif args.verify or not report.matched:
+        print(report.describe())
+    else:
+        partial = " (partial recording)" if report.partial else ""
+        print(
+            f"{args.file}: replay MATCH, {report.steps_compared} step(s){partial}"
+        )
+    return 0 if report.matched else 4
+
+
+def _cmd_rewind(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.replay import SessionCursor
+
+    cursor = SessionCursor(args.file)
+    cursor.rewind(args.to)
+    rows = []
+    for _ in range(max(1, args.walk)):
+        if cursor.exhausted:
+            break
+        step = cursor.step()
+        broadcasts = step.get("broadcasts")
+        rows.append(
+            [
+                step.get("step"),
+                step.get("t", "-"),
+                " ".join(m if m else "⊥" for m in broadcasts)
+                if broadcasts is not None
+                else step.get("name", "-"),
+                len(step.get("faults", ())),
+                len(step.get("deliveries", ())),
+                step.get("all_finished", "-"),
+            ]
+        )
+    session = cursor.session
+    _emit(
+        args,
+        f"session {session.run_id} (kind={session.kind}, "
+        f"{session.step_count} steps) from step {args.to}",
+        ["step", "round", "broadcasts", "faults", "deliveries", "finished"],
+        rows,
+    )
+    if args.branch is not None:
+        overrides = _json.loads(args.branch)
+        cursor.rewind(args.to)
+        branched = cursor.branch(overrides, sink=args.out)
+        suffix = f" -> {args.out}" if args.out else ""
+        print(
+            f"branch OK: prefix agrees through step {args.to}, "
+            f"branched session has {branched.step_count} step(s){suffix}"
+        )
+    return 0
+
+
+def _report_session(args: argparse.Namespace) -> int:
+    """``repro report --session FILE``: summarize one recorded session."""
+    from repro.costs import cost_summary_from_broadcasts
+    from repro.replay import read_session
+
+    session = read_session(args.session)
+    state = "complete" if session.complete else (
+        "interrupted" if session.interrupted else "truncated"
+    )
+    fault_counts: dict = {}
+    delivery_edges: dict = {}
+    for step in session.steps:
+        for fault in step.get("faults", ()):
+            kind = fault.get("kind", "?")
+            fault_counts[kind] = fault_counts.get(kind, 0) + 1
+        for event in step.get("deliveries", ()):
+            edge = (event.get("sender"), event.get("receiver"))
+            per_kind = delivery_edges.setdefault(edge, {})
+            kind = event.get("kind", "?")
+            per_kind[kind] = per_kind.get(kind, 0) + 1
+    faults_summary = (
+        " ".join(f"{k}={v}" for k, v in sorted(fault_counts.items())) or "none"
+    )
+    _emit(
+        args,
+        f"session report: {args.session}",
+        ["run id", "kind", "steps", "state", "result", "faults"],
+        [
+            [
+                session.run_id,
+                session.kind,
+                session.step_count,
+                state,
+                "recorded" if session.result is not None else "absent",
+                faults_summary,
+            ]
+        ],
+    )
+    if delivery_edges:
+        rows = [
+            [
+                f"{edge[0]}->{edge[1]}",
+                *(per_kind.get(k, 0) for k in ("delayed", "duplicated", "reordered", "dropped")),
+            ]
+            for edge, per_kind in sorted(delivery_edges.items())
+        ]
+        _emit(
+            args,
+            f"per-edge delivery anomalies ({len(delivery_edges)} edges)",
+            ["edge", "delayed", "duplicated", "reordered", "dropped"],
+            rows,
+        )
+    if session.kind == "run" and session.result is not None:
+        recorded = session.result.get("cost_summary")
+        rebuilt = cost_summary_from_broadcasts(
+            [step.get("broadcasts", []) for step in session.steps]
+        )
+        if recorded is not None:
+            if recorded == rebuilt:
+                print("cost parity: OK (recorded summary matches the step log)")
+            else:
+                print(
+                    "cost parity: MISMATCH -- recorded cost summary disagrees "
+                    "with the broadcasts in the step log",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("available experiments:")
     for name, help_text in _COMMANDS_HELP:
@@ -959,6 +1246,9 @@ _COMMANDS_HELP = [
     ("compare", "detect perf regressions against BENCH_HISTORY.jsonl"),
     ("cost-check", "check measured bits/rounds against the symbolic cost specs"),
     ("trace-validate", "validate a JSONL run trace (any schema version)"),
+    ("record", "execute an engine while recording a replayable session log"),
+    ("replay", "re-execute a recorded session; exit 4 on any divergence"),
+    ("rewind", "inspect a recorded session step-by-step; branch counterfactuals"),
 ]
 
 
@@ -1245,6 +1535,15 @@ def build_parser() -> argparse.ArgumentParser:
             "silent rounds per vertex (from the optional costs section)"
         ),
     )
+    p.add_argument(
+        "--session",
+        metavar="FILE",
+        default=None,
+        help=(
+            "summarize a recorded session log instead: rounds, faults, "
+            "per-edge delivery anomalies, and recorded-vs-log cost parity"
+        ),
+    )
     _add_json_flag(p)
     p.set_defaults(func=_cmd_report)
 
@@ -1361,6 +1660,135 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_flag(p)
     p.set_defaults(func=_cmd_trace_validate)
 
+    p = sub.add_parser("record", help=_help("record"))
+    from repro.replay.engines import RECORD_KINDS
+
+    p.add_argument("kind", choices=RECORD_KINDS, help="which engine to record")
+    p.add_argument(
+        "--session",
+        metavar="FILE",
+        required=True,
+        help="session log to write (trace-v5 JSONL; replayable byte-identically)",
+    )
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument(
+        "--algorithm",
+        default="flooding",
+        help="run kind: harness algorithm (neighbor_exchange flooding boruvka sketch)",
+    )
+    p.add_argument(
+        "--instance",
+        choices=("one_cycle", "two_cycle"),
+        default="one_cycle",
+        help="run kind: input family (two_cycle needs --split)",
+    )
+    p.add_argument("--split", type=int, default=None, help="run kind: two_cycle split")
+    p.add_argument(
+        "--rounds", type=int, default=None, help="run kind: round budget (default: the algorithm's)"
+    )
+    p.add_argument(
+        "--coin-seed", default=None, help="run kind: public-coin seed string"
+    )
+    p.add_argument("--bit-flip-rate", type=float, default=0.0)
+    p.add_argument("--erasure-rate", type=float, default=0.0)
+    p.add_argument("--crash-rate", type=float, default=0.0)
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--max-crashes", type=int, default=None)
+    p.add_argument(
+        "--crash-at",
+        action="append",
+        metavar="V:T",
+        default=None,
+        help="schedule vertex V to crash in round T (repeatable)",
+    )
+    p.add_argument(
+        "--max-delay",
+        type=int,
+        default=0,
+        help="network: delay each delivery by 0..D rounds (seeded)",
+    )
+    p.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.0,
+        help="network: per-delivery duplication probability (seeded)",
+    )
+    p.add_argument(
+        "--reorder",
+        action="store_true",
+        help="network: deterministically reorder queued deliveries",
+    )
+    p.add_argument("--net-seed", type=int, default=0, help="network RNG seed")
+    p.add_argument("--eps", type=float, default=0.0, help="sampling kind: protocol eps")
+    p.add_argument("--samples", type=int, default=200, help="sampling kind")
+    p.add_argument("--seed", type=int, default=0, help="sampling / fault-sweep seed")
+    p.add_argument(
+        "--ns", nargs="+", default=["3", "4", "5"], metavar="N", help="ranks kind: sizes"
+    )
+    p.add_argument(
+        "--rates",
+        nargs="+",
+        default=["0.0", "0.1"],
+        metavar="R",
+        help="fault-sweep kind: rates",
+    )
+    p.add_argument(
+        "--kinds", nargs="+", default=None, metavar="KIND", help="fault-sweep kind"
+    )
+    p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["neighbor_exchange", "flooding"],
+        metavar="ALGO",
+        help="fault-sweep kind",
+    )
+    p.add_argument("--trials", type=int, default=4, help="fault-sweep kind")
+    _add_kernel_flag(p)
+    _add_workers_flag(p)
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser("replay", help=_help("replay"))
+    p.add_argument("file", help="recorded session log")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="print the full comparison report (divergences always exit 4)",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("rewind", help=_help("rewind"))
+    p.add_argument("file", help="recorded session log")
+    p.add_argument(
+        "--to", type=int, default=0, metavar="T", help="step to rewind to (0-based)"
+    )
+    p.add_argument(
+        "--walk",
+        type=int,
+        default=1,
+        metavar="K",
+        help="show K steps starting at the rewind point (default: 1)",
+    )
+    p.add_argument(
+        "--branch",
+        metavar="JSON",
+        default=None,
+        help=(
+            "re-execute with these param overrides (JSON object) after "
+            "verifying digest prefix agreement up to the rewind point; "
+            "a changed past exits 4"
+        ),
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="save the branched session log (only written if the prefix check passes)",
+    )
+    _add_json_flag(p)
+    p.set_defaults(func=_cmd_rewind)
+
     return parser
 
 
@@ -1375,7 +1803,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     subcommands) exits 130. Genuine bugs still raise: anything outside
     those families is not swallowed.
     """
-    from repro.errors import ReproError
+    from repro.errors import ReplayDivergenceError, ReproError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1384,6 +1812,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except ReplayDivergenceError as exc:
+        print(f"divergence: {exc}", file=sys.stderr)
+        return 4
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -26,6 +26,7 @@ from repro.obs.metrics import get_registry
 from repro.obs.spans import get_recorder
 
 if TYPE_CHECKING:  # imported lazily to keep core free of resilience deps
+    from repro.net.plan import NetworkEvent, NetworkPlan
     from repro.resilience.faults import FaultEvent, FaultPlan
 
 
@@ -68,6 +69,15 @@ class RunResult:
         :func:`repro.costs.ledger.run_cost_summary`), populated only
         when a :class:`~repro.costs.ledger.CostLedger` was active for
         the run; ``None`` otherwise, keeping the disabled path free.
+    network_events:
+        Delivery anomalies (delays, duplicates, reorders, end-of-run
+        drops) injected by a non-pristine
+        :class:`~repro.net.NetworkPlan`, in injection order; empty for
+        clean and faults-only runs.
+    delivery_stats:
+        Per-edge delivery counters for edges that carried traffic under
+        a non-pristine network plan (see
+        :meth:`repro.net.Channel.stats`); empty otherwise.
     """
 
     instance: BCCInstance
@@ -80,6 +90,8 @@ class RunResult:
     crashed_vertices: Tuple[int, ...] = ()
     failed_vertices: Tuple[int, ...] = ()
     cost_summary: Optional[Dict[str, Any]] = None
+    network_events: Tuple["NetworkEvent", ...] = ()
+    delivery_stats: Tuple[Dict[str, int], ...] = ()
 
     def sent_sequence(self, v: int) -> Tuple[str, ...]:
         """The message sequence vertex index ``v`` broadcast."""
@@ -109,7 +121,11 @@ class Simulator:
     round when disabled: pass ``faults`` (a
     :class:`repro.resilience.FaultPlan`) here or per-run to execute under
     a deterministic adversarial channel (bit flips, erasures, crash-stops
-    applied between broadcast and delivery).
+    applied between broadcast and delivery). Adversarial runs route
+    delivery through a :class:`repro.net.NetworkManager`, so ``faults``
+    is one pluggable delivery policy among several: pass ``network`` (a
+    :class:`repro.net.NetworkPlan`) to add per-edge delay, duplication,
+    and deterministic reordering on top of -- or instead of -- faults.
 
     Cost accounting follows the same contract: pass ``costs`` (a
     :class:`repro.costs.CostLedger`) or install one process-wide via
@@ -126,12 +142,14 @@ class Simulator:
         trace=None,
         faults: Optional["FaultPlan"] = None,
         costs=None,
+        network: Optional["NetworkPlan"] = None,
     ):
         self._model = model
         self._metrics = metrics
         self._trace = trace
         self._faults = faults
         self._costs = costs
+        self._network = network
 
     @property
     def model(self) -> BCCModel:
@@ -157,6 +175,8 @@ class Simulator:
         rounds: int,
         coin: Optional[PublicCoin] = None,
         faults: Optional["FaultPlan"] = None,
+        network: Optional["NetworkPlan"] = None,
+        session=None,
     ) -> RunResult:
         """Execute ``rounds`` synchronous rounds of the algorithm.
 
@@ -169,6 +189,17 @@ class Simulator:
         plan is applied between broadcast and delivery each round, so
         per-receiver views can diverge. With no plan the clean path is a
         single ``None`` check per round.
+
+        ``network`` (default: the plan given at construction) routes
+        delivery through per-edge :class:`repro.net.Channel` objects --
+        seeded delay/duplication/reordering composing with ``faults``. A
+        network plan may carry its own fault plan; an explicit ``faults``
+        argument wins when both name one.
+
+        ``session`` (a :class:`repro.replay.SessionStore`) records every
+        round -- broadcasts, per-vertex round digests, fault and delivery
+        events, RNG state transitions -- for later replay/rewind. Like the
+        other hooks it costs one ``None`` check per round when absent.
         """
         if instance.kt != self._model.kt:
             raise SimulationError(
@@ -179,6 +210,9 @@ class Simulator:
             raise SimulationError(f"rounds must be >= 0, got {rounds}")
         the_coin = coin if coin is not None else PublicCoin()
         plan = faults if faults is not None else self._faults
+        net_plan = network if network is not None else self._network
+        if plan is None and net_plan is not None:
+            plan = net_plan.faults
 
         # Resolve observability once per run; ``None`` means the disabled
         # fast path (a single extra truthiness check per round). The span
@@ -191,7 +225,8 @@ class Simulator:
         recorder = get_recorder()
         if recorder is None:
             return self._execute(
-                instance, factory, rounds, the_coin, plan, metrics, trace, None, ledger
+                instance, factory, rounds, the_coin, plan, net_plan, session,
+                metrics, trace, None, ledger,
             )
         run_span = recorder.start(
             "simulator.run",
@@ -203,7 +238,8 @@ class Simulator:
         )
         try:
             result = self._execute(
-                instance, factory, rounds, the_coin, plan, metrics, trace, recorder, ledger
+                instance, factory, rounds, the_coin, plan, net_plan, session,
+                metrics, trace, recorder, ledger,
             )
             run_span.set_attr("rounds_executed", result.rounds_executed)
             return result
@@ -220,38 +256,56 @@ class Simulator:
         rounds: int,
         the_coin: PublicCoin,
         plan: Optional["FaultPlan"],
+        net_plan: Optional["NetworkPlan"],
+        session,
         metrics,
         trace,
         recorder,
         ledger,
     ) -> RunResult:
-        """The round engine proper (observability already resolved)."""
+        """The round engine proper (observability already resolved).
+
+        Adversarial executions (any fault or network plan) route every
+        delivery through a :class:`repro.net.NetworkManager`; a bare
+        fault plan rides in a *pristine* network plan, whose manager
+        allocates no channels and adds no RNG draws, keeping faults-only
+        runs bit-identical to the pre-channel-layer engine.
+        """
         n = instance.n
-        fault_run = plan.begin_run(n) if plan is not None else None
+        if net_plan is not None:
+            net_run = net_plan.begin_run(n, plan)
+        elif plan is not None:
+            from repro.net.plan import NetworkPlan
+
+            net_plan = NetworkPlan()
+            net_run = net_plan.begin_run(n, plan)
+        else:
+            net_run = None
+        fault_run = net_run.fault_run if net_run is not None else None
+        networked = net_plan is not None and not net_plan.is_pristine
         observing = metrics is not None or trace is not None
         if trace is not None:
+            start_fields: Dict[str, Any] = {
+                "n": n,
+                "kt": instance.kt,
+                "bandwidth": self._model.bandwidth,
+                "rounds_budget": rounds,
+            }
             if fault_run is not None:
-                trace.emit(
-                    "run_start",
-                    n=n,
-                    kt=instance.kt,
-                    bandwidth=self._model.bandwidth,
-                    rounds_budget=rounds,
-                    fault_seed=plan.seed,
-                    fault_rates={
-                        "bit_flip": plan.bit_flip_rate,
-                        "erasure": plan.erasure_rate,
-                        "crash": plan.crash_rate,
-                    },
-                )
-            else:
-                trace.emit(
-                    "run_start",
-                    n=n,
-                    kt=instance.kt,
-                    bandwidth=self._model.bandwidth,
-                    rounds_budget=rounds,
-                )
+                start_fields["fault_seed"] = plan.seed
+                start_fields["fault_rates"] = {
+                    "bit_flip": plan.bit_flip_rate,
+                    "erasure": plan.erasure_rate,
+                    "crash": plan.crash_rate,
+                }
+            if networked:
+                start_fields["network"] = {
+                    "seed": net_plan.seed,
+                    "max_delay": net_plan.max_delay,
+                    "duplicate_rate": net_plan.duplicate_rate,
+                    "reorder": net_plan.reorder,
+                }
+            trace.emit("run_start", **start_fields)
 
         nodes: List[NodeAlgorithm] = []
         for v in range(n):
@@ -265,6 +319,9 @@ class Simulator:
         executed = 0
         total_bits = 0
         fault_cursor = 0
+        net_cursor = 0
+        session_fault_cursor = 0
+        session_net_cursor = 0
         failed_nodes: set = set()
         done = all(node.finished() for node in nodes)
         for t in range(1, rounds + 1):
@@ -274,7 +331,7 @@ class Simulator:
             round_span = (
                 recorder.start("simulator.round", t=t) if recorder is not None else None
             )
-            if fault_run is None:
+            if net_run is None:
                 # The clean hot path: identical to the pre-resilience engine
                 # behind local ``is not None`` checks.
                 if recorder is not None:
@@ -318,9 +375,10 @@ class Simulator:
                     except Exception:
                         failed_nodes.add(v)
                         collected.append("")
-                # Sender-side faults (crash-stop) first, then per-delivery
-                # faults so port-level views can diverge.
-                messages = fault_run.filter_broadcasts(t, tuple(collected))
+                # Sender-side faults (crash-stop) first, then the per-edge
+                # delivery pipeline (fault filter, then channel) so
+                # port-level views can diverge.
+                messages = net_run.filter_broadcasts(t, tuple(collected))
                 history.append(messages)
                 if recorder is not None:
                     recorder.finish(phase_span)
@@ -331,7 +389,7 @@ class Simulator:
                         if u == v:
                             continue
                         received[instance.port_to_peer(v, u)] = (
-                            fault_run.filter_delivery(t, u, v, messages[u])
+                            net_run.deliver(t, u, v, messages[u])
                         )
                     if v not in failed_nodes:
                         try:
@@ -358,8 +416,11 @@ class Simulator:
                 round_bits = sum(len(m) for m in messages)
                 total_bits += round_bits
                 round_faults = 0
+                round_deliveries = 0
                 if fault_run is not None:
                     round_faults = fault_run.faults_injected - fault_cursor
+                if net_run is not None:
+                    round_deliveries = net_run.events_injected - net_cursor
                 if metrics is not None:
                     metrics.counter("simulator.rounds_executed").inc()
                     metrics.counter("simulator.messages_validated").inc(n)
@@ -367,10 +428,17 @@ class Simulator:
                     metrics.histogram("simulator.round_seconds").observe(round_seconds)
                     if round_faults:
                         metrics.counter("simulator.faults_injected").inc(round_faults)
+                    if round_deliveries:
+                        metrics.counter("simulator.delivery_anomalies").inc(
+                            round_deliveries
+                        )
                 if trace is not None:
                     if fault_run is not None:
                         for event in fault_run.events[fault_cursor:]:
                             trace.emit("fault", **event.as_dict())
+                    if round_deliveries:
+                        for event in net_run.events[net_cursor:]:
+                            trace.emit("delivery", **event.as_dict())
                     trace.emit(
                         "round",
                         t=t,
@@ -381,9 +449,43 @@ class Simulator:
                     )
                 if fault_run is not None:
                     fault_cursor = fault_run.faults_injected
+                if net_run is not None:
+                    net_cursor = net_run.events_injected
+            if session is not None:
+                session.record_round(
+                    t,
+                    messages,
+                    transcripts,
+                    all_finished=done,
+                    fault_events=(
+                        fault_run.events[session_fault_cursor:]
+                        if fault_run is not None
+                        else ()
+                    ),
+                    net_events=(
+                        net_run.events[session_net_cursor:]
+                        if net_run is not None
+                        else ()
+                    ),
+                    fault_rng=(
+                        fault_run.rng_digest() if fault_run is not None else None
+                    ),
+                    net_rng=net_run.rng_digest() if net_run is not None else None,
+                )
+                if fault_run is not None:
+                    session_fault_cursor = fault_run.faults_injected
+                if net_run is not None:
+                    session_net_cursor = net_run.events_injected
             if round_span is not None:
                 recorder.finish(round_span)
 
+        if net_run is not None:
+            # Close every channel: copies still in flight become recorded
+            # "dropped" delivery events (a no-op for pristine managers).
+            net_run.finish(executed)
+            if trace is not None and net_run.events_injected > net_cursor:
+                for event in net_run.events[net_cursor:]:
+                    trace.emit("delivery", **event.as_dict())
         cost_summary = (
             run_cost_summary(transcripts, executed) if ledger is not None else None
         )
@@ -395,25 +497,20 @@ class Simulator:
         if trace is not None:
             if cost_summary is not None:
                 trace.emit("cost_summary", **cost_summary)
+            end_fields: Dict[str, Any] = {
+                "rounds_executed": executed,
+                "all_finished": done,
+                "total_bits": total_bits,
+            }
             if fault_run is not None:
-                trace.emit(
-                    "run_end",
-                    rounds_executed=executed,
-                    all_finished=done,
-                    total_bits=total_bits,
-                    faults_injected=fault_run.faults_injected,
-                    crashed_vertices=fault_run.crashed_vertices,
-                    failed_vertices=tuple(sorted(failed_nodes)),
-                )
-            else:
-                trace.emit(
-                    "run_end",
-                    rounds_executed=executed,
-                    all_finished=done,
-                    total_bits=total_bits,
-                )
+                end_fields["faults_injected"] = fault_run.faults_injected
+                end_fields["crashed_vertices"] = fault_run.crashed_vertices
+                end_fields["failed_vertices"] = tuple(sorted(failed_nodes))
+            if networked:
+                end_fields["delivery_anomalies"] = net_run.events_injected
+            trace.emit("run_end", **end_fields)
 
-        if fault_run is None:
+        if net_run is None:
             outputs = tuple(nodes[v].output() for v in range(n))
         else:
             collected_out: List[Any] = []
@@ -438,6 +535,10 @@ class Simulator:
             crashed_vertices=fault_run.crashed_vertices if fault_run is not None else (),
             failed_vertices=tuple(sorted(failed_nodes)),
             cost_summary=cost_summary,
+            network_events=tuple(net_run.events) if net_run is not None else (),
+            delivery_stats=(
+                tuple(net_run.delivery_stats()) if net_run is not None else ()
+            ),
         )
 
     def run_until_done(

@@ -34,6 +34,7 @@ from repro.costs.conformance import ConformanceResult, check_all, check_spec
 from repro.costs.ledger import (
     DEFAULT_PHASE,
     CostLedger,
+    cost_summary_from_broadcasts,
     get_ledger,
     message_cost_bits,
     run_cost_summary,
@@ -54,6 +55,7 @@ __all__ = [
     "ceil",
     "check_all",
     "check_spec",
+    "cost_summary_from_broadcasts",
     "dfact",
     "evaluate",
     "floor",

@@ -33,6 +33,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 __all__ = [
     "DEFAULT_PHASE",
     "CostLedger",
+    "cost_summary_from_broadcasts",
     "get_ledger",
     "message_cost_bits",
     "run_cost_summary",
@@ -213,6 +214,43 @@ def run_cost_summary(transcripts: Sequence[Any], rounds_executed: int) -> Dict[s
             }
         )
     return {"total_bits": total, "rounds": rounds_executed, "per_vertex": per_vertex}
+
+
+def cost_summary_from_broadcasts(
+    history: Sequence[Sequence[str]],
+) -> Dict[str, Any]:
+    """Rebuild a run's cost summary from recorded per-round broadcasts.
+
+    ``history[t][v]`` is vertex v's broadcast in the (t+1)-th executed
+    round -- exactly the ``broadcasts`` field of a session log's ``step``
+    events (:mod:`repro.replay`). Costs are charged with
+    :func:`message_cost_bits`, the same rule live transcripts use (both
+    silence encodings are 0 bits), so for any run the rebuilt summary
+    equals ``RunResult.cost_summary`` *by construction* -- which is what
+    lets ``repro report --session`` assert cost parity between a recorded
+    session and its recorded result without re-executing anything.
+    """
+    n = len(history[0]) if history else 0
+    bits = [0] * n
+    silences = [0] * n
+    for messages in history:
+        for vertex, message in enumerate(messages):
+            cost = message_cost_bits(message)
+            bits[vertex] += cost
+            if cost == 0 and message in _SILENT_FORMS:
+                silences[vertex] += 1
+    return {
+        "total_bits": sum(bits),
+        "rounds": len(history),
+        "per_vertex": [
+            {
+                "vertex": str(vertex),
+                "bits": bits[vertex],
+                "silent_rounds": silences[vertex],
+            }
+            for vertex in range(n)
+        ],
+    }
 
 
 # ----------------------------------------------------------------------

@@ -110,3 +110,36 @@ class CheckpointError(ReproError):
     checkpoint describes a different computation (wrong kind, n, or
     parameters) than the one being resumed.
     """
+
+
+class DeliveryPolicyError(ReproError):
+    """A network delivery plan is malformed or cannot drive this execution.
+
+    The channel-layer analogue of :class:`FaultInjectionError`: a negative
+    ``max_delay``, a duplication rate outside [0, 1], or a delivery policy
+    applied to an instance it cannot address.
+    """
+
+
+class SessionError(ReproError):
+    """A session log could not be recorded, read, or trusted.
+
+    Examples: the session path is missing or unreadable, the log violates
+    the session schema (missing header, non-contiguous steps), the
+    ``session_version`` is unsupported, or the log describes a different
+    computation than the one being replayed.
+    """
+
+
+class ReplayDivergenceError(SessionError):
+    """A replayed execution diverged from its recorded session.
+
+    Carries ``divergence`` -- the first
+    :class:`repro.replay.Divergence` (step index, field, recorded vs.
+    live value) -- so callers can report exactly where determinism broke
+    instead of a bare mismatch boolean. The CLI maps this to exit code 4.
+    """
+
+    def __init__(self, message: str, divergence=None):
+        super().__init__(message)
+        self.divergence = divergence

@@ -1,0 +1,21 @@
+"""Per-edge channel network layer for the BCC simulator.
+
+``repro.net`` turns message delivery into an explicit, pluggable policy:
+a :class:`NetworkPlan` describes how every directed edge behaves (delay,
+duplication, deterministic reordering -- all seeded), a
+:class:`NetworkManager` owns the per-run :class:`Channel` objects, and
+the existing :class:`~repro.resilience.faults.FaultPlan` rides along as
+the corruption stage of the same pipeline. See :mod:`repro.net.plan` for
+the policy semantics and determinism contract.
+"""
+
+from repro.net.channel import Channel, NetworkManager
+from repro.net.plan import DELIVERY_KINDS, NetworkEvent, NetworkPlan
+
+__all__ = [
+    "Channel",
+    "DELIVERY_KINDS",
+    "NetworkEvent",
+    "NetworkManager",
+    "NetworkPlan",
+]

@@ -1,0 +1,152 @@
+"""Delivery-policy plans for the per-edge channel network layer.
+
+A :class:`NetworkPlan` is to *delivery* what a
+:class:`~repro.resilience.faults.FaultPlan` is to *corruption*: a seeded,
+fully deterministic description of how the complete network's n*(n-1)
+directed edges behave. The plan composes with (and can carry) a fault
+plan -- message-level faults are applied first, then the channel decides
+*when* (and how many times) the surviving copy arrives:
+
+``delay``
+    Each non-silent transmission draws an arrival round in
+    ``[t, t + max_delay]``. Until the copy arrives the receiver sees the
+    empty broadcast ⊥ on that port -- a late message is adversarially
+    indistinguishable from deliberate silence, which is exactly the
+    asymmetry the paper's indistinguishability arguments exploit.
+
+``duplication``
+    With probability ``duplicate_rate`` a transmission enqueues a second
+    copy one round after the first. In a broadcast model a duplicate is
+    a *stale repeat* on one port, not extra information.
+
+``reordering``
+    When several copies are simultaneously due on an edge (possible only
+    with delay/duplication), FIFO delivery is replaced by a seeded random
+    pick -- deterministic under the plan seed, adversarial in effect.
+
+Determinism contract: all channel randomness comes from one
+``random.Random(seed)`` owned by the :class:`~repro.net.channel.NetworkManager`
+and consumed in fixed (round, receiver, sender) order, mirroring the
+fault layer's contract, so the same (instance, algorithm, plan) triple
+always yields a bit-identical delivery schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import DeliveryPolicyError
+from repro.resilience.faults import FaultPlan
+
+__all__ = ["DELIVERY_KINDS", "NetworkEvent", "NetworkPlan"]
+
+#: The delivery anomaly kinds the channel layer emits (trace/session
+#: ``delivery`` events); the analogue of ``resilience.FAULT_KINDS``.
+DELIVERY_KINDS = ("delayed", "duplicated", "reordered", "dropped")
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One delivery anomaly as it actually happened on an edge.
+
+    ``t`` is the round the anomaly was decided in (transmission round
+    for delays/duplicates, delivery round for reorders, final round for
+    end-of-run drops); ``sent_round`` is when the affected copy was
+    broadcast and ``arrival_round`` when it was (or would have been)
+    delivered.
+    """
+
+    t: int
+    kind: str
+    sender: int
+    receiver: int
+    sent_round: int
+    arrival_round: int
+    message: str
+    duplicate: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, used by trace schema v5 ``delivery`` events."""
+        return {
+            "t": self.t,
+            "kind": self.kind,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "sent_round": self.sent_round,
+            "arrival_round": self.arrival_round,
+            "message": self.message,
+            "duplicate": self.duplicate,
+        }
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """A seeded, deterministic per-edge delivery policy.
+
+    The default plan is *pristine* (no delay, no duplication, no
+    reordering): it adds zero channel state and delegates straight to
+    the fault layer, which is how plain ``FaultPlan`` runs execute after
+    the delivery refactor -- faults are now one pluggable policy among
+    several, with their RNG stream untouched.
+    """
+
+    seed: int = 0
+    max_delay: int = 0
+    duplicate_rate: float = 0.0
+    reorder: bool = False
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.max_delay < 0:
+            raise DeliveryPolicyError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise DeliveryPolicyError(
+                f"duplicate_rate must be in [0, 1], got {self.duplicate_rate}"
+            )
+
+    @property
+    def is_pristine(self) -> bool:
+        """True when the plan never touches delivery timing or multiplicity."""
+        return (
+            self.max_delay == 0
+            and self.duplicate_rate == 0.0
+            and not self.reorder
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (session logs persist the policy they ran under)."""
+        return {
+            "seed": self.seed,
+            "max_delay": self.max_delay,
+            "duplicate_rate": self.duplicate_rate,
+            "reorder": self.reorder,
+            "faults": self.faults.as_dict() if self.faults is not None else None,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "NetworkPlan":
+        """Inverse of :meth:`as_dict`; validation reruns in ``__post_init__``."""
+        faults = data.get("faults")
+        return NetworkPlan(
+            seed=data.get("seed", 0),
+            max_delay=data.get("max_delay", 0),
+            duplicate_rate=data.get("duplicate_rate", 0.0),
+            reorder=data.get("reorder", False),
+            faults=FaultPlan.from_dict(faults) if faults is not None else None,
+        )
+
+    def begin_run(self, n: int, faults: Optional[FaultPlan] = None):
+        """Fresh per-execution network state (channels, RNG, event log).
+
+        ``faults`` overrides the plan's own fault plan for this run; the
+        simulator passes its resolved plan here so precedence stays in
+        one place.
+        """
+        from repro.net.channel import NetworkManager
+
+        plan = faults if faults is not None else self.faults
+        fault_run = plan.begin_run(n) if plan is not None else None
+        return NetworkManager(self, n, fault_run)

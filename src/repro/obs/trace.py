@@ -51,6 +51,20 @@ Schema history:
   as the rounds it accounts for. v4 is a strict superset: every
   v1--v3 trace is a valid v4 trace, and cost_summary events inside
   traces declaring a version below 4 are flagged.
+* **v5** -- adds the channel/session surface. ``delivery`` events
+  (one per delivery anomaly injected by a non-pristine
+  :class:`repro.net.NetworkPlan`: fields ``t`` / ``kind`` in
+  ``{"delayed", "duplicated", "reordered", "dropped"}`` / ``sender``
+  / ``receiver`` / ``sent_round`` / ``arrival_round`` / ``message``),
+  optional ``network`` metadata on ``run_start`` and
+  ``delivery_anomalies`` on ``run_end``, and the session-log events
+  written by :class:`repro.replay.SessionStore` on the same wire
+  format: ``session_start`` (``kind``, ``session_version``,
+  ``params``), one ``step`` per recorded step (integer ``step``),
+  ``result`` (object ``payload``), and ``session_end`` (integer
+  ``steps``, boolean ``complete``). v5 is a strict superset: every
+  v1--v4 trace is a valid v5 trace, and delivery/session events
+  inside traces declaring a version below 5 are flagged.
 
 Crash safety: every event is written as one line and flushed
 immediately (file sinks are opened line-buffered, and ``fsync=True``
@@ -79,7 +93,7 @@ __all__ = [
 ]
 
 #: Bump when the line format changes incompatibly.
-TRACE_SCHEMA_VERSION = 4
+TRACE_SCHEMA_VERSION = 5
 
 #: Oldest schema version read_trace / validate_trace_events still accept.
 OLDEST_SUPPORTED_TRACE_SCHEMA = 1
@@ -267,6 +281,26 @@ _COST_SUMMARY_FIELDS = {
     "rounds": int,
 }
 
+#: Delivery anomaly kinds trace v5 delivery events may carry (mirrors
+#: repro.net.DELIVERY_KINDS; duplicated as literals so obs stays
+#: import-independent of the net package).
+_TRACE_DELIVERY_KINDS = ("delayed", "duplicated", "reordered", "dropped")
+
+_DELIVERY_EVENT_FIELDS = {
+    "t": int,
+    "kind": str,
+    "sender": int,
+    "receiver": int,
+    "sent_round": int,
+    "arrival_round": int,
+    "message": str,
+}
+
+_SESSION_START_FIELDS = {
+    "kind": str,
+    "session_version": int,
+}
+
 
 def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
     """Return a list of schema violations for a parsed trace (empty = valid).
@@ -277,10 +311,14 @@ def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
     inside a trace whose header declares schema version 1 are flagged
     (v1 predates fault injection), v3 ``span_start`` / ``span_end``
     events are likewise checked and flagged inside traces declaring a
-    version below 3 (which predate span profiling), and v4
+    version below 3 (which predate span profiling), v4
     ``cost_summary`` events are checked (integer ``total_bits`` /
     ``rounds``, a well-formed ``per_vertex`` list) and flagged inside
-    traces declaring a version below 4 (which predate cost accounting).
+    traces declaring a version below 4 (which predate cost accounting),
+    and v5 ``delivery`` and session events (``session_start`` /
+    ``step`` / ``result`` / ``session_end``) are checked and flagged
+    inside traces declaring a version below 5 (which predate the
+    channel layer and session store).
     """
     problems: List[str] = []
     if not events:
@@ -408,6 +446,62 @@ def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
                                 f"cost_summary event {index} per_vertex"
                                 f"[{slot}] field {field!r} is not int"
                             )
+        elif event.get("event") == "delivery":
+            if version < 5:
+                problems.append(
+                    f"event {index} is a delivery event but the trace declares "
+                    f"schema version {version} (deliveries need version >= 5)"
+                )
+            for field, expected in _DELIVERY_EVENT_FIELDS.items():
+                value = event.get(field)
+                if isinstance(value, bool) or not isinstance(value, expected):
+                    problems.append(
+                        f"delivery event {index} field {field!r} is not "
+                        f"{expected.__name__}"
+                    )
+            kind = event.get("kind")
+            if isinstance(kind, str) and kind not in _TRACE_DELIVERY_KINDS:
+                problems.append(
+                    f"delivery event {index} has unknown kind {kind!r}"
+                )
+        elif event.get("event") in ("session_start", "step", "result", "session_end"):
+            which = event["event"]
+            if version < 5:
+                problems.append(
+                    f"event {index} is a {which} event but the trace declares "
+                    f"schema version {version} (sessions need version >= 5)"
+                )
+            if which == "session_start":
+                for field, expected in _SESSION_START_FIELDS.items():
+                    value = event.get(field)
+                    if isinstance(value, bool) or not isinstance(value, expected):
+                        problems.append(
+                            f"session_start event {index} field {field!r} is "
+                            f"not {expected.__name__}"
+                        )
+                if not isinstance(event.get("params"), dict):
+                    problems.append(
+                        f"session_start event {index} params is not an object"
+                    )
+            elif which == "step":
+                value = event.get("step")
+                if isinstance(value, bool) or not isinstance(value, int):
+                    problems.append(f"step event {index} field 'step' is not int")
+            elif which == "result":
+                if not isinstance(event.get("payload"), dict):
+                    problems.append(
+                        f"result event {index} payload is not an object"
+                    )
+            else:  # session_end
+                value = event.get("steps")
+                if isinstance(value, bool) or not isinstance(value, int):
+                    problems.append(
+                        f"session_end event {index} field 'steps' is not int"
+                    )
+                if not isinstance(event.get("complete"), bool):
+                    problems.append(
+                        f"session_end event {index} field 'complete' is not bool"
+                    )
     by_run: Dict[str, List[int]] = {}
     for event in events:
         if isinstance(event.get("seq"), int) and isinstance(event.get("run_id"), str):

@@ -1,0 +1,253 @@
+"""The execution engines a session can record and re-run.
+
+A recorded session is only as replayable as its header: ``params`` must
+pin *everything* the execution depends on. This module is the registry
+that maps a ``(kind, params)`` pair to a deterministic execution --
+used identically by ``repro record`` (live, writing the session) and
+``repro replay`` (re-executing from the header), which is what makes
+record -> replay a pure function comparison rather than a best-effort
+diff.
+
+Kinds
+-----
+``run``
+    One simulator execution of a harness algorithm on a cycle instance,
+    optionally under fault and/or network plans. The rewindable kind:
+    every round becomes a step (broadcasts, per-vertex digests, fault and
+    delivery events, RNG digests). Runs with a private
+    :class:`~repro.costs.CostLedger` so ``cost_summary`` lands in the
+    recorded result -- replay must reproduce it bit-for-bit.
+``exhaustive`` / ``sampling`` / ``ranks`` / ``fault-sweep``
+    The repo's batch engines. Steps are the engines' natural units
+    (a report, a rank row, a sweep cell); results are the engines'
+    payloads with volatile fields (timestamps, wall time) zeroed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import SessionError
+from repro.replay.store import SessionStore
+
+__all__ = ["RECORD_KINDS", "execute_record", "execute_run", "record_session"]
+
+#: The session kinds ``repro record`` / ``repro replay`` understand.
+RECORD_KINDS = ("run", "exhaustive", "sampling", "ranks", "fault-sweep")
+
+
+def execute_run(params: Mapping[str, Any], session=None, trace=None, metrics=None):
+    """Run one simulator execution from a ``run`` header; returns RunResult.
+
+    Exposed separately from :func:`execute_record` so golden tests (and
+    the rewind cursor's branch re-execution) can compare full
+    :class:`~repro.core.simulator.RunResult` objects, not just payloads.
+    """
+    from repro.core.randomness import PublicCoin
+    from repro.core.simulator import Simulator
+    from repro.costs.ledger import CostLedger
+    from repro.instances import one_cycle_instance, two_cycle_instance
+    from repro.net.plan import NetworkPlan
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.harness import HARNESS_ALGORITHMS
+
+    algorithm = params.get("algorithm")
+    if algorithm not in HARNESS_ALGORITHMS:
+        raise SessionError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(HARNESS_ALGORITHMS)}"
+        )
+    spec = HARNESS_ALGORITHMS[algorithm]
+    n = int(params["n"])
+    family = params.get("instance", "one_cycle")
+    if family == "one_cycle":
+        instance = one_cycle_instance(n, kt=spec.kt)
+    elif family == "two_cycle":
+        split = params.get("split")
+        if split is None:
+            raise SessionError("two_cycle instances need a 'split' parameter")
+        instance = two_cycle_instance(n, int(split), kt=spec.kt)
+    else:
+        raise SessionError(
+            f"unknown instance family {family!r}; "
+            f"expected 'one_cycle' or 'two_cycle'"
+        )
+    rounds = params.get("rounds")
+    rounds = spec.rounds(n) if rounds is None else int(rounds)
+    coin_seed = params.get("coin_seed")
+    coin = PublicCoin(str(coin_seed)) if coin_seed is not None else None
+    faults = params.get("faults")
+    plan = FaultPlan.from_dict(faults) if faults is not None else None
+    network = params.get("network")
+    net = NetworkPlan.from_dict(network) if network is not None else None
+    simulator = Simulator(spec.model(n), metrics=metrics, trace=trace, costs=CostLedger())
+    return simulator.run(
+        instance,
+        spec.factory(n),
+        rounds,
+        coin=coin,
+        faults=plan,
+        network=net,
+        session=session,
+    )
+
+
+def _run_payload(result) -> Dict[str, Any]:
+    from repro.core.decision import decision_of_run
+
+    return {
+        "decision": decision_of_run(result),
+        "outputs": list(result.outputs),
+        "rounds_executed": result.rounds_executed,
+        "all_finished": result.all_finished,
+        "total_bits": result.total_bits_broadcast(),
+        "faults_injected": len(result.fault_events),
+        "crashed_vertices": list(result.crashed_vertices),
+        "failed_vertices": list(result.failed_vertices),
+        "delivery_anomalies": len(result.network_events),
+        "delivery_stats": [dict(stats) for stats in result.delivery_stats],
+        "cost_summary": result.cost_summary,
+    }
+
+
+def execute_record(
+    kind: str, params: Mapping[str, Any], session=None
+) -> Dict[str, Any]:
+    """Execute ``(kind, params)``; returns the normalized result payload.
+
+    ``session`` (when given) receives the execution's steps as they
+    happen. Payloads contain no wall-clock or host-dependent fields, so
+    a recorded payload and a replayed one compare with plain equality.
+    """
+    if kind == "run":
+        return _run_payload(execute_run(params, session=session))
+    if kind == "exhaustive":
+        from repro.lowerbounds.exhaustive import universal_bound_id_oblivious
+
+        report = universal_bound_id_oblivious(
+            int(params["n"]),
+            workers=int(params.get("workers", 1)),
+            vectorize=params.get("vectorize"),
+        )
+        payload = {
+            "n": report.n,
+            "class_size": report.class_size,
+            "minimum_forced_error": report.minimum_forced_error,
+            "worst_assignment": list(report.worst_assignment),
+            "is_constant": report.is_constant,
+        }
+        if session is not None:
+            session.write_step("report", payload)
+        return payload
+    if kind == "sampling":
+        from repro.information.sampling import estimate_protocol_information
+        from repro.twoparty import (
+            LossyPartitionCompProtocol,
+            TrivialPartitionCompProtocol,
+        )
+
+        n = int(params["n"])
+        eps = float(params.get("eps", 0.0))
+        protocol = (
+            LossyPartitionCompProtocol(n, eps)
+            if eps > 0
+            else TrivialPartitionCompProtocol(n)
+        )
+        rng = random.Random(int(params.get("seed", 0)))
+        report = estimate_protocol_information(
+            protocol,
+            n,
+            int(params["samples"]),
+            rng,
+            workers=int(params.get("workers", 1)),
+        )
+        payload = {
+            "n": report.n,
+            "samples": report.samples,
+            "information_estimate": report.information_estimate,
+            "corrected_information": report.corrected_information,
+            "true_input_entropy": report.true_input_entropy,
+            "distinct_inputs_seen": report.distinct_inputs_seen,
+            "distinct_transcripts_seen": report.distinct_transcripts_seen,
+            "error_rate_estimate": report.error_rate_estimate,
+            "saturated": report.saturated,
+        }
+        if session is not None:
+            session.write_step("report", payload)
+        return payload
+    if kind == "ranks":
+        from repro.partitions.matrices import e_matrix_rank, m_matrix_rank
+
+        ns = [int(n) for n in params.get("ns", ())]
+        if not ns:
+            raise SessionError("ranks sessions need a non-empty 'ns' parameter")
+        workers = int(params.get("workers", 1))
+        kernel = params.get("kernel", "auto")
+        rows = []
+        for n in ns:
+            m_rank = m_matrix_rank(n, workers=workers, kernel=kernel)
+            row: Dict[str, Any] = {"n": n, "m_rank": m_rank}
+            if n % 2 == 0:
+                row["e_rank"] = e_matrix_rank(n, workers=workers, kernel=kernel)
+            rows.append(row)
+            if session is not None:
+                session.write_step(f"rank/{n}", row)
+        return {"rows": rows}
+    if kind == "fault-sweep":
+        from repro.resilience.harness import fault_sweep
+
+        report = fault_sweep(
+            algorithms=tuple(
+                params.get(
+                    "algorithms",
+                    ("neighbor_exchange", "flooding", "boruvka", "sketch"),
+                )
+            ),
+            kinds=tuple(params.get("kinds", ("bit_flip", "erasure", "crash"))),
+            rates=tuple(params.get("rates", (0.0, 0.01, 0.05, 0.1, 0.2))),
+            n=int(params.get("n", 8)),
+            trials=int(params.get("trials", 10)),
+            seed=int(params.get("seed", 0)),
+            workers=int(params.get("workers", 1)),
+            session=session,
+        )
+        payload = report.as_payload()
+        # Volatile fields zeroed: a payload must compare equal across
+        # record and replay, and wall time is not part of the result.
+        payload["created_unix"] = 0.0
+        payload["wall_time_seconds"] = 0.0
+        return payload
+    raise SessionError(f"unknown session kind {kind!r}; known: {RECORD_KINDS}")
+
+
+def record_session(
+    kind: str,
+    params: Mapping[str, Any],
+    sink,
+    run_id: Optional[str] = None,
+    fsync: bool = False,
+) -> Tuple[Dict[str, Any], SessionStore]:
+    """Execute ``(kind, params)`` while recording it into ``sink``.
+
+    Returns ``(payload, store)`` with the store sealed (``session_end``,
+    ``complete=true``) on success. On ``KeyboardInterrupt`` the store is
+    sealed as interrupted (the
+    :func:`~repro.resilience.graceful_interrupts` flush hook does the
+    same if the interrupt fires elsewhere) and the interrupt re-raises,
+    leaving a valid partial session behind.
+    """
+    if kind not in RECORD_KINDS:
+        raise SessionError(f"unknown session kind {kind!r}; known: {RECORD_KINDS}")
+    store = SessionStore(sink, run_id=run_id, fsync=fsync)
+    store.start(kind, dict(params))
+    try:
+        payload = execute_record(kind, params, session=store)
+    except KeyboardInterrupt:
+        store.interrupt()
+        raise
+    except BaseException:
+        store.close()
+        raise
+    store.write_result(payload)
+    store.finish(complete=True)
+    return payload, store

@@ -1,0 +1,151 @@
+"""Step-addressable navigation over recorded sessions: rewind and branch.
+
+A :class:`SessionCursor` treats a recorded session as a tape of steps
+(for ``run`` sessions, one step per simulator round, carrying the
+round's broadcasts, per-vertex transcript digests, fault and delivery
+events, and RNG digests). ``rewind(t)`` / ``step()`` move a position
+along the tape with no re-execution at all -- the log is the state.
+
+``branch()`` is where determinism pays out: re-execute the session's
+header with overridden parameters (a different fault plan from round t,
+more rounds, a tampered channel) and *prove* the counterfactual shares
+the original's past by checking per-step digest prefix agreement up to
+the cursor. This mirrors the paper's indistinguishability argument --
+two executions whose per-round digests agree on a prefix are
+indistinguishable to every vertex through that prefix -- so a branch
+that passes the check is a legitimate "what if the adversary had acted
+differently *from here*" experiment, and one that fails raises
+:class:`~repro.errors.ReplayDivergenceError` naming the first round of
+disagreement rather than silently comparing apples to oranges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, TextIO, Union
+
+from repro.errors import ReplayDivergenceError, SessionError
+from repro.replay.store import RecordedSession, read_session
+
+__all__ = ["SessionCursor"]
+
+#: Step fields compared for prefix agreement when branching. Digests pin
+#: the full per-vertex transcript state; broadcasts pin the wire.
+_PREFIX_FIELDS = ("digests", "broadcasts", "t")
+
+
+class SessionCursor:
+    """A movable position over a :class:`RecordedSession`'s steps."""
+
+    def __init__(self, source: Union[str, TextIO, RecordedSession]):
+        self._session = (
+            source if isinstance(source, RecordedSession) else read_session(source)
+        )
+        self._position = 0
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def session(self) -> RecordedSession:
+        return self._session
+
+    @property
+    def position(self) -> int:
+        """Index of the step the cursor stands on (0-based)."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= self._session.step_count
+
+    def current(self) -> Dict[str, Any]:
+        """The step under the cursor (envelope already stripped)."""
+        return self._session.step(self._position)
+
+    # -- movement ---------------------------------------------------------
+    def rewind(self, t: int) -> Dict[str, Any]:
+        """Move the cursor to step ``t`` and return that step.
+
+        For ``run`` sessions steps are rounds, so ``rewind(t)`` lands on
+        round ``t`` exactly; for batch sessions it is a plain index.
+        """
+        if not 0 <= t < self._session.step_count:
+            raise SessionError(
+                f"cannot rewind to step {t}: session has "
+                f"{self._session.step_count} steps"
+            )
+        self._position = t
+        return self.current()
+
+    def step(self) -> Dict[str, Any]:
+        """Return the step under the cursor, then advance by one."""
+        record = self.current()  # raises past the end
+        self._position += 1
+        return record
+
+    # -- counterfactuals --------------------------------------------------
+    def branch(
+        self,
+        overrides: Optional[Mapping[str, Any]] = None,
+        sink: Optional[str] = None,
+    ) -> RecordedSession:
+        """Re-execute with ``overrides`` merged into the header params.
+
+        The branched execution must agree with the recording on every
+        step *before* the cursor (compared on round number, broadcasts,
+        and per-vertex digests); an override that changes the past --
+        e.g. a fault plan already active before the rewind point --
+        raises :class:`~repro.errors.ReplayDivergenceError` carrying the
+        first divergence. Returns the branched session, parsed; the
+        recording on disk is never touched. ``sink`` (a path) saves the
+        branched session log -- written only *after* the prefix check
+        passes, so a divergent branch never leaves a file behind.
+
+        With no overrides this is a pure replay of the prefix (and the
+        check then extends to the full session via
+        :func:`repro.replay.verify.replay_session`, which callers should
+        prefer for verification).
+        """
+        import io
+
+        from repro.replay.engines import record_session
+        from repro.replay.verify import diff_steps
+
+        params = dict(self._session.params)
+        if overrides:
+            params.update(overrides)
+        buffer = io.StringIO()
+        record_session(
+            self._session.kind, params, buffer, run_id=self._session.run_id
+        )
+        branched = read_session(io.StringIO(buffer.getvalue()))
+        prefix = min(self._position, branched.step_count)
+        if branched.step_count < self._position:
+            raise ReplayDivergenceError(
+                f"branch ended after {branched.step_count} steps, before the "
+                f"rewind point ({self._position}); overrides changed the past",
+            )
+        for index in range(prefix):
+            recorded = _prefix_view(self._session.step(index))
+            candidate = _prefix_view(branched.step(index))
+            divergence = diff_steps(recorded, candidate, f"step {index}")
+            if divergence is not None:
+                raise ReplayDivergenceError(
+                    "branch diverges before the rewind point -- "
+                    + divergence.describe(),
+                    divergence=divergence,
+                )
+        if sink is not None:
+            with open(sink, "w", encoding="utf-8") as handle:
+                handle.write(buffer.getvalue())
+        return branched
+
+
+def _prefix_view(step: Mapping[str, Any]) -> Dict[str, Any]:
+    """The prefix-agreement projection of a step.
+
+    Run-session steps compare on round/broadcasts/digests (fault and
+    delivery *events* may legitimately differ under a branched plan even
+    while the delivered state agrees); batch-session steps have none of
+    those fields and fall back to whole-step comparison.
+    """
+    view = {k: step[k] for k in _PREFIX_FIELDS if k in step}
+    return view if view else dict(step)

@@ -19,7 +19,11 @@ Four small layers that make the library's executions survivable:
 
 :func:`graceful_interrupts` rounds it out: inside the context manager
 SIGTERM raises ``KeyboardInterrupt`` so the final-checkpoint path covers
-Ctrl-C and scheduler kills alike.
+Ctrl-C and scheduler kills alike, and registered flush hooks
+(:func:`register_flush_hook`) run on the way out so open session logs
+are sealed before the interrupt propagates. :mod:`repro.resilience.retry`
+supplies the shared transient-``OSError`` retry policy used by
+checkpoint writes and session-log appends.
 """
 
 from repro.resilience.budget import Budget
@@ -45,12 +49,24 @@ from repro.resilience.harness import (
     fault_sweep,
     validate_fault_sweep_payload,
 )
-from repro.resilience.interrupt import graceful_interrupts
+from repro.resilience.interrupt import (
+    graceful_interrupts,
+    register_flush_hook,
+    unregister_flush_hook,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_ATTEMPTS,
+    DEFAULT_RETRY_BASE_DELAY,
+    retry_transient,
+    set_retry_sleep,
+)
 
 __all__ = [
     "Budget",
     "CHECKPOINT_VERSION",
     "Checkpointer",
+    "DEFAULT_RETRY_ATTEMPTS",
+    "DEFAULT_RETRY_BASE_DELAY",
     "DegradationCurve",
     "DegradationPoint",
     "FAULT_KINDS",
@@ -64,6 +80,10 @@ __all__ = [
     "fault_sweep",
     "graceful_interrupts",
     "read_checkpoint",
+    "register_flush_hook",
+    "retry_transient",
+    "set_retry_sleep",
+    "unregister_flush_hook",
     "validate_fault_sweep_payload",
     "write_checkpoint",
 ]

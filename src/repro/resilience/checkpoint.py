@@ -31,6 +31,7 @@ import time
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import CheckpointError
+from repro.resilience.retry import retry_transient
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -52,7 +53,12 @@ def write_checkpoint(
     """Atomically write a checkpoint envelope to ``path``; returns it.
 
     The temp file lives in the target's directory so ``os.replace`` is a
-    same-filesystem atomic rename on POSIX.
+    same-filesystem atomic rename on POSIX. Transient ``OSError``\\ s
+    (EINTR, a momentarily full or flaky filesystem) are retried with
+    bounded exponential backoff via
+    :func:`repro.resilience.retry.retry_transient`; each attempt starts
+    from a fresh temp file, so retries compose with atomicity -- the
+    target path still only ever flips complete-to-complete.
     """
     payload = {
         "checkpoint_version": CHECKPOINT_VERSION,
@@ -62,7 +68,8 @@ def write_checkpoint(
         "state": dict(state),
     }
     directory = os.path.dirname(os.path.abspath(path)) or "."
-    try:
+
+    def attempt() -> None:
         fd, tmp_path = tempfile.mkstemp(
             prefix=".ckpt-", suffix=".tmp", dir=directory
         )
@@ -78,6 +85,9 @@ def write_checkpoint(
             except OSError:
                 pass
             raise
+
+    try:
+        retry_transient(attempt)
     except OSError as exc:
         raise CheckpointError(f"cannot write checkpoint {path!r}: {exc}") from exc
     return payload

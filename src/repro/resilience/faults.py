@@ -37,9 +37,10 @@ executions -- fault injection is replayable evidence, not noise.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import FaultInjectionError
 
@@ -91,6 +92,27 @@ class ScheduledFault:
             raise FaultInjectionError(f"vertex must be >= 0, got {self.vertex}")
         if self.bit_index < 0:
             raise FaultInjectionError(f"bit_index must be >= 0, got {self.bit_index}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (session logs record the plan they ran under)."""
+        return {
+            "round_index": self.round_index,
+            "kind": self.kind,
+            "vertex": self.vertex,
+            "receiver": self.receiver,
+            "bit_index": self.bit_index,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ScheduledFault":
+        """Inverse of :meth:`as_dict`; validation reruns in ``__post_init__``."""
+        return ScheduledFault(
+            round_index=data["round_index"],
+            kind=data["kind"],
+            vertex=data["vertex"],
+            receiver=data.get("receiver"),
+            bit_index=data.get("bit_index", 0),
+        )
 
 
 @dataclass(frozen=True)
@@ -183,6 +205,40 @@ class FaultPlan:
                     f"the instance has only {n} vertices"
                 )
         return FaultRun(plan=self, n=n)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form: everything needed to rebuild the plan exactly.
+
+        Session logs persist this so a replay runs under the *identical*
+        adversary -- same seed, same rates, same schedule, same window.
+        """
+        return {
+            "seed": self.seed,
+            "bit_flip_rate": self.bit_flip_rate,
+            "erasure_rate": self.erasure_rate,
+            "crash_rate": self.crash_rate,
+            "max_crashes": self.max_crashes,
+            "scheduled": [fault.as_dict() for fault in self.scheduled],
+            "first_round": self.first_round,
+            "last_round": self.last_round,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`; validation reruns in ``__post_init__``."""
+        return FaultPlan(
+            seed=data.get("seed", 0),
+            bit_flip_rate=data.get("bit_flip_rate", 0.0),
+            erasure_rate=data.get("erasure_rate", 0.0),
+            crash_rate=data.get("crash_rate", 0.0),
+            max_crashes=data.get("max_crashes"),
+            scheduled=tuple(
+                ScheduledFault.from_dict(entry)
+                for entry in data.get("scheduled", ())
+            ),
+            first_round=data.get("first_round", 1),
+            last_round=data.get("last_round"),
+        )
 
     # Convenience constructors -----------------------------------------
     @staticmethod
@@ -325,6 +381,16 @@ class FaultRun:
         return delivered
 
     # ------------------------------------------------------------------
+    def rng_digest(self) -> str:
+        """SHA-256 fingerprint of the current RNG state.
+
+        Session logs record this each round; a replay whose fault RNG
+        drifted from the recorded stream is caught at the exact round the
+        consumption order first differed, not at the end of the run.
+        """
+        state = repr(self._rng.getstate()).encode("utf-8")
+        return hashlib.sha256(state).hexdigest()
+
     @property
     def crashed_vertices(self) -> Tuple[int, ...]:
         return tuple(sorted(self._crashed))

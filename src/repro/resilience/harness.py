@@ -280,6 +280,7 @@ def fault_sweep(
     metrics: Optional[MetricsRegistry] = None,
     trace=None,
     workers: int = 1,
+    session=None,
 ) -> FaultSweepReport:
     """Run the full (algorithm x kind x rate) degradation sweep.
 
@@ -296,6 +297,13 @@ def fault_sweep(
     identical to the serial sweep's for every worker count, with one
     caveat: a ``trace`` stream is inherently ordered, so tracing forces
     the serial path regardless of ``workers``.
+
+    ``session`` (a :class:`repro.replay.SessionStore`) records one step
+    per (algorithm, kind, rate) cell. The serial path appends steps
+    directly in cell order; the parallel path writes per-shard segment
+    files in completion order and merges them back in shard-index order
+    (:meth:`~repro.replay.SessionStore.merge_shard_steps`), so the
+    recorded session is identical for every worker count.
     """
     if n < 6:
         raise FaultInjectionError(f"fault_sweep needs n >= 6, got {n}")
@@ -318,11 +326,11 @@ def fault_sweep(
     start = time.perf_counter()
     if workers > 1 and trace is None:
         curves = _sweep_cells_parallel(
-            algorithms, kinds, rates, n, trials, seed, metrics, workers
+            algorithms, kinds, rates, n, trials, seed, metrics, workers, session
         )
     else:
         curves = _sweep_cells_serial(
-            algorithms, kinds, rates, n, trials, seed, metrics, trace
+            algorithms, kinds, rates, n, trials, seed, metrics, trace, session
         )
     elapsed = time.perf_counter() - start
     if metrics is not None:
@@ -345,6 +353,7 @@ def _sweep_cells_serial(
     seed: int,
     metrics: Optional[MetricsRegistry],
     trace,
+    session=None,
 ) -> List[DegradationCurve]:
     """The original nested sweep loop (one Simulator per algorithm)."""
     curves: List[DegradationCurve] = []
@@ -379,6 +388,18 @@ def _sweep_cells_serial(
                         mean_rounds=rounds_total / trials,
                     )
                 )
+                if session is not None:
+                    session.write_step(
+                        f"{name}/{kind}/{rate}",
+                        {
+                            "algorithm": name,
+                            "kind": kind,
+                            "rate": rate,
+                            "correct": correct,
+                            "faults": faults,
+                            "rounds_total": rounds_total,
+                        },
+                    )
                 if metrics is not None:
                     metrics.counter("resilience.trials_run").inc(trials)
                     metrics.counter("resilience.faults_injected").inc(faults)
@@ -395,12 +416,16 @@ def _sweep_cells_parallel(
     seed: int,
     metrics: Optional[MetricsRegistry],
     workers: int,
+    session=None,
 ) -> List[DegradationCurve]:
     """Fan the flattened (algorithm, kind, rate) cells over a worker pool.
 
     Cells are dispatched and reassembled in ``(a_idx, k_idx, r_idx)``
     order; the per-cell metric counters are incremented parent-side in
-    that same order, so totals match the serial sweep exactly.
+    that same order, so totals match the serial sweep exactly. Session
+    steps go through per-shard segments (written in completion order,
+    merged in shard-index order), so the recorded step sequence is the
+    serial one regardless of scheduling.
     """
     from repro.parallel.executor import ParallelExecutor
 
@@ -410,10 +435,31 @@ def _sweep_cells_parallel(
         for k_idx, kind in enumerate(kinds)
         for r_idx, rate in enumerate(rates)
     ]
+    on_result = None
+    if session is not None:
+
+        def on_result(index: int, cell: Dict[str, int]) -> None:
+            name, _a_idx, kind, _k_idx, rate = payloads[index][:5]
+            session.write_shard_step(
+                index,
+                f"{name}/{kind}/{rate}",
+                {
+                    "algorithm": name,
+                    "kind": kind,
+                    "rate": rate,
+                    "correct": int(cell["correct"]),
+                    "faults": int(cell["faults"]),
+                    "rounds_total": int(cell["rounds_total"]),
+                },
+            )
+
     executor = ParallelExecutor(workers=workers, metrics=metrics)
     results = executor.map(
-        _fault_cell_worker, payloads, span_name="resilience.sweep_map"
+        _fault_cell_worker, payloads, on_result=on_result,
+        span_name="resilience.sweep_map",
     )
+    if session is not None:
+        session.merge_shard_steps(len(payloads))
     curves: List[DegradationCurve] = []
     cursor = 0
     for name in algorithms:

@@ -1,0 +1,155 @@
+"""Unit tests for per-edge channels and their delivery policies."""
+
+import random
+
+import pytest
+
+from repro.errors import DeliveryPolicyError
+from repro.net import Channel, DELIVERY_KINDS, NetworkEvent, NetworkPlan
+
+
+def _rng(seed=0):
+    return random.Random(seed)
+
+
+class TestChannelNoPolicies:
+    def test_immediate_delivery(self):
+        channel = Channel(0, 1)
+        plan = NetworkPlan(max_delay=0, duplicate_rate=0.0)
+        events = []
+        assert channel.transmit(1, "m", plan, _rng(), events) == "m"
+        assert events == []
+        assert channel.stats()["sent"] == 1
+        assert channel.stats()["delivered"] == 1
+
+    def test_silence_costs_nothing(self):
+        channel = Channel(0, 1)
+        plan = NetworkPlan()
+        events = []
+        assert channel.transmit(1, "", plan, _rng(), events) == ""
+        assert channel.stats()["sent"] == 0
+        assert events == []
+
+
+class TestDelay:
+    def test_delay_defers_delivery(self):
+        channel = Channel(0, 1)
+        plan = NetworkPlan(max_delay=3)
+
+        class AlwaysMax:
+            def randint(self, lo, hi):
+                return hi
+
+            def random(self):
+                return 1.0
+
+            def randrange(self, n):
+                return 0
+
+        events = []
+        assert channel.transmit(1, "x", plan, AlwaysMax(), events) == ""
+        assert events and events[0].kind == "delayed"
+        assert events[0].sent_round == 1 and events[0].arrival_round == 4
+        # rounds 2, 3: still in flight
+        assert channel.transmit(2, "", plan, AlwaysMax(), events) == ""
+        assert channel.transmit(3, "", plan, AlwaysMax(), events) == ""
+        # round 4: arrives
+        assert channel.transmit(4, "", plan, AlwaysMax(), events) == "x"
+
+    def test_zero_delay_draw_is_immediate(self):
+        channel = Channel(0, 1)
+        plan = NetworkPlan(max_delay=5)
+
+        class AlwaysZero:
+            def randint(self, lo, hi):
+                return lo
+
+            def random(self):
+                return 1.0
+
+            def randrange(self, n):
+                return 0
+
+        events = []
+        assert channel.transmit(1, "x", plan, AlwaysZero(), events) == "x"
+        assert events == []
+
+
+class TestDuplication:
+    def test_duplicate_redelivers_next_round(self):
+        channel = Channel(0, 1)
+        plan = NetworkPlan(duplicate_rate=1.0)
+        events = []
+        assert channel.transmit(1, "d", plan, _rng(), events) == "d"
+        kinds = [e.kind for e in events]
+        assert "duplicated" in kinds
+        # the copy arrives one round later
+        assert channel.transmit(2, "", plan, _rng(), events) == "d"
+        assert channel.stats()["duplicated"] == 1
+
+
+class TestReorder:
+    def test_reorder_is_seed_deterministic(self):
+        def run(seed):
+            channel = Channel(0, 1)
+            plan = NetworkPlan(seed=seed, max_delay=2, duplicate_rate=0.5, reorder=True)
+            rng = _rng(seed)
+            events = []
+            delivered = [
+                channel.transmit(t, f"m{t}", plan, rng, events) for t in range(1, 12)
+            ]
+            return delivered, [e.as_dict() for e in events]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestFinish:
+    def test_finish_drops_in_flight(self):
+        channel = Channel(0, 1)
+        plan = NetworkPlan(max_delay=9)
+
+        class AlwaysMax:
+            def randint(self, lo, hi):
+                return hi
+
+            def random(self):
+                return 1.0
+
+        events = []
+        channel.transmit(1, "lost", plan, AlwaysMax(), events)
+        channel.finish(2, events)
+        assert events[-1].kind == "dropped"
+        assert channel.stats()["dropped"] == 1
+
+
+class TestNetworkEvent:
+    def test_as_dict_round_trips_fields(self):
+        event = NetworkEvent(
+            t=3, kind="delayed", sender=0, receiver=1, sent_round=3,
+            arrival_round=5, message="m",
+        )
+        data = event.as_dict()
+        assert data["kind"] == "delayed" and data["arrival_round"] == 5
+
+    def test_kinds_registry(self):
+        assert set(DELIVERY_KINDS) == {"delayed", "duplicated", "reordered", "dropped"}
+
+
+class TestPlanValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(DeliveryPolicyError):
+            NetworkPlan(max_delay=-1)
+
+    def test_bad_duplicate_rate_rejected(self):
+        with pytest.raises(DeliveryPolicyError):
+            NetworkPlan(duplicate_rate=1.5)
+
+    def test_pristine_detection(self):
+        assert NetworkPlan().is_pristine
+        assert not NetworkPlan(max_delay=1).is_pristine
+        assert not NetworkPlan(duplicate_rate=0.1).is_pristine
+
+    def test_as_dict_from_dict_round_trip(self):
+        plan = NetworkPlan(seed=9, max_delay=2, duplicate_rate=0.25, reorder=True)
+        assert NetworkPlan.from_dict(plan.as_dict()) == plan

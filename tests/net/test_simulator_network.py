@@ -1,0 +1,131 @@
+"""Integration: the simulator running over the repro.net delivery layer.
+
+The two contracts that keep the refactor honest:
+
+* **bit-identity** -- a faults-only run routed through the (pristine)
+  NetworkManager produces exactly the RunResult the fault layer produced
+  before the extraction, and the clean path allocates no manager at all;
+* **determinism** -- adversarial delivery is a pure function of
+  (plan, traffic): same seed, same events, byte for byte.
+"""
+
+import io
+
+import pytest
+
+from repro.core import Simulator
+from repro.instances import one_cycle_instance, two_cycle_instance
+from repro.net import NetworkManager, NetworkPlan
+from repro.resilience import FaultPlan
+from repro.resilience.harness import HARNESS_ALGORITHMS
+
+
+def _run(algorithm="flooding", n=7, faults=None, network=None, trace=None, split=None):
+    spec = HARNESS_ALGORITHMS[algorithm]
+    instance = (
+        two_cycle_instance(n, split, kt=spec.kt)
+        if split is not None
+        else one_cycle_instance(n, kt=spec.kt)
+    )
+    sim = Simulator(spec.model(n), trace=trace)
+    return sim.run(
+        instance, spec.factory(n), spec.rounds(n), faults=faults, network=network
+    )
+
+
+class TestBitIdentity:
+    def test_faults_only_matches_direct_fault_path(self):
+        plan = FaultPlan(seed=13, bit_flip_rate=0.1, erasure_rate=0.05)
+        direct = _run(faults=plan)
+        via_pristine_net = _run(faults=plan, network=NetworkPlan(faults=plan))
+        assert direct.outputs == via_pristine_net.outputs
+        assert direct.fault_events == via_pristine_net.fault_events
+        assert [t.comparable() for t in direct.transcripts] == [
+            t.comparable() for t in via_pristine_net.transcripts
+        ]
+
+    def test_clean_run_has_no_network_surface(self):
+        result = _run()
+        assert result.network_events == ()
+        assert result.delivery_stats == ()
+
+    def test_clean_path_allocates_no_channels(self, monkeypatch):
+        """The fast path must not even construct a NetworkManager."""
+        def boom(*args, **kwargs):
+            raise AssertionError("clean run constructed a NetworkManager")
+
+        monkeypatch.setattr(NetworkManager, "__init__", boom)
+        result = _run()
+        assert result.all_finished
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("algorithm", ["flooding", "neighbor_exchange"])
+    def test_same_seed_same_delivery(self, algorithm):
+        plan = NetworkPlan(seed=21, max_delay=2, duplicate_rate=0.2, reorder=True)
+        a = _run(algorithm=algorithm, network=plan)
+        b = _run(algorithm=algorithm, network=plan)
+        assert a.network_events == b.network_events
+        assert a.outputs == b.outputs
+        assert a.delivery_stats == b.delivery_stats
+
+    def test_different_seed_different_delivery(self):
+        a = _run(network=NetworkPlan(seed=1, max_delay=2, duplicate_rate=0.3, reorder=True))
+        b = _run(network=NetworkPlan(seed=2, max_delay=2, duplicate_rate=0.3, reorder=True))
+        assert a.network_events != b.network_events
+
+    def test_faults_compose_with_network(self):
+        faults = FaultPlan(seed=3, bit_flip_rate=0.05)
+        plan = NetworkPlan(seed=4, max_delay=1, duplicate_rate=0.1, faults=faults)
+        result = _run(network=plan)
+        assert result.fault_events  # fault layer still active
+        assert result.network_events  # delivery layer active too
+        # composing does not perturb the fault RNG stream: the same fault
+        # plan alone yields the same fault events
+        alone = _run(faults=faults)
+        assert [e.kind for e in alone.fault_events] == [
+            e.kind for e in result.fault_events
+        ]
+
+
+class TestTraceIntegration:
+    def test_delivery_events_traced_and_valid(self):
+        from repro.obs import RunTrace, read_trace, validate_trace_events
+
+        buffer = io.StringIO()
+        trace = RunTrace(buffer)
+        plan = NetworkPlan(seed=5, max_delay=2, duplicate_rate=0.2, reorder=True)
+        result = _run(network=plan, trace=trace)
+        trace.close()
+        events = read_trace(io.StringIO(buffer.getvalue()))
+        assert validate_trace_events(events) == []
+        deliveries = [e for e in events if e.get("event") == "delivery"]
+        assert len(deliveries) == len(result.network_events)
+        run_start = next(e for e in events if e.get("event") == "run_start")
+        assert run_start["network"]["max_delay"] == 2
+        run_end = next(e for e in events if e.get("event") == "run_end")
+        assert run_end["delivery_anomalies"] == len(result.network_events)
+
+    def test_clean_trace_shape_unchanged(self):
+        from repro.obs import RunTrace, read_trace
+
+        buffer = io.StringIO()
+        trace = RunTrace(buffer)
+        _run(trace=trace)
+        trace.close()
+        events = read_trace(io.StringIO(buffer.getvalue()))
+        run_start = next(e for e in events if e.get("event") == "run_start")
+        run_end = next(e for e in events if e.get("event") == "run_end")
+        assert "network" not in run_start
+        assert "delivery_anomalies" not in run_end
+        assert not any(e.get("event") == "delivery" for e in events)
+
+
+class TestDeliveryStats:
+    def test_stats_cover_trafficked_edges_only(self):
+        plan = NetworkPlan(seed=8, max_delay=1)
+        result = _run(network=plan)
+        assert result.delivery_stats
+        for entry in result.delivery_stats:
+            assert entry["sent"] or entry["delivered"] or entry["dropped"]
+            assert entry["sender"] != entry["receiver"]

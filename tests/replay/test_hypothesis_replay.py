@@ -1,0 +1,149 @@
+"""Property tests: live execution ≡ replay, and delivery determinism.
+
+Two invariant families drive the whole record/replay design:
+
+* **live ≡ replay** -- for every engine kind and every parameter point
+  (clean, faulted, adversarially delivered, worker-sharded), recording
+  an execution and re-executing its header produce the same steps and
+  the same result;
+* **seed determinism** -- the adversarial delivery schedule is a pure
+  function of (seed, traffic): same seed same events, and the policy
+  knobs (delay / duplicate / reorder) actually bite when enabled.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import NetworkPlan
+from repro.replay import record_session, replay_session
+
+SETTINGS = dict(max_examples=8, deadline=None)
+
+ALGORITHMS = ("neighbor_exchange", "flooding", "boruvka", "sketch")
+
+
+def _assert_replay_matches(kind, params):
+    buffer = io.StringIO()
+    record_session(kind, params, buffer)
+    report = replay_session(io.StringIO(buffer.getvalue()))
+    assert report.matched, report.describe()
+
+
+class TestLiveEqualsReplay:
+    @settings(**SETTINGS)
+    @given(
+        algorithm=st.sampled_from(ALGORITHMS),
+        n=st.integers(min_value=5, max_value=8),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        bit_flip=st.sampled_from([0.0, 0.05, 0.2]),
+        crash=st.sampled_from([0.0, 0.05]),
+    )
+    def test_faulted_runs(self, algorithm, n, fault_seed, bit_flip, crash):
+        params = {"algorithm": algorithm, "n": n}
+        if bit_flip or crash:
+            params["faults"] = {
+                "seed": fault_seed,
+                "bit_flip_rate": bit_flip,
+                "crash_rate": crash,
+            }
+        _assert_replay_matches("run", params)
+
+    @settings(**SETTINGS)
+    @given(
+        net_seed=st.integers(min_value=0, max_value=2**16),
+        max_delay=st.integers(min_value=0, max_value=3),
+        duplicate=st.sampled_from([0.0, 0.3]),
+        reorder=st.booleans(),
+    )
+    def test_networked_runs(self, net_seed, max_delay, duplicate, reorder):
+        params = {
+            "algorithm": "flooding",
+            "n": 6,
+            "network": {
+                "seed": net_seed,
+                "max_delay": max_delay,
+                "duplicate_rate": duplicate,
+                "reorder": reorder,
+            },
+        }
+        _assert_replay_matches("run", params)
+
+    @settings(max_examples=4, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=4))
+    def test_exhaustive(self, n):
+        _assert_replay_matches("exhaustive", {"n": n, "workers": 1})
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        eps=st.sampled_from([0.0, 0.3]),
+    )
+    def test_sampling(self, seed, eps):
+        _assert_replay_matches(
+            "sampling",
+            {"n": 4, "eps": eps, "samples": 40, "seed": seed, "workers": 1},
+        )
+
+    @settings(max_examples=4, deadline=None)
+    @given(ns=st.lists(st.integers(min_value=3, max_value=5), min_size=1, max_size=2))
+    def test_ranks(self, ns):
+        _assert_replay_matches(
+            "ranks", {"ns": ns, "kernel": "auto", "workers": 1}
+        )
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        workers=st.sampled_from([1, 2]),
+    )
+    def test_fault_sweep_including_workers(self, seed, workers):
+        _assert_replay_matches(
+            "fault-sweep",
+            {
+                "algorithms": ["neighbor_exchange"],
+                "kinds": ["bit_flip"],
+                "rates": [0.0, 0.1],
+                "n": 6,
+                "trials": 2,
+                "seed": seed,
+                "workers": workers,
+            },
+        )
+
+
+class TestDeliveryDeterminism:
+    def _events(self, seed, max_delay=2, duplicate=0.3, reorder=True):
+        from repro.replay import execute_run
+
+        result = execute_run(
+            {
+                "algorithm": "flooding",
+                "n": 6,
+                "network": {
+                    "seed": seed,
+                    "max_delay": max_delay,
+                    "duplicate_rate": duplicate,
+                    "reorder": reorder,
+                },
+            }
+        )
+        return tuple(e.as_dict() for e in result.network_events)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_same_seed_same_schedule(self, seed):
+        assert self._events(seed) == self._events(seed)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_policies_bite_when_enabled(self, seed):
+        events = self._events(seed, max_delay=3, duplicate=0.5, reorder=True)
+        kinds = {e["kind"] for e in events}
+        assert "delayed" in kinds  # delay 1..3 over dozens of deliveries
+
+    def test_disabled_policies_stay_silent(self):
+        plan = NetworkPlan(seed=7)
+        assert plan.is_pristine
+        assert self._events(seed=7, max_delay=0, duplicate=0.0, reorder=False) == ()

@@ -1,0 +1,105 @@
+"""The session cursor: rewind/step navigation and counterfactual branches."""
+
+import io
+
+import pytest
+
+from repro.errors import ReplayDivergenceError, SessionError
+from repro.replay import SessionCursor, record_session
+
+PARAMS = {
+    "algorithm": "flooding",
+    "n": 6,
+    "faults": {"seed": 4, "bit_flip_rate": 0.1},
+}
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    buffer = io.StringIO()
+    record_session("run", PARAMS, buffer)
+    return buffer.getvalue()
+
+
+def _cursor(recorded):
+    return SessionCursor(io.StringIO(recorded))
+
+
+class TestNavigation:
+    def test_rewind_lands_on_step(self, recorded):
+        cursor = _cursor(recorded)
+        step = cursor.rewind(2)
+        assert step["step"] == 2
+        assert cursor.position == 2
+
+    def test_step_advances(self, recorded):
+        cursor = _cursor(recorded)
+        cursor.rewind(1)
+        first = cursor.step()
+        second = cursor.step()
+        assert (first["step"], second["step"]) == (1, 2)
+        assert cursor.position == 3
+
+    def test_walk_to_exhaustion(self, recorded):
+        cursor = _cursor(recorded)
+        count = 0
+        while not cursor.exhausted:
+            cursor.step()
+            count += 1
+        assert count == cursor.session.step_count
+        with pytest.raises(SessionError):
+            cursor.step()
+
+    def test_rewind_out_of_range(self, recorded):
+        cursor = _cursor(recorded)
+        with pytest.raises(SessionError):
+            cursor.rewind(cursor.session.step_count)
+        with pytest.raises(SessionError):
+            cursor.rewind(-1)
+
+    def test_steps_carry_round_state(self, recorded):
+        cursor = _cursor(recorded)
+        step = cursor.rewind(0)
+        assert step["t"] == 1
+        assert len(step["broadcasts"]) == PARAMS["n"]
+        assert len(step["digests"]) == PARAMS["n"]
+        assert step["rng"]["faults"] is not None  # faulted run records its RNG
+
+
+class TestBranch:
+    def test_pure_replay_branch_agrees(self, recorded):
+        cursor = _cursor(recorded)
+        cursor.rewind(3)
+        branched = cursor.branch()
+        assert branched.step_count == cursor.session.step_count
+        assert branched.steps == cursor.session.steps
+
+    def test_future_only_override_passes_prefix_check(self, recorded):
+        cursor = _cursor(recorded)
+        cursor.rewind(3)
+        # same adversary, but silenced after the rewind point: the past
+        # (steps 0..2) is untouched, so the prefix check must pass
+        overrides = {"faults": {"seed": 4, "bit_flip_rate": 0.1, "last_round": 3}}
+        branched = cursor.branch(overrides)
+        assert branched.steps[:3] == cursor.session.steps[:3]
+
+    def test_changed_past_raises_divergence(self, recorded):
+        cursor = _cursor(recorded)
+        cursor.rewind(3)
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            cursor.branch({"faults": {"seed": 99, "bit_flip_rate": 0.5}})
+        assert excinfo.value.divergence is not None
+        assert excinfo.value.divergence.location.startswith("step ")
+
+    def test_sink_written_only_on_success(self, recorded, tmp_path):
+        import os
+
+        cursor = _cursor(recorded)
+        cursor.rewind(2)
+        good = str(tmp_path / "good.jsonl")
+        cursor.branch({}, sink=good)
+        assert os.path.exists(good)
+        bad = str(tmp_path / "bad.jsonl")
+        with pytest.raises(ReplayDivergenceError):
+            cursor.branch({"faults": {"seed": 99, "bit_flip_rate": 0.5}}, sink=bad)
+        assert not os.path.exists(bad)

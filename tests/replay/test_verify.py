@@ -1,0 +1,157 @@
+"""Replay verification: divergences are found, located, and reported."""
+
+import io
+import json
+
+import pytest
+
+from repro.replay import (
+    compare_sessions,
+    read_session,
+    record_session,
+    replay_session,
+)
+
+PARAMS = {
+    "algorithm": "flooding",
+    "n": 6,
+    "faults": {"seed": 4, "bit_flip_rate": 0.1},
+}
+
+
+def _recorded_text(params=PARAMS, kind="run"):
+    buffer = io.StringIO()
+    record_session(kind, params, buffer)
+    return buffer.getvalue()
+
+
+def _tamper(text, predicate, mutate):
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        event = json.loads(line)
+        if predicate(event):
+            mutate(event)
+            lines[index] = json.dumps(event)
+            break
+    else:
+        raise AssertionError("tamper target not found")
+    return "\n".join(lines) + "\n"
+
+
+class TestTamperDetection:
+    def test_clean_log_matches(self):
+        report = replay_session(io.StringIO(_recorded_text()))
+        assert report.matched and report.result_compared
+
+    def test_tampered_broadcast_located(self):
+        def flip(event):
+            event["broadcasts"][0] = "9"
+
+        text = _tamper(
+            _recorded_text(),
+            lambda e: e.get("event") == "step" and e.get("step") == 2,
+            flip,
+        )
+        report = replay_session(io.StringIO(text))
+        assert not report.matched
+        assert report.divergence.location == "step 2"
+        assert report.divergence.field == "broadcasts"
+
+    def test_tampered_digest_located(self):
+        def corrupt(event):
+            event["digests"][1] = "0" * 64
+
+        text = _tamper(
+            _recorded_text(),
+            lambda e: e.get("event") == "step" and e.get("step") == 1,
+            corrupt,
+        )
+        report = replay_session(io.StringIO(text))
+        assert not report.matched
+        assert report.divergence.location == "step 1"
+        assert report.divergence.field == "digests"
+
+    def test_tampered_result_located(self):
+        def inflate(event):
+            event["payload"]["total_bits"] += 1
+
+        text = _tamper(
+            _recorded_text(), lambda e: e.get("event") == "result", inflate
+        )
+        report = replay_session(io.StringIO(text))
+        assert not report.matched
+        assert report.divergence.location == "result"
+        assert report.divergence.field == "total_bits"
+
+    def test_earliest_divergence_wins(self):
+        def flip(event):
+            event["broadcasts"][0] = "9"
+
+        text = _recorded_text()
+        text = _tamper(
+            text, lambda e: e.get("event") == "step" and e.get("step") == 3, flip
+        )
+        text = _tamper(
+            text, lambda e: e.get("event") == "step" and e.get("step") == 1, flip
+        )
+        report = replay_session(io.StringIO(text))
+        assert report.divergence.location == "step 1"
+
+
+class TestPartialSessions:
+    def test_truncated_recording_replays_as_prefix(self):
+        text = _recorded_text()
+        # keep header + first two steps only (simulates a hard kill)
+        kept = []
+        steps = 0
+        for line in text.splitlines():
+            event = json.loads(line)
+            if event.get("event") == "step":
+                steps += 1
+                if steps > 2:
+                    break
+            kept.append(line)
+        report = replay_session(io.StringIO("\n".join(kept) + "\n"))
+        assert report.partial
+        assert report.matched
+        assert report.steps_compared == 2
+        assert not report.result_compared
+
+    def test_truncated_but_tampered_still_diverges(self):
+        def flip(event):
+            event["broadcasts"][0] = "9"
+
+        text = _tamper(
+            _recorded_text(),
+            lambda e: e.get("event") == "step" and e.get("step") == 0,
+            flip,
+        )
+        kept = [
+            line
+            for line in text.splitlines()
+            if json.loads(line).get("event") != "session_end"
+        ]
+        report = replay_session(io.StringIO("\n".join(kept) + "\n"))
+        assert report.partial and not report.matched
+
+
+class TestReportShape:
+    def test_describe_names_the_divergence(self):
+        def flip(event):
+            event["broadcasts"][0] = "9"
+
+        text = _tamper(
+            _recorded_text(),
+            lambda e: e.get("event") == "step" and e.get("step") == 0,
+            flip,
+        )
+        report = replay_session(io.StringIO(text))
+        described = report.describe()
+        assert "DIVERGED" in described
+        assert "step 0.broadcasts" in described
+
+    def test_compare_sessions_accepts_parsed_inputs(self):
+        text = _recorded_text()
+        a = read_session(io.StringIO(text))
+        b = read_session(io.StringIO(text))
+        assert compare_sessions(a, b).matched

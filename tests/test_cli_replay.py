@@ -1,0 +1,176 @@
+"""CLI tests for record / replay / rewind / report --session."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def recorded_run(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    code = main(
+        [
+            "record", "run",
+            "--session", path,
+            "--algorithm", "flooding",
+            "--n", "7",
+            "--bit-flip-rate", "0.05",
+            "--fault-seed", "7",
+            "--max-delay", "1",
+            "--duplicate-rate", "0.1",
+            "--reorder",
+            "--net-seed", "11",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def _tamper_step(path, step, field="broadcasts", value="999"):
+    lines = open(path).read().splitlines()
+    for index, line in enumerate(lines):
+        event = json.loads(line)
+        if event.get("event") == "step" and event.get("step") == step:
+            event[field][0] = value
+            lines[index] = json.dumps(event)
+            break
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+class TestRecord:
+    def test_record_emits_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        code = main(
+            ["record", "run", "--session", path, "--algorithm", "flooding", "--n", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recorded session" in out and "decision=" in out
+
+    def test_record_batch_kind(self, tmp_path, capsys):
+        path = str(tmp_path / "ranks.jsonl")
+        assert main(["record", "ranks", "--session", path, "--ns", "3", "4"]) == 0
+
+    def test_record_bad_algorithm_is_user_error(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        code = main(
+            ["record", "run", "--session", path, "--algorithm", "nope", "--n", "6"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_crash_at_schedule(self, tmp_path, capsys):
+        path = str(tmp_path / "crash.jsonl")
+        code = main(
+            [
+                "record", "run",
+                "--session", path,
+                "--algorithm", "flooding",
+                "--n", "6",
+                "--crash-at", "2:1",
+            ]
+        )
+        assert code == 0
+        header = next(
+            json.loads(line)
+            for line in open(path)
+            if '"session_start"' in line
+        )
+        assert header["params"]["faults"]["scheduled"][0]["vertex"] == 2
+
+    def test_malformed_crash_at_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                "record", "run",
+                "--session", str(tmp_path / "x.jsonl"),
+                "--algorithm", "flooding",
+                "--n", "6",
+                "--crash-at", "nonsense",
+            ]
+        )
+        assert code == 2
+
+
+class TestReplay:
+    def test_clean_replay_exits_zero(self, recorded_run, capsys):
+        assert main(["replay", recorded_run]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_verify_prints_full_report(self, recorded_run, capsys):
+        assert main(["replay", recorded_run, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "steps:" in out and "result: compared" in out
+
+    def test_tampered_log_exits_four(self, recorded_run, capsys):
+        _tamper_step(recorded_run, step=2)
+        assert main(["replay", recorded_run, "--verify"]) == 4
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out and "step 2" in out
+
+    def test_json_divergence_report(self, recorded_run, capsys):
+        _tamper_step(recorded_run, step=1)
+        assert main(["replay", recorded_run, "--json"]) == 4
+        data = json.loads(capsys.readouterr().out)
+        assert data["matched"] is False
+        assert data["divergence"]["location"] == "step 1"
+
+    def test_unreadable_session_is_user_error(self, capsys):
+        assert main(["replay", "/nonexistent/session.jsonl"]) == 2
+
+
+class TestRewind:
+    def test_rewind_walk(self, recorded_run, capsys):
+        assert main(["rewind", recorded_run, "--to", "2", "--walk", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "from step 2" in out
+
+    def test_branch_future_only_override(self, recorded_run, tmp_path, capsys):
+        out_path = str(tmp_path / "branch.jsonl")
+        code = main(
+            [
+                "rewind", recorded_run,
+                "--to", "3",
+                "--branch",
+                '{"faults": {"seed": 7, "bit_flip_rate": 0.05, "last_round": 3}}',
+                "--out", out_path,
+            ]
+        )
+        assert code == 0
+        assert "branch OK" in capsys.readouterr().out
+        assert main(["replay", out_path]) == 0  # a branch is itself replayable
+
+    def test_branch_changing_past_exits_four(self, recorded_run, capsys):
+        code = main(
+            [
+                "rewind", recorded_run,
+                "--to", "3",
+                "--branch", '{"faults": {"seed": 99, "bit_flip_rate": 0.5}}',
+            ]
+        )
+        assert code == 4
+        assert "divergence:" in capsys.readouterr().err
+
+    def test_rewind_past_end_is_user_error(self, recorded_run, capsys):
+        assert main(["rewind", recorded_run, "--to", "999"]) == 2
+
+
+class TestSessionReport:
+    def test_report_session_summary(self, recorded_run, capsys):
+        assert main(["report", "--session", recorded_run]) == 0
+        out = capsys.readouterr().out
+        assert "session report" in out
+        assert "per-edge delivery anomalies" in out
+        assert "cost parity: OK" in out
+
+    def test_report_detects_cost_tampering(self, recorded_run, capsys):
+        _tamper_step(recorded_run, step=0)
+        assert main(["report", "--session", recorded_run]) == 1
+        assert "cost parity: MISMATCH" in capsys.readouterr().err
+
+    def test_list_mentions_new_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "record" in out and "replay" in out and "rewind" in out

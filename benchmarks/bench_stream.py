@@ -1,0 +1,77 @@
+"""O2 -- the live event bus's own cost, off and on.
+
+The acceptance budget for `repro.obs.stream` is < 1% overhead on
+`Simulator.run` when **no bus is installed** (the common case: every
+tier-1 test, every non-interactive run). With no bus the instrumented
+sites resolve `get_bus()` once per run and pay a single ``is not None``
+check per publish point -- no payload dicts are built. This file times
+the engine three ways -- bus off, bus installed with zero subscribers,
+bus installed with a counting subscriber -- so each layer's price is a
+recorded number (see EXPERIMENTS.md "Live event bus overhead").
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+from repro.instances import one_cycle_instance
+from repro.obs import EventBus, use_bus
+
+SIM = Simulator(BCC1_KT0)
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_no_bus(benchmark, n):
+    """Baseline: the engine with streaming disabled (the hot path)."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+    result = benchmark(SIM.run, inst, ConstantAlgorithm, rounds)
+    assert result.rounds_executed == rounds
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_bus_no_subscribers(benchmark, n):
+    """An installed bus with nothing listening: events are recorded to
+    the ring buffer but no callbacks run."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+
+    def kernel():
+        bus = EventBus()
+        with use_bus(bus):
+            result = SIM.run(inst, ConstantAlgorithm, rounds)
+        return result, bus
+
+    result, bus = benchmark(kernel)
+    assert result.rounds_executed == rounds
+    # run_start + one event per round + run_end
+    assert bus.published_count == rounds + 2
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_engine_bus_with_subscriber(benchmark, n):
+    """The full price: bus installed and a subscriber counting events."""
+    inst = one_cycle_instance(n, kt=0)
+    rounds = 8
+
+    def kernel():
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with use_bus(bus):
+            result = SIM.run(inst, ConstantAlgorithm, rounds)
+        return result, seen
+
+    result, seen = benchmark(kernel)
+    assert result.rounds_executed == rounds
+    kinds = [event.kind for event in seen]
+    assert kinds[0] == "simulator.run_start"
+    assert kinds[-1] == "simulator.run_end"
+    assert kinds.count("simulator.round") == rounds
+    round_events = [e for e in seen if e.kind == "simulator.round"]
+    assert [e.payload["t"] for e in round_events] == list(range(1, rounds + 1))
+    print_table(
+        "O2: bus event stream shape",
+        ["n", "rounds", "events", "first", "last"],
+        [[n, rounds, len(seen), kinds[0], kinds[-1]]],
+    )

@@ -531,18 +531,28 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
         rates = [float(r) for r in args.rates]
         n = args.n
         trials = args.trials
+    from contextlib import nullcontext
+
+    live_scope = nullcontext()
+    if getattr(args, "live", False):
+        from repro.obs.stream import EventBus, line_printer, use_bus
+
+        live_bus = EventBus()
+        live_bus.subscribe(line_printer())
+        live_scope = use_bus(live_bus)
     trace = _open_trace(args)
     try:
-        report = fault_sweep(
-            algorithms=algorithms,
-            kinds=kinds,
-            rates=rates,
-            n=n,
-            trials=trials,
-            seed=args.seed,
-            trace=trace,
-            workers=_resolved_workers(args),
-        )
+        with live_scope:
+            report = fault_sweep(
+                algorithms=algorithms,
+                kinds=kinds,
+                rates=rates,
+                n=n,
+                trials=trials,
+                seed=args.seed,
+                trace=trace,
+                workers=_resolved_workers(args),
+            )
     finally:
         if trace is not None:
             trace.close()
@@ -724,6 +734,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
         elif not getattr(args, "json", False):
             print(
                 "per-vertex: no payload carries a costs section "
+                "(re-run `repro bench` to record ledgers)"
+            )
+    if getattr(args, "per_phase", False):
+        phase_rows = []
+        for _path, payload in payloads:
+            costs = payload.get("costs")
+            if not isinstance(costs, dict):
+                continue
+            per_phase = costs.get("per_phase")
+            if not isinstance(per_phase, dict):
+                continue
+            total = sum(
+                bits for bits in per_phase.values() if isinstance(bits, int)
+            )
+            for phase, bits in sorted(per_phase.items()):
+                share = f"{bits / total:.1%}" if total else "-"
+                phase_rows.append(
+                    [payload.get("name", "?"), phase, bits, share]
+                )
+        if phase_rows:
+            _emit(
+                args,
+                f"per-phase communication cost in {args.dir} "
+                "(two-party runs split simulate/decision)",
+                ["benchmark", "phase", "bits", "share"],
+                phase_rows,
+            )
+        elif not getattr(args, "json", False):
+            print(
+                "per-phase: no payload carries a per-phase ledger "
                 "(re-run `repro bench` to record ledgers)"
             )
     for path, problems in invalid:
@@ -937,18 +977,115 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
                     f"{name}={count}"
                     for name, count in sorted(entry["by_event"].items())
                 )
+                sessions = entry.get("sessions")
+                if sessions:
+                    kinds = ",".join(
+                        f"{kind}x{count}"
+                        for kind, count in sorted(sessions["kinds"].items())
+                    )
+                    session_cell = (
+                        f"{kinds or '-'} steps={sessions['steps']} "
+                        f"complete={sessions['complete']}"
+                    )
+                else:
+                    session_cell = "-"
                 rows.append(
-                    [run_id, entry["schema_version"], entry["events"], by_event]
+                    [
+                        run_id,
+                        entry["schema_version"],
+                        entry["events"],
+                        by_event,
+                        entry.get("cost_bits", "-"),
+                        session_cell,
+                    ]
                 )
             _emit(
                 args,
                 f"trace statistics for {args.file}",
-                ["run id", "schema", "events", "by event"],
+                ["run id", "schema", "events", "by event", "cost bits", "sessions"],
                 rows,
             )
     for problem in problems:
         print(f"INVALID {args.file}: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import load_bench_payloads, read_history
+    from repro.obs.dash import build_dashboard, validate_dashboard_html
+
+    def _load_json(path: str, what: str):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {what} {path!r}: {exc}", file=sys.stderr)
+            return None
+
+    history = []
+    if args.history:
+        try:
+            history = read_history(args.history)
+        except OSError as exc:
+            print(
+                f"error: cannot read history {args.history!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    bench_payloads = load_bench_payloads(args.dir)
+    sweep = None
+    if args.sweep:
+        sweep = _load_json(args.sweep, "fault-sweep payload")
+        if sweep is None:
+            return 2
+    span_payload = None
+    if args.spans:
+        span_payload = _load_json(args.spans, "span tree payload")
+        if span_payload is None:
+            return 2
+    sessions = []
+    if args.sessions:
+        from repro.errors import SessionError
+        from repro.replay import read_session
+
+        for path in args.sessions:
+            try:
+                sessions.append(read_session(path))
+            except SessionError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    html = build_dashboard(
+        history=history,
+        bench_payloads=bench_payloads,
+        sweep=sweep,
+        sessions=sessions,
+        span_payload=span_payload,
+        timestamp=args.timestamp,
+        title=args.title,
+    )
+    problems = validate_dashboard_html(html)
+    if problems:
+        for problem in problems:
+            print(f"INVALID dashboard: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    sources = sum(
+        [
+            1 if history else 0,
+            1 if bench_payloads else 0,
+            1 if sweep else 0,
+            1 if span_payload else 0,
+            len(sessions),
+        ]
+    )
+    print(
+        f"dash: wrote {args.out} ({len(html.encode('utf-8'))} bytes, "
+        f"{sources} source(s), self-contained)"
+    )
+    return 0
 
 
 def _parse_crash_at(specs) -> list:
@@ -1246,6 +1383,7 @@ _COMMANDS_HELP = [
     ("compare", "detect perf regressions against BENCH_HISTORY.jsonl"),
     ("cost-check", "check measured bits/rounds against the symbolic cost specs"),
     ("trace-validate", "validate a JSONL run trace (any schema version)"),
+    ("dash", "build the self-contained HTML observability dashboard"),
     ("record", "execute an engine while recording a replayable session log"),
     ("replay", "re-execute a recorded session; exit 4 on any divergence"),
     ("rewind", "inspect a recorded session step-by-step; branch counterfactuals"),
@@ -1475,6 +1613,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the schema-versioned fault_sweep JSON payload to FILE",
     )
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "stream one progress line per sweep cell to stderr as it "
+            "completes (via the repro.obs.stream event bus)"
+        ),
+    )
     _add_workers_flag(p)
     _add_json_flag(p)
     _add_trace_flag(p)
@@ -1533,6 +1679,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also print each payload's per-vertex ledger: bits sent and "
             "silent rounds per vertex (from the optional costs section)"
+        ),
+    )
+    p.add_argument(
+        "--per-phase",
+        action="store_true",
+        dest="per_phase",
+        help=(
+            "also print each payload's per-phase ledger (two-party runs "
+            "split into simulate/decision phases)"
         ),
     )
     p.add_argument(
@@ -1659,6 +1814,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(p)
     p.set_defaults(func=_cmd_trace_validate)
+
+    p = sub.add_parser("dash", help=_help("dash"))
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="dash.html",
+        help="dashboard HTML file to write (default: dash.html)",
+    )
+    p.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding BENCH_*.json payloads (default: current dir)",
+    )
+    p.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help="BENCH_HISTORY.jsonl for the sparkline section",
+    )
+    p.add_argument(
+        "--sweep",
+        metavar="FILE",
+        default=None,
+        help="fault-sweep JSON payload (from `repro fault-sweep --out`)",
+    )
+    p.add_argument(
+        "--spans",
+        metavar="FILE",
+        default=None,
+        help="span tree JSON payload (from `repro spans --out`)",
+    )
+    p.add_argument(
+        "--session",
+        metavar="FILE",
+        action="append",
+        default=None,
+        dest="sessions",
+        help="recorded session log (repeatable; from `repro record`)",
+    )
+    p.add_argument(
+        "--timestamp",
+        metavar="STR",
+        default=None,
+        help=(
+            "pinned generated-at string; with equal inputs and an equal "
+            "timestamp the output is byte-identical (omit to leave unpinned "
+            "-- output is still deterministic)"
+        ),
+    )
+    p.add_argument(
+        "--title",
+        default="repro dashboard",
+        help="page title (default: repro dashboard)",
+    )
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser("record", help=_help("record"))
     from repro.replay.engines import RECORD_KINDS

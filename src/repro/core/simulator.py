@@ -24,6 +24,7 @@ from repro.costs.ledger import get_ledger, run_cost_summary
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
 from repro.obs.spans import get_recorder
+from repro.obs.stream import get_bus
 
 if TYPE_CHECKING:  # imported lazily to keep core free of resilience deps
     from repro.net.plan import NetworkEvent, NetworkPlan
@@ -133,6 +134,12 @@ class Simulator:
     (vertex, round, phase) cell and to populate
     ``RunResult.cost_summary`` (mirrored as the trace-v4
     ``cost_summary`` event when a trace is active).
+
+    Live progress streaming is the same contract once more: install an
+    :class:`repro.obs.EventBus` via :func:`repro.obs.use_bus` and the
+    run publishes ``simulator.run_start`` / ``simulator.round`` /
+    ``simulator.run_end`` events as they happen; with no bus installed
+    the cost is a single ``None`` check and no payload is built.
     """
 
     def __init__(
@@ -222,11 +229,12 @@ class Simulator:
         metrics = self._metrics if self._metrics is not None else get_registry()
         trace = self._trace
         ledger = self._costs if self._costs is not None else get_ledger()
+        bus = get_bus()
         recorder = get_recorder()
         if recorder is None:
             return self._execute(
                 instance, factory, rounds, the_coin, plan, net_plan, session,
-                metrics, trace, None, ledger,
+                metrics, trace, None, ledger, bus,
             )
         run_span = recorder.start(
             "simulator.run",
@@ -239,7 +247,7 @@ class Simulator:
         try:
             result = self._execute(
                 instance, factory, rounds, the_coin, plan, net_plan, session,
-                metrics, trace, recorder, ledger,
+                metrics, trace, recorder, ledger, bus,
             )
             run_span.set_attr("rounds_executed", result.rounds_executed)
             return result
@@ -262,6 +270,7 @@ class Simulator:
         trace,
         recorder,
         ledger,
+        bus=None,
     ) -> RunResult:
         """The round engine proper (observability already resolved).
 
@@ -283,7 +292,15 @@ class Simulator:
             net_run = None
         fault_run = net_run.fault_run if net_run is not None else None
         networked = net_plan is not None and not net_plan.is_pristine
-        observing = metrics is not None or trace is not None
+        # The live event bus rides the same observing branch as metrics
+        # and traces: with no bus installed, nothing below constructs a
+        # payload -- the disabled path stays one ``is not None`` check.
+        observing = metrics is not None or trace is not None or bus is not None
+        if bus is not None:
+            bus.publish(
+                "simulator.run_start",
+                {"n": n, "kt": instance.kt, "rounds_budget": rounds},
+            )
         if trace is not None:
             start_fields: Dict[str, Any] = {
                 "n": n,
@@ -432,6 +449,18 @@ class Simulator:
                         metrics.counter("simulator.delivery_anomalies").inc(
                             round_deliveries
                         )
+                if bus is not None:
+                    bus.publish(
+                        "simulator.round",
+                        {
+                            "t": t,
+                            "bits": round_bits,
+                            "wall_seconds": round_seconds,
+                            "faults": round_faults,
+                            "deliveries": round_deliveries,
+                            "all_finished": done,
+                        },
+                    )
                 if trace is not None:
                     if fault_run is not None:
                         for event in fault_run.events[fault_cursor:]:
@@ -494,6 +523,15 @@ class Simulator:
             if done and executed < rounds:
                 metrics.gauge("simulator.early_stop_round").set(executed)
                 metrics.counter("simulator.early_stops").inc()
+        if bus is not None:
+            bus.publish(
+                "simulator.run_end",
+                {
+                    "rounds_executed": executed,
+                    "all_finished": done,
+                    "total_bits": total_bits,
+                },
+            )
         if trace is not None:
             if cost_summary is not None:
                 trace.emit("cost_summary", **cost_summary)

@@ -172,6 +172,40 @@ class CostLedger:
             },
         }
 
+    def population(self) -> Dict[str, Dict[str, Any]]:
+        """Mergeable population sketches over the ledger's cells.
+
+        Serialized sketch states (see :mod:`repro.obs.sketches`):
+        ``"cell_bits"`` -- quantile sketch over every (vertex, round,
+        phase) cell's bit count; ``"phase_bits"`` / ``"vertex_bits"`` --
+        top-k sketches weighting phases and vertices by the bits they
+        carried. The result is a pure function of the ledger's cell
+        multiset: build per-shard populations and fold them with
+        :func:`repro.obs.sketches.merge_population` when the shards
+        charge *disjoint* cells (as the sharded sweeps do), or
+        :meth:`merge` the ledgers first and take one population when
+        cells may overlap.
+        """
+        # Lazy: sketches imports repro.parallel, whose package __init__
+        # reaches modules that install cost ledgers.
+        from repro.obs.sketches import QuantileSketch, TopKSketch
+
+        cell_bits = QuantileSketch()
+        phase_bits = TopKSketch()
+        vertex_bits = TopKSketch()
+        with self._lock:
+            cells = list(self._bits.items())
+        for (vertex, _t, phase), bits in cells:
+            cell_bits.update(float(bits))
+            if bits:
+                phase_bits.update(phase, bits)
+                vertex_bits.update(str(vertex), bits)
+        return {
+            "cell_bits": cell_bits.to_dict(),
+            "phase_bits": phase_bits.to_dict(),
+            "vertex_bits": vertex_bits.to_dict(),
+        }
+
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger's cells into this one (associative)."""
         with other._lock:

@@ -22,8 +22,8 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import BudgetExceededError, CheckpointError
 from repro.obs.spans import span
@@ -64,6 +64,14 @@ class SampledInformationReport:
     distinct_inputs_seen: int
     distinct_transcripts_seen: int
     error_rate_estimate: float
+    #: Population sketches over the sampled transcripts (name ->
+    #: serialized state, see :mod:`repro.obs.sketches`): transcript-bit
+    #: quantiles and transcript frequency counts. Derived purely from
+    #: the per-transcript counts all estimation paths compute
+    #: identically, so lean / resilient / sharded reports carry the same
+    #: states; excluded from equality so reports stay comparable to
+    #: hand-built expected values.
+    population: Optional[Dict[str, Dict[str, Any]]] = field(default=None, compare=False)
 
     @property
     def corrected_information(self) -> float:
@@ -76,8 +84,46 @@ class SampledInformationReport:
         return self.true_input_entropy > math.log2(max(2, self.samples))
 
 
+def _transcript_population(
+    transcript_counts: Iterable[Tuple[str, int]],
+) -> Dict[str, Dict[str, Any]]:
+    """Population sketches from (transcript string, count) pairs.
+
+    Built from the per-transcript counts only -- never from the joint's
+    *input* keys, which deliberately differ between the lean path
+    (partition objects) and the resilient/sharded paths (canonical
+    strings) -- so every estimation path produces identical states.
+    """
+    from repro.obs.sketches import QuantileSketch, TopKSketch
+
+    bits = QuantileSketch()
+    transcripts = TopKSketch()
+    for transcript, count in transcript_counts:
+        bits.update(float(len(transcript)), count=count)
+        transcripts.update(transcript, count=count)
+    return {
+        "transcript_bits": bits.to_dict(),
+        "transcripts": transcripts.to_dict(),
+    }
+
+
+def _transcript_counts_from_pairs(
+    keyed_counts: Iterable[Tuple[Tuple[Any, str], int]],
+) -> List[Tuple[str, int]]:
+    """Aggregate ((input, transcript), count) items per transcript, in
+    sorted transcript order."""
+    per_transcript: Dict[str, int] = {}
+    for (_x, transcript), count in keyed_counts:
+        per_transcript[transcript] = per_transcript.get(transcript, 0) + count
+    return sorted(per_transcript.items())
+
+
 def _report_from_joint(
-    n: int, samples: int, joint: Dict[Tuple[Any, Any], float], errors: int
+    n: int,
+    samples: int,
+    joint: Dict[Tuple[Any, Any], float],
+    errors: int,
+    population: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> SampledInformationReport:
     """Assemble the report from an empirical joint (keys may be relabeled).
 
@@ -105,6 +151,7 @@ def _report_from_joint(
         distinct_inputs_seen=distinct_x,
         distinct_transcripts_seen=distinct_y,
         error_rate_estimate=errors / samples,
+        population=population,
     )
 
 
@@ -225,7 +272,15 @@ def _estimate_impl(
                 if result.bob_output != pa:
                     errors += 1
         with span("sampling.reduce"):
-            return _report_from_joint(n, samples, empirical_joint(pairs), errors)
+            pair_counts: Dict[Tuple[Any, str], int] = {}
+            for pair in pairs:
+                pair_counts[pair] = pair_counts.get(pair, 0) + 1
+            population = _transcript_population(
+                _transcript_counts_from_pairs(pair_counts.items())
+            )
+            return _report_from_joint(
+                n, samples, empirical_joint(pairs), errors, population
+            )
 
     params = {"n": n, "samples": samples}
     counts: Dict[Tuple[str, str], int] = {}
@@ -302,7 +357,10 @@ def _estimate_impl(
             checkpointer.flush()
 
     with span("sampling.reduce"):
-        return _report_from_joint(n, samples, _joint(samples), errors)
+        population = _transcript_population(
+            _transcript_counts_from_pairs(counts.items())
+        )
+        return _report_from_joint(n, samples, _joint(samples), errors, population)
 
 
 # ----------------------------------------------------------------------
@@ -498,4 +556,7 @@ def _estimate_sharded(
         )
 
     with span("sampling.reduce"):
-        return _report_from_joint(n, samples, _joint(samples), errors)
+        population = _transcript_population(
+            _transcript_counts_from_pairs(counts.items())
+        )
+        return _report_from_joint(n, samples, _joint(samples), errors, population)

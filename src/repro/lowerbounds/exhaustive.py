@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -40,6 +40,12 @@ from repro.indist.graph_builder import cross_cover
 from repro.instances.enumeration import CycleCover, enumerate_one_cycle_covers
 from repro.lowerbounds.vectorized import HAVE_NUMPY, scan_assignments
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.sketches import (
+    MomentsSketch,
+    QuantileSketch,
+    merge_population,
+    sketch_from_dict,
+)
 from repro.obs.spans import span
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.merge import MIN_KEYED, merge_min_keyed
@@ -155,12 +161,27 @@ def _iter_assignments(
 
 @dataclass(frozen=True)
 class UniversalBoundReport:
-    """Result of the exhaustive minimization."""
+    """Result of the exhaustive minimization.
+
+    ``population`` (opt-in, ``population=True`` on the search) holds
+    mergeable sketch states summarizing the *whole scanned class*, not
+    just the winner: a :class:`repro.obs.sketches.QuantileSketch` over
+    every assignment's forced error (``"forced_error"``) and a
+    :class:`repro.obs.sketches.MomentsSketch` over its fooled-pair total
+    (``"fooled"``). The states are pure functions of the scanned
+    assignment multiset, so serial, sharded, and vectorized searches
+    produce byte-identical populations. Excluded from report equality
+    (``compare=False``) so the long-standing serial == sharded report
+    assertions are unaffected; compare populations explicitly.
+    """
 
     n: int
     class_size: int
     minimum_forced_error: float
     worst_assignment: Tuple[str, ...]  # the broadcast character per vertex ID
+    population: Optional[Dict[str, Dict[str, object]]] = field(
+        default=None, compare=False
+    )
 
     @property
     def is_constant(self) -> bool:
@@ -207,6 +228,38 @@ def _forced_error_and_fooled(
     return error, total_fooled
 
 
+def _new_population() -> Tuple[QuantileSketch, MomentsSketch]:
+    """Fresh (forced-error quantiles, fooled-count moments) sketch pair."""
+    return QuantileSketch(), MomentsSketch()
+
+
+def _population_state(
+    err_sketch: QuantileSketch, fooled_sketch: MomentsSketch
+) -> Dict[str, Dict[str, object]]:
+    return {
+        "forced_error": err_sketch.to_dict(),
+        "fooled": fooled_sketch.to_dict(),
+    }
+
+
+def _restore_population(
+    state: Optional[Dict[str, Dict[str, object]]],
+) -> Tuple[QuantileSketch, MomentsSketch]:
+    """Sketch pair from checkpointed state (fresh when absent: checkpoints
+    written before population tracking existed carry no sketch states)."""
+    if not state:
+        return _new_population()
+    err_sketch = sketch_from_dict(dict(state["forced_error"]))
+    fooled_sketch = sketch_from_dict(dict(state["fooled"]))
+    if not isinstance(err_sketch, QuantileSketch) or not isinstance(
+        fooled_sketch, MomentsSketch
+    ):
+        raise CheckpointError(
+            "checkpoint population state has wrong sketch kinds"
+        )
+    return err_sketch, fooled_sketch
+
+
 def universal_bound_id_oblivious(
     n: int,
     alphabet: Sequence[str] = ("", "0", "1"),
@@ -218,6 +271,7 @@ def universal_bound_id_oblivious(
     resume: Optional[str] = None,
     workers: int = 1,
     vectorize: Optional[bool] = None,
+    population: bool = False,
 ) -> UniversalBoundReport:
     """Minimize forced error over every ID-oblivious 1-round algorithm.
 
@@ -267,6 +321,18 @@ def universal_bound_id_oblivious(
     ``exhaustive.search`` span with ``exhaustive.precompute_pairs`` and
     ``exhaustive.enumerate`` children; with no recorder the only cost is
     one module-level check per phase (never per assignment).
+
+    ``population=True`` additionally accumulates mergeable sketches over
+    the whole scanned class -- forced-error quantiles and fooled-count
+    moments, exposed as :attr:`UniversalBoundReport.population` -- with
+    byte-identical states for every ``workers``/``vectorize`` choice
+    (the sketches are pure functions of the scanned assignment
+    multiset). Population sketch states ride inside checkpoints, so an
+    interrupted + resumed population run still summarizes every
+    assignment exactly once; resuming a *pre-population* checkpoint with
+    ``population=True`` starts the sketches fresh (they then cover only
+    the post-resume assignments). The default (``False``) leaves the
+    lean loop untouched.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -288,6 +354,7 @@ def universal_bound_id_oblivious(
                 resume,
                 workers,
                 use_vectorize,
+                population,
             )
         return _universal_bound_impl(
             n,
@@ -298,6 +365,7 @@ def universal_bound_id_oblivious(
             checkpoint_every,
             checkpoint_seconds,
             resume,
+            population,
         )
 
 
@@ -310,6 +378,7 @@ def _universal_bound_impl(
     checkpoint_every: int,
     checkpoint_seconds: float,
     resume: Optional[str],
+    population: bool = False,
 ) -> UniversalBoundReport:
     if metrics is None:
         metrics = get_registry()
@@ -321,6 +390,10 @@ def _universal_bound_impl(
     best_assignment: Tuple[str, ...] = ()
     enumerated = 0
     fooled_total = 0
+    err_sketch: Optional[QuantileSketch] = None
+    fooled_sketch: Optional[MomentsSketch] = None
+    if population:
+        err_sketch, fooled_sketch = _new_population()
     if resume is not None:
         payload = read_checkpoint(resume, kind=EXHAUSTIVE_CHECKPOINT_KIND, params=params)
         state = payload["state"]
@@ -330,6 +403,10 @@ def _universal_bound_impl(
             best_assignment = tuple(state["best_assignment"])
             enumerated = int(state["enumerated"])
             fooled_total = int(state["fooled_total"])
+            if population:
+                err_sketch, fooled_sketch = _restore_population(
+                    state.get("population")
+                )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"checkpoint {resume!r} has malformed exhaustive state: {exc}"
@@ -342,7 +419,7 @@ def _universal_bound_impl(
     # tests/lowerbounds/test_exhaustive_timing.py).
     start = time.perf_counter()
 
-    if metrics is None and not resilient:
+    if metrics is None and not resilient and not population:
         # The original lean loop: nothing per-iteration but the math.
         with span("exhaustive.enumerate", resilient=False):
             for assignment in itertools.product(alphabet, repeat=n):
@@ -361,13 +438,16 @@ def _universal_bound_impl(
     checkpointer: Optional[Checkpointer] = None
     if checkpoint_path is not None:
         def _state() -> Dict[str, object]:
-            return {
+            state: Dict[str, object] = {
                 "next_index": index,
                 "best": best,
                 "best_assignment": list(best_assignment),
                 "enumerated": enumerated,
                 "fooled_total": fooled_total,
             }
+            if err_sketch is not None and fooled_sketch is not None:
+                state["population"] = _population_state(err_sketch, fooled_sketch)
+            return state
 
         checkpointer = Checkpointer(
             checkpoint_path,
@@ -384,6 +464,11 @@ def _universal_bound_impl(
             class_size=len(alphabet) ** n,
             minimum_forced_error=best if best is not None else 0.0,
             worst_assignment=best_assignment,
+            population=(
+                None
+                if err_sketch is None or fooled_sketch is None
+                else _population_state(err_sketch, fooled_sketch)
+            ),
         )
 
     iterator = itertools.product(alphabet, repeat=n)
@@ -396,6 +481,9 @@ def _universal_bound_impl(
                 index += 1
                 enumerated += 1
                 fooled_total += fooled
+                if err_sketch is not None:
+                    err_sketch.update(err)
+                    fooled_sketch.update(float(fooled))
                 if best is None or err < best:
                     best = err
                     best_assignment = assignment
@@ -433,12 +521,7 @@ def _universal_bound_impl(
             remaining = budget.remaining_units()
             if remaining is not None:
                 metrics.gauge("exhaustive.budget_remaining").set(remaining)
-    return UniversalBoundReport(
-        n=n,
-        class_size=len(alphabet) ** n,
-        minimum_forced_error=best if best is not None else 0.0,
-        worst_assignment=best_assignment,
-    )
+    return _partial()
 
 
 # ----------------------------------------------------------------------
@@ -451,6 +534,7 @@ def _scan_shard_python(
     start: int,
     stop: int,
     budget: Optional[Budget],
+    sketches: Optional[Tuple[QuantileSketch, MomentsSketch]] = None,
 ) -> Tuple[Optional[Tuple[float, int]], int, int, int, bool]:
     """Pure-python scan of global indices ``[start, stop)``.
 
@@ -460,6 +544,11 @@ def _scan_shard_python(
     per-assignment budget ticks. ``exhausted`` is True only when the
     budget tripped with work still remaining (a budget that raises on the
     shard's very last assignment still yields a completed shard).
+
+    ``sketches`` (an ``(error QuantileSketch, fooled MomentsSketch)``
+    pair) is updated in place with one observation per *enumerated*
+    assignment -- the same multiset the vectorized scanner observes, so
+    population states agree bit-for-bit across scanners.
     """
     best: Optional[Tuple[float, int]] = None
     pos = start
@@ -471,6 +560,9 @@ def _scan_shard_python(
             pos += 1
             enumerated += 1
             fooled_total += fooled
+            if sketches is not None:
+                sketches[0].update(err)
+                sketches[1].update(float(fooled))
             if best is None or err < best[0]:
                 best = (err, pos - 1)
             if budget is not None:
@@ -484,10 +576,15 @@ def _exhaustive_shard_worker(payload: Tuple) -> Dict[str, object]:
     """Score one shard of the assignment space (module-level: picklable).
 
     ``payload`` is ``(n, alphabet, start, stop, covers_and_pairs,
-    shard_budget, vectorize)``. Returns a JSON-ready dict so the pooled
-    path ships nothing fancier than lists and ints across the pipe.
+    shard_budget, vectorize, collect)``. Returns a JSON-ready dict so the
+    pooled path ships nothing fancier than lists and ints across the
+    pipe; with ``collect`` the dict additionally carries the shard's
+    serialized population sketch states under ``"population"``.
     """
-    n, alphabet, start, stop, table, shard_budget, vectorize = payload
+    n, alphabet, start, stop, table, shard_budget, vectorize, collect = payload
+    sketches: Optional[Tuple[QuantileSketch, MomentsSketch]] = None
+    if collect:
+        sketches = _new_population()
     budget: Optional[Budget] = None
     if shard_budget is not None:
         exhausted_before_start = shard_budget.max_units == 0 or (
@@ -501,17 +598,20 @@ def _exhaustive_shard_worker(payload: Tuple) -> Dict[str, object]:
                 "enumerated": 0,
                 "fooled": 0,
                 "exhausted": start < stop,
+                "population": (
+                    None if sketches is None else _population_state(*sketches)
+                ),
             }
         budget = shard_budget.to_budget()
     if vectorize and HAVE_NUMPY:
         with span("exhaustive.scan_vectorized", start=start, stop=stop):
             best, pos, enumerated, fooled, exhausted = scan_assignments(
-                n, alphabet, table, start, stop, budget=budget
+                n, alphabet, table, start, stop, budget=budget, sketches=sketches
             )
     else:
         with span("exhaustive.scan_python", start=start, stop=stop):
             best, pos, enumerated, fooled, exhausted = _scan_shard_python(
-                n, alphabet, table, start, stop, budget
+                n, alphabet, table, start, stop, budget, sketches=sketches
             )
     return {
         "best": None if best is None else [float(best[0]), int(best[1])],
@@ -519,6 +619,7 @@ def _exhaustive_shard_worker(payload: Tuple) -> Dict[str, object]:
         "enumerated": int(enumerated),
         "fooled": int(fooled),
         "exhausted": bool(exhausted),
+        "population": None if sketches is None else _population_state(*sketches),
     }
 
 
@@ -533,6 +634,7 @@ def _universal_bound_sharded(
     resume: Optional[str],
     workers: int,
     vectorize: bool,
+    population: bool = False,
 ) -> UniversalBoundReport:
     """Fan the enumeration out over a :class:`ShardPlan` and min-merge.
 
@@ -575,6 +677,11 @@ def _universal_bound_sharded(
             ]
             enumerated = int(state["enumerated"])
             fooled_total = int(state["fooled_total"])
+            population_state = (
+                dict(state["population"])
+                if population and state.get("population")
+                else None
+            )
         except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise CheckpointError(
                 f"checkpoint {resume!r} has malformed sharded exhaustive "
@@ -590,12 +697,13 @@ def _universal_bound_sharded(
         bests = [None] * plan.num_shards
         enumerated = 0
         fooled_total = 0
+        population_state = None
     shards = plan.shards()
 
     checkpointer: Optional[Checkpointer] = None
     if checkpoint_path is not None:
         def _state() -> Dict[str, object]:
-            return {
+            state: Dict[str, object] = {
                 "shard_starts": list(plan.starts),
                 "positions": list(positions),
                 "bests": [
@@ -604,6 +712,9 @@ def _universal_bound_sharded(
                 "enumerated": enumerated,
                 "fooled_total": fooled_total,
             }
+            if population:
+                state["population"] = population_state
+            return state
 
         checkpointer = Checkpointer(
             checkpoint_path,
@@ -618,7 +729,16 @@ def _universal_bound_sharded(
     sizes = [shards[i].stop - positions[i] for i in pending]
     shard_budgets = split_budget(budget, sizes)
     payloads = [
-        (n, alphabet, positions[i], shards[i].stop, wire_table, sb, bool(vectorize))
+        (
+            n,
+            alphabet,
+            positions[i],
+            shards[i].stop,
+            wire_table,
+            sb,
+            bool(vectorize),
+            bool(population),
+        )
         for i, sb in zip(pending, shard_budgets)
     ]
 
@@ -626,7 +746,7 @@ def _universal_bound_sharded(
     exhausted = False
 
     def _on_result(payload_index: int, result: Dict[str, object]) -> None:
-        nonlocal ran, enumerated, fooled_total, exhausted
+        nonlocal ran, enumerated, fooled_total, exhausted, population_state
         shard_index = pending[payload_index]
         raw_best = result["best"]
         if raw_best is not None:
@@ -638,6 +758,11 @@ def _universal_bound_sharded(
         ran += done
         enumerated += done
         fooled_total += int(result["fooled"])
+        shard_population = result.get("population")
+        if shard_population is not None:
+            # merge_population is commutative, so folding in completion
+            # order still yields a worker-count-invariant state.
+            population_state = merge_population(population_state, shard_population)
         if result["exhausted"]:
             exhausted = True
         if checkpointer is not None:
@@ -655,18 +780,27 @@ def _universal_bound_sharded(
 
     def _report() -> UniversalBoundReport:
         best = MIN_KEYED.fold(bests)
+        report_population = None
+        if population:
+            report_population = (
+                population_state
+                if population_state is not None
+                else _population_state(*_new_population())
+            )
         if best is None:
             return UniversalBoundReport(
                 n=n,
                 class_size=total,
                 minimum_forced_error=0.0,
                 worst_assignment=(),
+                population=report_population,
             )
         return UniversalBoundReport(
             n=n,
             class_size=total,
             minimum_forced_error=best[0],
             worst_assignment=assignment_at(alphabet, n, best[1]),
+            population=report_population,
         )
 
     budget_message = f"budget exhausted during sharded exhaustive search (n={n})"

@@ -159,6 +159,7 @@ def scan_assignments(
     stop: int,
     budget=None,
     block_size: int = 1024,
+    sketches=None,
 ) -> Tuple[Best, int, int, int, bool]:
     """Scan ``[start, stop)`` in blocks; return the strict-first minimum.
 
@@ -170,6 +171,14 @@ def scan_assignments(
     tripped before ``stop``. The budget is ticked once per assignment
     (in block-sized batches), so ``--max-assignments`` accounting is
     identical to the serial path's.
+
+    ``sketches`` (an ``(error quantile sketch, fooled moments sketch)``
+    pair from :mod:`repro.obs.sketches`) is updated in place with one
+    observation per enumerated assignment. Block errors are bit-identical
+    to the serial scorer's, and the per-block values are fed through
+    ``numpy.unique`` as count-weighted updates, so the resulting sketch
+    states equal the pure-python scanner's exactly (sketch states are
+    pure functions of the observed multiset).
     """
     _require_numpy()
     tables = ScoreTables(n, alphabet, covers_and_pairs)
@@ -188,6 +197,14 @@ def scan_assignments(
         err, fooled = tables.score_block(
             _digit_block(len(alphabet), n, pos, pos + limit)
         )
+        if sketches is not None:
+            err_sketch, fooled_sketch = sketches
+            values, counts = _np.unique(err, return_counts=True)
+            for value, count in zip(values.tolist(), counts.tolist()):
+                err_sketch.update(value, int(count))
+            values, counts = _np.unique(fooled, return_counts=True)
+            for value, count in zip(values.tolist(), counts.tolist()):
+                fooled_sketch.update(float(value), int(count))
         i = int(_np.argmin(err))  # first occurrence of the block minimum
         value = float(err[i])
         if best is None or value < best[0]:

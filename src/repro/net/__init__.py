@@ -9,7 +9,7 @@ the corruption stage of the same pipeline. See :mod:`repro.net.plan` for
 the policy semantics and determinism contract.
 """
 
-from repro.net.channel import Channel, NetworkManager
+from repro.net.channel import Channel, NetworkManager, delivery_population
 from repro.net.plan import DELIVERY_KINDS, NetworkEvent, NetworkPlan
 
 __all__ = [
@@ -18,4 +18,5 @@ __all__ = [
     "NetworkEvent",
     "NetworkManager",
     "NetworkPlan",
+    "delivery_population",
 ]

@@ -29,7 +29,41 @@ from typing import Dict, List, Optional, Tuple
 from repro.net.plan import NetworkEvent, NetworkPlan
 from repro.resilience.faults import FaultRun
 
-__all__ = ["Channel", "NetworkManager"]
+__all__ = ["Channel", "NetworkManager", "delivery_population"]
+
+
+def delivery_population(stats: List[Dict[str, int]]) -> Dict[str, Dict[str, object]]:
+    """Mergeable population sketches over per-edge delivery counters.
+
+    ``stats`` is any iterable of :meth:`Channel.stats` dicts (one run's
+    :meth:`NetworkManager.delivery_stats`, or many runs' concatenated).
+    Returns serialized sketch states (see :mod:`repro.obs.sketches`):
+    ``"edge_sent"`` / ``"edge_delivered"`` quantile sketches over the
+    per-edge counters and a ``"disruptions"`` top-k sketch counting
+    delayed/duplicated/reordered/dropped copies. The result is a pure
+    function of the stats multiset, so populations from sharded sweeps
+    fold to the same state regardless of worker count -- combine them
+    with :func:`repro.obs.sketches.merge_population`.
+    """
+    # Lazy: sketches pulls in repro.parallel, which reaches back through
+    # repro.resilience into modules that import this delivery layer.
+    from repro.obs.sketches import QuantileSketch, TopKSketch
+
+    sent = QuantileSketch()
+    delivered = QuantileSketch()
+    disruptions = TopKSketch()
+    for entry in stats:
+        sent.update(float(entry["sent"]))
+        delivered.update(float(entry["delivered"]))
+        for kind in ("delayed", "duplicated", "reordered", "dropped"):
+            count = int(entry.get(kind, 0))
+            if count:
+                disruptions.update(kind, count)
+    return {
+        "edge_sent": sent.to_dict(),
+        "edge_delivered": delivered.to_dict(),
+        "disruptions": disruptions.to_dict(),
+    }
 
 
 class Channel:

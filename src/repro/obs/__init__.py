@@ -20,7 +20,18 @@ Five small, dependency-free layers:
   (:mod:`repro.obs.schema` documents and validates the format);
 * :mod:`repro.obs.regress` -- the ``BENCH_HISTORY.jsonl`` history store
   and the median+MAD perf-regression detector behind ``repro bench
-  --history``, ``repro compare``, and the generated ``docs/PERF.md``.
+  --history``, ``repro compare``, and the generated ``docs/PERF.md``;
+* :mod:`repro.obs.sketches` -- deterministic, *mergeable* population
+  summaries (quantile / top-k / moments sketches) whose states are pure
+  functions of the observed multiset, registered as monoids with
+  :mod:`repro.parallel.merge` so sharded sweeps fold to bit-identical
+  populations for any worker count;
+* :mod:`repro.obs.stream` -- a bounded, subscribable in-process
+  :class:`EventBus` (opt-in via :func:`use_bus`) that instrumented call
+  sites publish live progress events to;
+* :mod:`repro.obs.dash` -- the self-contained HTML dashboard behind
+  ``repro dash``, unifying bench history, span hot paths, cost and
+  population summaries in one dependency-free file.
 """
 
 from repro.obs.bench import (
@@ -68,6 +79,14 @@ from repro.obs.spans import (
     use_recorder,
     validate_span_tree_payload,
 )
+from repro.obs.stream import (
+    Event,
+    EventBus,
+    get_bus,
+    line_printer,
+    set_bus,
+    use_bus,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     RunTrace,
@@ -75,6 +94,36 @@ from repro.obs.trace import (
     trace_stats,
     validate_trace_events,
 )
+
+# The sketches and dash layers are re-exported lazily (PEP 562):
+# sketches imports repro.parallel.merge, whose package __init__ reaches
+# repro.resilience.harness and, through it, repro.core -- and repro.core
+# imports repro.obs.metrics (and hence this package) at class-definition
+# time. Deferring the import until first attribute access keeps
+# ``from repro.obs import QuantileSketch`` working without making this
+# package's import order depend on who imported repro.core first.
+_LAZY_EXPORTS = {
+    "MomentsSketch": "repro.obs.sketches",
+    "QuantileSketch": "repro.obs.sketches",
+    "TopKSketch": "repro.obs.sketches",
+    "merge_population": "repro.obs.sketches",
+    "population_summary": "repro.obs.sketches",
+    "sketch_from_dict": "repro.obs.sketches",
+    "build_dashboard": "repro.obs.dash",
+    "validate_dashboard_html": "repro.obs.dash",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ only fires on misses
+    return value
+
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -85,38 +134,52 @@ __all__ = [
     "BenchmarkResult",
     "BenchmarkSpec",
     "Counter",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MomentsSketch",
+    "QuantileSketch",
     "RegressionFinding",
     "RunTrace",
     "Span",
     "SpanRecorder",
     "TRACE_SCHEMA_VERSION",
     "Timer",
+    "TopKSketch",
     "aggregate_spans",
     "append_history",
     "bench_names",
+    "build_dashboard",
     "current_git_sha",
     "detect_regressions",
+    "get_bus",
     "get_recorder",
     "get_registry",
     "history_record",
+    "line_printer",
     "load_bench_payloads",
+    "merge_population",
     "merge_snapshots",
+    "population_summary",
     "read_history",
     "read_trace",
     "render_hotspots",
     "render_perf_dashboard",
     "render_span_tree",
+    "set_bus",
     "set_recorder",
     "set_registry",
+    "sketch_from_dict",
     "span",
     "sparkline",
     "trace_stats",
+    "use_bus",
     "use_recorder",
     "use_registry",
     "validate_bench_payload",
+    "validate_dashboard_html",
     "validate_history_record",
     "validate_span_tree_payload",
     "validate_trace_events",

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.costs.ledger import CostLedger, use_ledger
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench_payload
+from repro.obs.stream import get_bus
 
 __all__ = [
     "BenchmarkHarness",
@@ -257,8 +258,13 @@ def _run_reduction(params: Dict[str, Any]) -> RunnerOutput:
 def _run_kt1_simulation(params: Dict[str, Any]) -> RunnerOutput:
     import random
 
-    from repro.algorithms import components_factory, id_bit_width, neighbor_exchange_rounds
-    from repro.partitions import random_perfect_matching
+    from repro.algorithms import (
+        components_factory,
+        connectivity_factory,
+        id_bit_width,
+        neighbor_exchange_rounds,
+    )
+    from repro.partitions import random_partition, random_perfect_matching
     from repro.twoparty import BCCSimulationProtocol, simulation_bits_per_round
 
     n, seed = params["n"], params["seed"]
@@ -271,13 +277,35 @@ def _run_kt1_simulation(params: Dict[str, Any]) -> RunnerOutput:
     )
     result = proto.run(pa, pb)
     predicted_bits = rounds * simulation_bits_per_round("two_partition", n)
+    # A decision-mode run rides along so the shared cost ledger records
+    # both Section 4.3 phases: the round-by-round ``simulate`` traffic
+    # and the final two ``decision`` bits.
+    da = random_partition(n, rng)
+    db = random_partition(n, rng)
+    w = id_bit_width(4 * n)
+    dec_rounds = neighbor_exchange_rounds(1, n + 1, w)
+    dec_proto = BCCSimulationProtocol(
+        "partition", connectivity_factory(n + 1, id_bits=w), dec_rounds, mode="decision"
+    )
+    dec_result = dec_proto.run(da, db)
+    dec_predicted = dec_rounds * simulation_bits_per_round("partition", n) + 2
+    dec_expected = 1 if da.join(db).is_coarsest() else 0
     measured = {
         "bcc_rounds": rounds,
         "total_bits": result.total_bits,
         "join_correct": result.bob_output == pa.join(pb),
+        "decision_total_bits": dec_result.total_bits,
+        "decision_correct": dec_result.alice_output
+        == dec_expected
+        == dec_result.bob_output,
     }
-    predicted = {"total_bits": predicted_bits}
-    ok = result.total_bits == predicted_bits and result.bob_output == pa.join(pb)
+    predicted = {"total_bits": predicted_bits, "decision_total_bits": dec_predicted}
+    ok = (
+        result.total_bits == predicted_bits
+        and result.bob_output == pa.join(pb)
+        and dec_result.total_bits == dec_predicted
+        and measured["decision_correct"]
+    )
     return measured, predicted, ok
 
 
@@ -459,6 +487,47 @@ def _run_spans(params: Dict[str, Any]) -> RunnerOutput:
         "round_spans": rounds,
         "span_count": 1 + 3 * rounds,
         "phase_shape_ok": True,
+        "results_identical": True,
+    }
+    return measured, predicted, measured == predicted
+
+
+def _run_stream(params: Dict[str, Any]) -> RunnerOutput:
+    from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+    from repro.instances import one_cycle_instance
+    from repro.obs.stream import EventBus, use_bus
+
+    n, rounds = params["n"], params["rounds"]
+    inst = one_cycle_instance(n, kt=0)
+    sim = Simulator(BCC1_KT0)
+    bare = sim.run(inst, ConstantAlgorithm, rounds)
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    with use_bus(bus):
+        streamed = sim.run(inst, ConstantAlgorithm, rounds)
+    kinds = [event.kind for event in seen]
+    round_events = [e for e in seen if e.kind == "simulator.round"]
+    measured = {
+        "published": bus.published_count,
+        "first_kind": kinds[0] if kinds else None,
+        "last_kind": kinds[-1] if kinds else None,
+        "round_events": len(round_events),
+        "rounds_in_order": [e.payload["t"] for e in round_events]
+        == list(range(1, rounds + 1)),
+        "subscriber_errors": bus.error_count,
+        "results_identical": (
+            bare.broadcast_history == streamed.broadcast_history
+            and bare.outputs == streamed.outputs
+        ),
+    }
+    predicted = {
+        "published": rounds + 2,
+        "first_kind": "simulator.run_start",
+        "last_kind": "simulator.run_end",
+        "round_events": rounds,
+        "rounds_in_order": True,
+        "subscriber_errors": 0,
         "results_identical": True,
     }
     return measured, predicted, measured == predicted
@@ -850,6 +919,13 @@ _SPECS: List[BenchmarkSpec] = [
         {"n": 64, "rounds": 8},
     ),
     BenchmarkSpec(
+        "stream",
+        "O2: event-bus stream shape + result transparency under a subscriber",
+        _run_stream,
+        {"n": 16, "rounds": 4},
+        {"n": 64, "rounds": 8},
+    ),
+    BenchmarkSpec(
         "parallel",
         "P2: serial vs fan-out vs vectorized exhaustive scan, identity-gated",
         _run_parallel,
@@ -935,12 +1011,20 @@ class BenchmarkHarness:
             params["workers"] = self.workers
         if spec.supports_kernel:
             params["kernel"] = self.kernel
+        bus = get_bus()
+        if bus is not None:
+            bus.publish("bench.start", {"name": spec.name, "quick": self.quick})
         registry = MetricsRegistry()
         ledger = CostLedger()
         with use_registry(registry), use_ledger(ledger):
             start = time.perf_counter()
             measured, predicted, ok = spec.runner(params)
             wall = time.perf_counter() - start
+        if bus is not None:
+            bus.publish(
+                "bench.end",
+                {"name": spec.name, "ok": bool(ok), "wall_seconds": wall},
+            )
         result = BenchmarkResult(
             name=spec.name,
             description=spec.description,

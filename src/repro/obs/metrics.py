@@ -91,24 +91,42 @@ class Histogram:
     """Streaming summary of a value distribution, with tail percentiles.
 
     Count/sum/min/max/mean are maintained in O(1) space. For p50/p90/p99
-    the histogram additionally **retains the first** ``sample_cap``
-    **observations** (default :data:`DEFAULT_SAMPLE_CAP` = 4096), which
-    bounds memory at ~32 KiB per histogram; once the cap is reached,
-    later observations still update the streaming summary but are not
-    retained, so the reported percentiles describe the retained prefix.
-    The call sites that feed histograms (per-round timings, per-turn bit
-    counts, per-search wall times) observe well under the cap in every
-    configured experiment; the retained-count is visible as the
-    ``percentile_samples`` summary field so saturation is never silent.
+    the histogram **retains the first** ``sample_cap`` **observations**
+    (default :data:`DEFAULT_SAMPLE_CAP` = 4096, bounding memory at
+    ~32 KiB per histogram) and reports exact nearest-rank percentiles
+    over them: p is the smallest value with at least ``ceil(p/100 * n)``
+    values at or below it.
 
-    Percentiles use the **nearest-rank** definition: p is the smallest
-    retained value with at least ``ceil(p/100 * n)`` retained values at
-    or below it. Histograms reconstructed purely by snapshot *merging*
-    carry no retained samples; their percentile fields fall back to the
-    merged mean (and ``percentile_samples`` reports 0).
+    Past the cap, percentiles are **no longer truncated to the retained
+    prefix** (that was a silent bias: a stream whose tail drifts after
+    sample 4096 reported stale p99s). Instead the histogram routes the
+    full stream -- the retained prefix plus every later finite
+    observation -- through a
+    :class:`repro.obs.sketches.QuantileSketch`, so p50/p90/p99 describe
+    **all** observations: exact nearest-rank up to the cap, fixed-log-bin
+    estimates (within ~1.6% relative, clamped to the exact min/max)
+    beyond it. In sketch mode ``percentile_samples`` reports the full
+    observation count the percentiles describe, not the prefix length.
+    Non-finite observations (inf/nan) still update count/sum but are
+    excluded from percentile estimation. A ``sample_cap`` of 0 disables
+    percentile tracking entirely (mean fallback), as before.
+
+    Histograms reconstructed purely by snapshot *merging* carry no
+    retained samples; their percentile fields fall back to the merged
+    mean (and ``percentile_samples`` reports 0).
     """
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_cap", "_lock")
+    __slots__ = (
+        "name",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_samples",
+        "_cap",
+        "_sketch",
+        "_lock",
+    )
 
     #: Retained-sample cap bounding percentile memory (see class docs).
     DEFAULT_SAMPLE_CAP = 4096
@@ -123,6 +141,7 @@ class Histogram:
         self._max: Optional[float] = None
         self._samples: List[float] = []
         self._cap = self.DEFAULT_SAMPLE_CAP if sample_cap is None else sample_cap
+        self._sketch: Optional[Any] = None  # QuantileSketch once the cap overflows
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -135,6 +154,18 @@ class Histogram:
                 self._max = value
             if len(self._samples) < self._cap:
                 self._samples.append(value)
+            elif self._cap > 0 and math.isfinite(value):
+                if self._sketch is None:
+                    # first overflow: seed the sketch with the retained
+                    # prefix so it describes the whole stream
+                    from repro.obs.sketches import QuantileSketch
+
+                    sketch = QuantileSketch(cap=self._cap)
+                    for retained in self._samples:
+                        if math.isfinite(retained):
+                            sketch.update(retained)
+                    self._sketch = sketch
+                self._sketch.update(value)
 
     @property
     def count(self) -> int:
@@ -149,10 +180,12 @@ class Histogram:
         return self._sum / self._count if self._count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the retained samples.
+        """Nearest-rank percentile over the whole stream.
 
-        Falls back to the mean when no samples are retained (empty
-        histogram, or one rebuilt purely from snapshot merging).
+        Exact over the retained samples until the cap overflows, a
+        quantile-sketch estimate over all observations after. Falls back
+        to the mean when nothing is tracked (empty histogram, cap 0, or
+        one rebuilt purely from snapshot merging).
         """
         if not 0 < p <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
@@ -160,6 +193,10 @@ class Histogram:
             return self._percentile_locked(p)
 
     def _percentile_locked(self, p: float) -> float:
+        if self._sketch is not None:
+            estimate = self._sketch.quantile(p)
+            if estimate is not None:
+                return estimate
         if not self._samples:
             return self._sum / self._count if self._count else 0.0
         ordered = sorted(self._samples)
@@ -168,6 +205,10 @@ class Histogram:
 
     def summary(self) -> Dict[str, float]:
         with self._lock:
+            if self._sketch is not None:
+                percentile_samples = self._sketch.count
+            else:
+                percentile_samples = len(self._samples)
             return {
                 "count": self._count,
                 "sum": self._sum,
@@ -177,7 +218,7 @@ class Histogram:
                 "p50": self._percentile_locked(50),
                 "p90": self._percentile_locked(90),
                 "p99": self._percentile_locked(99),
-                "percentile_samples": len(self._samples),
+                "percentile_samples": percentile_samples,
             }
 
 

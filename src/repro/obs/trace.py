@@ -519,6 +519,14 @@ def trace_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
     "by_event": {event_name: count}}}`` in first-seen run order --
     the data behind ``repro trace-validate --stats``. Events without a
     string ``run_id`` are collected under the pseudo run id ``"?"``.
+
+    Runs carrying v4 ``cost_summary`` events additionally get a
+    ``"cost_bits"`` key (the summed ``total_bits`` across those events);
+    runs carrying v5 session envelopes get a ``"sessions"`` key
+    summarizing them (``{"kinds": {kind: count}, "steps": total,
+    "complete": all_session_ends_complete}``). Both are *sibling* keys
+    of ``by_event`` -- the by-event counts themselves are stable across
+    schema versions.
     """
     stats: Dict[str, Dict[str, Any]] = {}
     for event in events:
@@ -533,4 +541,24 @@ def trace_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
         entry["by_event"][name] = entry["by_event"].get(name, 0) + 1
         if name == "trace_start" and entry["schema_version"] is None:
             entry["schema_version"] = event.get("schema_version")
+        elif name == "cost_summary":
+            total_bits = event.get("total_bits")
+            if isinstance(total_bits, int):
+                entry["cost_bits"] = entry.get("cost_bits", 0) + total_bits
+        elif name == "session_start":
+            sessions = entry.setdefault(
+                "sessions", {"kinds": {}, "steps": 0, "complete": True}
+            )
+            kind = event.get("kind")
+            kind = kind if isinstance(kind, str) else "?"
+            sessions["kinds"][kind] = sessions["kinds"].get(kind, 0) + 1
+        elif name == "session_end":
+            sessions = entry.setdefault(
+                "sessions", {"kinds": {}, "steps": 0, "complete": True}
+            )
+            steps = event.get("steps")
+            if isinstance(steps, int):
+                sessions["steps"] += steps
+            if event.get("complete") is False:
+                sessions["complete"] = False
     return stats

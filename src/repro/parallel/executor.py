@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.spans import Span, SpanRecorder, get_recorder, span, use_recorder
+from repro.obs.stream import get_bus
 
 __all__ = ["ParallelExecutor", "default_workers", "resolve_workers"]
 
@@ -135,16 +136,32 @@ class ParallelExecutor:
         ``on_result(index, value)`` fires as results arrive (payload
         order in the serial path, completion order in the pooled path).
         ``fn`` must be a module-level function when ``workers > 1``.
+
+        When an :class:`repro.obs.stream.EventBus` is installed the map
+        publishes one ``parallel.shard`` event per completed shard (in
+        the same order ``on_result`` fires) and a final ``parallel.map``
+        event; with no bus the only cost is one ``None`` check.
         """
         metrics = self._registry()
+        bus = get_bus()
         wall_start = time.perf_counter()
         with span(span_name, workers=self.workers, shards=len(payloads)):
             if metrics is not None:
                 metrics.counter("parallel.shards_dispatched").inc(len(payloads))
             if self.workers <= 1 or len(payloads) <= 1:
-                results = self._map_serial(fn, payloads, on_result, metrics)
+                results = self._map_serial(fn, payloads, on_result, metrics, bus)
             else:
-                results = self._map_pooled(fn, payloads, on_result, metrics)
+                results = self._map_pooled(fn, payloads, on_result, metrics, bus)
+        if bus is not None:
+            bus.publish(
+                "parallel.map",
+                {
+                    "span": span_name,
+                    "shards": len(payloads),
+                    "workers": self.workers,
+                    "wall_seconds": time.perf_counter() - wall_start,
+                },
+            )
         if metrics is not None:
             wall = time.perf_counter() - wall_start
             busy = sum(r[1] for r in results)
@@ -155,7 +172,7 @@ class ParallelExecutor:
         return [value for value, _elapsed, _roots in results]
 
     # ------------------------------------------------------------------
-    def _map_serial(self, fn, payloads, on_result, metrics):
+    def _map_serial(self, fn, payloads, on_result, metrics, bus=None):
         results = []
         for index, payload in enumerate(payloads):
             with span("parallel.shard", shard=index):
@@ -166,11 +183,15 @@ class ParallelExecutor:
             if metrics is not None:
                 metrics.counter("parallel.shards_completed").inc()
                 metrics.histogram("parallel.shard_seconds").observe(elapsed)
+            if bus is not None:
+                bus.publish(
+                    "parallel.shard", {"shard": index, "wall_seconds": elapsed}
+                )
             if on_result is not None:
                 on_result(index, value)
         return results
 
-    def _map_pooled(self, fn, payloads, on_result, metrics):
+    def _map_pooled(self, fn, payloads, on_result, metrics, bus=None):
         capture = get_recorder() is not None
         recorder = get_recorder()
         results: List[Optional[tuple]] = [None] * len(payloads)
@@ -203,6 +224,11 @@ class ParallelExecutor:
                                     _revive_span(root) for root in roots
                                 )
                             recorder.finish(shard_span)
+                        if bus is not None:
+                            bus.publish(
+                                "parallel.shard",
+                                {"shard": index, "wall_seconds": elapsed},
+                            )
                         if on_result is not None:
                             on_result(index, value)
             except BaseException:

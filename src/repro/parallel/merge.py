@@ -16,6 +16,13 @@ independent of worker scheduling:
 :class:`Monoid` is the tiny algebraic wrapper the executor-side reducers
 share; the associativity/commutativity property tests live in
 ``tests/parallel/test_merge.py``.
+
+Monoids are also addressable **by name** through a process-wide registry
+(:func:`register_monoid` / :func:`get_monoid`), so layers that fold
+serialized shard payloads -- the population sketches of
+:mod:`repro.obs.sketches`, the fault-sweep harness -- can look their
+merge up without import cycles. The built-ins register under
+``min_keyed`` / ``sum_counts`` / ``max_int``.
 """
 
 from __future__ import annotations
@@ -28,9 +35,12 @@ __all__ = [
     "MIN_KEYED",
     "Monoid",
     "SUM_COUNTS",
+    "get_monoid",
     "merge_concat",
     "merge_counts",
     "merge_min_keyed",
+    "monoid_names",
+    "register_monoid",
 ]
 
 T = TypeVar("T")
@@ -113,3 +123,38 @@ def merge_concat(parts: Sequence[Optional[Sequence[T]]]) -> List[T]:
         if part is not None:
             out.extend(part)
     return out
+
+
+# ----------------------------------------------------------------------
+# the process-wide monoid registry
+# ----------------------------------------------------------------------
+_MONOIDS: Dict[str, Monoid] = {}
+
+
+def register_monoid(name: str, monoid: Monoid) -> Monoid:
+    """Register ``monoid`` under ``name`` (idempotent for the same
+    object; a *different* monoid under a taken name is an error)."""
+    existing = _MONOIDS.get(name)
+    if existing is not None and existing is not monoid:
+        raise ValueError(f"monoid {name!r} is already registered")
+    _MONOIDS[name] = monoid
+    return monoid
+
+
+def get_monoid(name: str) -> Monoid:
+    """Look a registered monoid up by name."""
+    try:
+        return _MONOIDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_MONOIDS)) or "<none>"
+        raise KeyError(f"no monoid registered as {name!r} (known: {known})") from None
+
+
+def monoid_names() -> List[str]:
+    """The registered names, sorted."""
+    return sorted(_MONOIDS)
+
+
+register_monoid("min_keyed", MIN_KEYED)
+register_monoid("sum_counts", SUM_COUNTS)
+register_monoid("max_int", MAX_INT)

@@ -43,6 +43,13 @@ from repro.core.simulator import Simulator
 from repro.errors import FaultInjectionError
 from repro.instances import one_cycle_instance, two_cycle_instance
 from repro.obs.metrics import MetricsRegistry, get_registry
+
+# repro.obs.sketches is imported lazily inside the functions that use it:
+# this module is pulled in by the ``repro.resilience`` package __init__,
+# while sketches itself imports ``repro.parallel.merge`` (whose package
+# __init__ reaches back into ``repro.resilience``) -- a top-level import
+# here would close that cycle.
+from repro.obs.stream import get_bus
 from repro.resilience.faults import FAULT_KINDS, FaultPlan
 
 __all__ = [
@@ -153,10 +160,18 @@ class FaultSweepReport:
     seed: int
     wall_time_seconds: float
     curves: Tuple[DegradationCurve, ...]
+    #: Population sketches over every trial of the sweep (name ->
+    #: serialized sketch state, see :mod:`repro.obs.sketches`): the
+    #: rounds-executed quantile sketch, the faults-per-trial moments,
+    #: and the correct/wrong outcome counts. A pure function of the
+    #: trial set, so serial and sharded sweeps carry identical states.
+    population: Optional[Dict[str, Dict[str, Any]]] = None
 
     def as_payload(self) -> Dict[str, Any]:
-        """The schema-versioned JSON payload (``fault_sweep`` schema v1)."""
-        return {
+        """The schema-versioned JSON payload (``fault_sweep`` schema v1;
+        the optional ``population`` section is an additive extension the
+        validator accepts but does not require)."""
+        payload = {
             "schema_version": FAULT_SWEEP_SCHEMA_VERSION,
             "kind": "fault_sweep",
             "created_unix": time.time(),
@@ -166,6 +181,9 @@ class FaultSweepReport:
             "wall_time_seconds": self.wall_time_seconds,
             "curves": [c.as_dict() for c in self.curves],
         }
+        if self.population is not None:
+            payload["population"] = self.population
+        return payload
 
     def rows(self) -> List[List[Any]]:
         """Flat rows for the CLI table: one per (algorithm, kind, rate)."""
@@ -215,16 +233,25 @@ def _sweep_cell(
     a_idx: int,
     k_idx: int,
     r_idx: int,
-) -> Tuple[int, int, int]:
-    """One (algorithm, kind, rate) cell: ``(correct, faults, rounds_total)``.
+) -> Tuple[int, int, int, Dict[str, Dict[str, Any]]]:
+    """One (algorithm, kind, rate) cell: ``(correct, faults,
+    rounds_total, population)``.
 
     Pure given its arguments: every per-trial seed is derived
     arithmetically from the cell coordinates, so the serial loop and the
-    sharded fan-out compute identical cells.
+    sharded fan-out compute identical cells. ``population`` is the
+    cell's per-trial sketch states (rounds quantiles, faults moments,
+    outcome counts) serialized for the parent's order-invariant
+    :func:`repro.obs.sketches.merge_population` fold.
     """
+    from repro.obs.sketches import MomentsSketch, QuantileSketch, TopKSketch
+
     correct = 0
     faults = 0
     rounds_total = 0
+    rounds_sketch = QuantileSketch()
+    faults_sketch = MomentsSketch()
+    outcome_sketch = TopKSketch()
     for trial in range(trials):
         tseed = _trial_seed(seed, a_idx, k_idx, r_idx, trial)
         instance, truth = _trial_instance(n, kt, trial, tseed)
@@ -234,11 +261,21 @@ def _sweep_cell(
             else None
         )
         result = simulator.run(instance, factory, rounds, faults=plan)
-        faults += len(result.fault_events)
+        trial_faults = len(result.fault_events)
+        faults += trial_faults
         rounds_total += result.rounds_executed
-        if decision_of_run(result) == truth:
+        ok = decision_of_run(result) == truth
+        if ok:
             correct += 1
-    return correct, faults, rounds_total
+        rounds_sketch.update(float(result.rounds_executed))
+        faults_sketch.update(float(trial_faults))
+        outcome_sketch.update("correct" if ok else "wrong")
+    population = {
+        "rounds": rounds_sketch.to_dict(),
+        "faults": faults_sketch.to_dict(),
+        "outcomes": outcome_sketch.to_dict(),
+    }
+    return correct, faults, rounds_total, population
 
 
 def _fault_cell_worker(payload: Tuple) -> Dict[str, int]:
@@ -253,7 +290,7 @@ def _fault_cell_worker(payload: Tuple) -> Dict[str, int]:
     name, a_idx, kind, k_idx, rate, r_idx, n, trials, seed = payload
     spec = HARNESS_ALGORITHMS[name]
     simulator = Simulator(spec.model(n), metrics=None, trace=None)
-    correct, faults, rounds_total = _sweep_cell(
+    correct, faults, rounds_total, population = _sweep_cell(
         simulator,
         spec.factory(n),
         spec.rounds(n),
@@ -267,7 +304,12 @@ def _fault_cell_worker(payload: Tuple) -> Dict[str, int]:
         k_idx,
         r_idx,
     )
-    return {"correct": correct, "faults": faults, "rounds_total": rounds_total}
+    return {
+        "correct": correct,
+        "faults": faults,
+        "rounds_total": rounds_total,
+        "population": population,
+    }
 
 
 def fault_sweep(
@@ -323,24 +365,31 @@ def fault_sweep(
             )
     if metrics is None:
         metrics = get_registry()
+    bus = get_bus()
     start = time.perf_counter()
     if workers > 1 and trace is None:
-        curves = _sweep_cells_parallel(
-            algorithms, kinds, rates, n, trials, seed, metrics, workers, session
+        curves, population = _sweep_cells_parallel(
+            algorithms, kinds, rates, n, trials, seed, metrics, workers, session, bus
         )
     else:
-        curves = _sweep_cells_serial(
-            algorithms, kinds, rates, n, trials, seed, metrics, trace, session
+        curves, population = _sweep_cells_serial(
+            algorithms, kinds, rates, n, trials, seed, metrics, trace, session, bus
         )
     elapsed = time.perf_counter() - start
     if metrics is not None:
         metrics.histogram("resilience.sweep_seconds").observe(elapsed)
+    if bus is not None:
+        bus.publish(
+            "sweep.end",
+            {"cells": len(algorithms) * len(kinds) * len(rates), "n": n},
+        )
     return FaultSweepReport(
         n=n,
         trials=trials,
         seed=seed,
         wall_time_seconds=elapsed,
         curves=tuple(curves),
+        population=population,
     )
 
 
@@ -354,9 +403,13 @@ def _sweep_cells_serial(
     metrics: Optional[MetricsRegistry],
     trace,
     session=None,
-) -> List[DegradationCurve]:
+    bus=None,
+) -> Tuple[List[DegradationCurve], Optional[Dict[str, Dict[str, Any]]]]:
     """The original nested sweep loop (one Simulator per algorithm)."""
+    from repro.obs.sketches import merge_population
+
     curves: List[DegradationCurve] = []
+    population: Optional[Dict[str, Dict[str, Any]]] = None
     for a_idx, name in enumerate(algorithms):
         spec = HARNESS_ALGORITHMS[name]
         simulator = Simulator(spec.model(n), metrics=metrics, trace=trace)
@@ -365,7 +418,7 @@ def _sweep_cells_serial(
         for k_idx, kind in enumerate(kinds):
             points: List[DegradationPoint] = []
             for r_idx, rate in enumerate(rates):
-                correct, faults, rounds_total = _sweep_cell(
+                correct, faults, rounds_total, cell_population = _sweep_cell(
                     simulator,
                     factory,
                     rounds,
@@ -379,6 +432,7 @@ def _sweep_cells_serial(
                     k_idx,
                     r_idx,
                 )
+                population = merge_population(population, cell_population)
                 points.append(
                     DegradationPoint(
                         rate=rate,
@@ -388,6 +442,17 @@ def _sweep_cells_serial(
                         mean_rounds=rounds_total / trials,
                     )
                 )
+                if bus is not None:
+                    bus.publish(
+                        "sweep.cell",
+                        {
+                            "algorithm": name,
+                            "kind": kind,
+                            "rate": rate,
+                            "correct": correct,
+                            "trials": trials,
+                        },
+                    )
                 if session is not None:
                     session.write_step(
                         f"{name}/{kind}/{rate}",
@@ -404,7 +469,7 @@ def _sweep_cells_serial(
                     metrics.counter("resilience.trials_run").inc(trials)
                     metrics.counter("resilience.faults_injected").inc(faults)
             curves.append(DegradationCurve(name, kind, tuple(points)))
-    return curves
+    return curves, population
 
 
 def _sweep_cells_parallel(
@@ -417,15 +482,21 @@ def _sweep_cells_parallel(
     metrics: Optional[MetricsRegistry],
     workers: int,
     session=None,
-) -> List[DegradationCurve]:
+    bus=None,
+) -> Tuple[List[DegradationCurve], Optional[Dict[str, Dict[str, Any]]]]:
     """Fan the flattened (algorithm, kind, rate) cells over a worker pool.
 
     Cells are dispatched and reassembled in ``(a_idx, k_idx, r_idx)``
     order; the per-cell metric counters are incremented parent-side in
-    that same order, so totals match the serial sweep exactly. Session
+    that same order, so totals match the serial sweep exactly, and the
+    per-cell population sketches are folded in that same cell order
+    (the fold is order-invariant anyway -- see
+    :mod:`repro.obs.sketches` -- so this is belt and braces). Session
     steps go through per-shard segments (written in completion order,
     merged in shard-index order), so the recorded step sequence is the
-    serial one regardless of scheduling.
+    serial one regardless of scheduling. Live ``sweep.cell`` bus events
+    fire in *completion* order -- they are a progress feed, not a
+    deterministic artifact.
     """
     from repro.parallel.executor import ParallelExecutor
 
@@ -436,22 +507,34 @@ def _sweep_cells_parallel(
         for r_idx, rate in enumerate(rates)
     ]
     on_result = None
-    if session is not None:
+    if session is not None or bus is not None:
 
-        def on_result(index: int, cell: Dict[str, int]) -> None:
+        def on_result(index: int, cell: Dict[str, Any]) -> None:
             name, _a_idx, kind, _k_idx, rate = payloads[index][:5]
-            session.write_shard_step(
-                index,
-                f"{name}/{kind}/{rate}",
-                {
-                    "algorithm": name,
-                    "kind": kind,
-                    "rate": rate,
-                    "correct": int(cell["correct"]),
-                    "faults": int(cell["faults"]),
-                    "rounds_total": int(cell["rounds_total"]),
-                },
-            )
+            if bus is not None:
+                bus.publish(
+                    "sweep.cell",
+                    {
+                        "algorithm": name,
+                        "kind": kind,
+                        "rate": rate,
+                        "correct": int(cell["correct"]),
+                        "trials": trials,
+                    },
+                )
+            if session is not None:
+                session.write_shard_step(
+                    index,
+                    f"{name}/{kind}/{rate}",
+                    {
+                        "algorithm": name,
+                        "kind": kind,
+                        "rate": rate,
+                        "correct": int(cell["correct"]),
+                        "faults": int(cell["faults"]),
+                        "rounds_total": int(cell["rounds_total"]),
+                    },
+                )
 
     executor = ParallelExecutor(workers=workers, metrics=metrics)
     results = executor.map(
@@ -460,7 +543,10 @@ def _sweep_cells_parallel(
     )
     if session is not None:
         session.merge_shard_steps(len(payloads))
+    from repro.obs.sketches import merge_population
+
     curves: List[DegradationCurve] = []
+    population: Optional[Dict[str, Dict[str, Any]]] = None
     cursor = 0
     for name in algorithms:
         for kind in kinds:
@@ -469,6 +555,7 @@ def _sweep_cells_parallel(
                 cell = results[cursor]
                 cursor += 1
                 faults = int(cell["faults"])
+                population = merge_population(population, cell.get("population"))
                 points.append(
                     DegradationPoint(
                         rate=rate,
@@ -482,7 +569,7 @@ def _sweep_cells_parallel(
                     metrics.counter("resilience.trials_run").inc(trials)
                     metrics.counter("resilience.faults_injected").inc(faults)
             curves.append(DegradationCurve(name, kind, tuple(points)))
-    return curves
+    return curves, population
 
 
 _NUMERIC = (int, float)
@@ -568,4 +655,17 @@ def validate_fault_sweep_payload(payload: Mapping[str, Any]) -> List[str]:
                             f"curves[{i}].points[{j}].{field} is not "
                             f"{'numeric' if expected is _NUMERIC else 'an integer'}"
                         )
+    population = payload.get("population")
+    if population is not None:
+        # optional additive section: name -> serialized sketch state
+        if not isinstance(population, Mapping):
+            problems.append("population is not an object")
+        else:
+            for pname, state in population.items():
+                if not isinstance(state, Mapping) or not isinstance(
+                    state.get("kind"), str
+                ):
+                    problems.append(
+                        f"population[{pname!r}] is not a serialized sketch state"
+                    )
     return problems

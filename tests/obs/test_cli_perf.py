@@ -215,3 +215,175 @@ class TestBenchHistoryFlag:
         p99 = row[payload["headers"].index("round p99 ms")]
         assert isinstance(p50, float) and isinstance(p99, float)
         assert p99 >= p50 >= 0.0
+
+
+class TestReportPerPhase:
+    def test_two_party_simulate_decision_breakdown(self, tmp_path, capsys):
+        out = str(tmp_path)
+        assert main(
+            ["bench", "--quick", "--out-dir", out, "--only", "kt1_simulation"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--dir", out, "--per-phase"]) == 0
+        stdout = capsys.readouterr().out
+        assert "per-phase communication cost" in stdout
+        assert "simulate" in stdout
+        assert "decision" in stdout
+
+    def test_fallback_note_without_ledgers(self, tmp_path, capsys):
+        payload = {
+            "schema_version": 1,
+            "name": "synthetic",
+            "description": "d",
+            "quick": True,
+            "created_unix": 0,
+            "params": {},
+            "wall_time_seconds": 0.1,
+            "measured": {},
+            "predicted": {},
+            "ok": True,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        (tmp_path / "BENCH_synthetic.json").write_text(json.dumps(payload))
+        assert main(["report", "--dir", str(tmp_path), "--per-phase"]) == 0
+        assert "per-phase: no payload carries" in capsys.readouterr().out
+
+
+class TestFaultSweepLive:
+    def test_live_streams_one_line_per_cell(self, tmp_path, capsys):
+        assert main(
+            [
+                "fault-sweep",
+                "--n", "6",
+                "--trials", "2",
+                "--rates", "0.0", "0.1",
+                "--kinds", "erasure",
+                "--algorithms", "neighbor_exchange",
+                "--live",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        cells = [line for line in err.splitlines() if "sweep.cell" in line]
+        assert len(cells) == 2  # one per (algorithm, kind, rate)
+        assert any("rate=0.1" in line for line in cells)
+        assert any("sweep.end" in line for line in err.splitlines())
+
+    def test_without_live_no_stream_lines(self, capsys):
+        assert main(
+            [
+                "fault-sweep",
+                "--n", "6",
+                "--trials", "2",
+                "--rates", "0.0",
+                "--kinds", "erasure",
+                "--algorithms", "neighbor_exchange",
+            ]
+        ) == 0
+        assert "sweep.cell" not in capsys.readouterr().err
+
+
+class TestDashCommand:
+    def _build_inputs(self, tmp_path, capsys):
+        out = str(tmp_path)
+        history = str(tmp_path / "BENCH_HISTORY.jsonl")
+        sweep = str(tmp_path / "sweep.json")
+        session = str(tmp_path / "session.json")
+        assert main(
+            ["bench", "--quick", "--out-dir", out, "--only", "kt1_simulation",
+             "--history", history]
+        ) == 0
+        assert main(
+            ["fault-sweep", "--n", "6", "--trials", "2", "--rates", "0.0",
+             "--kinds", "erasure", "--algorithms", "neighbor_exchange",
+             "--out", sweep]
+        ) == 0
+        assert main(
+            ["record", "run", "--session", session, "--n", "6",
+             "--max-delay", "2", "--duplicate-rate", "0.2", "--net-seed", "7"]
+        ) == 0
+        capsys.readouterr()
+        return out, history, sweep, session
+
+    def test_builds_byte_identical_self_contained_html(self, tmp_path, capsys):
+        from repro.obs.dash import validate_dashboard_html
+
+        out, history, sweep, session = self._build_inputs(tmp_path, capsys)
+        args = [
+            "dash",
+            "--dir", out,
+            "--history", history,
+            "--sweep", sweep,
+            "--session", session,
+            "--timestamp", "2026-01-01T00:00:00Z",
+        ]
+        first = str(tmp_path / "dash1.html")
+        second = str(tmp_path / "dash2.html")
+        assert main(args + ["--out", first]) == 0
+        stdout = capsys.readouterr().out
+        assert "self-contained" in stdout
+        assert main(args + ["--out", second]) == 0
+        html = (tmp_path / "dash1.html").read_bytes()
+        assert html == (tmp_path / "dash2.html").read_bytes()
+        problems = validate_dashboard_html(html.decode("utf-8"))
+        assert problems == []
+        text = html.decode("utf-8")
+        # every surface made it into the one file
+        assert "kt1_simulation" in text
+        assert "neighbor_exchange" in text
+        assert "simulate" in text and "decision" in text
+        assert "Delivery population" in text
+
+    def test_missing_input_file_exits_two(self, tmp_path, capsys):
+        assert main(
+            ["dash", "--dir", str(tmp_path), "--sweep",
+             str(tmp_path / "missing.json"), "--out", str(tmp_path / "d.html")]
+        ) == 2
+
+    def test_empty_dir_still_builds(self, tmp_path, capsys):
+        out_file = str(tmp_path / "d.html")
+        assert main(["dash", "--dir", str(tmp_path), "--out", out_file]) == 0
+        text = (tmp_path / "d.html").read_text()
+        assert "no BENCH_" in text
+
+
+class TestTraceValidateStatsColumns:
+    def test_cost_bits_column_from_v4_trace(self, tmp_path, capsys):
+        from repro.core import BCC1_KT0, ConstantAlgorithm, Simulator
+        from repro.costs import CostLedger, use_ledger
+        from repro.instances import one_cycle_instance
+
+        path = str(tmp_path / "trace.jsonl")
+        trace = RunTrace(path, run_id="costed")
+        with use_ledger(CostLedger()):
+            Simulator(BCC1_KT0, trace=trace).run(
+                one_cycle_instance(4, kt=0), ConstantAlgorithm, 2
+            )
+        trace.close()
+        assert main(["trace-validate", path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cost bits" in out
+        assert "cost_summary=1" in out
+        # 4 vertices x 1 bit x 2 rounds
+        assert any("8" in line for line in out.splitlines() if "costed" in line)
+
+    def test_session_envelope_column(self, tmp_path, capsys):
+        session = str(tmp_path / "session.json")
+        assert main(
+            ["record", "run", "--session", session, "--n", "6"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace-validate", session, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+        assert "runx1" in out
+        assert "complete=True" in out
+
+    def test_plain_trace_renders_dashes(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        with RunTrace(path, run_id="r1") as trace:
+            trace.emit("round", t=1)
+        assert main(["trace-validate", path, "--stats"]) == 0
+        rows = [
+            line for line in capsys.readouterr().out.splitlines() if "r1" in line
+        ]
+        assert rows and rows[0].count("-") >= 2  # no cost bits, no sessions

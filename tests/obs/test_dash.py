@@ -1,0 +1,211 @@
+"""Tests for the self-contained HTML dashboard (repro.obs.dash)."""
+
+import pytest
+
+from repro.obs.dash import DASH_GENERATOR, build_dashboard, validate_dashboard_html
+
+
+def _history_record(name="kt1_simulation", wall=0.02, ts=1000):
+    return {
+        "schema_version": 1,
+        "ts": ts,
+        "git_sha": "abc1234",
+        "quick": True,
+        "workers": 1,
+        "kernel": "auto",
+        "entries": {name: {"wall_time_seconds": wall, "ok": True}},
+    }
+
+
+def _bench_payload(per_phase=None):
+    costs = {"total_bits": 36}
+    if per_phase is not None:
+        costs["per_phase"] = per_phase
+    return (
+        "BENCH_kt1_simulation.json",
+        {
+            "schema_version": 3,
+            "name": "kt1_simulation",
+            "quick": True,
+            "ok": True,
+            "wall_time_seconds": 0.02,
+            "costs": costs,
+        },
+    )
+
+
+def _span_payload():
+    return {
+        "schema_version": 1,
+        "created_unix": 0,
+        "roots": [
+            {
+                "name": "run",
+                "wall_seconds": 1.0,
+                "children": [
+                    {"name": "round", "wall_seconds": 0.6, "children": []}
+                ],
+            }
+        ],
+    }
+
+
+def _sweep_payload():
+    return {
+        "schema_version": 2,
+        "kind": "fault_sweep",
+        "n": 6,
+        "trials": 4,
+        "seed": 3,
+        "curves": [
+            {
+                "algorithm": "flooding",
+                "fault_kind": "crash",
+                "points": [
+                    {
+                        "rate": 0.0,
+                        "trials": 4,
+                        "correct": 4,
+                        "correctness_rate": 1.0,
+                        "faults_injected": 0,
+                        "rounds_total": 24,
+                    },
+                    {
+                        "rate": 0.2,
+                        "trials": 4,
+                        "correct": 3,
+                        "correctness_rate": 0.75,
+                        "faults_injected": 5,
+                        "rounds_total": 24,
+                    },
+                ],
+            }
+        ],
+    }
+
+
+class TestBuildDashboard:
+    def test_empty_inputs_still_render_all_sections(self):
+        html = build_dashboard()
+        assert validate_dashboard_html(html) == []
+        for heading in (
+            "Benchmark history",
+            "Benchmarks",
+            "Span hot paths",
+            "Fault degradation",
+            "Recorded sessions",
+        ):
+            assert f"<h2>{heading}</h2>" in html
+
+    def test_byte_identical_under_pinned_timestamp(self):
+        kwargs = dict(
+            history=[_history_record(), _history_record(wall=0.03, ts=2000)],
+            bench_payloads=[_bench_payload()],
+            sweep=_sweep_payload(),
+            span_payload=_span_payload(),
+            timestamp="2026-08-08T00:00:00Z",
+        )
+        assert build_dashboard(**kwargs) == build_dashboard(**kwargs)
+
+    def test_unpinned_timestamp_is_a_constant_not_wall_clock(self):
+        assert "(not pinned)" in build_dashboard()
+        assert build_dashboard() == build_dashboard()
+
+    def test_timestamp_is_escaped_and_rendered(self):
+        html = build_dashboard(timestamp="<b>now</b>")
+        assert "<b>now</b>" not in html
+        assert "&lt;b&gt;now&lt;/b&gt;" in html
+
+    def test_history_sparkline_present(self):
+        html = build_dashboard(
+            history=[_history_record(wall=w, ts=i) for i, w in enumerate([0.01, 0.02, 0.04])]
+        )
+        assert "kt1_simulation" in html
+        # sparklines use the block-character ramp
+        assert any(ch in html for ch in "▁▂▃▄▅▆▇█")
+
+    def test_bench_per_phase_breakdown(self):
+        html = build_dashboard(
+            bench_payloads=[_bench_payload(per_phase={"simulate": 30, "decision": 6})]
+        )
+        assert "simulate" in html and "decision" in html
+        assert "83.3%" in html  # 30/36
+
+    def test_span_tree_rows(self):
+        html = build_dashboard(span_payload=_span_payload())
+        assert "run" in html and "round" in html
+
+    def test_sweep_curves_and_population(self):
+        from repro.resilience import fault_sweep
+
+        report = fault_sweep(
+            algorithms=("neighbor_exchange",),
+            kinds=("erasure",),
+            rates=(0.0, 0.2),
+            n=6,
+            trials=2,
+            seed=1,
+        )
+        html = build_dashboard(sweep=report.as_payload())
+        assert "neighbor_exchange" in html
+        assert "Sweep population" in html
+        assert validate_dashboard_html(html) == []
+
+    def test_malicious_payload_strings_are_escaped(self):
+        evil = _sweep_payload()
+        evil["curves"][0]["algorithm"] = '<script>alert(1)</script>'
+        html = build_dashboard(sweep=evil)
+        assert validate_dashboard_html(html) == []
+        assert "<script>" not in html
+
+
+class TestValidator:
+    def test_accepts_real_dashboard(self):
+        assert validate_dashboard_html(build_dashboard()) == []
+
+    def test_rejects_scripts_links_and_external_refs(self):
+        base = build_dashboard()
+        assert validate_dashboard_html(base + "<script>x</script>") != []
+        assert validate_dashboard_html(
+            base.replace("</head>", '<link rel="stylesheet" href="x.css"></head>')
+        ) != []
+        assert validate_dashboard_html(
+            base.replace("</body>", '<img src="https://evil.example/x.png"></body>')
+        ) != []
+        assert validate_dashboard_html(
+            base.replace("</body>", '<a href="//cdn.example/lib">x</a></body>')
+        ) != []
+
+    def test_rejects_missing_prologue_and_marker(self):
+        assert "missing <!DOCTYPE html> prologue" in validate_dashboard_html("<html></html>")
+        stripped = build_dashboard().replace(f'content="{DASH_GENERATOR}"', 'content="x"')
+        assert any("generator marker" in p for p in validate_dashboard_html(stripped))
+
+    def test_rejects_css_imports_and_urls(self):
+        base = build_dashboard()
+        assert validate_dashboard_html(
+            base.replace("</head>", "<style>@import 'x';</style></head>")
+        ) != []
+        assert validate_dashboard_html(
+            base.replace("</head>", "<style>body{background:url(x.png)}</style></head>")
+        ) != []
+
+
+class TestSessionsSection:
+    def test_recorded_session_with_delivery_stats(self, tmp_path):
+        from repro.replay import read_session, record_session
+
+        path = tmp_path / "session.json"
+        params = {
+            "n": 6,
+            "algorithm": "neighbor_exchange",
+            "instance": "one_cycle",
+            "rounds": 6,
+            "network": {"max_delay": 2, "duplicate_rate": 0.2, "seed": 7},
+        }
+        record_session("run", params, str(path))
+        session = read_session(str(path))
+        html = build_dashboard(sessions=[session])
+        assert validate_dashboard_html(html) == []
+        assert "run" in html
+        assert "Delivery" in html

@@ -271,10 +271,35 @@ class TestHistogramPercentiles:
             h.observe(float(v))
         summary = h.summary()
         assert summary["count"] == 100  # streaming stats see everything
-        assert summary["percentile_samples"] == 10  # retention is capped
         assert summary["max"] == 99.0
-        # percentiles describe the retained prefix 0..9
-        assert summary["p99"] == 9.0
+        # past the cap the histogram hands off to a quantile sketch, so
+        # percentiles describe the *whole* stream, not the retained
+        # prefix (the old behavior silently reported p99 == 9.0 here)
+        assert summary["percentile_samples"] == 100
+        assert summary["p99"] > 90.0
+
+    def test_percentiles_unbiased_past_default_cap(self):
+        """Regression: >4096 observations must not pin percentiles to
+        the first 4096 samples.
+
+        Before sketch routing, a monotone stream of 10000 values
+        reported p50 == 2048 and p99 == 4055 -- the retained-prefix
+        truncation bias. The sketch estimates carry a <4% relative
+        error bound instead.
+        """
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("latency")
+        for v in range(1, 10001):
+            h.observe(float(v))
+        summary = h.summary()
+        assert summary["count"] == 10000
+        assert summary["percentile_samples"] == 10000
+        assert summary["p50"] == pytest.approx(5000, rel=0.04)
+        assert summary["p99"] == pytest.approx(9900, rel=0.04)
+        # the old truncated answers are far outside the error bound
+        assert summary["p50"] > 4096
+        assert summary["p99"] > 4096
 
     def test_negative_cap_rejected(self):
         from repro.obs.metrics import Histogram

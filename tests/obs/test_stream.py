@@ -1,0 +1,214 @@
+"""Tests for the live event bus (repro.obs.stream)."""
+
+import io
+import threading
+
+import pytest
+
+from repro.core import BCC1_KT0, BCCInstance, SilentAlgorithm, Simulator
+from repro.graphs import one_cycle
+from repro.obs.stream import (
+    DEFAULT_BUS_CAPACITY,
+    Event,
+    EventBus,
+    get_bus,
+    line_printer,
+    set_bus,
+    use_bus,
+)
+
+
+class TestEventBus:
+    def test_publish_assigns_monotone_seq(self):
+        bus = EventBus()
+        first = bus.publish("a", {})
+        second = bus.publish("b", {})
+        assert (first.seq, second.seq) == (1, 2)
+        assert bus.published_count == 2
+
+    def test_subscribers_receive_in_publish_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("x", {"i": 1})
+        bus.publish("y", {"i": 2})
+        assert [e.kind for e in seen] == ["x", "y"]
+        assert [e.payload["i"] for e in seen] == [1, 2]
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=["keep"])
+        bus.publish("drop", {})
+        bus.publish("keep", {})
+        assert [e.kind for e in seen] == ["keep"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        token = bus.subscribe(seen.append)
+        bus.publish("a", {})
+        bus.unsubscribe(token)
+        bus.publish("b", {})
+        assert [e.kind for e in seen] == ["a"]
+        assert bus.subscriber_count == 0
+
+    def test_subscription_context_manager_detaches(self):
+        bus = EventBus()
+        seen = []
+        with bus.subscription(seen.append):
+            bus.publish("in", {})
+        bus.publish("out", {})
+        assert [e.kind for e in seen] == ["in"]
+
+    def test_raising_subscriber_is_contained_and_counted(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        bus.publish("a", {})
+        assert [e.kind for e in seen] == ["a"]
+        assert bus.error_count == 1
+
+    def test_ring_buffer_bounded(self):
+        bus = EventBus(capacity=3)
+        for i in range(5):
+            bus.publish("e", {"i": i})
+        retained = bus.events()
+        assert [e.payload["i"] for e in retained] == [2, 3, 4]
+        assert bus.published_count == 5
+
+    def test_events_snapshot_filters_by_kind(self):
+        bus = EventBus()
+        bus.publish("a", {})
+        bus.publish("b", {})
+        bus.publish("a", {})
+        assert [e.kind for e in bus.events(["a"])] == ["a", "a"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+        assert DEFAULT_BUS_CAPACITY == 1024
+
+    def test_publish_is_thread_safe(self):
+        bus = EventBus(capacity=4096)
+
+        def spam():
+            for _ in range(200):
+                bus.publish("t", {})
+
+        threads = [threading.Thread(target=spam) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert bus.published_count == 800
+        seqs = [e.seq for e in bus.events()]
+        assert seqs == sorted(seqs)
+
+
+class TestLinePrinter:
+    def test_prints_sorted_fields(self):
+        out = io.StringIO()
+        emit = line_printer(out)
+        emit(Event(7, "sweep.cell", {"rate": 0.1, "kind": "crash"}))
+        assert out.getvalue() == "[7] sweep.cell kind=crash rate=0.1\n"
+
+    def test_empty_payload(self):
+        out = io.StringIO()
+        line_printer(out)(Event(1, "bench.start", {}))
+        assert out.getvalue() == "[1] bench.start\n"
+
+
+class TestProcessWideBus:
+    def test_off_by_default(self):
+        assert get_bus() is None
+
+    def test_use_bus_installs_and_restores(self):
+        bus = EventBus()
+        with use_bus(bus) as installed:
+            assert installed is bus
+            assert get_bus() is bus
+        assert get_bus() is None
+
+    def test_set_bus_returns_previous(self):
+        first, second = EventBus(), EventBus()
+        assert set_bus(first) is None
+        try:
+            assert set_bus(second) is first
+        finally:
+            set_bus(None)
+
+
+class TestInstrumentedSites:
+    def test_simulator_publishes_run_lifecycle(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        bus = EventBus()
+        with use_bus(bus):
+            Simulator(BCC1_KT0).run(inst, SilentAlgorithm, 2)
+        kinds = [e.kind for e in bus.events()]
+        assert kinds[0] == "simulator.run_start"
+        assert kinds[-1] == "simulator.run_end"
+        assert kinds.count("simulator.round") == 2
+        start = bus.events(["simulator.run_start"])[0].payload
+        assert start["n"] == 4 and start["rounds_budget"] == 2
+        end = bus.events(["simulator.run_end"])[0].payload
+        assert end["rounds_executed"] == 2
+
+    def test_simulator_silent_without_bus(self):
+        inst = BCCInstance.kt0_from_graph(one_cycle(4))
+        outer = EventBus()
+        Simulator(BCC1_KT0).run(inst, SilentAlgorithm, 2)
+        assert outer.published_count == 0
+
+    def test_fault_sweep_publishes_cells(self):
+        from repro.resilience import fault_sweep
+
+        bus = EventBus()
+        with use_bus(bus):
+            fault_sweep(
+                algorithms=("neighbor_exchange",),
+                kinds=("erasure",),
+                rates=(0.0, 0.2),
+                n=6,
+                trials=2,
+                seed=1,
+            )
+        cells = bus.events(["sweep.cell"])
+        assert len(cells) == 2  # one per (algorithm, kind, rate)
+        assert {e.payload["rate"] for e in cells} == {0.0, 0.2}
+        assert [e.kind for e in bus.events()][-1] == "sweep.end"
+
+    def test_parallel_map_publishes_shards(self):
+        from repro.parallel import ParallelExecutor
+
+        bus = EventBus()
+        with use_bus(bus):
+            ParallelExecutor(workers=1).map(_double, [1, 2, 3])
+        shards = bus.events(["parallel.shard"])
+        assert [e.payload["shard"] for e in shards] == [0, 1, 2]
+        done = bus.events(["parallel.map"])
+        assert len(done) == 1
+        assert done[0].payload["shards"] == 3
+
+    def test_bench_publishes_lifecycle(self):
+        from repro.obs.bench import BenchmarkHarness, bench_names
+
+        name = "kt1_simulation"
+        assert name in bench_names()
+        bus = EventBus()
+        with use_bus(bus):
+            BenchmarkHarness(out_dir=None, quick=True).run_one(name)
+        kinds = [e.kind for e in bus.events(["bench.start", "bench.end"])]
+        assert kinds[0] == "bench.start"
+        assert kinds[-1] == "bench.end"
+        end = bus.events(["bench.end"])[0].payload
+        assert end["name"] == name and end["ok"] is True
+
+
+def _double(x):
+    return 2 * x

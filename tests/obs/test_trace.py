@@ -433,3 +433,71 @@ class TestSchemaV4CostSummary:
         spans_only = read_trace(io.StringIO(combined), schema_version=3)
         assert any(e["event"] == "span_start" for e in spans_only)
         assert not any(e["event"] == "cost_summary" for e in spans_only)
+
+
+class TestTraceStatsSiblingKeys:
+    """v4/v5 enrichment rides as *sibling* keys -- by_event stays stable."""
+
+    def test_cost_bits_summed_across_cost_summaries(self):
+        from repro.obs import trace_stats
+
+        events = [
+            {"run_id": "r", "event": "trace_start", "schema_version": 4},
+            {"run_id": "r", "event": "cost_summary", "total_bits": 8, "rounds": 2},
+            {"run_id": "r", "event": "cost_summary", "total_bits": 5, "rounds": 1},
+        ]
+        stats = trace_stats(events)
+        assert stats["r"]["cost_bits"] == 13
+        assert stats["r"]["by_event"]["cost_summary"] == 2
+        # the sibling key never leaks into by_event
+        assert "cost_bits" not in stats["r"]["by_event"]
+
+    def test_non_int_total_bits_ignored(self):
+        from repro.obs import trace_stats
+
+        events = [{"run_id": "r", "event": "cost_summary", "total_bits": "8"}]
+        assert "cost_bits" not in trace_stats(events)["r"]
+
+    def test_session_envelopes_summarized(self):
+        from repro.obs import trace_stats
+
+        events = [
+            {"run_id": "s", "event": "session_start", "kind": "run"},
+            {"run_id": "s", "event": "step", "index": 0},
+            {"run_id": "s", "event": "session_end", "steps": 6, "complete": True},
+            {"run_id": "s", "event": "session_start", "kind": "fault-sweep"},
+            {"run_id": "s", "event": "session_end", "steps": 4, "complete": False},
+        ]
+        sessions = trace_stats(events)["s"]["sessions"]
+        assert sessions["kinds"] == {"run": 1, "fault-sweep": 1}
+        assert sessions["steps"] == 10
+        assert sessions["complete"] is False
+
+    def test_plain_runs_carry_no_sibling_keys(self):
+        from repro.obs import trace_stats
+
+        events = [
+            {"run_id": "r", "event": "trace_start", "schema_version": 3},
+            {"run_id": "r", "event": "round", "t": 1},
+        ]
+        entry = trace_stats(events)["r"]
+        assert "cost_bits" not in entry
+        assert "sessions" not in entry
+        assert set(entry) == {"schema_version", "events", "by_event"}
+
+    def test_recorded_session_file_stats(self, tmp_path):
+        from repro.obs import read_trace, trace_stats
+        from repro.replay import record_session
+
+        path = str(tmp_path / "session.json")
+        record_session(
+            "run",
+            {"n": 6, "algorithm": "neighbor_exchange", "instance": "one_cycle"},
+            path,
+        )
+        with open(path, "r", encoding="utf-8") as fh:
+            events = read_trace(fh)
+        (entry,) = trace_stats(events).values()
+        assert entry["sessions"]["kinds"] == {"run": 1}
+        assert entry["sessions"]["complete"] is True
+        assert entry["sessions"]["steps"] == entry["by_event"]["step"]

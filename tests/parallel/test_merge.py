@@ -96,3 +96,53 @@ def test_merge_concat_is_shard_ordered_and_skips_none():
 def test_fold_skips_none_entries():
     assert MIN_KEYED.fold([None, (0.5, 2), None, (0.5, 1)]) == (0.5, 1)
     assert MAX_INT.fold([None, 3, None]) == 3
+
+
+class TestMonoidRegistry:
+    def test_builtin_monoids_registered(self):
+        from repro.parallel.merge import get_monoid, monoid_names
+
+        names = monoid_names()
+        for name in ("min_keyed", "sum_counts", "max_int"):
+            assert name in names
+            assert get_monoid(name) is not None
+
+    def test_sketch_monoids_register_on_import(self):
+        import repro.obs.sketches  # noqa: F401  (registration side effect)
+        from repro.parallel.merge import monoid_names
+
+        names = monoid_names()
+        for name in (
+            "sketch.quantile",
+            "sketch.topk",
+            "sketch.moments",
+            "sketch.population",
+        ):
+            assert name in names
+        assert names == sorted(names)
+
+    def test_unknown_name_raises_with_known_list(self):
+        import pytest
+
+        from repro.parallel.merge import get_monoid
+
+        with pytest.raises(KeyError, match="no monoid registered"):
+            get_monoid("sketch.hyperloglog")
+
+    def test_reregistering_same_object_is_idempotent(self):
+        from repro.parallel.merge import MAX_INT, register_monoid
+
+        assert register_monoid("max_int", MAX_INT) is MAX_INT
+
+    def test_conflicting_registration_rejected(self):
+        import pytest
+
+        from repro.parallel.merge import MAX_INT, Monoid, register_monoid
+
+        other = Monoid(identity=lambda: 0, combine=max)
+        with pytest.raises(ValueError, match="already registered"):
+            register_monoid("max_int", other)
+        # the original stays installed
+        from repro.parallel.merge import get_monoid
+
+        assert get_monoid("max_int") is MAX_INT

@@ -117,3 +117,66 @@ def test_batched_graph_build(benchmark, n):
         [[n, fast.left_count(), fast.right_count(), fast.edge_count(), identical]],
     )
     assert identical
+
+
+@pytest.mark.parametrize("size", [512])
+def test_four_russians_rank(benchmark, size):
+    """P5: Four-Russians GF(2) elimination matches the packed bitset rank."""
+    import random
+
+    from repro.kernels import pack_rows, rank_gf2_m4ri, rank_gf2_packed
+
+    rng = random.Random(size)
+    matrix = [[rng.randrange(2) for _ in range(size)] for _ in range(size)]
+    packed = pack_rows(matrix)
+
+    def kernel():
+        return rank_gf2_m4ri(list(packed), size)
+
+    fast = benchmark(kernel)
+    ref = rank_gf2_packed(list(packed), size)
+    print_table(
+        "P5: dense GF(2) rank, four-russians vs packed",
+        ["size", "m4ri rank", "packed rank", "identical"],
+        [[size, fast, ref, fast == ref]],
+    )
+    assert fast == ref
+
+
+@pytest.mark.parametrize("n", [5])
+def test_sparse_modp_rank(benchmark, n):
+    """P5: sparse dict-row elimination matches the dense rank on M_n mod p."""
+    from repro.kernels import rank_mod_p_sparse
+
+    _parts, matrix = build_m_matrix(n)
+    p = DEFAULT_PRIMES[0]
+
+    def kernel():
+        return rank_mod_p_sparse(matrix, p)
+
+    fast = benchmark(kernel)
+    ref = rank_mod_p(matrix, p, kernel="packed")
+    print_table(
+        "P5: M_n mod-p rank, sparse vs dense",
+        ["n", "rows", "sparse rank", "dense rank", "identical"],
+        [[n, len(matrix), fast, ref, fast == ref]],
+    )
+    assert fast == ref
+
+
+@pytest.mark.parametrize("n", [5])
+def test_streamed_matrix_rank(benchmark, n):
+    """P5: the streamed block pipeline returns the dense-pipeline rank."""
+    from repro.partitions import m_matrix_rank, streamed_matrix_rank
+
+    def kernel():
+        return streamed_matrix_rank(n, "m", block_rows=16)
+
+    fast = benchmark(kernel)
+    ref = m_matrix_rank(n, streamed=False)
+    print_table(
+        "P5: rank(M_n), streamed vs dense pipeline",
+        ["n", "streamed rank", "dense rank", "identical"],
+        [[n, fast, ref, fast == ref]],
+    )
+    assert fast == ref

@@ -48,9 +48,13 @@ the mapping to the paper's lemmas and theorems. Observability:
   ``CostLedger`` and the measured bits/rounds are compared against the
   closed forms at the run's n (exit 1 on any mismatch); ``report
   --per-vertex`` breaks a payload's ledger down by vertex;
-* ``ranks`` and ``bench`` take ``--kernel {auto,packed,reference}`` to
-  pick the compute engines (see `repro.kernels`); every mode produces
-  identical results, only the wall time differs.
+* ``ranks`` and ``bench`` take ``--kernel
+  {auto,packed,four-russians,sparse,reference}`` to pick the compute
+  engines (see `repro.kernels`); every mode produces identical results,
+  only the wall time differs. ``ranks`` additionally takes
+  ``--streamed {auto,on,off}`` / ``--block-rows R`` to build M_n / E_n
+  through the block-streamed pipeline (peak memory bounded per block;
+  construction parallelizes over ``--workers``).
 
 Resilience (see `repro.resilience`): ``exhaustive`` and ``sampling``
 take ``--budget-seconds`` / work caps plus ``--checkpoint FILE`` and
@@ -215,6 +219,7 @@ def _cmd_ratio(args: argparse.Namespace) -> int:
 
 def _cmd_ranks(args: argparse.Namespace) -> int:
     from repro.partitions import (
+        DEFAULT_BLOCK_ROWS,
         bell_number,
         e_matrix_rank,
         m_matrix_rank,
@@ -223,12 +228,25 @@ def _cmd_ranks(args: argparse.Namespace) -> int:
 
     workers = _resolved_workers(args)
     kernel = getattr(args, "kernel", "auto")
+    streamed = {"auto": None, "on": True, "off": False}[
+        getattr(args, "streamed", "auto")
+    ]
+    block_rows = getattr(args, "block_rows", None)
+    if block_rows is None:
+        block_rows = DEFAULT_BLOCK_ROWS
+    if block_rows < 1:
+        print(f"error: --block-rows must be >= 1, got {block_rows}", file=sys.stderr)
+        return 2
     rows = []
     for n in range(1, args.max_n + 1):
-        rank = m_matrix_rank(n, workers=workers, kernel=kernel)
+        rank = m_matrix_rank(
+            n, workers=workers, kernel=kernel, streamed=streamed, block_rows=block_rows
+        )
         rows.append(["M", n, rank, bell_number(n)])
     for n in range(2, args.max_n + 3, 2):
-        rank = e_matrix_rank(n, workers=workers, kernel=kernel)
+        rank = e_matrix_rank(
+            n, workers=workers, kernel=kernel, streamed=streamed, block_rows=block_rows
+        )
         rows.append(["E", n, rank, perfect_matching_count(n)])
     _emit(
         args,
@@ -1444,8 +1462,10 @@ def _add_kernel_flag(p: argparse.ArgumentParser) -> None:
         default="auto",
         help=(
             "compute-kernel mode: 'packed' uses the bitset/batched engines "
-            "of repro.kernels, 'reference' the pure-python originals, "
-            "'auto' (default) prefers packed; results are identical"
+            "of repro.kernels, 'four-russians' forces the M4RI GF(2) rank, "
+            "'sparse' forces the dict-row mod-p rank, 'reference' the "
+            "pure-python originals, 'auto' (default) picks per input; "
+            "results are identical"
         ),
     )
 
@@ -1509,6 +1529,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ranks", help=_help("ranks"))
     p.add_argument("--max-n", type=int, default=5)
+    p.add_argument(
+        "--streamed",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "matrix pipeline: 'on' streams block rows (never materializes "
+            "the dense matrix), 'off' always builds densely, 'auto' "
+            "(default) streams at >= 1000 rows with a fast kernel"
+        ),
+    )
+    p.add_argument(
+        "--block-rows",
+        type=int,
+        default=None,
+        metavar="R",
+        help="rows per streamed construction block (default 256)",
+    )
     _add_workers_flag(p)
     _add_kernel_flag(p)
     _add_json_flag(p)

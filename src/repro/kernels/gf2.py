@@ -1,20 +1,35 @@
-"""GF(2) rank via word-packed bitset elimination.
+"""GF(2) rank kernels: word-packed bitset and Four-Russians elimination.
 
 The reference engine (:func:`repro.partitions.linalg._rank_mod_p_python`
 at ``p = 2``) eliminates entry by entry: each pivot costs
-O(rows x cols) Python-level multiply-subtract-mod operations. This
-kernel packs every row into one Python big integer (bit ``c`` = column
-``c``), so eliminating a row under a pivot is a *single* word-parallel
-XOR -- CPython XORs 30-bit limbs in C, giving an honest factor of tens
-on wide matrices while staying dependency-free.
+O(rows x cols) Python-level multiply-subtract-mod operations. Two fast
+engines live here:
+
+* :func:`rank_gf2_packed` packs every row into one Python big integer
+  (bit ``c`` = column ``c``), so eliminating a row under a pivot is a
+  *single* word-parallel XOR -- CPython XORs 30-bit limbs in C, giving
+  an honest factor of tens on wide matrices while staying
+  dependency-free.
+* :func:`rank_gf2_m4ri` is the Four-Russians (M4RI) elimination: rows
+  are processed in blocks of ``k`` pivot columns, a 2^k-entry XOR
+  table of pivot-row combinations is built per block, and every
+  non-pivot row is fixed up with *one* table-lookup XOR per block
+  instead of one XOR per pivot column. With numpy present the matrix
+  lives in uint64 words and the per-column bookkeeping (pivot search,
+  block-bit updates) is vectorized; without numpy a pure-python
+  big-int variant of the same schedule runs instead (correct, roughly
+  parity with the packed engine). The asymptotic win is a factor ~k on
+  the row-fixup work; measured >= 2x over ``rank_gf2_packed`` on dense
+  2048^2 inputs and growing with size (see EXPERIMENTS.md P5).
 
 Bit-identical contract: over GF(2) the rank and the per-column pivot
-structure are mathematically determined, and the column loop here
-mirrors the reference exactly -- the :class:`~repro.resilience.Budget`
-is ticked once per pivot column *before* the pivot search, and the loop
-breaks as soon as ``rows`` pivots are found -- so tick counts,
-exhaustion boundaries, and (of course) the returned rank are equal to
-the reference's on every input.
+structure are mathematically determined, and the column loop of every
+engine mirrors the reference exactly -- the
+:class:`~repro.resilience.Budget` is ticked once per pivot column
+*before* the pivot search, the pivot is the first row at or below the
+current pivot row with the bit set, and the loop breaks as soon as
+``rows`` pivots are found -- so ranks, tick counts, and exhaustion
+boundaries are equal to the reference's on every input.
 """
 
 from __future__ import annotations
@@ -24,13 +39,47 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 if TYPE_CHECKING:  # runtime-import-free, like partitions.linalg
     from repro.resilience.budget import Budget
 
+try:  # optional accelerator; every entry point falls back without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
 Matrix = Sequence[Sequence[int]]
 
-__all__ = ["pack_rows", "rank_gf2", "rank_gf2_packed"]
+__all__ = [
+    "M4RI_DEFAULT_K",
+    "pack_rows",
+    "rank_gf2",
+    "rank_gf2_four_russians",
+    "rank_gf2_m4ri",
+    "rank_gf2_packed",
+]
+
+#: Default Four-Russians block width: 2^8-entry tables amortize well for
+#: every matrix large enough that the M4RI engine is worth running at all.
+M4RI_DEFAULT_K = 8
+
+#: Largest accepted block width; the per-block XOR table has 2^k rows, so
+#: anything beyond this is a configuration error, not a tuning choice.
+_M4RI_MAX_K = 16
 
 
-def pack_rows(matrix: Matrix) -> List[int]:
-    """Pack a matrix's rows mod 2 into big integers (bit c = column c)."""
+def _pack_row_bytes(row: Sequence[int]) -> int:
+    """One row packed mod 2 via a bytearray + ``int.from_bytes``.
+
+    Setting bit ``c`` directly on a growing big integer costs O(c) limb
+    work per entry (quadratic per row); staging the bits in a bytearray
+    first is O(1) per entry with a single linear conversion at the end.
+    """
+    buf = bytearray((len(row) + 7) >> 3)
+    for c, x in enumerate(row):
+        if int(x) & 1:
+            buf[c >> 3] |= 1 << (c & 7)
+    return int.from_bytes(bytes(buf), "little")
+
+
+def _pack_rows_reference(matrix: Matrix) -> List[int]:
+    """The original per-entry big-int packer, kept as the parity oracle."""
     packed: List[int] = []
     for row in matrix:
         word = 0
@@ -38,6 +87,39 @@ def pack_rows(matrix: Matrix) -> List[int]:
             if int(x) & 1:
                 word |= 1 << c
         packed.append(word)
+    return packed
+
+
+def pack_rows(matrix: Matrix) -> List[int]:
+    """Pack a matrix's rows mod 2 into big integers (bit c = column c).
+
+    Fast path: ``numpy.packbits`` per row + ``int.from_bytes``
+    (bit-for-bit equal to the reference packer, pinned by the parity
+    tests). Rows numpy cannot losslessly coerce to an integer dtype --
+    huge entries, floats, a missing numpy install -- silently take the
+    bytearray fallback, which is itself linear per row where the
+    original per-entry big-int packer was quadratic on dense rows.
+    """
+    packed: List[int] = []
+    for row in matrix:
+        if _np is not None:
+            try:
+                arr = _np.asarray(row)
+            except (ValueError, OverflowError):  # pragma: no cover - exotic rows
+                arr = None
+            if (
+                arr is not None
+                and arr.ndim == 1
+                and arr.dtype.kind in "iub"
+            ):
+                bits = (arr & 1).astype(_np.uint8)
+                packed.append(
+                    int.from_bytes(
+                        _np.packbits(bits, bitorder="little").tobytes(), "little"
+                    )
+                )
+                continue
+        packed.append(_pack_row_bytes(row))
     return packed
 
 
@@ -77,6 +159,207 @@ def rank_gf2_packed(
     return rank
 
 
+def _check_k(k: int) -> int:
+    if not 1 <= k <= _M4RI_MAX_K:
+        raise ValueError(f"four-russians block width k must be in [1, {_M4RI_MAX_K}], got {k}")
+    return k
+
+
+def _rank_gf2_m4ri_python(
+    rows: List[int], cols: int, k: int, budget: Optional["Budget"]
+) -> int:
+    """Pure-python Four-Russians on big-int rows (the no-numpy fallback).
+
+    Identical schedule to the numpy path: per block of ``k`` columns the
+    pivot rows' final values accumulate lazily (``applied`` records
+    which block pivots each row absorbed), and one XOR-table lookup per
+    row finalizes the block. Pivot choice, tick order, and the
+    full-rank break mirror :func:`rank_gf2_packed` exactly.
+    """
+    nrows = len(rows)
+    rank = 0
+    base = 0
+    for c0 in range(0, cols, k):
+        w = min(k, cols - c0)
+        mask = (1 << w) - 1
+        nbelow = nrows - base
+        chunks = [(rows[base + j] >> c0) & mask for j in range(nbelow)]
+        applied = [0] * nbelow
+        piv_vals: List[int] = []
+        full = False
+        for i in range(w):
+            if budget is not None:
+                budget.tick()
+            bit = 1 << i
+            found = len(piv_vals)
+            pivot = None
+            for j in range(found, nbelow):
+                if chunks[j] & bit:
+                    pivot = j
+                    break
+            if pivot is None:
+                continue
+            if pivot != found:
+                chunks[found], chunks[pivot] = chunks[pivot], chunks[found]
+                applied[found], applied[pivot] = applied[pivot], applied[found]
+                rows[base + found], rows[base + pivot] = (
+                    rows[base + pivot],
+                    rows[base + found],
+                )
+            # the pivot row's true value: its original value plus every
+            # block pivot it absorbed before being chosen itself
+            val = rows[base + found]
+            sel = applied[found]
+            t = 0
+            while sel:
+                if sel & 1:
+                    val ^= piv_vals[t]
+                sel >>= 1
+                t += 1
+            piv_vals.append(val)
+            pchunk = chunks[found]
+            pbit = 1 << found
+            for j in range(found + 1, nbelow):
+                if chunks[j] & bit:
+                    chunks[j] ^= pchunk
+                    applied[j] |= pbit
+            rank += 1
+            if base + len(piv_vals) == nrows:
+                full = True
+                break
+        found = len(piv_vals)
+        if found:
+            for t in range(found):
+                rows[base + t] = piv_vals[t]
+            # all 2^found pivot combinations, built incrementally: entry m
+            # differs from entry (m minus its lowest bit) by one pivot row
+            table = [0] * (1 << found)
+            for m in range(1, 1 << found):
+                low = m & -m
+                table[m] = table[m ^ low] ^ piv_vals[low.bit_length() - 1]
+            for j in range(found, nbelow):
+                sel = applied[j]
+                if sel:
+                    rows[base + j] ^= table[sel]
+            base += found
+        if full:
+            break
+    return rank
+
+
+def _rows_to_words(rows: Sequence[int], cols: int):
+    """Packed big-int rows -> a (nrows x nwords) little-endian uint64 array."""
+    nwords = max(1, (cols + 63) >> 6)
+    nbytes = nwords * 8
+    buf = bytearray(len(rows) * nbytes)
+    for r, word in enumerate(rows):
+        buf[r * nbytes : r * nbytes + nbytes] = word.to_bytes(nbytes, "little")
+    return _np.frombuffer(bytes(buf), dtype="<u8").reshape(len(rows), nwords).copy()
+
+
+def _rank_gf2_m4ri_numpy(
+    rows: Sequence[int], cols: int, k: int, budget: Optional["Budget"]
+) -> int:
+    """Vectorized Four-Russians: uint64 words, per-block XOR tables.
+
+    Per block of ``k`` columns: the block bits of every candidate row are
+    extracted once (``bb``), pivot search and the block-bit/``applied``
+    updates are whole-column vector operations, and one
+    ``table[applied]`` gather-XOR finalizes all non-pivot rows. The
+    pivot sequence is the reference's: first candidate row with the bit
+    set, in current row order.
+    """
+    nrows = len(rows)
+    a = _rows_to_words(rows, cols)
+    nwords = a.shape[1]
+    rank = 0
+    base = 0
+    for c0 in range(0, cols, k):
+        w = min(k, cols - c0)
+        nbelow = nrows - base
+        wi = c0 >> 6
+        sh = c0 & 63
+        bb = a[base:, wi] >> _np.uint64(sh)
+        if sh + w > 64 and wi + 1 < nwords:
+            bb = bb | (a[base:, wi + 1] << _np.uint64(64 - sh))
+        bb = (bb & _np.uint64((1 << w) - 1)).astype(_np.int64)
+        applied = _np.zeros(nbelow, dtype=_np.int64)
+        piv_vals = _np.zeros((w, nwords), dtype=_np.uint64)
+        found = 0
+        full = False
+        for i in range(w):
+            if budget is not None:
+                budget.tick()
+            bit = 1 << i
+            hit = bb[found:] & bit
+            pivot = found + int(hit.argmax())
+            if not bb[pivot] & bit:
+                continue
+            if pivot != found:
+                a[[base + found, base + pivot]] = a[[base + pivot, base + found]]
+                bb[found], bb[pivot] = bb[pivot], bb[found]
+                applied[found], applied[pivot] = applied[pivot], applied[found]
+            val = a[base + found].copy()
+            sel = int(applied[found])
+            t = 0
+            while sel:
+                if sel & 1:
+                    val ^= piv_vals[t]
+                sel >>= 1
+                t += 1
+            piv_vals[found] = val
+            tail = slice(found + 1, nbelow)
+            m = (bb[tail] & bit) != 0
+            bb_tail = bb[tail]
+            bb_tail[m] ^= bb[found]
+            applied_tail = applied[tail]
+            applied_tail[m] |= 1 << found
+            found += 1
+            rank += 1
+            if base + found == nrows:
+                full = True
+                break
+        if found:
+            a[base : base + found] = piv_vals[:found]
+            # doubling build: table[2^t .. 2^(t+1)) = table[0 .. 2^t) ^ pivot t
+            table = _np.zeros((1 << found, nwords), dtype=_np.uint64)
+            size = 1
+            for t in range(found):
+                _np.bitwise_xor(table[:size], piv_vals[t], out=table[size : 2 * size])
+                size *= 2
+            if found < nbelow:
+                body = a[base + found : base + nbelow]
+                _np.bitwise_xor(body, table.take(applied[found:], axis=0), out=body)
+            base += found
+        if full:
+            break
+    return rank
+
+
+def rank_gf2_m4ri(
+    rows: List[int],
+    cols: int,
+    k: int = M4RI_DEFAULT_K,
+    budget: Optional["Budget"] = None,
+) -> int:
+    """Four-Russians rank over GF(2) of already-packed rows.
+
+    ``rows`` is the same packed big-int representation
+    :func:`rank_gf2_packed` takes (and, like it, may be mutated).
+    ``k`` is the block width (2^k-entry tables). With numpy the
+    vectorized engine runs; without it the pure-python schedule does --
+    both return the reference rank with reference budget-tick
+    boundaries on every input.
+    """
+    _check_k(k)
+    nrows = len(rows)
+    if nrows == 0 or cols == 0:
+        return 0
+    if _np is not None:
+        return _rank_gf2_m4ri_numpy(rows, cols, k, budget)
+    return _rank_gf2_m4ri_python(rows, cols, k, budget)
+
+
 def rank_gf2(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
     """Rank of an integer matrix over GF(2) (entries taken mod 2).
 
@@ -87,3 +370,14 @@ def rank_gf2(matrix: Matrix, budget: Optional["Budget"] = None) -> int:
     rows = len(matrix)
     cols = len(matrix[0]) if rows else 0
     return rank_gf2_packed(pack_rows(matrix), cols, budget)
+
+
+def rank_gf2_four_russians(
+    matrix: Matrix,
+    k: int = M4RI_DEFAULT_K,
+    budget: Optional["Budget"] = None,
+) -> int:
+    """Rank of an integer matrix over GF(2) via the Four-Russians engine."""
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    return rank_gf2_m4ri(pack_rows(matrix), cols, k, budget)

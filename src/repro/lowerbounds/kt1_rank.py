@@ -80,16 +80,19 @@ def multicycle_round_bound(n: int) -> KT1RankBound:
 
 
 def connectivity_round_bound_certified(
-    n: int, workers: int = 1, kernel: str = "auto"
+    n: int, workers: int = 1, kernel: str = "auto", streamed: bool = None
 ) -> KT1RankBound:
     """Theorem 4.4 for Connectivity with rank(M_n) *computed*, not quoted.
 
-    Builds M_n (B_n x B_n -- enumerable for n <= 6 in reasonable time)
-    and runs the exact rank chain; Theorem 2.3 guarantees the result
-    equals :func:`connectivity_round_bound`'s closed-form row, and the
-    tests pin that equality for every kernel.
+    Builds M_n (B_n x B_n -- enumerable for n <= 6 in reasonable time
+    densely; the streamed pipeline pushes past that) and runs the exact
+    rank chain; Theorem 2.3 guarantees the result equals
+    :func:`connectivity_round_bound`'s closed-form row, and the tests
+    pin that equality for every kernel. ``streamed`` is passed through
+    to :func:`~repro.partitions.matrices.m_matrix_rank` (None = auto by
+    matrix size).
     """
-    rank = m_matrix_rank(n, workers=workers, kernel=kernel)
+    rank = m_matrix_rank(n, workers=workers, kernel=kernel, streamed=streamed)
     cc = math.log2(rank)
     bits = simulation_bits_per_round(PARTITION, n)
     return KT1RankBound(
@@ -103,12 +106,12 @@ def connectivity_round_bound_certified(
 
 
 def multicycle_round_bound_certified(
-    n: int, workers: int = 1, kernel: str = "auto"
+    n: int, workers: int = 1, kernel: str = "auto", streamed: bool = None
 ) -> KT1RankBound:
     """Theorem 4.4 for MultiCycle with rank(E_n) *computed*, not quoted."""
     if n % 2 != 0:
         raise ValueError(f"TwoPartition needs even n, got {n}")
-    rank = e_matrix_rank(n, workers=workers, kernel=kernel)
+    rank = e_matrix_rank(n, workers=workers, kernel=kernel, streamed=streamed)
     cc = math.log2(rank)
     bits = simulation_bits_per_round(TWO_PARTITION, n)
     return KT1RankBound(

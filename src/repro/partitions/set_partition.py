@@ -204,5 +204,33 @@ class SetPartition:
 
 
 def joins_to_top(pa: SetPartition, pb: SetPartition) -> bool:
-    """The Partition problem predicate: is P_A ∨ P_B the trivial partition?"""
-    return pa.join(pb).is_coarsest()
+    """The Partition problem predicate: is P_A ∨ P_B the trivial partition?
+
+    Equivalent to ``pa.join(pb).is_coarsest()`` but only counts
+    components instead of constructing the join: union-find over the
+    *blocks* of both partitions (element x merges its pa-block with its
+    pb-block), so the join is trivial iff one component remains. This
+    predicate is the per-cell work of the streamed M_n / E_n matrix
+    builders, where it runs Bell(n)^2 times.
+    """
+    pa._check_ground(pb)
+    n = pa.n
+    block_a = pa._block_of
+    block_b = pb._block_of
+    na = pa.num_blocks
+    parent = list(range(na + pb.num_blocks))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = len(parent)
+    for x in range(1, n + 1):
+        ra = find(block_a[x])
+        rb = find(na + block_b[x])
+        if ra != rb:
+            parent[ra] = rb
+            components -= 1
+    return components == 1

@@ -7,13 +7,25 @@ from repro.kernels import KERNEL_MODES, resolve_kernel
 
 class TestResolveKernel:
     def test_modes(self):
-        assert KERNEL_MODES == ("auto", "packed", "reference")
+        assert KERNEL_MODES == (
+            "auto",
+            "packed",
+            "four-russians",
+            "sparse",
+            "reference",
+        )
 
     def test_auto_prefers_packed(self):
         assert resolve_kernel("auto") == "packed"
 
     def test_packed(self):
         assert resolve_kernel("packed") == "packed"
+
+    def test_rank_modes_resolve_to_packed_family(self):
+        # four-russians / sparse change only which *rank* engine runs;
+        # every family consumer (matching, graph build) sees "packed"
+        assert resolve_kernel("four-russians") == "packed"
+        assert resolve_kernel("sparse") == "packed"
 
     def test_reference(self):
         assert resolve_kernel("reference") == "reference"

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.errors import BudgetExceededError
 from repro.kernels import pack_rows, rank_gf2
-from repro.kernels.gf2 import rank_gf2_packed
+from repro.kernels.gf2 import _pack_row_bytes, _pack_rows_reference, rank_gf2_packed
 from repro.partitions import build_e_matrix, build_m_matrix, rank_mod_p
 from repro.resilience import Budget
 
@@ -26,6 +26,47 @@ class TestPackRows:
 
     def test_empty(self):
         assert pack_rows([]) == []
+
+
+class TestPackRowsParity:
+    """The fast packer (numpy packbits / bytearray) == the original packer."""
+
+    def test_wide_rows(self):
+        import random
+
+        rng = random.Random(3)
+        for cols in (1, 7, 8, 63, 64, 65, 200):
+            m = [[rng.randrange(-5, 6) for _ in range(cols)] for _ in range(5)]
+            assert pack_rows(m) == _pack_rows_reference(m)
+
+    def test_huge_entries_take_the_fallback(self):
+        # numpy cannot hold 2**80 in an integer dtype; the bytearray
+        # fallback must still agree with the original packer
+        m = [[2**80 + 1, 2**80, 3]]
+        assert pack_rows(m) == _pack_rows_reference(m) == [0b101]
+
+    def test_float_rows_take_the_fallback(self):
+        m = [[1.0, 0.0, 3.0]]
+        assert pack_rows(m) == _pack_rows_reference(m) == [0b101]
+
+    def test_bytearray_fallback_matches_everywhere(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(40):
+            cols = rng.randrange(0, 90)
+            row = [rng.randrange(-9, 10) for _ in range(cols)]
+            assert _pack_row_bytes(row) == _pack_rows_reference([row])[0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=-100, max_value=100), max_size=70),
+            max_size=5,
+        )
+    )
+    def test_hypothesis_parity(self, matrix):
+        assert pack_rows(matrix) == _pack_rows_reference(matrix)
 
 
 class TestRankGF2Exhaustive:

@@ -199,6 +199,32 @@ class TestKernelFlag:
         assert exc.value.code == 2
         assert "--kernel" in capsys.readouterr().err
 
+    def test_ranks_new_kernels_and_streaming_identical(self, capsys):
+        assert main(["ranks", "--max-n", "4", "--kernel", "reference",
+                     "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out.strip())
+        for flags in (
+            ["--kernel", "four-russians"],
+            ["--kernel", "sparse"],
+            ["--kernel", "four-russians", "--streamed", "on",
+             "--block-rows", "3"],
+            ["--kernel", "sparse", "--streamed", "on"],
+            ["--streamed", "off"],
+        ):
+            assert main(["ranks", "--max-n", "4", "--json", *flags]) == 0
+            assert json.loads(capsys.readouterr().out.strip()) == reference
+
+    def test_ranks_streamed_reference_exits_two(self, capsys):
+        assert main(["ranks", "--max-n", "3", "--kernel", "reference",
+                     "--streamed", "on"]) == 2
+        assert "streamed" in capsys.readouterr().err
+
+    def test_ranks_zero_block_rows_exits_two(self, capsys):
+        # 0 is falsy: a naive `or DEFAULT_BLOCK_ROWS` would silently
+        # accept it instead of rejecting it
+        assert main(["ranks", "--max-n", "3", "--block-rows", "0"]) == 2
+        assert "--block-rows" in capsys.readouterr().err
+
     def test_bench_kernel_lands_in_history_record(self, tmp_path, capsys):
         from repro.obs import read_history
 

@@ -13,6 +13,7 @@
     python -m repro.cli sampling      --n 6 --samples 500
     python -m repro.cli fault-sweep   --quick
     python -m repro.cli bench         --quick --history
+    python -m repro.cli cache         stats
     python -m repro.cli report
     python -m repro.cli spans         --bench exhaustive --quick
     python -m repro.cli compare       --fail-on-regress
@@ -54,7 +55,15 @@ the mapping to the paper's lemmas and theorems. Observability:
   only the wall time differs. ``ranks`` additionally takes
   ``--streamed {auto,on,off}`` / ``--block-rows R`` to build M_n / E_n
   through the block-streamed pipeline (peak memory bounded per block;
-  construction parallelizes over ``--workers``).
+  construction parallelizes over ``--workers``);
+* the engine-backed subcommands (exhaustive, sampling, ranks,
+  fault-sweep) and ``bench`` take ``--cache [DIR]`` (default
+  ``.repro-cache``; ``REPRO_CACHE_DIR`` works too) to memoize results
+  in a content-addressed on-disk store (see `repro.cache`): a repeated
+  invocation becomes a hash lookup whose payload is byte-identical to
+  the recompute, and a one-line hit/miss summary lands on stderr.
+  ``cache stats|verify|gc`` inspects, digest-checks, or size-bounds
+  the store; ``dash --cache DIR`` adds a cache panel.
 
 Resilience (see `repro.resilience`): ``exhaustive`` and ``sampling``
 take ``--budget-seconds`` / work caps plus ``--checkpoint FILE`` and
@@ -218,13 +227,8 @@ def _cmd_ratio(args: argparse.Namespace) -> int:
 
 
 def _cmd_ranks(args: argparse.Namespace) -> int:
-    from repro.partitions import (
-        DEFAULT_BLOCK_ROWS,
-        bell_number,
-        e_matrix_rank,
-        m_matrix_rank,
-        perfect_matching_count,
-    )
+    from repro.engine import EngineRequest, execute
+    from repro.partitions import DEFAULT_BLOCK_ROWS
 
     workers = _resolved_workers(args)
     kernel = getattr(args, "kernel", "auto")
@@ -237,23 +241,35 @@ def _cmd_ranks(args: argparse.Namespace) -> int:
     if block_rows < 1:
         print(f"error: --block-rows must be >= 1, got {block_rows}", file=sys.stderr)
         return 2
-    rows = []
-    for n in range(1, args.max_n + 1):
-        rank = m_matrix_rank(
-            n, workers=workers, kernel=kernel, streamed=streamed, block_rows=block_rows
-        )
-        rows.append(["M", n, rank, bell_number(n)])
-    for n in range(2, args.max_n + 3, 2):
-        rank = e_matrix_rank(
-            n, workers=workers, kernel=kernel, streamed=streamed, block_rows=block_rows
-        )
-        rows.append(["E", n, rank, perfect_matching_count(n)])
+    cache = _cache_from_args(args)
+    result = execute(
+        EngineRequest(
+            "ranks",
+            {
+                "m_ns": list(range(1, args.max_n + 1)),
+                "e_ns": list(range(2, args.max_n + 3, 2)),
+                "streamed": streamed,
+                "block_rows": block_rows,
+            },
+            kernel=kernel,
+            workers=workers,
+        ),
+        cache=cache,
+    )
+    rows = [
+        ["M", row["n"], row["rank"], row["predicted"]]
+        for row in result.payload["m_rows"]
+    ] + [
+        ["E", row["n"], row["rank"], row["predicted"]]
+        for row in result.payload["e_rows"]
+    ]
     _emit(
         args,
         "Theorem 2.3 / Lemma 4.1 exact ranks (E6)",
         ["matrix", "n", "rank", "predicted"],
         rows,
     )
+    _cache_status(cache)
     return 0
 
 
@@ -423,25 +439,105 @@ def _budget_exhausted(exc: Exception) -> None:
     print(f"budget exhausted: {exc}{hint}", file=sys.stderr)
 
 
+def _cache_dir_from_env() -> Optional[str]:
+    import os
+
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """A ResultCache from --cache (or REPRO_CACHE_DIR), else None (off).
+
+    ``None`` means the engine takes the exact legacy path: no key
+    derivation, no fingerprinting, no lookups.
+    """
+    directory = getattr(args, "cache", None)
+    if directory is None:
+        directory = _cache_dir_from_env()
+    if directory is None:
+        return None
+    from repro.cache import ResultCache
+
+    return ResultCache(directory)
+
+
+def _cache_status(cache) -> None:
+    """One stderr line of this invocation's cache traffic.
+
+    stderr so ``--json`` stdout stays a single parseable object, and so
+    cold/warm stdout stays byte-identical.
+    """
+    if cache is None:
+        return
+    counters = cache.counters()
+    print(
+        "cache: hits={hits} misses={misses} stored={stored} "
+        "bytes_saved={bytes_saved}".format(**counters),
+        file=sys.stderr,
+    )
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache
+
+    directory = args.dir or _cache_dir_from_env() or ".repro-cache"
+    cache = ResultCache(directory)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        rows = [
+            ["root", stats["root"]],
+            ["entries", stats["entries"]],
+            ["bytes", stats["bytes"]],
+        ]
+        for kind, count in sorted(stats["by_kind"].items()):
+            rows.append([f"entries[{kind}]", count])
+        _emit(args, f"result cache at {directory}", ["field", "value"], rows)
+        return 0
+    if args.cache_command == "verify":
+        report = cache.verify(delete=args.delete)
+        rows = [
+            ["checked", report["checked"]],
+            ["ok", report["ok"]],
+            ["corrupt", len(report["corrupt"])],
+            ["deleted", report["deleted"]],
+        ]
+        _emit(args, f"cache verify at {directory}", ["field", "value"], rows)
+        for key in report["corrupt"]:
+            print(f"INVALID cache entry: {key}", file=sys.stderr)
+        return 1 if report["corrupt"] and not args.delete else 0
+    # gc
+    report = cache.gc(max_bytes=args.max_bytes)
+    rows = [
+        ["evicted", report["evicted"]],
+        ["freed bytes", report["freed_bytes"]],
+        ["swept tmp", report["swept_tmp"]],
+        ["remaining bytes", report["remaining_bytes"]],
+        ["max bytes", report["max_bytes"]],
+    ]
+    _emit(args, f"cache gc at {directory}", ["field", "value"], rows)
+    return 0
+
+
 def _cmd_exhaustive(args: argparse.Namespace) -> int:
+    from repro.engine import EngineOptions, EngineRequest, execute
     from repro.errors import BudgetExceededError
-    from repro.lowerbounds.exhaustive import universal_bound_id_oblivious
     from repro.resilience import graceful_interrupts
 
     budget = _budget_from_args(args, args.max_assignments)
+    cache = _cache_from_args(args)
 
-    def _emit_report(report, note: str) -> None:
+    def _emit_report(n, class_size, min_error, is_constant, worst, note: str) -> None:
         _emit(
             args,
             f"universal 1-round KT-0 bound at n={args.n} (exhaustive class search)",
             ["n", "class size", "min forced error", "constant?", "worst assignment", "status"],
             [
                 [
-                    report.n,
-                    report.class_size,
-                    report.minimum_forced_error,
-                    report.is_constant,
-                    "".join(c if c else "-" for c in report.worst_assignment),
+                    n,
+                    class_size,
+                    min_error,
+                    is_constant,
+                    "".join(c if c else "-" for c in worst),
                     note,
                 ]
             ],
@@ -449,39 +545,56 @@ def _cmd_exhaustive(args: argparse.Namespace) -> int:
 
     try:
         with graceful_interrupts():
-            report = universal_bound_id_oblivious(
-                args.n,
-                budget=budget,
-                checkpoint_path=args.checkpoint,
-                resume=args.resume,
-                workers=_resolved_workers(args),
-                vectorize=args.vectorize,
+            result = execute(
+                EngineRequest(
+                    "exhaustive",
+                    {"n": args.n, "vectorize": args.vectorize},
+                    workers=_resolved_workers(args),
+                ),
+                cache=cache,
+                options=EngineOptions(
+                    budget=budget,
+                    checkpoint_path=args.checkpoint,
+                    resume=args.resume,
+                ),
             )
     except BudgetExceededError as exc:
         if exc.partial is not None:
-            _emit_report(exc.partial, "partial (budget exhausted)")
+            report = exc.partial
+            _emit_report(
+                report.n,
+                report.class_size,
+                report.minimum_forced_error,
+                report.is_constant,
+                report.worst_assignment,
+                "partial (budget exhausted)",
+            )
         _budget_exhausted(exc)
         return 3
     except KeyboardInterrupt:
         return _interrupted(args.checkpoint)
-    _emit_report(report, "complete")
+    payload = result.payload
+    _emit_report(
+        payload["n"],
+        payload["class_size"],
+        payload["minimum_forced_error"],
+        payload["is_constant"],
+        payload["worst_assignment"],
+        "complete",
+    )
+    _cache_status(cache)
     return 0
 
 
 def _cmd_sampling(args: argparse.Namespace) -> int:
+    from repro.engine import EngineOptions, EngineRequest, execute
     from repro.errors import BudgetExceededError
-    from repro.information.sampling import estimate_protocol_information
     from repro.resilience import graceful_interrupts
-    from repro.twoparty import LossyPartitionCompProtocol, TrivialPartitionCompProtocol
 
-    if args.eps > 0:
-        protocol = LossyPartitionCompProtocol(args.n, args.eps)
-    else:
-        protocol = TrivialPartitionCompProtocol(args.n)
     budget = _budget_from_args(args, args.max_samples)
-    rng = random.Random(args.seed)
+    cache = _cache_from_args(args)
 
-    def _emit_report(report, note: str) -> None:
+    def _emit_report(values, note: str) -> None:
         _emit(
             args,
             f"sampled information estimate at n={args.n} (Theorem 4.5 distribution)",
@@ -495,8 +608,34 @@ def _cmd_sampling(args: argparse.Namespace) -> int:
                 "error rate",
                 "status",
             ],
-            [
-                [
+            [list(values) + [note]],
+        )
+
+    try:
+        with graceful_interrupts():
+            result = execute(
+                EngineRequest(
+                    "sampling",
+                    {
+                        "n": args.n,
+                        "samples": args.samples,
+                        "seed": args.seed,
+                        "eps": args.eps,
+                    },
+                    workers=_resolved_workers(args),
+                ),
+                cache=cache,
+                options=EngineOptions(
+                    budget=budget,
+                    checkpoint_path=args.checkpoint,
+                    resume=args.resume,
+                ),
+            )
+    except BudgetExceededError as exc:
+        if exc.partial is not None:
+            report = exc.partial
+            _emit_report(
+                (
                     report.n,
                     report.samples,
                     report.information_estimate,
@@ -504,38 +643,40 @@ def _cmd_sampling(args: argparse.Namespace) -> int:
                     report.true_input_entropy,
                     report.saturated,
                     report.error_rate_estimate,
-                    note,
-                ]
-            ],
-        )
-
-    try:
-        with graceful_interrupts():
-            report = estimate_protocol_information(
-                protocol,
-                args.n,
-                args.samples,
-                rng,
-                budget=budget,
-                checkpoint_path=args.checkpoint,
-                resume=args.resume,
-                workers=_resolved_workers(args),
+                ),
+                "partial (budget exhausted)",
             )
-    except BudgetExceededError as exc:
-        if exc.partial is not None:
-            _emit_report(exc.partial, "partial (budget exhausted)")
         _budget_exhausted(exc)
         return 3
     except KeyboardInterrupt:
         return _interrupted(args.checkpoint)
-    _emit_report(report, "complete")
+    payload = result.payload
+    _emit_report(
+        (
+            payload["n"],
+            payload["samples"],
+            payload["information_estimate"],
+            payload["corrected_information"],
+            payload["true_input_entropy"],
+            payload["saturated"],
+            payload["error_rate_estimate"],
+        ),
+        "complete",
+    )
+    _cache_status(cache)
     return 0
 
 
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     import json
 
-    from repro.resilience import fault_sweep, validate_fault_sweep_payload
+    from repro.engine import (
+        EngineOptions,
+        EngineRequest,
+        execute,
+        sweep_rows_from_payload,
+    )
+    from repro.resilience import validate_fault_sweep_payload
 
     if args.quick:
         algorithms = ["neighbor_exchange", "flooding"]
@@ -558,23 +699,30 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
         live_bus = EventBus()
         live_bus.subscribe(line_printer())
         live_scope = use_bus(live_bus)
+    cache = _cache_from_args(args)
     trace = _open_trace(args)
     try:
         with live_scope:
-            report = fault_sweep(
-                algorithms=algorithms,
-                kinds=kinds,
-                rates=rates,
-                n=n,
-                trials=trials,
-                seed=args.seed,
-                trace=trace,
-                workers=_resolved_workers(args),
+            result = execute(
+                EngineRequest(
+                    "fault-sweep",
+                    {
+                        "algorithms": algorithms,
+                        "kinds": kinds,
+                        "rates": rates,
+                        "n": n,
+                        "trials": trials,
+                        "seed": args.seed,
+                    },
+                    workers=_resolved_workers(args),
+                ),
+                cache=cache,
+                options=EngineOptions(trace=trace),
             )
     finally:
         if trace is not None:
             trace.close()
-    payload = report.as_payload()
+    payload = result.payload
     problems = validate_fault_sweep_payload(payload)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -584,8 +732,9 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
         args,
         f"fault-injection degradation sweep (n={n}, {trials} trials/point)",
         ["algorithm", "fault kind", "rate", "trials", "correct", "correctness", "faults", "mean rounds"],
-        report.rows(),
+        sweep_rows_from_payload(payload),
     )
+    _cache_status(cache)
     if problems:
         for problem in problems:
             print(f"INVALID payload: {problem}", file=sys.stderr)
@@ -622,8 +771,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     workers = _resolved_workers(args)
     kernel = getattr(args, "kernel", "auto")
+    cache_dir = getattr(args, "cache", None)
     harness = BenchmarkHarness(
-        out_dir=args.out_dir, quick=args.quick, workers=workers, kernel=kernel
+        out_dir=args.out_dir,
+        quick=args.quick,
+        workers=workers,
+        kernel=kernel,
+        cache_dir=cache_dir,
     )
     results = harness.run(args.only or None)
     rows = []
@@ -666,6 +820,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             git_sha=current_git_sha(),
             workers=workers,
             kernel=kernel,
+            cache="on" if cache_dir else "off",
         )
         append_history(record, args.history)
         if not getattr(args, "json", False):
@@ -1007,6 +1162,12 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
                     )
                 else:
                     session_cell = "-"
+                cache_stats = entry.get("cache")
+                cache_cell = (
+                    f"hits={cache_stats['hits']} misses={cache_stats['misses']}"
+                    if cache_stats
+                    else "-"
+                )
                 rows.append(
                     [
                         run_id,
@@ -1014,13 +1175,14 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
                         entry["events"],
                         by_event,
                         entry.get("cost_bits", "-"),
+                        cache_cell,
                         session_cell,
                     ]
                 )
             _emit(
                 args,
                 f"trace statistics for {args.file}",
-                ["run id", "schema", "events", "by event", "cost bits", "sessions"],
+                ["run id", "schema", "events", "by event", "cost bits", "cache", "sessions"],
                 rows,
             )
     for problem in problems:
@@ -1074,12 +1236,18 @@ def _cmd_dash(args: argparse.Namespace) -> int:
             except SessionError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+    cache_stats = None
+    if args.cache:
+        from repro.cache import ResultCache
+
+        cache_stats = ResultCache(args.cache).stats()
     html = build_dashboard(
         history=history,
         bench_payloads=bench_payloads,
         sweep=sweep,
         sessions=sessions,
         span_payload=span_payload,
+        cache_stats=cache_stats,
         timestamp=args.timestamp,
         title=args.title,
     )
@@ -1401,6 +1569,7 @@ _COMMANDS_HELP = [
     ("compare", "detect perf regressions against BENCH_HISTORY.jsonl"),
     ("cost-check", "check measured bits/rounds against the symbolic cost specs"),
     ("trace-validate", "validate a JSONL run trace (any schema version)"),
+    ("cache", "inspect, verify, or garbage-collect the result cache"),
     ("dash", "build the self-contained HTML observability dashboard"),
     ("record", "execute an engine while recording a replayable session log"),
     ("replay", "re-execute a recorded session; exit 4 on any divergence"),
@@ -1466,6 +1635,22 @@ def _add_kernel_flag(p: argparse.ArgumentParser) -> None:
             "'sparse' forces the dict-row mod-p rank, 'reference' the "
             "pure-python originals, 'auto' (default) picks per input; "
             "results are identical"
+        ),
+    )
+
+
+def _add_cache_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "memoize the result in a content-addressed cache at DIR "
+            "(default: .repro-cache); a repeat of the same request becomes "
+            "a hash lookup with byte-identical output. Setting "
+            "REPRO_CACHE_DIR enables the same thing without the flag"
         ),
     )
 
@@ -1548,6 +1733,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(p)
     _add_kernel_flag(p)
+    _add_cache_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_ranks)
 
@@ -1589,6 +1775,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(p)
     _add_resilience_flags(p)
+    _add_cache_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_exhaustive)
 
@@ -1611,6 +1798,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(p)
     _add_resilience_flags(p)
+    _add_cache_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_sampling)
 
@@ -1659,6 +1847,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_workers_flag(p)
+    _add_cache_flag(p)
     _add_json_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_fault_sweep)
@@ -1700,6 +1889,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(p)
     _add_kernel_flag(p)
+    _add_cache_flag(p)
     _add_json_flag(p)
     p.set_defaults(func=_cmd_bench)
 
@@ -1852,6 +2042,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_flag(p)
     p.set_defaults(func=_cmd_trace_validate)
 
+    p = sub.add_parser("cache", help=_help("cache"))
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for action, action_help in (
+        ("stats", "entry counts and bytes, total and per kind"),
+        ("verify", "re-digest every entry; corrupt entries exit 1"),
+        ("gc", "evict least-recently-used entries down to a size bound"),
+    ):
+        cp = cache_sub.add_parser(action, help=action_help)
+        cp.add_argument(
+            "--dir",
+            default=None,
+            metavar="DIR",
+            help=(
+                "cache directory (default: REPRO_CACHE_DIR if set, "
+                "else .repro-cache)"
+            ),
+        )
+        if action == "verify":
+            cp.add_argument(
+                "--delete",
+                action="store_true",
+                help="delete corrupt entries instead of failing on them",
+            )
+        if action == "gc":
+            from repro.cache.store import DEFAULT_GC_MAX_BYTES
+
+            cp.add_argument(
+                "--max-bytes",
+                type=int,
+                default=DEFAULT_GC_MAX_BYTES,
+                metavar="B",
+                help=(
+                    "evict oldest-used entries until the store fits in B "
+                    f"bytes (default: {DEFAULT_GC_MAX_BYTES})"
+                ),
+            )
+        _add_json_flag(cp)
+        cp.set_defaults(func=_cmd_cache)
+
     p = sub.add_parser("dash", help=_help("dash"))
     p.add_argument(
         "--out",
@@ -1889,6 +2118,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="sessions",
         help="recorded session log (repeatable; from `repro record`)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result-cache directory for the cache panel (entry counts, "
+            "bytes, per-kind breakdown; from --cache'd runs)"
+        ),
     )
     p.add_argument(
         "--timestamp",

@@ -102,6 +102,16 @@ class BudgetExceededError(ReproError):
         self.checkpoint_path = checkpoint_path
 
 
+class EngineError(ReproError):
+    """An engine request is malformed or names an unknown kind.
+
+    Raised by :func:`repro.engine.execute` for requests outside the
+    :data:`repro.engine.ENGINE_KINDS` registry or with parameters that
+    fail normalization (wrong types, missing required fields). The CLI
+    maps this -- like every other user error -- to exit code 2.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint file could not be written, read, or trusted.
 

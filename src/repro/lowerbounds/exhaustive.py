@@ -272,6 +272,7 @@ def universal_bound_id_oblivious(
     workers: int = 1,
     vectorize: Optional[bool] = None,
     population: bool = False,
+    shard_cache=None,
 ) -> UniversalBoundReport:
     """Minimize forced error over every ID-oblivious 1-round algorithm.
 
@@ -333,6 +334,18 @@ def universal_bound_id_oblivious(
     ``population=True`` starts the sketches fresh (they then cover only
     the post-resume assignments). The default (``False``) leaves the
     lean loop untouched.
+
+    ``shard_cache`` (a :class:`repro.cache.ShardCache` bound to this
+    request's normalized params) memoizes completed shards on the
+    sharded path: untouched pending shards are checked before dispatch,
+    freshly completed shards are stored after, and cached shards never
+    tick the budget -- re-running under a budget computes only the
+    delta. Applies only when the sharded path is taken (``workers > 1``
+    or vectorized); the serial loop has no shards and relies on the
+    engine's whole-request memoization instead. A shard entry reuses
+    across runs only while the shard *boundaries* match, i.e. for the
+    same worker count -- cross-worker-count reuse happens at the
+    whole-request granularity, whose keys are workers-invariant.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -355,6 +368,7 @@ def universal_bound_id_oblivious(
                 workers,
                 use_vectorize,
                 population,
+                shard_cache=shard_cache,
             )
         return _universal_bound_impl(
             n,
@@ -635,6 +649,7 @@ def _universal_bound_sharded(
     workers: int,
     vectorize: bool,
     population: bool = False,
+    shard_cache=None,
 ) -> UniversalBoundReport:
     """Fan the enumeration out over a :class:`ShardPlan` and min-merge.
 
@@ -726,6 +741,53 @@ def _universal_bound_sharded(
         )
 
     pending = [i for i in range(plan.num_shards) if positions[i] < shards[i].stop]
+
+    def _shard_item(i: int) -> Dict[str, int]:
+        return {
+            "start": shards[i].start,
+            "stop": shards[i].stop,
+            "seed": shards[i].seed,
+        }
+
+    if shard_cache is not None:
+        # Apply cached completed shards before dispatching anything. Only
+        # untouched shards qualify (a resumed partial position means the
+        # stored entry would double-count work already folded in), and
+        # only complete entries count (next_index at stop, not budget-
+        # exhausted). Cached units never tick the parent budget: the
+        # budget limits actual work, and a hit does none.
+        still_pending = []
+        cached_shards = 0
+        for i in pending:
+            hit = None
+            if positions[i] == shards[i].start:
+                hit = shard_cache.get_item(_shard_item(i))
+                if hit is not None and (
+                    hit.get("exhausted")
+                    or int(hit.get("next_index", -1)) != shards[i].stop
+                ):
+                    hit = None
+            if hit is None:
+                still_pending.append(i)
+                continue
+            raw_best = hit.get("best")
+            if raw_best is not None:
+                bests[i] = merge_min_keyed(
+                    bests[i], (float(raw_best[0]), int(raw_best[1]))
+                )
+            positions[i] = shards[i].stop
+            enumerated += int(hit.get("enumerated", 0))
+            fooled_total += int(hit.get("fooled", 0))
+            shard_population = hit.get("population")
+            if shard_population is not None:
+                population_state = merge_population(
+                    population_state, shard_population
+                )
+            cached_shards += 1
+        pending = still_pending
+        if cached_shards and metrics is not None:
+            metrics.counter("exhaustive.shards_cached").inc(cached_shards)
+
     sizes = [shards[i].stop - positions[i] for i in pending]
     shard_budgets = split_budget(budget, sizes)
     payloads = [
@@ -765,6 +827,30 @@ def _universal_bound_sharded(
             population_state = merge_population(population_state, shard_population)
         if result["exhausted"]:
             exhausted = True
+        elif (
+            shard_cache is not None
+            and payloads[payload_index][2] == shards[shard_index].start
+            and positions[shard_index] == shards[shard_index].stop
+        ):
+            # A full, untruncated scan of the shard: store it. Resumed
+            # partials (dispatch started past the shard start) are never
+            # stored -- their result covers only a suffix of the range
+            # the key describes.
+            shard_cache.put_item(
+                _shard_item(shard_index),
+                {
+                    "best": (
+                        None
+                        if raw_best is None
+                        else [float(raw_best[0]), int(raw_best[1])]
+                    ),
+                    "next_index": positions[shard_index],
+                    "enumerated": done,
+                    "fooled": int(result["fooled"]),
+                    "exhausted": False,
+                    "population": shard_population,
+                },
+            )
         if checkpointer is not None:
             checkpointer.maybe_write(units=done)
 

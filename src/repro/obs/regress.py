@@ -37,6 +37,12 @@ compute-kernel mode (:data:`repro.kernels.KERNEL_MODES`) and partitions
 baselines the same way -- a packed-engine wall time is speedup relative
 to a reference-engine median, not a baseline for it.
 
+``cache`` (optional; absent = "off" on records written before the
+result cache) says whether the harness ran with a warm result cache
+available (``repro bench --cache DIR``). Baselines are partitioned on
+it exactly like ``quick`` -- a warm-cache wall time is a hash lookup,
+not a baseline for a cold computation.
+
 ``bits`` / ``rounds`` (optional; absent on records written before the
 cost ledger) are the :class:`~repro.costs.CostLedger` totals of the
 harness run. Unlike wall time they are **deterministic** given the
@@ -106,6 +112,7 @@ def history_record(
     ts: Optional[float] = None,
     workers: int = 1,
     kernel: str = "auto",
+    cache: str = "off",
 ) -> Dict[str, Any]:
     """One appendable history line from a list of BenchmarkResults.
 
@@ -114,7 +121,8 @@ def history_record(
     ``workers`` records the harness fan-out the run used; the detector
     partitions baselines on it (a 4-worker wall time is not comparable
     to a serial one). ``kernel`` records the compute-kernel mode and
-    partitions baselines identically. Results carrying a ``costs``
+    partitions baselines identically, as does ``cache`` ("on" when the
+    harness had a result-cache directory). Results carrying a ``costs``
     mapping (a :meth:`~repro.costs.CostLedger.summary`) contribute
     ``bits`` / ``rounds`` columns; stubs without one write wall-time
     entries exactly as before.
@@ -141,6 +149,7 @@ def history_record(
         "quick": bool(quick),
         "workers": int(workers),
         "kernel": str(kernel),
+        "cache": str(cache),
         "entries": entries,
     }
 
@@ -208,6 +217,9 @@ def validate_history_record(record: Mapping[str, Any]) -> List[str]:
     kernel = record.get("kernel", "auto")  # absent pre-kernels: auto
     if not isinstance(kernel, str) or not kernel:
         problems.append("kernel is not a non-empty string")
+    cache = record.get("cache", "off")  # absent pre-cache: off
+    if cache not in ("on", "off"):
+        problems.append('cache is neither "on" nor "off"')
     entries = record.get("entries")
     if not isinstance(entries, Mapping):
         return problems + ["entries is not an object"]
@@ -306,12 +318,14 @@ def detect_regressions(
     """Compare the newest history record against the earlier baseline.
 
     Baseline = the last ``window`` records before the newest whose
-    ``quick`` flag, ``workers`` count **and** ``kernel`` mode match the
-    newest's (quick and full runs are never compared against each
-    other, nor are runs at different fan-outs or under different
-    compute engines -- a packed-kernel wall time beating a
-    reference-engine median is speedup, not baseline; records predating
-    the ``workers``/``kernel`` fields count as serial/auto). Per
+    ``quick`` flag, ``workers`` count, ``kernel`` mode **and** ``cache``
+    flag match the newest's (quick and full runs are never compared
+    against each other, nor are runs at different fan-outs, under
+    different compute engines, or with/without a warm result cache -- a
+    packed-kernel wall time beating a reference-engine median is
+    speedup, not baseline, and a warm-cache time is a hash lookup;
+    records predating the ``workers``/``kernel``/``cache`` fields count
+    as serial/auto/off). Per
     benchmark, with ``m`` = baseline median and ``d`` = baseline MAD
     (median absolute deviation)::
 
@@ -331,12 +345,14 @@ def detect_regressions(
     quick = newest.get("quick")
     workers = newest.get("workers", 1)
     kernel = newest.get("kernel", "auto")
+    cache = newest.get("cache", "off")
     baseline = [
         r
         for r in history[:-1]
         if r.get("quick") == quick
         and r.get("workers", 1) == workers
         and r.get("kernel", "auto") == kernel
+        and r.get("cache", "off") == cache
     ][-window:]
     findings: List[RegressionFinding] = []
     for name, entry in sorted(newest.get("entries", {}).items()):

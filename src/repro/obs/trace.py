@@ -524,8 +524,11 @@ def trace_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
     ``"cost_bits"`` key (the summed ``total_bits`` across those events);
     runs carrying v5 session envelopes get a ``"sessions"`` key
     summarizing them (``{"kinds": {kind: count}, "steps": total,
-    "complete": all_session_ends_complete}``). Both are *sibling* keys
-    of ``by_event`` -- the by-event counts themselves are stable across
+    "complete": all_session_ends_complete}``); runs carrying ``cache``
+    events (emitted by :func:`repro.engine.execute` when a result cache
+    is attached) get a ``"cache"`` key counting hits and misses
+    (``{"hits": h, "misses": m}``). All are *sibling* keys of
+    ``by_event`` -- the by-event counts themselves are stable across
     schema versions.
     """
     stats: Dict[str, Dict[str, Any]] = {}
@@ -561,4 +564,11 @@ def trace_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
                 sessions["steps"] += steps
             if event.get("complete") is False:
                 sessions["complete"] = False
+        elif name == "cache":
+            cache = entry.setdefault("cache", {"hits": 0, "misses": 0})
+            status = event.get("status")
+            if status == "hit":
+                cache["hits"] += 1
+            elif status == "miss":
+                cache["misses"] += 1
     return stats

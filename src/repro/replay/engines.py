@@ -25,7 +25,6 @@ Kinds
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SessionError
@@ -43,71 +42,12 @@ def execute_run(params: Mapping[str, Any], session=None, trace=None, metrics=Non
     Exposed separately from :func:`execute_record` so golden tests (and
     the rewind cursor's branch re-execution) can compare full
     :class:`~repro.core.simulator.RunResult` objects, not just payloads.
+    The body lives in :func:`repro.engine.core.execute_run`; this is the
+    session-header spelling of the same call.
     """
-    from repro.core.randomness import PublicCoin
-    from repro.core.simulator import Simulator
-    from repro.costs.ledger import CostLedger
-    from repro.instances import one_cycle_instance, two_cycle_instance
-    from repro.net.plan import NetworkPlan
-    from repro.resilience.faults import FaultPlan
-    from repro.resilience.harness import HARNESS_ALGORITHMS
+    from repro.engine.core import execute_run as engine_execute_run
 
-    algorithm = params.get("algorithm")
-    if algorithm not in HARNESS_ALGORITHMS:
-        raise SessionError(
-            f"unknown algorithm {algorithm!r}; known: {sorted(HARNESS_ALGORITHMS)}"
-        )
-    spec = HARNESS_ALGORITHMS[algorithm]
-    n = int(params["n"])
-    family = params.get("instance", "one_cycle")
-    if family == "one_cycle":
-        instance = one_cycle_instance(n, kt=spec.kt)
-    elif family == "two_cycle":
-        split = params.get("split")
-        if split is None:
-            raise SessionError("two_cycle instances need a 'split' parameter")
-        instance = two_cycle_instance(n, int(split), kt=spec.kt)
-    else:
-        raise SessionError(
-            f"unknown instance family {family!r}; "
-            f"expected 'one_cycle' or 'two_cycle'"
-        )
-    rounds = params.get("rounds")
-    rounds = spec.rounds(n) if rounds is None else int(rounds)
-    coin_seed = params.get("coin_seed")
-    coin = PublicCoin(str(coin_seed)) if coin_seed is not None else None
-    faults = params.get("faults")
-    plan = FaultPlan.from_dict(faults) if faults is not None else None
-    network = params.get("network")
-    net = NetworkPlan.from_dict(network) if network is not None else None
-    simulator = Simulator(spec.model(n), metrics=metrics, trace=trace, costs=CostLedger())
-    return simulator.run(
-        instance,
-        spec.factory(n),
-        rounds,
-        coin=coin,
-        faults=plan,
-        network=net,
-        session=session,
-    )
-
-
-def _run_payload(result) -> Dict[str, Any]:
-    from repro.core.decision import decision_of_run
-
-    return {
-        "decision": decision_of_run(result),
-        "outputs": list(result.outputs),
-        "rounds_executed": result.rounds_executed,
-        "all_finished": result.all_finished,
-        "total_bits": result.total_bits_broadcast(),
-        "faults_injected": len(result.fault_events),
-        "crashed_vertices": list(result.crashed_vertices),
-        "failed_vertices": list(result.failed_vertices),
-        "delivery_anomalies": len(result.network_events),
-        "delivery_stats": [dict(stats) for stats in result.delivery_stats],
-        "cost_summary": result.cost_summary,
-    }
+    return engine_execute_run(params, session=session, trace=trace, metrics=metrics)
 
 
 def execute_record(
@@ -118,106 +58,15 @@ def execute_record(
     ``session`` (when given) receives the execution's steps as they
     happen. Payloads contain no wall-clock or host-dependent fields, so
     a recorded payload and a replayed one compare with plain equality.
+
+    Delegates to :func:`repro.engine.core.run_record` -- the engine owns
+    the execution bodies now, and the session schema pins their payload
+    shapes: any engine change that altered a payload here would break
+    replay of previously recorded sessions.
     """
-    if kind == "run":
-        return _run_payload(execute_run(params, session=session))
-    if kind == "exhaustive":
-        from repro.lowerbounds.exhaustive import universal_bound_id_oblivious
+    from repro.engine.core import run_record
 
-        report = universal_bound_id_oblivious(
-            int(params["n"]),
-            workers=int(params.get("workers", 1)),
-            vectorize=params.get("vectorize"),
-        )
-        payload = {
-            "n": report.n,
-            "class_size": report.class_size,
-            "minimum_forced_error": report.minimum_forced_error,
-            "worst_assignment": list(report.worst_assignment),
-            "is_constant": report.is_constant,
-        }
-        if session is not None:
-            session.write_step("report", payload)
-        return payload
-    if kind == "sampling":
-        from repro.information.sampling import estimate_protocol_information
-        from repro.twoparty import (
-            LossyPartitionCompProtocol,
-            TrivialPartitionCompProtocol,
-        )
-
-        n = int(params["n"])
-        eps = float(params.get("eps", 0.0))
-        protocol = (
-            LossyPartitionCompProtocol(n, eps)
-            if eps > 0
-            else TrivialPartitionCompProtocol(n)
-        )
-        rng = random.Random(int(params.get("seed", 0)))
-        report = estimate_protocol_information(
-            protocol,
-            n,
-            int(params["samples"]),
-            rng,
-            workers=int(params.get("workers", 1)),
-        )
-        payload = {
-            "n": report.n,
-            "samples": report.samples,
-            "information_estimate": report.information_estimate,
-            "corrected_information": report.corrected_information,
-            "true_input_entropy": report.true_input_entropy,
-            "distinct_inputs_seen": report.distinct_inputs_seen,
-            "distinct_transcripts_seen": report.distinct_transcripts_seen,
-            "error_rate_estimate": report.error_rate_estimate,
-            "saturated": report.saturated,
-        }
-        if session is not None:
-            session.write_step("report", payload)
-        return payload
-    if kind == "ranks":
-        from repro.partitions.matrices import e_matrix_rank, m_matrix_rank
-
-        ns = [int(n) for n in params.get("ns", ())]
-        if not ns:
-            raise SessionError("ranks sessions need a non-empty 'ns' parameter")
-        workers = int(params.get("workers", 1))
-        kernel = params.get("kernel", "auto")
-        rows = []
-        for n in ns:
-            m_rank = m_matrix_rank(n, workers=workers, kernel=kernel)
-            row: Dict[str, Any] = {"n": n, "m_rank": m_rank}
-            if n % 2 == 0:
-                row["e_rank"] = e_matrix_rank(n, workers=workers, kernel=kernel)
-            rows.append(row)
-            if session is not None:
-                session.write_step(f"rank/{n}", row)
-        return {"rows": rows}
-    if kind == "fault-sweep":
-        from repro.resilience.harness import fault_sweep
-
-        report = fault_sweep(
-            algorithms=tuple(
-                params.get(
-                    "algorithms",
-                    ("neighbor_exchange", "flooding", "boruvka", "sketch"),
-                )
-            ),
-            kinds=tuple(params.get("kinds", ("bit_flip", "erasure", "crash"))),
-            rates=tuple(params.get("rates", (0.0, 0.01, 0.05, 0.1, 0.2))),
-            n=int(params.get("n", 8)),
-            trials=int(params.get("trials", 10)),
-            seed=int(params.get("seed", 0)),
-            workers=int(params.get("workers", 1)),
-            session=session,
-        )
-        payload = report.as_payload()
-        # Volatile fields zeroed: a payload must compare equal across
-        # record and replay, and wall time is not part of the result.
-        payload["created_unix"] = 0.0
-        payload["wall_time_seconds"] = 0.0
-        return payload
-    raise SessionError(f"unknown session kind {kind!r}; known: {RECORD_KINDS}")
+    return run_record(kind, params, session=session)
 
 
 def record_session(

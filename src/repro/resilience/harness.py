@@ -323,6 +323,7 @@ def fault_sweep(
     trace=None,
     workers: int = 1,
     session=None,
+    cell_cache=None,
 ) -> FaultSweepReport:
     """Run the full (algorithm x kind x rate) degradation sweep.
 
@@ -346,6 +347,17 @@ def fault_sweep(
     files in completion order and merges them back in shard-index order
     (:meth:`~repro.replay.SessionStore.merge_shard_steps`), so the
     recorded session is identical for every worker count.
+
+    ``cell_cache`` (a :class:`repro.cache.ShardCache` bound to this
+    sweep's ``(n, trials, seed)`` -- deliberately *not* to its
+    algorithm/kind/rate lists) memoizes individual cells: every cell is
+    a pure function of its grid coordinates plus that binding, so a
+    tail-extended or overlapping grid recomputes only its new cells.
+    Cached cells emit the same bus events and session steps as fresh
+    ones, but do not run trials -- they count toward
+    ``resilience.cells_cached`` instead of ``resilience.trials_run``.
+    A ``trace`` disables cell caching along with the parallel path: a
+    trace stream documents an *execution*, which a cache hit elides.
     """
     if n < 6:
         raise FaultInjectionError(f"fault_sweep needs n >= 6, got {n}")
@@ -369,11 +381,13 @@ def fault_sweep(
     start = time.perf_counter()
     if workers > 1 and trace is None:
         curves, population = _sweep_cells_parallel(
-            algorithms, kinds, rates, n, trials, seed, metrics, workers, session, bus
+            algorithms, kinds, rates, n, trials, seed, metrics, workers, session, bus,
+            cell_cache=cell_cache,
         )
     else:
         curves, population = _sweep_cells_serial(
-            algorithms, kinds, rates, n, trials, seed, metrics, trace, session, bus
+            algorithms, kinds, rates, n, trials, seed, metrics, trace, session, bus,
+            cell_cache=cell_cache,
         )
     elapsed = time.perf_counter() - start
     if metrics is not None:
@@ -404,10 +418,14 @@ def _sweep_cells_serial(
     trace,
     session=None,
     bus=None,
+    cell_cache=None,
 ) -> Tuple[List[DegradationCurve], Optional[Dict[str, Dict[str, Any]]]]:
     """The original nested sweep loop (one Simulator per algorithm)."""
     from repro.obs.sketches import merge_population
 
+    if trace is not None:
+        # A trace documents an execution; a cache hit elides it.
+        cell_cache = None
     curves: List[DegradationCurve] = []
     population: Optional[Dict[str, Dict[str, Any]]] = None
     for a_idx, name in enumerate(algorithms):
@@ -418,20 +436,40 @@ def _sweep_cells_serial(
         for k_idx, kind in enumerate(kinds):
             points: List[DegradationPoint] = []
             for r_idx, rate in enumerate(rates):
-                correct, faults, rounds_total, cell_population = _sweep_cell(
-                    simulator,
-                    factory,
-                    rounds,
-                    n,
-                    spec.kt,
-                    kind,
-                    rate,
-                    trials,
-                    seed,
-                    a_idx,
-                    k_idx,
-                    r_idx,
+                item = _cell_item(name, a_idx, kind, k_idx, rate, r_idx)
+                cached = (
+                    cell_cache.get_item(item) if cell_cache is not None else None
                 )
+                if cached is not None:
+                    correct = int(cached["correct"])
+                    faults = int(cached["faults"])
+                    rounds_total = int(cached["rounds_total"])
+                    cell_population = cached.get("population")
+                else:
+                    correct, faults, rounds_total, cell_population = _sweep_cell(
+                        simulator,
+                        factory,
+                        rounds,
+                        n,
+                        spec.kt,
+                        kind,
+                        rate,
+                        trials,
+                        seed,
+                        a_idx,
+                        k_idx,
+                        r_idx,
+                    )
+                    if cell_cache is not None:
+                        cell_cache.put_item(
+                            item,
+                            {
+                                "correct": correct,
+                                "faults": faults,
+                                "rounds_total": rounds_total,
+                                "population": cell_population,
+                            },
+                        )
                 population = merge_population(population, cell_population)
                 points.append(
                     DegradationPoint(
@@ -466,10 +504,33 @@ def _sweep_cells_serial(
                         },
                     )
                 if metrics is not None:
-                    metrics.counter("resilience.trials_run").inc(trials)
-                    metrics.counter("resilience.faults_injected").inc(faults)
+                    if cached is not None:
+                        metrics.counter("resilience.cells_cached").inc()
+                    else:
+                        metrics.counter("resilience.trials_run").inc(trials)
+                        metrics.counter("resilience.faults_injected").inc(faults)
             curves.append(DegradationCurve(name, kind, tuple(points)))
     return curves, population
+
+
+def _cell_item(
+    name: str, a_idx: int, kind: str, k_idx: int, rate: float, r_idx: int
+) -> Dict[str, Any]:
+    """The cache-key item for one sweep cell.
+
+    Grid *indices* ride alongside the names because
+    :func:`_trial_seed` derives per-trial seeds from them -- the same
+    cell contents at a different grid position is a different
+    computation.
+    """
+    return {
+        "algorithm": name,
+        "a_idx": int(a_idx),
+        "kind": kind,
+        "k_idx": int(k_idx),
+        "rate": float(rate),
+        "r_idx": int(r_idx),
+    }
 
 
 def _sweep_cells_parallel(
@@ -483,6 +544,7 @@ def _sweep_cells_parallel(
     workers: int,
     session=None,
     bus=None,
+    cell_cache=None,
 ) -> Tuple[List[DegradationCurve], Optional[Dict[str, Dict[str, Any]]]]:
     """Fan the flattened (algorithm, kind, rate) cells over a worker pool.
 
@@ -506,45 +568,81 @@ def _sweep_cells_parallel(
         for k_idx, kind in enumerate(kinds)
         for r_idx, rate in enumerate(rates)
     ]
+
+    def _publish(index: int, cell: Dict[str, Any]) -> None:
+        name, _a_idx, kind, _k_idx, rate = payloads[index][:5]
+        if bus is not None:
+            bus.publish(
+                "sweep.cell",
+                {
+                    "algorithm": name,
+                    "kind": kind,
+                    "rate": rate,
+                    "correct": int(cell["correct"]),
+                    "trials": trials,
+                },
+            )
+        if session is not None:
+            session.write_shard_step(
+                index,
+                f"{name}/{kind}/{rate}",
+                {
+                    "algorithm": name,
+                    "kind": kind,
+                    "rate": rate,
+                    "correct": int(cell["correct"]),
+                    "faults": int(cell["faults"]),
+                    "rounds_total": int(cell["rounds_total"]),
+                },
+            )
+
+    # Partition the grid into cached and fresh cells before dispatching:
+    # only the fresh ones reach the worker pool, and the cached ones emit
+    # their bus events / session shard steps parent-side, so
+    # merge_shard_steps still sees every index and the merged step
+    # sequence is byte-identical to an all-fresh run's.
+    cells: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+    fresh_indices: List[int] = []
+    for index, payload in enumerate(payloads):
+        hit = None
+        if cell_cache is not None:
+            hit = cell_cache.get_item(_cell_item(*payload[:6]))
+        if hit is None:
+            fresh_indices.append(index)
+            continue
+        cells[index] = hit
+        if bus is not None or session is not None:
+            _publish(index, hit)
+
     on_result = None
     if session is not None or bus is not None:
 
-        def on_result(index: int, cell: Dict[str, Any]) -> None:
-            name, _a_idx, kind, _k_idx, rate = payloads[index][:5]
-            if bus is not None:
-                bus.publish(
-                    "sweep.cell",
-                    {
-                        "algorithm": name,
-                        "kind": kind,
-                        "rate": rate,
-                        "correct": int(cell["correct"]),
-                        "trials": trials,
-                    },
-                )
-            if session is not None:
-                session.write_shard_step(
-                    index,
-                    f"{name}/{kind}/{rate}",
-                    {
-                        "algorithm": name,
-                        "kind": kind,
-                        "rate": rate,
-                        "correct": int(cell["correct"]),
-                        "faults": int(cell["faults"]),
-                        "rounds_total": int(cell["rounds_total"]),
-                    },
-                )
+        def on_result(local_index: int, cell: Dict[str, Any]) -> None:
+            _publish(fresh_indices[local_index], cell)
 
     executor = ParallelExecutor(workers=workers, metrics=metrics)
     results = executor.map(
-        _fault_cell_worker, payloads, on_result=on_result,
-        span_name="resilience.sweep_map",
+        _fault_cell_worker, [payloads[i] for i in fresh_indices],
+        on_result=on_result, span_name="resilience.sweep_map",
     )
+    for local_index, cell in enumerate(results):
+        index = fresh_indices[local_index]
+        cells[index] = cell
+        if cell_cache is not None:
+            cell_cache.put_item(
+                _cell_item(*payloads[index][:6]),
+                {
+                    "correct": int(cell["correct"]),
+                    "faults": int(cell["faults"]),
+                    "rounds_total": int(cell["rounds_total"]),
+                    "population": cell.get("population"),
+                },
+            )
     if session is not None:
         session.merge_shard_steps(len(payloads))
     from repro.obs.sketches import merge_population
 
+    fresh = set(fresh_indices)
     curves: List[DegradationCurve] = []
     population: Optional[Dict[str, Dict[str, Any]]] = None
     cursor = 0
@@ -552,7 +650,8 @@ def _sweep_cells_parallel(
         for kind in kinds:
             points: List[DegradationPoint] = []
             for rate in rates:
-                cell = results[cursor]
+                cell = cells[cursor]
+                was_fresh = cursor in fresh
                 cursor += 1
                 faults = int(cell["faults"])
                 population = merge_population(population, cell.get("population"))
@@ -566,8 +665,11 @@ def _sweep_cells_parallel(
                     )
                 )
                 if metrics is not None:
-                    metrics.counter("resilience.trials_run").inc(trials)
-                    metrics.counter("resilience.faults_injected").inc(faults)
+                    if was_fresh:
+                        metrics.counter("resilience.trials_run").inc(trials)
+                        metrics.counter("resilience.faults_injected").inc(faults)
+                    else:
+                        metrics.counter("resilience.cells_cached").inc()
             curves.append(DegradationCurve(name, kind, tuple(points)))
     return curves, population
 

@@ -1,0 +1,178 @@
+"""ResultCache: round-trips, corruption-as-miss, verify, LRU gc."""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.cache.keys import canonical_json
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
+
+
+def entry_path(cache, key):
+    return os.path.join(cache.objects_dir, key[:2], key + ".json")
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        payload = {"rows": [[1, 2], [3, 4]], "note": "x"}
+        assert cache.put(KEY, "ranks", payload)
+        got = cache.get(KEY)
+        assert got == payload
+        assert canonical_json(got) == canonical_json(payload)
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 0,
+            "stored": 1,
+            "bytes_saved": len(canonical_json(payload).encode("ascii")),
+            "corrupt": 0,
+        }
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        root = tmp_path / "c"
+        cache = ResultCache(str(root), enabled=False)
+        assert not cache.put(KEY, "ranks", {"x": 1})
+        assert cache.get(KEY) is None
+        assert not os.path.exists(str(root))
+        assert cache.counters() == {
+            "hits": 0, "misses": 0, "stored": 0, "bytes_saved": 0, "corrupt": 0,
+        }
+
+    def test_non_hex_key_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        with pytest.raises(ValueError):
+            cache.get("../../etc/passwd")
+
+    def test_metrics_registry_sees_traffic(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache.put(KEY, "ranks", {"x": 1})
+            cache.get(KEY)
+            cache.get(KEY2)
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.stored"] == 1
+        assert counters["cache.hit"] == 1
+        assert counters["cache.miss"] == 1
+        assert counters["cache.bytes_saved"] == cache.bytes_saved
+
+
+class TestCorruption:
+    """Every flavor of bad entry is a miss, never a served payload."""
+
+    def _seed(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.put(KEY, "ranks", {"value": 42})
+        return cache, entry_path(cache, KEY)
+
+    def test_flipped_payload_byte_is_a_miss(self, tmp_path):
+        cache, path = self._seed(tmp_path)
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        entry["payload"]["value"] = 43  # digest no longer matches
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1
+
+    def test_torn_tail_is_a_miss(self, tmp_path):
+        cache, path = self._seed(tmp_path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert cache.get(KEY) is None
+
+    def test_wrong_envelope_version_is_a_miss(self, tmp_path):
+        cache, path = self._seed(tmp_path)
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        entry["cache_version"] = 999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        assert cache.get(KEY) is None
+
+    def test_recompute_overwrites_and_serves(self, tmp_path):
+        cache, path = self._seed(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"{garbage")
+        assert cache.get(KEY) is None  # miss -> caller recomputes
+        assert cache.put(KEY, "ranks", {"value": 42})
+        assert cache.get(KEY) == {"value": 42}
+
+    def test_verify_flags_and_deletes(self, tmp_path):
+        cache, path = self._seed(tmp_path)
+        assert cache.put(KEY2, "ranks", {"other": 1})
+        with open(path, "wb") as handle:
+            handle.write(b"{garbage")
+        report = cache.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["corrupt"] == [KEY]
+        assert report["deleted"] == 0
+        report = cache.verify(delete=True)
+        assert report["deleted"] == 1
+        assert not os.path.exists(path)
+        assert cache.verify() == {"checked": 1, "ok": 1, "corrupt": [], "deleted": 0}
+
+
+class TestGc:
+    def test_evicts_least_recently_used_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        keys = [f"{i:02x}" + "e" * 62 for i in range(4)]
+        for i, key in enumerate(keys):
+            assert cache.put(key, "ranks", {"i": i, "pad": "x" * 100})
+            # explicit mtimes: keys[0] oldest ... keys[3] newest
+            os.utime(entry_path(cache, key), (1000 + i, 1000 + i))
+        # a hit rejuvenates keys[0], so keys[1] becomes the LRU victim
+        assert cache.get(keys[0]) is not None
+        # entry sizes vary by a few bytes (created_unix repr width), so
+        # budget against the real total: one byte under it evicts exactly
+        # the one oldest entry
+        total = sum(os.path.getsize(entry_path(cache, k)) for k in keys)
+        report = cache.gc(max_bytes=total - 1)
+        assert report["evicted"] == 1
+        assert cache.get(keys[1]) is None  # the true LRU entry went
+        assert all(cache.get(k) is not None for k in (keys[0], keys[2], keys[3]))
+
+    def test_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.put(KEY, "ranks", {"x": 1})
+        shard_dir = os.path.dirname(entry_path(cache, KEY))
+        orphan = os.path.join(shard_dir, ".cache-dead.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("partial")
+        report = cache.gc()
+        assert report["swept_tmp"] == 1
+        assert not os.path.exists(orphan)
+        assert cache.get(KEY) is not None  # named entries untouched
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put(KEY, "ranks", {"x": 1})
+        cache.put(KEY2, "ranks", {"y": 2})
+        report = cache.gc(max_bytes=0)
+        assert report["evicted"] == 2
+        assert report["remaining_bytes"] == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path / "c")).gc(max_bytes=-1)
+
+    def test_stats_reports_shape(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put(KEY, "ranks", {"x": 1})
+        cache.put(KEY2, "exhaustive", {"y": 2})
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["by_kind"] == {"exhaustive": 1, "ranks": 1}
+        assert stats["bytes"] > 0

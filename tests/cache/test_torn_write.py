@@ -1,0 +1,80 @@
+"""Kill-mid-write: a dying writer can never publish a torn entry.
+
+The child process runs a real ``ResultCache.put`` but SIGKILLs itself at
+the publication point (``os.replace``) -- the worst possible instant: the
+temp file is fully written and fsynced, the named entry is one syscall
+away. Deterministic, no sleep/poll races, same idiom as the replay
+layer's kill-mid-run test. The parent then asserts the crash left *no*
+named entry (a miss, not a torn read), only an orphaned ``.tmp`` that
+``gc`` sweeps, and that a fresh writer repopulates the same key cleanly.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.cache import ResultCache
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+KEY = "ab" + "0" * 62
+
+CHILD = textwrap.dedent(
+    f"""
+    import os, signal, sys
+    sys.path.insert(0, {SRC!r})
+    import repro.cache.store as store_mod
+
+    def killed_at_publish(src, dst):
+        os.kill(os.getpid(), signal.SIGKILL)  # dies holding a full .tmp
+
+    store_mod.os.replace = killed_at_publish
+    cache = store_mod.ResultCache(sys.argv[1])
+    cache.put({KEY!r}, "exhaustive", {{"rows": list(range(200))}})
+    sys.exit(0)  # unreachable if the kill landed
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def killed_cache_root(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("killed") / "cache")
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD, root],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    return root
+
+
+class TestKilledMidWrite:
+    def test_no_named_entry_was_published(self, killed_cache_root):
+        cache = ResultCache(killed_cache_root)
+        named = [path for _key, path in cache._iter_entries()]
+        assert named == []
+
+    def test_torn_write_reads_as_a_plain_miss(self, killed_cache_root):
+        cache = ResultCache(killed_cache_root)
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+        assert cache.corrupt == 0  # nothing corrupt: nothing was published
+
+    def test_orphaned_tmp_exists_and_gc_sweeps_it(self, killed_cache_root):
+        shard_dir = os.path.join(killed_cache_root, "objects", KEY[:2])
+        tmps = [n for n in os.listdir(shard_dir) if n.endswith(".tmp")]
+        assert len(tmps) == 1
+        report = ResultCache(killed_cache_root).gc()
+        assert report["swept_tmp"] == 1
+        assert [n for n in os.listdir(shard_dir) if n.endswith(".tmp")] == []
+
+    def test_fresh_writer_repopulates_the_key(self, killed_cache_root):
+        cache = ResultCache(killed_cache_root)
+        payload = {"rows": list(range(200))}
+        assert cache.put(KEY, "exhaustive", payload)
+        assert cache.get(KEY) == payload
